@@ -1,0 +1,172 @@
+// Command benchrunner regenerates every table and figure of the
+// paper's evaluation (Section 7) and prints the rows/series the paper
+// reports. Absolute numbers differ from the paper's Oracle testbed; the
+// shapes (who wins, by what factor, where the curves sit) are the
+// reproduction target. See EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchrunner [-mb N] [-sizes 50,100,...] [-iters N] [-only fig13,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	mb := flag.Int("mb", 1, "nominal database size (MB) for Figs. 13 and 14")
+	sizesFlag := flag.String("sizes", "50,100,150,200,250,300,350,400,450,500",
+		"comma-separated database sizes (MB) for Figs. 15-17")
+	iters := flag.Int("iters", 20, "operations per size for Figs. 15-17")
+	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17")
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		fatal(err)
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(s))] = true
+		}
+	}
+	run := func(name string) bool { return len(want) == 0 || want[name] }
+
+	if run("fig12") {
+		printFig12()
+	}
+	if run("fig13") {
+		printFig13(*mb)
+	}
+	if run("fig14") {
+		printFig14(*mb)
+	}
+	if run("marking") {
+		printMarking(*mb)
+	}
+	if run("fig15") {
+		printFig15(sizes, *iters)
+	}
+	if run("fig16") {
+		printFig16(sizes, *iters)
+	}
+	if run("fig17") {
+		printFig17(sizes, *iters)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrunner:", err)
+	os.Exit(1)
+}
+
+func header(title string) {
+	fmt.Println()
+	fmt.Println("=== " + title + " ===")
+}
+
+func printFig12() {
+	header("Fig. 12 — Evaluation of W3C Use Cases (view ASG expressiveness)")
+	fmt.Printf("%-10s %-9s %s\n", "Query", "Included", "Reason")
+	for _, r := range experiments.Fig12() {
+		inc := "yes"
+		if !r.Included {
+			inc = "no"
+		}
+		fmt.Printf("%-10s %-9s %s\n", r.ID, inc, r.Reason)
+	}
+}
+
+func printFig13(mb int) {
+	header(fmt.Sprintf("Fig. 13 — Translatable view update over Vsuccess (DBsize=%dMB)", mb))
+	rows, err := experiments.Fig13(mb, 5)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-10s %14s %14s %12s %10s\n", "Relation", "Update", "With STAR", "Overhead", "RowsDel")
+	for _, r := range rows {
+		over := float64(r.WithSTAR-r.Update) / float64(r.Update) * 100
+		fmt.Printf("%-10s %14v %14v %11.1f%% %10d\n", r.Relation, r.Update, r.WithSTAR, over, r.RowsDeleted)
+	}
+}
+
+func printFig14(mb int) {
+	header(fmt.Sprintf("Fig. 14 — Untranslatable view update over Vfail (DBsize=%dMB)", mb))
+	rows, err := experiments.Fig14(mb, 5)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-10s %16s %14s %10s %10s\n", "Relation", "Blind+Rollback", "STAR reject", "Speedup", "RowsTouch")
+	for _, r := range rows {
+		speedup := float64(r.Blind) / float64(r.STAR)
+		fmt.Printf("%-10s %16v %14v %9.0fx %10d\n", r.Relation, r.Blind, r.STAR, speedup, r.RowsTouched)
+	}
+}
+
+func printMarking(mb int) {
+	header("§7.2 — STAR marking procedure cost (compile time, per view)")
+	mt, err := experiments.STARMarking(mb)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Vsuccess: %v\nVfail:    %v\n", mt.Vsuccess, mt.Vfail)
+}
+
+func printFig15(sizes []int, iters int) {
+	header("Fig. 15 — Internal vs External strategy, insert lineitem into Vlinear")
+	rows, err := experiments.Fig15(sizes, iters)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %12s %14s %14s %8s\n", "DB(MB)", "rows", "Internal/op", "External/op", "ratio")
+	for _, r := range rows {
+		fmt.Printf("%-8d %12d %14v %14v %7.2fx\n", r.MB, r.Rows, r.Internal, r.External,
+			float64(r.Internal)/float64(r.External))
+	}
+}
+
+func printFig16(sizes []int, iters int) {
+	header("Fig. 16 — Hybrid vs Outside strategy over Vbush (successful updates)")
+	rows, err := experiments.Fig16(sizes, iters)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %14s %14s %8s\n", "DB(MB)", "Hybrid/op", "Outside/op", "ratio")
+	for _, r := range rows {
+		fmt.Printf("%-8d %14v %14v %7.2fx\n", r.MB, r.Hybrid, r.Outside,
+			float64(r.Outside)/float64(r.Hybrid))
+	}
+}
+
+func printFig17(sizes []int, iters int) {
+	header("Fig. 17 — Hybrid vs Outside over Vlinear, failed cases")
+	rows, err := experiments.Fig17(sizes, iters)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %14s %14s %14s %14s %10s %10s\n",
+		"DB(MB)", "Hyb-Fail1", "Out-Fail1", "Hyb-Fail2", "Out-Fail2", "Hyb-DML", "Out-DML")
+	for _, r := range rows {
+		fmt.Printf("%-8d %14v %14v %14v %14v %10d %10d\n",
+			r.MB, r.HybridFail1, r.OutsideFail1, r.HybridFail2, r.OutsideFail2, r.HybridStmts, r.OutsideStmts)
+	}
+}

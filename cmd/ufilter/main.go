@@ -1,0 +1,185 @@
+// Command ufilter checks a view update through the U-Filter pipeline
+// against one of the built-in datasets and prints the classification,
+// the probe queries and the translated SQL.
+//
+// Usage:
+//
+//	ufilter -dataset book -update u9
+//	ufilter -dataset book -update-file my_update.xq -apply
+//	ufilter -dataset tpch -view vfail:region -update-text 'FOR $t IN ... UPDATE $t { DELETE $t }'
+//	echo 'FOR ...' | ufilter -dataset psd -apply
+//
+// Datasets: book (the paper's running example, Figs. 1-4/10),
+// tpch (the Section 7.2 evaluation substrate), psd (the Section 7.3
+// protein database). For tpch, -view selects vsuccess (default),
+// vlinear, vbush, or vfail:<relation>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	repro "repro"
+	"repro/internal/bookdb"
+	"repro/internal/psd"
+	"repro/internal/relational"
+	"repro/internal/tpch"
+)
+
+func main() {
+	dataset := flag.String("dataset", "book", "built-in dataset: book, tpch, psd")
+	viewName := flag.String("view", "", "view for tpch: vsuccess, vlinear, vbush, vfail:<relation>")
+	updateName := flag.String("update", "", "named update for the book dataset: u1..u13")
+	updateFile := flag.String("update-file", "", "file containing the update query")
+	updateText := flag.String("update-text", "", "inline update query")
+	apply := flag.Bool("apply", false, "run the full pipeline and execute the translation (default: schema checks only)")
+	strategy := flag.String("strategy", "hybrid", "data-driven strategy: hybrid, outside, internal")
+	marks := flag.Bool("marks", false, "print the STAR (UPoint|UContext) marks and exit")
+	mb := flag.Int("mb", 1, "tpch dataset size (nominal MB)")
+	flag.Parse()
+
+	db, viewQuery, err := buildDataset(*dataset, *viewName, *mb)
+	if err != nil {
+		fail(err)
+	}
+	f, err := repro.NewFilter(viewQuery, db)
+	if err != nil {
+		fail(err)
+	}
+	switch strings.ToLower(*strategy) {
+	case "hybrid":
+		f.Strategy = repro.StrategyHybrid
+	case "outside":
+		f.Strategy = repro.StrategyOutside
+	case "internal":
+		f.Strategy = repro.StrategyInternal
+	default:
+		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	if *marks {
+		fmt.Print(f.Marks.MarkString())
+		return
+	}
+
+	update, err := loadUpdate(*dataset, *updateName, *updateFile, *updateText)
+	if err != nil {
+		fail(err)
+	}
+
+	var res *repro.Result
+	if *apply {
+		res, err = f.Apply(update)
+	} else {
+		res, err = f.Check(update)
+	}
+	if err != nil {
+		fail(err)
+	}
+	printResult(res, *apply)
+	if !res.Accepted {
+		os.Exit(2)
+	}
+}
+
+func buildDataset(dataset, viewName string, mb int) (*relational.Database, string, error) {
+	switch strings.ToLower(dataset) {
+	case "book":
+		db, err := bookdb.NewDatabase(relational.DeleteCascade)
+		return db, bookdb.ViewQuery, err
+	case "psd":
+		db, err := psd.NewDatabase(100)
+		return db, psd.ViewQuery, err
+	case "tpch":
+		db, err := tpch.NewDatabaseMB(mb)
+		if err != nil {
+			return nil, "", err
+		}
+		q := tpch.VsuccessQuery
+		switch {
+		case viewName == "" || strings.EqualFold(viewName, "vsuccess"):
+		case strings.EqualFold(viewName, "vlinear"):
+			q = tpch.VlinearQuery
+		case strings.EqualFold(viewName, "vbush"):
+			q = tpch.VbushQuery
+		case strings.HasPrefix(strings.ToLower(viewName), "vfail:"):
+			q = tpch.VfailQuery(strings.ToLower(viewName[len("vfail:"):]))
+		default:
+			return nil, "", fmt.Errorf("unknown tpch view %q", viewName)
+		}
+		return db, q, nil
+	default:
+		return nil, "", fmt.Errorf("unknown dataset %q (want book, tpch or psd)", dataset)
+	}
+}
+
+func loadUpdate(dataset, name, file, text string) (string, error) {
+	switch {
+	case name != "":
+		if !strings.EqualFold(dataset, "book") {
+			return "", fmt.Errorf("-update names refer to the book dataset's u1..u13")
+		}
+		for _, u := range bookdb.AllUpdates() {
+			if strings.EqualFold(u.Name, name) {
+				return u.Text, nil
+			}
+		}
+		return "", fmt.Errorf("unknown update %q (want u1..u13)", name)
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	case text != "":
+		return text, nil
+	default:
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return "", err
+		}
+		if len(strings.TrimSpace(string(data))) == 0 {
+			return "", fmt.Errorf("no update given: use -update, -update-file, -update-text or stdin")
+		}
+		return string(data), nil
+	}
+}
+
+func printResult(res *repro.Result, applied bool) {
+	mode := "checked (steps 1-2)"
+	if applied {
+		mode = "applied (steps 1-3 + translation)"
+	}
+	fmt.Printf("mode:      %s\n", mode)
+	fmt.Printf("accepted:  %v\n", res.Accepted)
+	fmt.Printf("outcome:   %s\n", res.Outcome)
+	if res.RejectedAt != 0 {
+		fmt.Printf("rejected:  step %d\n", res.RejectedAt)
+	}
+	if res.Reason != "" {
+		fmt.Printf("reason:    %s\n", res.Reason)
+	}
+	for _, c := range res.Conditions {
+		fmt.Printf("condition: %s\n", c)
+	}
+	for _, p := range res.Probes {
+		fmt.Printf("probe:     %s\n", p)
+	}
+	for _, s := range res.SQL {
+		fmt.Printf("sql:       %s\n", s)
+	}
+	for _, w := range res.Warnings {
+		fmt.Printf("warning:   %s\n", w)
+	}
+	if applied {
+		fmt.Printf("rows:      %d\n", res.RowsAffected)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ufilter:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Package repro is a from-scratch Go reproduction of "U-Filter: A
+// Lightweight XML View Update Checker" (Wang, Rundensteiner, Mani;
+// WPI-CS-TR-05-11 / ICDE 2006): a three-step framework that decides,
+// before any translation is attempted, whether an update against a
+// virtual XML view of a relational database has a correct relational
+// translation.
+//
+// The facade re-exports the library's primary entry points; the
+// subsystems live under internal/:
+//
+//   - internal/relational — in-memory relational engine (constraints,
+//     indexes, FK delete policies, WAL, transactions)
+//   - internal/sqlexec    — SQL AST + executor, materialized probe
+//     results, updatable left-join views
+//   - internal/xmltree    — XML document model
+//   - internal/xqparse    — view-query and update-language parsers
+//   - internal/viewengine — XML view materialization
+//   - internal/asg        — Annotated Schema Graphs and closures
+//   - internal/ufilter    — the U-Filter pipeline (the paper's core)
+//   - internal/tpch, internal/bookdb, internal/psd,
+//     internal/w3cusecases — datasets and workloads
+//   - internal/experiments — the harness regenerating every table and
+//     figure of the paper's evaluation
+//
+// Quick start:
+//
+//	db, _ := bookdb.NewDatabase(relational.DeleteCascade)
+//	f, _ := repro.NewFilter(bookdb.ViewQuery, db)
+//	res, _ := f.Check(bookdb.U9)   // schema-level steps 1+2
+//	res, _ = f.Apply(bookdb.U13)   // full pipeline + execution
+package repro
+
+import (
+	"repro/internal/relational"
+	"repro/internal/ufilter"
+)
+
+// Filter is the compiled U-Filter pipeline for one view over one
+// database. See internal/ufilter for the full API.
+type Filter = ufilter.Filter
+
+// Result reports a checked or applied update's outcome.
+type Result = ufilter.Result
+
+// Strategy selects the data-driven update-point checking approach.
+type Strategy = ufilter.Strategy
+
+// Update-point strategies (Section 6.2 of the paper).
+const (
+	StrategyHybrid   = ufilter.StrategyHybrid
+	StrategyOutside  = ufilter.StrategyOutside
+	StrategyInternal = ufilter.StrategyInternal
+)
+
+// Outcome is the STAR classification of Fig. 6.
+type Outcome = ufilter.Outcome
+
+// STAR classification outcomes.
+const (
+	OutcomeInvalid        = ufilter.OutcomeInvalid
+	OutcomeUntranslatable = ufilter.OutcomeUntranslatable
+	OutcomeConditional    = ufilter.OutcomeConditional
+	OutcomeUnconditional  = ufilter.OutcomeUnconditional
+)
+
+// NewFilter parses a view query, builds and STAR-marks its Annotated
+// Schema Graphs over the database, and returns a ready filter.
+func NewFilter(viewQuery string, db *relational.Database) (*Filter, error) {
+	return ufilter.New(viewQuery, db)
+}

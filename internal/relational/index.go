@@ -1,0 +1,124 @@
+package relational
+
+import (
+	"sort"
+	"strings"
+)
+
+// RowID identifies a stored row, mirroring Oracle's ROWID pseudo-column
+// that the paper's translated SQL (e.g. "delete from book where rowid =
+// t3") addresses rows by.
+type RowID int64
+
+// hashIndex is an equality index over one or more columns. Keys are the
+// composite encoding of the indexed column values; each key maps to the
+// set of row ids carrying those values.
+type hashIndex struct {
+	name    string
+	columns []int // positional column indexes
+	entries map[string]map[RowID]struct{}
+	unique  bool
+}
+
+func newHashIndex(name string, columns []int, unique bool) *hashIndex {
+	return &hashIndex{
+		name:    name,
+		columns: columns,
+		entries: make(map[string]map[RowID]struct{}),
+		unique:  unique,
+	}
+}
+
+// keyFor extracts the index key for a row's values. The boolean is false
+// when any indexed column is NULL (NULLs are not indexed, matching SQL
+// unique-constraint semantics).
+func (ix *hashIndex) keyFor(values []Value) (string, bool) {
+	parts := make([]Value, len(ix.columns))
+	for i, c := range ix.columns {
+		if values[c].IsNull() {
+			return "", false
+		}
+		parts[i] = values[c]
+	}
+	return EncodeCompositeKey(parts), true
+}
+
+func (ix *hashIndex) insert(id RowID, values []Value) {
+	key, ok := ix.keyFor(values)
+	if !ok {
+		return
+	}
+	set := ix.entries[key]
+	if set == nil {
+		set = make(map[RowID]struct{})
+		ix.entries[key] = set
+	}
+	set[id] = struct{}{}
+}
+
+func (ix *hashIndex) remove(id RowID, values []Value) {
+	key, ok := ix.keyFor(values)
+	if !ok {
+		return
+	}
+	if set := ix.entries[key]; set != nil {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(ix.entries, key)
+		}
+	}
+}
+
+// lookup returns the row ids matching the given key values, sorted for
+// determinism.
+func (ix *hashIndex) lookup(vals []Value) []RowID {
+	for _, v := range vals {
+		if v.IsNull() {
+			return nil
+		}
+	}
+	key := EncodeCompositeKey(vals)
+	set := ix.entries[key]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]RowID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// contains reports whether any row carries the given key values.
+func (ix *hashIndex) contains(vals []Value) bool {
+	for _, v := range vals {
+		if v.IsNull() {
+			return false
+		}
+	}
+	key := EncodeCompositeKey(vals)
+	return len(ix.entries[key]) > 0
+}
+
+// matchesColumns reports whether the index covers exactly the given
+// positional columns (order-insensitive).
+func (ix *hashIndex) matchesColumns(cols []int) bool {
+	if len(cols) != len(ix.columns) {
+		return false
+	}
+	want := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		want[c] = true
+	}
+	for _, c := range ix.columns {
+		if !want[c] {
+			return false
+		}
+	}
+	return true
+}
+
+func indexName(table string, cols []string) string {
+	return "ix_" + strings.ToLower(table) + "_" + strings.ToLower(strings.Join(cols, "_"))
+}

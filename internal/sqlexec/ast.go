@@ -1,0 +1,254 @@
+// Package sqlexec provides a small SQL abstract syntax and an executor
+// over the relational engine. It covers exactly the statement shapes
+// U-Filter emits: conjunctive select-project-join probe queries,
+// single-table INSERT / DELETE / UPDATE statements (optionally consuming
+// materialized probe results via IN-subqueries), materialized temporary
+// tables, and updatable left-join relational views (the "internal"
+// update-point strategy of Section 6.2.1).
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relational"
+)
+
+// ColRef names a column, optionally qualified by its table. An empty
+// Table resolves against the FROM list when unambiguous.
+type ColRef struct {
+	Table  string
+	Column string
+}
+
+// String renders the reference in SQL syntax.
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// equalFold compares two references case-insensitively.
+func (c ColRef) equalFold(o ColRef) bool {
+	return strings.EqualFold(c.Table, o.Table) && strings.EqualFold(c.Column, o.Column)
+}
+
+// Operand is one side of a predicate: either a column reference or a
+// literal value.
+type Operand struct {
+	IsColumn bool
+	Col      ColRef
+	Lit      relational.Value
+}
+
+// ColOperand builds a column operand.
+func ColOperand(table, column string) Operand {
+	return Operand{IsColumn: true, Col: ColRef{Table: table, Column: column}}
+}
+
+// LitOperand builds a literal operand.
+func LitOperand(v relational.Value) Operand { return Operand{Lit: v} }
+
+// String renders the operand in SQL syntax.
+func (o Operand) String() string {
+	if o.IsColumn {
+		return o.Col.String()
+	}
+	if o.Lit.Kind == relational.KindString {
+		return "'" + o.Lit.Str + "'"
+	}
+	return o.Lit.String()
+}
+
+// Predicate is a conjunct of a WHERE clause: either "left op right" or,
+// when InTemp is set, "left IN (SELECT <InTempColumn> FROM <InTemp>)" —
+// the form translated deletes use to consume materialized probe results
+// (statement U3 in the paper).
+type Predicate struct {
+	Left         Operand
+	Op           relational.CompareOp
+	Right        Operand
+	InTemp       string
+	InTempColumn string
+}
+
+// String renders the predicate in SQL syntax.
+func (p Predicate) String() string {
+	if p.InTemp != "" {
+		return fmt.Sprintf("%s IN (SELECT %s FROM %s)", p.Left, p.InTempColumn, p.InTemp)
+	}
+	return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Right)
+}
+
+// Eq builds an equality predicate between a column and a literal.
+func Eq(table, column string, v relational.Value) Predicate {
+	return Predicate{Left: ColOperand(table, column), Op: relational.OpEQ, Right: LitOperand(v)}
+}
+
+// JoinOn builds an equi-join predicate between two columns.
+func JoinOn(lt, lc, rt, rc string) Predicate {
+	return Predicate{Left: ColOperand(lt, lc), Op: relational.OpEQ, Right: ColOperand(rt, rc)}
+}
+
+// Cmp builds a comparison predicate between a column and a literal.
+func Cmp(table, column string, op relational.CompareOp, v relational.Value) Predicate {
+	return Predicate{Left: ColOperand(table, column), Op: op, Right: LitOperand(v)}
+}
+
+// SelectStmt is a conjunctive select-project-join query. An empty
+// Project list selects every column of every FROM relation. Project
+// entries may reference the synthetic column "rowid".
+type SelectStmt struct {
+	Project []ColRef
+	From    []string
+	Where   []Predicate
+	// NoIndex forces scan-based evaluation, ignoring base-table
+	// indexes and the rowid access path. The outside strategy's probes
+	// set this: the paper's implementation evaluates them as joins over
+	// materialized results "where indices do not exist" (Section 7.2).
+	NoIndex bool
+}
+
+// String renders the statement in SQL syntax.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if len(s.Project) == 0 {
+		b.WriteString("*")
+	} else {
+		parts := make([]string, len(s.Project))
+		for i, c := range s.Project {
+			parts[i] = c.String()
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(s.From, ", "))
+	if len(s.Where) > 0 {
+		parts := make([]string, len(s.Where))
+		for i, p := range s.Where {
+			parts[i] = p.String()
+		}
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(parts, " AND "))
+	}
+	return b.String()
+}
+
+// InsertStmt is a single-table INSERT.
+type InsertStmt struct {
+	Table  string
+	Values map[string]relational.Value
+}
+
+// String renders the statement in SQL syntax with deterministic column
+// order.
+func (s *InsertStmt) String() string {
+	cols := make([]string, 0, len(s.Values))
+	for c := range s.Values {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	vals := make([]string, len(cols))
+	for i, c := range cols {
+		vals[i] = Operand{Lit: s.Values[c]}.String()
+	}
+	return fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
+		s.Table, strings.Join(cols, ", "), strings.Join(vals, ", "))
+}
+
+// DeleteStmt is a single-table DELETE with a conjunctive WHERE.
+type DeleteStmt struct {
+	Table string
+	Where []Predicate
+}
+
+// String renders the statement in SQL syntax.
+func (s *DeleteStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DELETE FROM %s", s.Table)
+	if len(s.Where) > 0 {
+		parts := make([]string, len(s.Where))
+		for i, p := range s.Where {
+			parts[i] = p.String()
+		}
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(parts, " AND "))
+	}
+	return b.String()
+}
+
+// UpdateStmt is a single-table UPDATE with a conjunctive WHERE.
+type UpdateStmt struct {
+	Table string
+	Set   map[string]relational.Value
+	Where []Predicate
+}
+
+// String renders the statement in SQL syntax with deterministic SET
+// order.
+func (s *UpdateStmt) String() string {
+	cols := make([]string, 0, len(s.Set))
+	for c := range s.Set {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	sets := make([]string, len(cols))
+	for i, c := range cols {
+		sets[i] = fmt.Sprintf("%s = %s", c, Operand{Lit: s.Set[c]})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "UPDATE %s SET %s", s.Table, strings.Join(sets, ", "))
+	if len(s.Where) > 0 {
+		parts := make([]string, len(s.Where))
+		for i, p := range s.Where {
+			parts[i] = p.String()
+		}
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(parts, " AND "))
+	}
+	return b.String()
+}
+
+// Statement is any executable DML statement.
+type Statement interface {
+	fmt.Stringer
+	isStatement()
+}
+
+func (*SelectStmt) isStatement() {}
+func (*InsertStmt) isStatement() {}
+func (*DeleteStmt) isStatement() {}
+func (*UpdateStmt) isStatement() {}
+
+// ResultSet is the output of a select: qualified column headers plus
+// value rows.
+type ResultSet struct {
+	Columns []ColRef
+	Rows    [][]relational.Value
+}
+
+// ColumnIndex finds a column in the result by (table, column) reference;
+// an empty table matches any table when the column name is unambiguous.
+func (rs *ResultSet) ColumnIndex(ref ColRef) (int, bool) {
+	found := -1
+	for i, c := range rs.Columns {
+		if !strings.EqualFold(c.Column, ref.Column) {
+			continue
+		}
+		if ref.Table != "" && !strings.EqualFold(c.Table, ref.Table) {
+			continue
+		}
+		if found >= 0 {
+			return -1, false // ambiguous
+		}
+		found = i
+	}
+	return found, found >= 0
+}
+
+// Empty reports whether the result has no rows (the probe-query signal
+// for "context not in the view" / "no data conflict").
+func (rs *ResultSet) Empty() bool { return len(rs.Rows) == 0 }

@@ -1,0 +1,199 @@
+package sqlexec
+
+import (
+	"testing"
+
+	"repro/internal/relational"
+)
+
+// TestNoIndexEquivalence: forcing scan evaluation must not change query
+// results, only the access path (the outside strategy's probe mode).
+func TestNoIndexEquivalence(t *testing.T) {
+	e := newExec(t)
+	base := &SelectStmt{
+		Project: []ColRef{{Table: "book", Column: "bookid"}},
+		From:    []string{"publisher", "book"},
+		Where: []Predicate{
+			JoinOn("book", "pubid", "publisher", "pubid"),
+			Cmp("book", "price", relational.OpLT, relational.Float_(50)),
+		},
+	}
+	indexed, err := e.ExecSelect(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanOnly := *base
+	scanOnly.NoIndex = true
+	scanned, err := e.ExecSelect(&scanOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indexed.Rows) != len(scanned.Rows) {
+		t.Fatalf("indexed=%d rows, scan=%d rows", len(indexed.Rows), len(scanned.Rows))
+	}
+	got := map[string]bool{}
+	for _, r := range scanned.Rows {
+		got[r[0].Str] = true
+	}
+	for _, r := range indexed.Rows {
+		if !got[r[0].Str] {
+			t.Errorf("row %v missing under NoIndex", r)
+		}
+	}
+}
+
+// TestSemiJoinEquivalence: the IN-temp semi-join path and the scan path
+// must agree.
+func TestSemiJoinEquivalence(t *testing.T) {
+	e := newExec(t)
+	temp, err := e.ExecSelect(&SelectStmt{
+		Project: []ColRef{{Table: "book", Column: "bookid"}},
+		From:    []string{"book"},
+		Where:   []Predicate{Cmp("book", "price", relational.OpLT, relational.Float_(40))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Materialize("tab_cheap", temp)
+	query := func(noIndex bool) *SelectStmt {
+		return &SelectStmt{
+			Project: []ColRef{{Table: "review", Column: "reviewid"}},
+			From:    []string{"review"},
+			Where: []Predicate{{
+				Left: ColOperand("review", "bookid"), InTemp: "tab_cheap", InTempColumn: "book.bookid",
+			}},
+			NoIndex: noIndex,
+		}
+	}
+	fast, err := e.ExecSelect(query(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := e.ExecSelect(query(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast.Rows) != 2 || len(slow.Rows) != 2 {
+		t.Fatalf("semi-join=%d scan=%d rows, want 2", len(fast.Rows), len(slow.Rows))
+	}
+	// The semi-join path should have used the review.bookid FK index.
+	before := e.IndexProbes
+	if _, err := e.ExecSelect(query(false)); err != nil {
+		t.Fatal(err)
+	}
+	if e.IndexProbes == before {
+		t.Error("semi-join path did not probe the index")
+	}
+}
+
+// TestRowIDAccessPath: rowid equality is a direct fetch, not a scan.
+func TestRowIDAccessPath(t *testing.T) {
+	e := newExec(t)
+	ids, _ := e.DB.LookupEqual("book", []string{"bookid"}, []relational.Value{relational.String_("98002")})
+	before := e.RowsScanned
+	rs, err := e.ExecSelect(&SelectStmt{
+		Project: []ColRef{{Table: "book", Column: "title"}},
+		From:    []string{"book"},
+		Where:   []Predicate{Eq("book", "rowid", relational.Int_(int64(ids[0])))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Str != "Programming in Unix" {
+		t.Fatalf("rows = %v", rs.Rows)
+	}
+	if e.RowsScanned != before {
+		t.Errorf("rowid access scanned %d rows", e.RowsScanned-before)
+	}
+	// Missing rowid: empty result, no error.
+	rs, err = e.ExecSelect(&SelectStmt{
+		From:  []string{"book"},
+		Where: []Predicate{Eq("book", "rowid", relational.Int_(999999))},
+	})
+	if err != nil || !rs.Empty() {
+		t.Fatalf("missing rowid: rows=%d err=%v", len(rs.Rows), err)
+	}
+}
+
+// TestJoinOrderDeterminism: repeated evaluation returns identical row
+// order (the probe materialization depends on it).
+func TestJoinOrderDeterminism(t *testing.T) {
+	e := newExec(t)
+	sel := &SelectStmt{
+		From: []string{"publisher", "book", "review"},
+		Where: []Predicate{
+			JoinOn("book", "pubid", "publisher", "pubid"),
+			JoinOn("review", "bookid", "book", "bookid"),
+		},
+	}
+	first, err := e.ExecSelect(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := e.ExecSelect(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Rows) != len(first.Rows) {
+			t.Fatal("row count changed")
+		}
+		for j := range again.Rows {
+			for k := range again.Rows[j] {
+				if !again.Rows[j][k].Equal(first.Rows[j][k]) && !(again.Rows[j][k].IsNull() && first.Rows[j][k].IsNull()) {
+					t.Fatalf("row %d col %d differs", j, k)
+				}
+			}
+		}
+	}
+}
+
+// TestTempTableInFrom: materialized results are scannable relations.
+func TestTempTableInFrom(t *testing.T) {
+	e := newExec(t)
+	rs, err := e.ExecSelect(&SelectStmt{From: []string{"book"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Materialize("tab_all", rs)
+	out, err := e.ExecSelect(&SelectStmt{
+		Project: []ColRef{{Table: "tab_all", Column: "title"}},
+		From:    []string{"tab_all"},
+		Where:   []Predicate{Cmp("tab_all", "year", relational.OpGT, relational.Int_(1990))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(out.Rows))
+	}
+	e.DropTemp("tab_all")
+	if _, err := e.ExecSelect(&SelectStmt{From: []string{"tab_all"}}); err == nil {
+		t.Error("dropped temp still resolvable")
+	}
+}
+
+// TestJoinTempWithBase: a temp can join against a base table.
+func TestJoinTempWithBase(t *testing.T) {
+	e := newExec(t)
+	rs, err := e.ExecSelect(&SelectStmt{
+		Project: []ColRef{{Table: "book", Column: "bookid"}},
+		From:    []string{"book"},
+		Where:   []Predicate{Eq("book", "bookid", relational.String_("98001"))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Materialize("tab_one", rs)
+	out, err := e.ExecSelect(&SelectStmt{
+		Project: []ColRef{{Table: "review", Column: "comment"}},
+		From:    []string{"tab_one", "review"},
+		Where:   []Predicate{JoinOn("review", "bookid", "tab_one", "bookid")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(out.Rows))
+	}
+}

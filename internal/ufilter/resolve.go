@@ -1,0 +1,205 @@
+package ufilter
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asg"
+	"repro/internal/relational"
+	"repro/internal/xmltree"
+	"repro/internal/xqparse"
+)
+
+// UserPred is a user-update predicate compiled against the view ASG: a
+// leaf attribute compared to a literal.
+type UserPred struct {
+	Leaf *asg.Node
+	Op   relational.CompareOp
+	Lit  relational.Value
+}
+
+// String renders the predicate over the leaf's relational attribute.
+func (p UserPred) String() string {
+	return fmt.Sprintf("%s %s %s", p.Leaf.RelAttr(), p.Op, p.Lit)
+}
+
+// ResolvedOp is one update operation bound to view ASG nodes.
+type ResolvedOp struct {
+	Op xqparse.UpdateOp
+	// Context is the node the operation is anchored at: the node bound
+	// to the op's path variable (deletes/replaces) or the update target
+	// (inserts).
+	Context *asg.Node
+	// Target is the node being deleted/replaced, or the schema node an
+	// inserted fragment instantiates.
+	Target *asg.Node
+}
+
+// ResolvedUpdate is a parsed update bound to the view's ASG.
+type ResolvedUpdate struct {
+	Query     *xqparse.UpdateQuery
+	VarNodes  map[string]*asg.Node
+	UserPreds []UserPred
+	Ops       []ResolvedOp
+}
+
+// resolveError marks a resolution failure that Step 1 reports as
+// invalid (the update references elements outside the view schema).
+type resolveError struct{ msg string }
+
+func (e *resolveError) Error() string { return e.msg }
+
+func resolveErrf(format string, args ...interface{}) error {
+	return &resolveError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Resolve binds an update query's variables, predicates and operations
+// to nodes of the view ASG.
+func Resolve(u *xqparse.UpdateQuery, view *asg.ViewASG) (*ResolvedUpdate, error) {
+	r := &ResolvedUpdate{Query: u, VarNodes: map[string]*asg.Node{}}
+	for _, b := range u.Bindings {
+		var base *asg.Node
+		var steps []string
+		if b.Source.Doc != "" {
+			base = view.Root
+			steps = b.Source.Steps
+		} else {
+			parent, ok := r.VarNodes[b.Source.Var]
+			if !ok {
+				return nil, resolveErrf("unbound variable $%s in binding of $%s", b.Source.Var, b.Var)
+			}
+			base = parent
+			steps = b.Source.Steps
+		}
+		node := base.ResolvePath(steps)
+		if node == nil {
+			return nil, resolveErrf("binding $%s: path /%s does not exist in the view schema",
+				b.Var, strings.Join(steps, "/"))
+		}
+		r.VarNodes[b.Var] = node
+	}
+
+	for _, p := range u.Preds {
+		up, err := r.compilePred(p)
+		if err != nil {
+			return nil, err
+		}
+		r.UserPreds = append(r.UserPreds, up)
+	}
+
+	target, ok := r.VarNodes[u.TargetVar]
+	if !ok {
+		return nil, resolveErrf("update target $%s is not bound", u.TargetVar)
+	}
+	for _, op := range u.Ops {
+		ro := ResolvedOp{Op: op}
+		switch op.Kind {
+		case xqparse.OpDelete, xqparse.OpReplace:
+			ctx, ok := r.VarNodes[op.PathVar]
+			if !ok {
+				return nil, resolveErrf("%s references unbound variable $%s", op.Kind, op.PathVar)
+			}
+			ro.Context = ctx
+			t := ctx.ResolvePath(op.Path)
+			if t == nil {
+				return nil, resolveErrf("%s $%s/%s: no such element in the view schema",
+					op.Kind, op.PathVar, strings.Join(op.Path, "/"))
+			}
+			if op.TextOnly {
+				leaf := t.LeafUnder()
+				if leaf == nil {
+					return nil, resolveErrf("%s $%s/%s/text(): element has no text node",
+						op.Kind, op.PathVar, strings.Join(op.Path, "/"))
+				}
+				t = leaf
+			}
+			ro.Target = t
+		case xqparse.OpInsert:
+			ro.Context = target
+			child := target.FindChild(op.Content.Name)
+			if child == nil {
+				return nil, resolveErrf("INSERT <%s>: element <%s> cannot occur under <%s> in the view schema",
+					op.Content.Name, op.Content.Name, target.Name)
+			}
+			ro.Target = child
+		}
+		r.Ops = append(r.Ops, ro)
+	}
+	return r, nil
+}
+
+// compilePred binds one user predicate to a view leaf. The literal may
+// be on either side; correlation predicates in user updates are not
+// supported (the paper's update corpus has none).
+func (r *ResolvedUpdate) compilePred(p xqparse.Pred) (UserPred, error) {
+	path, lit, op := p.Left, p.Right, p.Op
+	if path.IsLiteral {
+		path, lit, op = p.Right, p.Left, p.Op.Flip()
+	}
+	if path.IsLiteral || !lit.IsLiteral {
+		return UserPred{}, resolveErrf("unsupported predicate %s: exactly one side must be a literal", p)
+	}
+	node, ok := r.VarNodes[path.Var]
+	if !ok {
+		return UserPred{}, resolveErrf("unbound variable $%s in predicate", path.Var)
+	}
+	var steps []string
+	if path.Field != "" {
+		steps = strings.Split(path.Field, "/")
+	}
+	tag := node.ResolvePath(steps)
+	if tag == nil {
+		return UserPred{}, resolveErrf("predicate path $%s/%s not in the view schema", path.Var, path.Field)
+	}
+	leaf := tag
+	if tag.Kind != asg.KindLeaf {
+		leaf = tag.LeafUnder()
+	}
+	if leaf == nil || leaf.Kind != asg.KindLeaf {
+		return UserPred{}, resolveErrf("predicate path $%s/%s does not reach an atomic value", path.Var, path.Field)
+	}
+	coerced, err := lit.Lit.CoerceTo(leaf.Type)
+	if err != nil {
+		return UserPred{}, resolveErrf("predicate literal %s does not match the type of %s: %v", lit.Lit, leaf.RelAttr(), err)
+	}
+	return UserPred{Leaf: leaf, Op: op, Lit: coerced}, nil
+}
+
+// fragmentLeafValues extracts (schema leaf, value) pairs from an insert
+// fragment, matching fragment elements to schema nodes under target.
+// Unknown elements and schema violations surface as resolve errors.
+func fragmentLeafValues(frag *xmltree.Node, target *asg.Node) ([]leafValue, error) {
+	var out []leafValue
+	var walk func(el *xmltree.Node, node *asg.Node) error
+	walk = func(el *xmltree.Node, node *asg.Node) error {
+		for _, c := range el.ElementChildren() {
+			child := node.FindChild(c.Name)
+			if child == nil {
+				return resolveErrf("element <%s> cannot occur under <%s> in the view schema", c.Name, node.Name)
+			}
+			switch child.Kind {
+			case asg.KindTag:
+				leaf := child.LeafUnder()
+				if leaf == nil {
+					return resolveErrf("element <%s> has no value in the view schema", c.Name)
+				}
+				out = append(out, leafValue{Leaf: leaf, Raw: c.TextContent()})
+			case asg.KindInternal:
+				if err := walk(c, child); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(frag, target); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// leafValue pairs a schema leaf with the raw text supplied for it.
+type leafValue struct {
+	Leaf *asg.Node
+	Raw  string
+}

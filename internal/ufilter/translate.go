@@ -1,0 +1,541 @@
+package ufilter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/asg"
+	"repro/internal/relational"
+	"repro/internal/sqlexec"
+	"repro/internal/xqparse"
+)
+
+// buildContextProbe composes the probe query of Section 6.1 for an
+// operation anchored at context node C: the view's predicates along the
+// path to C joined with the user update's predicates. The probe projects
+// every column plus the rowid of each retained relation so its
+// materialized result can be reused by the translated statements.
+//
+// Probe pruning: a relation is dropped when no predicate mentions it and
+// every join reaching it goes through a NOT NULL foreign key onto its
+// key — in that case the relational constraints already guarantee the
+// join partner exists (this is what lets the external strategy fetch
+// "only the L_ORDERKEY" in the paper's Fig. 15 discussion). Relations
+// reachable only through nullable joins stay, which keeps the paper's
+// PQ1/PQ2 shape for BookView.
+func (f *Filter) buildContextProbe(c *asg.Node, userPreds []UserPred, mustKeep asg.RelSet) *sqlexec.SelectStmt {
+	if c.Kind == asg.KindRoot || len(c.UCBinding) == 0 {
+		return nil
+	}
+	// Pinned relations: those the translation reads, those the user's
+	// predicates touch, and those with local view predicates.
+	pinned := asg.RelSet{}
+	for r := range mustKeep {
+		if c.UCBinding.Has(r) {
+			pinned.Add(r)
+		}
+	}
+	for _, up := range userPreds {
+		if c.UCBinding.Has(up.Leaf.RelName) {
+			pinned.Add(up.Leaf.RelName)
+		}
+	}
+	for _, sp := range c.ScopePreds {
+		if sp.IsCorrelation() {
+			continue
+		}
+		attr := sp.Left
+		if attr.IsLit {
+			attr = sp.Right
+		}
+		if c.UCBinding.Has(attr.Rel) {
+			pinned.Add(attr.Rel)
+		}
+	}
+	if len(pinned) == 0 {
+		// Nothing pins any relation: pin the context's current
+		// relations so the probe witnesses instance existence.
+		for r := range c.CR() {
+			pinned.Add(r)
+		}
+	}
+	// Leaf pruning over the join graph: an unpinned relation with a
+	// single join neighbor whose edge is FK-guaranteed (the surviving
+	// side's column is a NOT NULL foreign key onto the pruned side's
+	// key, so a match always exists) can be removed without changing
+	// the probe's result. Repeat until fixpoint; connector relations on
+	// the path between pinned ones always survive.
+	keep := c.UCBinding.Clone()
+	joinEdges := func() map[string][]asg.CompiledPred {
+		out := map[string][]asg.CompiledPred{}
+		for _, sp := range c.ScopePreds {
+			if !sp.IsCorrelation() || sp.Op != relational.OpEQ {
+				continue
+			}
+			if !keep.Has(sp.Left.Rel) || !keep.Has(sp.Right.Rel) || sp.Left.Rel == sp.Right.Rel {
+				continue
+			}
+			out[sp.Left.Rel] = append(out[sp.Left.Rel], sp)
+			out[sp.Right.Rel] = append(out[sp.Right.Rel], sp)
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		edges := joinEdges()
+		for r := range keep.Clone() {
+			if pinned.Has(r) {
+				continue
+			}
+			incident := edges[r]
+			if len(incident) != 1 {
+				continue
+			}
+			sp := incident[0]
+			other, mine := sp.Right, sp.Left
+			if sp.Right.Rel == r {
+				other, mine = sp.Left, sp.Right
+			}
+			if f.joinGuaranteedByFK(other, mine) {
+				delete(keep, r)
+				changed = true
+			}
+		}
+	}
+
+	tables := keep.Names()
+	sel := &sqlexec.SelectStmt{From: tables}
+	for _, t := range tables {
+		def, ok := f.View.Schema.Table(t)
+		if !ok {
+			continue
+		}
+		sel.Project = append(sel.Project, sqlexec.ColRef{Table: def.Name, Column: "rowid"})
+		for _, col := range def.ColumnNames() {
+			sel.Project = append(sel.Project, sqlexec.ColRef{Table: def.Name, Column: col})
+		}
+	}
+	for _, sp := range c.ScopePreds {
+		if p, ok := compileScopePred(sp, keep); ok {
+			sel.Where = append(sel.Where, p)
+		}
+	}
+	for _, up := range userPreds {
+		if keep.Has(up.Leaf.RelName) {
+			sel.Where = append(sel.Where, sqlexec.Cmp(up.Leaf.RelName, up.Leaf.ColName, up.Op, up.Lit))
+		}
+	}
+	return sel
+}
+
+// joinGuaranteedByFK reports whether the equality from.Rel.from.Col =
+// to.Rel.to.Col is implied for every from-row by a NOT NULL foreign key
+// from from.Rel onto a key of to.Rel.
+func (f *Filter) joinGuaranteedByFK(from, to asg.Ref) bool {
+	def, ok := f.View.Schema.Table(from.Rel)
+	if !ok {
+		return false
+	}
+	for _, fk := range def.ForeignKeys {
+		if !strings.EqualFold(fk.RefTable, to.Rel) {
+			continue
+		}
+		if len(fk.Columns) != 1 || !strings.EqualFold(fk.Columns[0], from.Col) || !strings.EqualFold(fk.RefColumns[0], to.Col) {
+			continue
+		}
+		if def.IsNotNullColumn(fk.Columns[0]) {
+			return true
+		}
+	}
+	return false
+}
+
+// compileScopePred converts a compiled view predicate into an executor
+// predicate when all referenced relations are retained.
+func compileScopePred(sp asg.CompiledPred, keep asg.RelSet) (sqlexec.Predicate, bool) {
+	conv := func(r asg.Ref) (sqlexec.Operand, bool) {
+		if r.IsLit {
+			return sqlexec.LitOperand(r.Lit), true
+		}
+		if !keep.Has(r.Rel) {
+			return sqlexec.Operand{}, false
+		}
+		return sqlexec.ColOperand(r.Rel, r.Col), true
+	}
+	left, ok := conv(sp.Left)
+	if !ok {
+		return sqlexec.Predicate{}, false
+	}
+	right, ok := conv(sp.Right)
+	if !ok {
+		return sqlexec.Predicate{}, false
+	}
+	return sqlexec.Predicate{Left: left, Op: sp.Op, Right: right}, true
+}
+
+// relsNeededByOp lists context relations the translated statements will
+// read from the probe result (join columns and anchor rowids), so probe
+// pruning keeps them.
+func relsNeededByOp(ro *ResolvedOp) asg.RelSet {
+	need := asg.RelSet{}
+	t := ro.Target
+	switch ro.Op.Kind {
+	case xqparse.OpDelete:
+		if t.Kind == asg.KindInternal {
+			if t == ro.Context {
+				if t.DeleteAnchor != "" {
+					need.Add(t.DeleteAnchor)
+				}
+			} else {
+				for _, jc := range t.EdgeConds {
+					// The side not introduced by the target is read
+					// from the context probe.
+					if !t.CR().Has(jc.LeftRel) {
+						need.Add(jc.LeftRel)
+					}
+					if !t.CR().Has(jc.RightRel) {
+						need.Add(jc.RightRel)
+					}
+				}
+			}
+		} else {
+			need.Add(t.RelName)
+		}
+	case xqparse.OpReplace:
+		need.Add(t.RelName)
+	case xqparse.OpInsert:
+		for _, jc := range t.EdgeConds {
+			if !t.CR().Has(jc.LeftRel) {
+				need.Add(jc.LeftRel)
+			}
+			if !t.CR().Has(jc.RightRel) {
+				need.Add(jc.RightRel)
+			}
+		}
+	}
+	return need
+}
+
+// opTranslation is the generated SQL for one operation, possibly
+// parameterized per context-probe row.
+type opTranslation struct {
+	// Statements are the translated single-table DML statements.
+	Statements []sqlexec.Statement
+	// SharedChecks are existence/consistency probes the data-driven
+	// step must run before the inserts (CondSharedPartsExist).
+	SharedChecks []sharedCheck
+}
+
+// sharedCheck verifies that a shared fragment part already exists.
+type sharedCheck struct {
+	Rel     string
+	KeyCols []string
+	KeyVals []relational.Value
+	AllCols map[string]relational.Value // for duplication consistency
+}
+
+// translateDelete generates the statements for a delete of target T
+// anchored at context C, given the materialized probe (nil when C is
+// the root). res records any auxiliary probe issued.
+func (f *Filter) translateDelete(ro *ResolvedOp, probe *sqlexec.ResultSet, tempName string, res *Result) (*opTranslation, error) {
+	t := ro.Target
+	out := &opTranslation{}
+	switch t.Kind {
+	case asg.KindLeaf, asg.KindTag:
+		leaf := t
+		if t.Kind == asg.KindTag {
+			leaf = t.LeafUnder()
+		}
+		ids, err := probeRowIDs(probe, leaf.RelName)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			out.Statements = append(out.Statements, &sqlexec.UpdateStmt{
+				Table: leaf.RelName,
+				Set:   map[string]relational.Value{leaf.ColName: relational.Null()},
+				Where: []sqlexec.Predicate{sqlexec.Eq(leaf.RelName, "rowid", relational.Int_(int64(id)))},
+			})
+		}
+		return out, nil
+	case asg.KindInternal:
+		anchor := t.DeleteAnchor
+		if anchor == "" {
+			return nil, fmt.Errorf("ufilter: node %s has no delete anchor (unsafe-delete should have been rejected)", t.Label())
+		}
+		if t == ro.Context || probe == nil {
+			ids, err := probeRowIDs(probe, anchor)
+			if err != nil {
+				return nil, err
+			}
+			for _, id := range ids {
+				out.Statements = append(out.Statements, &sqlexec.DeleteStmt{
+					Table: anchor,
+					Where: []sqlexec.Predicate{sqlexec.Eq(anchor, "rowid", relational.Int_(int64(id)))},
+				})
+			}
+			return out, nil
+		}
+		// A card-1 child constructed from the context's own bindings
+		// (no edge conditions): the anchor rows are those the context
+		// probe matched — the paper's direct translation
+		// "delete from publisher where rowid = t1".
+		if len(t.EdgeConds) == 0 {
+			ids, err := probeRowIDs(probe, anchor)
+			if err != nil {
+				return nil, err
+			}
+			for _, id := range ids {
+				out.Statements = append(out.Statements, &sqlexec.DeleteStmt{
+					Table: anchor,
+					Where: []sqlexec.Predicate{sqlexec.Eq(anchor, "rowid", relational.Int_(int64(id)))},
+				})
+			}
+			return out, nil
+		}
+		// Child of the context: when a single edge condition links the
+		// anchor to a relation present in the materialized context, use
+		// the paper's U3 shape (DELETE ... WHERE col IN (SELECT ... FROM
+		// TAB_<ctx>)). Otherwise — e.g. bushy views whose target spans
+		// several new relations — probe the target instances directly
+		// and delete by rowid.
+		var where []sqlexec.Predicate
+		usable := probe != nil
+		for _, jc := range t.EdgeConds {
+			aRel, aCol, cRel, cCol := jc.LeftRel, jc.LeftCol, jc.RightRel, jc.RightCol
+			if !t.CR().Has(aRel) {
+				aRel, aCol, cRel, cCol = jc.RightRel, jc.RightCol, jc.LeftRel, jc.LeftCol
+			}
+			if !strings.EqualFold(aRel, anchor) {
+				continue
+			}
+			if _, ok := probe.ColumnIndex(sqlexec.ColRef{Table: cRel, Column: cCol}); !ok {
+				usable = false
+				break
+			}
+			where = append(where, sqlexec.Predicate{
+				Left:         sqlexec.ColOperand(anchor, aCol),
+				InTemp:       tempName,
+				InTempColumn: cRel + "." + cCol,
+			})
+		}
+		if usable && len(where) > 0 {
+			out.Statements = append(out.Statements, &sqlexec.DeleteStmt{Table: anchor, Where: where})
+			return out, nil
+		}
+		// Fallback: probe the target node's own instances.
+		sel := f.buildContextProbe(t, f.pendingUserPreds, asg.NewRelSet(anchor))
+		if sel == nil {
+			return nil, fmt.Errorf("ufilter: no probe derivable for delete of <%s>", t.Name)
+		}
+		rs, err := f.Exec.ExecSelect(sel)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			res.Probes = append(res.Probes, sel.String())
+		}
+		ids, err := probeRowIDs(rs, anchor)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			out.Statements = append(out.Statements, &sqlexec.DeleteStmt{
+				Table: anchor,
+				Where: []sqlexec.Predicate{sqlexec.Eq(anchor, "rowid", relational.Int_(int64(id)))},
+			})
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("ufilter: cannot delete node kind %s", t.Kind)
+}
+
+// translateInsert generates the statements for inserting a fragment as
+// a new instance of node N under context C. One set of inserts is
+// produced per probe row (per qualifying context instance); when C is
+// the root a single set is produced.
+func (f *Filter) translateInsert(ro *ResolvedOp, probe *sqlexec.ResultSet) (*opTranslation, error) {
+	n := ro.Target
+	leafVals, err := fragmentLeafValues(ro.Op.Content, n)
+	if err != nil {
+		return nil, err
+	}
+	// Values per relation.
+	relVals := map[string]map[string]relational.Value{}
+	for _, lv := range leafVals {
+		if relVals[lv.Leaf.RelName] == nil {
+			relVals[lv.Leaf.RelName] = map[string]relational.Value{}
+		}
+		raw := strings.TrimSpace(lv.Raw)
+		if raw == "" {
+			relVals[lv.Leaf.RelName][lv.Leaf.ColName] = relational.Null()
+			continue
+		}
+		v, err := relational.String_(raw).CoerceTo(lv.Leaf.Type)
+		if err != nil {
+			return nil, invalidf("value %q is not in the domain of %s", raw, lv.Leaf.RelAttr())
+		}
+		relVals[lv.Leaf.RelName][lv.Leaf.ColName] = v
+	}
+	cr := n.CR()
+	shared := f.Marks.SharedRels[n]
+
+	// Intra-fragment wiring: join conditions between two relations of
+	// the fragment copy values across (book.pubid := publisher.pubid).
+	for _, jc := range n.EdgeConds {
+		if cr.Has(jc.LeftRel) && cr.Has(jc.RightRel) {
+			if v, ok := relVals[jc.RightRel][jc.RightCol]; ok {
+				if relVals[jc.LeftRel] == nil {
+					relVals[jc.LeftRel] = map[string]relational.Value{}
+				}
+				if _, present := relVals[jc.LeftRel][jc.LeftCol]; !present {
+					relVals[jc.LeftRel][jc.LeftCol] = v
+				}
+			}
+			if v, ok := relVals[jc.LeftRel][jc.LeftCol]; ok {
+				if relVals[jc.RightRel] == nil {
+					relVals[jc.RightRel] = map[string]relational.Value{}
+				}
+				if _, present := relVals[jc.RightRel][jc.RightCol]; !present {
+					relVals[jc.RightRel][jc.RightCol] = v
+				}
+			}
+		}
+	}
+
+	out := &opTranslation{}
+	// Shared parts (Rule 3): verified, not inserted.
+	for _, rel := range shared.Names() {
+		vals := relVals[rel]
+		def, ok := f.View.Schema.Table(rel)
+		if !ok || len(def.PrimaryKey) == 0 {
+			continue
+		}
+		chk := sharedCheck{Rel: rel, AllCols: vals}
+		complete := true
+		for _, pk := range def.PrimaryKey {
+			v, ok := vals[strings.ToLower(pk)]
+			if !ok || v.IsNull() {
+				complete = false
+				break
+			}
+			chk.KeyCols = append(chk.KeyCols, strings.ToLower(pk))
+			chk.KeyVals = append(chk.KeyVals, v)
+		}
+		if !complete {
+			return nil, invalidf("insert of <%s> must supply the key of shared relation %s", n.Name, rel)
+		}
+		out.SharedChecks = append(out.SharedChecks, chk)
+	}
+
+	// Insert relations in FK order (referenced tables first).
+	var insertRels []string
+	for _, r := range cr.Names() {
+		if !shared.Has(r) {
+			insertRels = append(insertRels, r)
+		}
+	}
+	insertRels = f.fkOrder(insertRels)
+
+	emit := func(wire map[string]relational.Value) {
+		for _, rel := range insertRels {
+			vals := map[string]relational.Value{}
+			for c, v := range relVals[rel] {
+				vals[c] = v
+			}
+			for qualified, v := range wire {
+				parts := strings.SplitN(qualified, ".", 2)
+				if len(parts) == 2 && strings.EqualFold(parts[0], rel) {
+					if _, present := vals[parts[1]]; !present {
+						vals[parts[1]] = v
+					}
+				}
+			}
+			out.Statements = append(out.Statements, &sqlexec.InsertStmt{Table: rel, Values: vals})
+		}
+	}
+
+	if probe == nil {
+		emit(nil)
+		return out, nil
+	}
+	// Context wiring: per probe row, copy the context side of each edge
+	// condition into the new tuples (review.bookid := book.bookid).
+	for _, row := range probe.Rows {
+		wire := map[string]relational.Value{}
+		for _, jc := range n.EdgeConds {
+			newRel, newCol, ctxRel, ctxCol := jc.LeftRel, jc.LeftCol, jc.RightRel, jc.RightCol
+			if !cr.Has(newRel) {
+				newRel, newCol, ctxRel, ctxCol = jc.RightRel, jc.RightCol, jc.LeftRel, jc.LeftCol
+			}
+			if !cr.Has(newRel) || cr.Has(ctxRel) {
+				continue
+			}
+			ci, ok := probe.ColumnIndex(sqlexec.ColRef{Table: ctxRel, Column: ctxCol})
+			if !ok {
+				continue
+			}
+			wire[newRel+"."+newCol] = row[ci]
+		}
+		emit(wire)
+	}
+	return out, nil
+}
+
+// fkOrder sorts relations so referenced tables precede referencing ones.
+func (f *Filter) fkOrder(rels []string) []string {
+	sorted := append([]string(nil), rels...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return f.fkDepth(sorted[i]) < f.fkDepth(sorted[j])
+	})
+	return sorted
+}
+
+// fkDepth counts the longest FK chain from the relation to a root table.
+func (f *Filter) fkDepth(rel string) int {
+	depth := 0
+	seen := map[string]bool{}
+	var walk func(r string) int
+	walk = func(r string) int {
+		if seen[r] {
+			return 0
+		}
+		seen[r] = true
+		def, ok := f.View.Schema.Table(r)
+		if !ok {
+			return 0
+		}
+		best := 0
+		for _, fk := range def.ForeignKeys {
+			if d := walk(strings.ToLower(fk.RefTable)) + 1; d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	depth = walk(strings.ToLower(rel))
+	return depth
+}
+
+// probeRowIDs extracts the rowid column of a relation from a probe
+// result, deduplicated in order.
+func probeRowIDs(probe *sqlexec.ResultSet, rel string) ([]relational.RowID, error) {
+	if probe == nil {
+		return nil, fmt.Errorf("ufilter: delete of %s requires a context probe", rel)
+	}
+	ci, ok := probe.ColumnIndex(sqlexec.ColRef{Table: rel, Column: "rowid"})
+	if !ok {
+		return nil, fmt.Errorf("ufilter: probe result does not carry %s.rowid", rel)
+	}
+	seen := map[relational.RowID]bool{}
+	var out []relational.RowID
+	for _, row := range probe.Rows {
+		id := relational.RowID(row[ci].Int)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package ufilter
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asg"
+	"repro/internal/relational"
+	"repro/internal/xmltree"
+	"repro/internal/xqparse"
+)
+
+// validationError is a Step 1 rejection with its reason.
+type validationError struct{ msg string }
+
+func (e *validationError) Error() string { return e.msg }
+
+func invalidf(format string, args ...interface{}) error {
+	return &validationError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate runs Step 1, update validation (Section 4): the update must
+// agree with every local constraint captured in the view ASG. It returns
+// nil for valid updates and a *validationError describing the first
+// violation otherwise.
+func Validate(r *ResolvedUpdate) error {
+	// Overlap check (delete check (i), but applied to every update's
+	// predicates): a user predicate that contradicts the view's check
+	// annotations selects nothing that exists in the view.
+	for _, up := range r.UserPreds {
+		if len(up.Leaf.Checks) == 0 {
+			continue
+		}
+		if !leafChecksSatisfiable(up.Op, up.Lit, up.Leaf.Checks) {
+			return invalidf("predicate %q cannot overlap the view content (view restricts %s by %s)",
+				up.String(), up.Leaf.RelAttr(), renderChecks(up.Leaf.Checks))
+		}
+	}
+	for i := range r.Ops {
+		ro := &r.Ops[i]
+		switch ro.Op.Kind {
+		case xqparse.OpDelete:
+			if err := validateDelete(ro); err != nil {
+				return err
+			}
+		case xqparse.OpInsert:
+			if err := validateInsert(ro); err != nil {
+				return err
+			}
+		case xqparse.OpReplace:
+			if err := validateReplace(ro); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func renderChecks(checks []relational.CheckPredicate) string {
+	parts := make([]string, len(checks))
+	for i, c := range checks {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// validateDelete implements delete check (ii): a leaf or tag node whose
+// incoming edge is "1" (NOT NULL attribute) cannot be deleted (u6).
+// Internal-node deletes pass Step 1 and are judged by STAR.
+func validateDelete(ro *ResolvedOp) error {
+	t := ro.Target
+	switch t.Kind {
+	case asg.KindLeaf:
+		if t.NotNull || t.EdgeCard == asg.CardOne {
+			return invalidf("cannot delete text of <%s>: %s is NOT NULL (incoming edge cardinality 1)",
+				t.Parent.Name, t.RelAttr())
+		}
+	case asg.KindTag:
+		leaf := t.LeafUnder()
+		if leaf != nil && (leaf.NotNull || leaf.EdgeCard == asg.CardOne) {
+			return invalidf("cannot delete <%s>: %s is NOT NULL (incoming edge cardinality 1)",
+				t.Name, leaf.RelAttr())
+		}
+	}
+	return nil
+}
+
+// validateInsert implements the insert checks of Section 4: hierarchy
+// conformance (u7's missing mandatory publisher), and leaf-value
+// conformance — domain/type, check annotations and NOT NULL (u1's empty
+// title and non-positive price).
+func validateInsert(ro *ResolvedOp) error {
+	if ro.Target.EdgeCard == asg.CardOne {
+		return invalidf("cannot insert another <%s> under <%s>: edge cardinality is 1 (exactly one)",
+			ro.Target.Name, ro.Context.Name)
+	}
+	return validateFragment(ro.Op.Content, ro.Target)
+}
+
+// validateFragment recursively checks an inserted element against its
+// schema node.
+func validateFragment(frag *xmltree.Node, node *asg.Node) error {
+	// Hierarchy: every element present must be known, and elements with
+	// a mandatory edge must be present exactly once.
+	counts := map[string]int{}
+	for _, c := range frag.ElementChildren() {
+		child := node.FindChild(c.Name)
+		if child == nil {
+			return invalidf("element <%s> cannot occur under <%s> in the view schema", c.Name, node.Name)
+		}
+		counts[strings.ToLower(c.Name)]++
+		switch child.Kind {
+		case asg.KindInternal:
+			if err := validateFragment(c, child); err != nil {
+				return err
+			}
+		case asg.KindTag:
+			leaf := child.LeafUnder()
+			if leaf == nil {
+				continue
+			}
+			if err := validateLeafValue(c.TextContent(), leaf); err != nil {
+				return err
+			}
+		}
+	}
+	for _, child := range node.Children {
+		lower := strings.ToLower(child.Name)
+		n := counts[lower]
+		required := false
+		switch child.Kind {
+		case asg.KindInternal:
+			required = child.EdgeCard == asg.CardOne || child.EdgeCard == asg.CardPlus
+			if child.EdgeCard == asg.CardOne && n > 1 {
+				return invalidf("element <%s> must occur exactly once under <%s>, found %d", child.Name, node.Name, n)
+			}
+		case asg.KindTag:
+			leaf := child.LeafUnder()
+			required = leaf != nil && leaf.NotNull
+			if n > 1 {
+				return invalidf("element <%s> must occur at most once under <%s>, found %d", child.Name, node.Name, n)
+			}
+		default:
+			continue
+		}
+		if required && n == 0 {
+			return invalidf("element <%s> requires a <%s> child (edge cardinality 1)", node.Name, child.Name)
+		}
+	}
+	return nil
+}
+
+// validateLeafValue enforces the leaf annotations: NOT NULL (empty text
+// counts as NULL, Oracle-style), domain/type, and check predicates.
+func validateLeafValue(raw string, leaf *asg.Node) error {
+	trimmed := strings.TrimSpace(raw)
+	if trimmed == "" {
+		if leaf.NotNull {
+			return invalidf("value of <%s> cannot be empty: %s is NOT NULL", leaf.Parent.Name, leaf.RelAttr())
+		}
+		return nil
+	}
+	v, err := relational.String_(trimmed).CoerceTo(leaf.Type)
+	if err != nil {
+		return invalidf("value %q of <%s> is not in the domain of %s (%s)",
+			trimmed, leaf.Parent.Name, leaf.RelAttr(), leaf.Type)
+	}
+	for _, chk := range leaf.Checks {
+		if !chk.Holds(v) {
+			return invalidf("value %q of <%s> violates the check constraint on %s (%s)",
+				trimmed, leaf.Parent.Name, leaf.RelAttr(), chk)
+		}
+	}
+	return nil
+}
+
+// validateReplace treats replace as delete-then-insert of the same
+// element (footnote 4): the new content must carry the target's tag and
+// satisfy its leaf constraints; mandatory elements may be replaced (the
+// value changes, the element stays).
+func validateReplace(ro *ResolvedOp) error {
+	t := ro.Target
+	content := ro.Op.Content
+	switch t.Kind {
+	case asg.KindLeaf:
+		return validateLeafValue(content.TextContent(), t)
+	case asg.KindTag:
+		if !strings.EqualFold(content.Name, t.Name) {
+			return invalidf("REPLACE of <%s> must supply a <%s> element, got <%s>", t.Name, t.Name, content.Name)
+		}
+		leaf := t.LeafUnder()
+		if leaf == nil {
+			return nil
+		}
+		return validateLeafValue(content.TextContent(), leaf)
+	case asg.KindInternal:
+		if !strings.EqualFold(content.Name, t.Name) {
+			return invalidf("REPLACE of <%s> must supply a <%s> element, got <%s>", t.Name, t.Name, content.Name)
+		}
+		return validateFragment(content, t)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package viewengine
+
+import (
+	"testing"
+
+	"repro/internal/tpch"
+)
+
+// TestMaterializeVsuccess: the FK-nested view reproduces the relational
+// hierarchy exactly — every row appears once at its level.
+func TestMaterializeVsuccess(t *testing.T) {
+	db, err := tpch.NewDatabaseMB(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(db)
+	view, err := e.MaterializeQuery(tpch.VsuccessQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tpch.RowsForMB(1)
+	if got := len(view.ChildrenNamed("region")); got != rows.Regions {
+		t.Errorf("regions = %d, want %d", got, rows.Regions)
+	}
+	if got := len(view.FindAll("region", "nation")); got != rows.Nations {
+		t.Errorf("nations = %d, want %d", got, rows.Nations)
+	}
+	if got := len(view.FindAll("region", "nation", "customer")); got != rows.Customers {
+		t.Errorf("customers = %d, want %d", got, rows.Customers)
+	}
+	if got := len(view.FindAll("region", "nation", "customer", "order")); got != rows.Orders {
+		t.Errorf("orders = %d, want %d", got, rows.Orders)
+	}
+	if got := len(view.FindAll("region", "nation", "customer", "order", "lineitem")); got != db.RowCount("lineitem") {
+		t.Errorf("lineitems = %d, want %d", got, db.RowCount("lineitem"))
+	}
+}
+
+// TestMaterializeVfail: the republished relation appears under the root
+// in addition to its nested occurrences.
+func TestMaterializeVfail(t *testing.T) {
+	db, err := tpch.NewDatabaseMB(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(db)
+	view, err := e.MaterializeQuery(tpch.VfailQuery("region"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(view.ChildrenNamed("regioninfo")); got != 5 {
+		t.Errorf("republished regions = %d, want 5", got)
+	}
+	if got := len(view.ChildrenNamed("region")); got != 5 {
+		t.Errorf("nested regions = %d, want 5", got)
+	}
+}
+
+// TestMaterializeVbush: the bushy join publishes one customer element
+// per (region, nation, customer) tuple — i.e. per customer, since the
+// joins follow keys — with orderlines per (order, lineitem) pair.
+func TestMaterializeVbush(t *testing.T) {
+	db, err := tpch.NewDatabaseMB(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(db)
+	view, err := e.MaterializeQuery(tpch.VbushQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tpch.RowsForMB(1)
+	custs := view.ChildrenNamed("customer")
+	if len(custs) != rows.Customers {
+		t.Fatalf("customers = %d, want %d", len(custs), rows.Customers)
+	}
+	total := 0
+	for _, c := range custs {
+		total += len(c.ChildrenNamed("orderline"))
+	}
+	if total != db.RowCount("lineitem") {
+		t.Errorf("orderlines = %d, want %d", total, db.RowCount("lineitem"))
+	}
+}
