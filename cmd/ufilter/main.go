@@ -8,6 +8,13 @@
 //	ufilter -dataset book -update-file my_update.xq -apply
 //	ufilter -dataset tpch -view vfail:region -update-text 'FOR $t IN ... UPDATE $t { DELETE $t }'
 //	echo 'FOR ...' | ufilter -dataset psd -apply
+//	cat updates.xq | ufilter -dataset book -batch -workers 8 -stats
+//
+// Batch mode (-batch) reads any number of updates from stdin — each
+// terminated by a line containing only ";" — fans them across a worker
+// pool, and prints one verdict line per update plus, with -stats, the
+// decision-cache hit rate. Batch mode runs the schema-level checks
+// (Steps 1+2) only.
 //
 // Datasets: book (the paper's running example, Figs. 1-4/10),
 // tpch (the Section 7.2 evaluation substrate), psd (the Section 7.3
@@ -16,6 +23,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +47,9 @@ func main() {
 	strategy := flag.String("strategy", "hybrid", "data-driven strategy: hybrid, outside, internal")
 	marks := flag.Bool("marks", false, "print the STAR (UPoint|UContext) marks and exit")
 	mb := flag.Int("mb", 1, "tpch dataset size (nominal MB)")
+	batch := flag.Bool("batch", false, `check many updates from stdin (";" line separates updates)`)
+	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "after a batch, print decision-cache statistics")
 	flag.Parse()
 
 	db, viewQuery, err := buildDataset(*dataset, *viewName, *mb)
@@ -58,6 +69,16 @@ func main() {
 		f.Strategy = repro.StrategyInternal
 	default:
 		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	if *batch {
+		if *apply {
+			fail(fmt.Errorf("-batch runs the schema-level checks only and cannot be combined with -apply"))
+		}
+		if *marks {
+			fail(fmt.Errorf("-batch reads updates from stdin and cannot be combined with -marks"))
+		}
+		os.Exit(runBatch(f, os.Stdin, *workers, *stats))
 	}
 
 	if *marks {
@@ -177,6 +198,67 @@ func printResult(res *repro.Result, applied bool) {
 	if applied {
 		fmt.Printf("rows:      %d\n", res.RowsAffected)
 	}
+}
+
+// runBatch reads ";"-separated updates from r, checks them through the
+// worker pool, prints one line per update and returns the process exit
+// code (2 when any update was rejected or failed to parse).
+func runBatch(f *repro.Filter, r io.Reader, workers int, stats bool) int {
+	updates, err := readBatch(r)
+	if err != nil {
+		fail(err)
+	}
+	if len(updates) == 0 {
+		fail(fmt.Errorf("batch mode: no updates on stdin (separate updates with a line containing only %q)", ";"))
+	}
+	exit := 0
+	for _, br := range f.CheckBatch(updates, workers) {
+		switch {
+		case br.Err != nil:
+			fmt.Printf("[%d] error: %v\n", br.Index, br.Err)
+			exit = 2
+		case br.Result.Accepted:
+			fmt.Printf("[%d] accepted outcome=%s\n", br.Index, br.Result.Outcome)
+		default:
+			fmt.Printf("[%d] rejected step=%d outcome=%s reason=%s\n",
+				br.Index, br.Result.RejectedAt, br.Result.Outcome, br.Result.Reason)
+			exit = 2
+		}
+	}
+	if stats {
+		st := f.CacheStats()
+		fmt.Printf("cache: hits=%d misses=%d text-hits=%d hit-rate=%.1f%% templates=%d\n",
+			st.Hits, st.Misses, st.TextHits, 100*st.HitRate(), st.TemplateEntries)
+	}
+	return exit
+}
+
+// readBatch splits the input into updates on lines containing only ";".
+func readBatch(r io.Reader) ([]string, error) {
+	var updates []string
+	var cur strings.Builder
+	flush := func() {
+		if strings.TrimSpace(cur.String()) != "" {
+			updates = append(updates, cur.String())
+		}
+		cur.Reset()
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == ";" {
+			flush()
+			continue
+		}
+		cur.WriteString(line)
+		cur.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return updates, nil
 }
 
 func fail(err error) {

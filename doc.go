@@ -28,6 +28,15 @@
 //	f, _ := repro.NewFilter(bookdb.ViewQuery, db)
 //	res, _ := f.Check(bookdb.U9)   // schema-level steps 1+2
 //	res, _ = f.Apply(bookdb.U13)   // full pipeline + execution
+//
+// A Filter is safe for concurrent Check calls and memoizes schema-level
+// verdicts per update template in an internal decision cache (the
+// verdict of Steps 1+2 depends only on the view and schema, never on
+// base data, so it is computed once per template and served from memory
+// thereafter). CheckBatch fans a slice of updates across a worker pool:
+//
+//	results := f.CheckBatch(updates, runtime.GOMAXPROCS(0))
+//	stats := f.CacheStats() // hit/miss counters, HitRate()
 package repro
 
 import (
@@ -41,6 +50,14 @@ type Filter = ufilter.Filter
 
 // Result reports a checked or applied update's outcome.
 type Result = ufilter.Result
+
+// BatchResult pairs one update of a Filter.CheckBatch call with its
+// verdict or per-update error.
+type BatchResult = ufilter.BatchResult
+
+// CacheStats snapshots the decision cache's hit/miss counters; see
+// Filter.CacheStats.
+type CacheStats = ufilter.CacheStats
 
 // Strategy selects the data-driven update-point checking approach.
 type Strategy = ufilter.Strategy

@@ -1,10 +1,30 @@
-// Package asg implements the Annotated Schema Graph (Section 3): the
-// internal representation U-Filter uses to model the constraints of both
-// the view query and the relational schema. Two graphs are built per
-// view — the view ASG (hierarchy, cardinalities, join conditions,
-// UCBinding/UPBinding, leaf constraint annotations) and the base ASG
-// (key/foreign-key DAG over the attributes the view touches) — plus the
-// closure and mapping-closure machinery of Section 5.1.2.
+// Package asg implements the Annotated Schema Graph (Section 3 of the
+// U-Filter paper): the internal representation U-Filter uses to model
+// the constraints of both the view query and the relational schema.
+// Two graphs are built once per view definition and reused for every
+// update checked afterwards:
+//
+//   - The view ASG ([ViewASG], built by [BuildViewASG] from a parsed
+//     view query; Fig. 7 top) captures the XML hierarchy the view
+//     exposes: element nesting with edge cardinalities (1, ?, *, +),
+//     the join conditions of each FLWR block, the update-context and
+//     update-point relation bindings (the paper's UCBinding and
+//     UPBinding, stored on each [Node]), and per-leaf constraint
+//     annotations (type/domain, NOT NULL, CHECK) lifted from the
+//     relational schema.
+//
+//   - The base ASG ([BaseASG], built by [BuildBaseASG]; Fig. 7 bottom)
+//     is the key/foreign-key DAG over exactly the relations and
+//     attributes the view touches, giving STAR the dependency
+//     information Rules 1-3 reason over.
+//
+// The package also provides the closure machinery of Section 5.1.2:
+// [ViewClosure] computes the attribute closure of a view node's
+// subtree, [BaseASG.MappingClosure] chases keys and foreign keys
+// through the base DAG, and their equivalence ([Closure.Equivalent])
+// decides the clean/dirty update-point type — the UPoint half of the
+// (UPoint|UContext) marks that internal/ufilter's STAR marking
+// (Algorithm 1) attaches to every internal node.
 package asg
 
 import (

@@ -128,6 +128,10 @@ func Fig14(mb, reps int) ([]Fig14Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		// This experiment measures the schema-level pipeline itself; the
+		// decision cache would turn every rep after the first into a map
+		// lookup and corrupt the reported STAR cost.
+		f.DisableCache = true
 		row := Fig14Row{Relation: rel}
 		for rep := 0; rep < reps; rep++ {
 			start := time.Now()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Row is one stored tuple. Values are positional, aligned with the
@@ -32,8 +33,14 @@ type tableData struct {
 }
 
 // Database is an in-memory relational database instance: a schema plus
-// row storage, indexes and transaction support. It is not safe for
-// concurrent mutation; readers may run concurrently between mutations.
+// row storage, indexes and transaction support.
+//
+// Concurrency: the engine is single-writer — mutations (Insert, Delete,
+// UpdateRow, Begin/Commit/Rollback) must be serialized by the caller,
+// as ufilter.Filter does for its Apply pipeline. Readers may run
+// concurrently with each other between mutations, and the
+// StatementsExecuted counter is maintained atomically so statistics
+// reads never race a writer.
 type Database struct {
 	schema    *Schema
 	tables    map[string]*tableData
@@ -43,7 +50,9 @@ type Database struct {
 	activeTxn *Txn
 
 	// StatementsExecuted counts DML statements since creation; the
-	// benchmark harness reads it to report probe/update counts.
+	// benchmark harness reads it to report probe/update counts. Updated
+	// atomically; read it with StatementsExecutedTotal when other
+	// goroutines may be mutating the database.
 	StatementsExecuted int64
 
 	// redo is the write-ahead log buffer. Every DML statement appends a
@@ -53,6 +62,11 @@ type Database struct {
 	// (Fig. 17: a suppressed zero-row DELETE also skips its logging).
 	redo    []byte
 	redoOps int64
+}
+
+// StatementsExecutedTotal atomically reads the DML statement counter.
+func (db *Database) StatementsExecutedTotal() int64 {
+	return atomic.LoadInt64(&db.StatementsExecuted)
 }
 
 // RedoBytes returns the size of the write-ahead log buffer.
@@ -425,7 +439,7 @@ func (db *Database) Insert(table string, values map[string]Value) (RowID, error)
 	if err != nil {
 		return 0, err
 	}
-	db.StatementsExecuted++
+	atomic.AddInt64(&db.StatementsExecuted, 1)
 	row, err := td.coerceRow(values)
 	if err != nil {
 		return 0, err
@@ -460,7 +474,7 @@ func (db *Database) Insert(table string, values map[string]Value) (RowID, error)
 // (rejecting if they are NOT NULL), RESTRICT rejects the delete.
 // It returns the number of rows deleted (including cascades).
 func (db *Database) Delete(table string, id RowID) (int, error) {
-	db.StatementsExecuted++
+	atomic.AddInt64(&db.StatementsExecuted, 1)
 	return db.deleteRow(table, id)
 }
 
@@ -548,7 +562,7 @@ func (db *Database) UpdateRow(table string, id RowID, changes map[string]Value) 
 	if err != nil {
 		return err
 	}
-	db.StatementsExecuted++
+	atomic.AddInt64(&db.StatementsExecuted, 1)
 	r, ok := td.rows[id]
 	if !ok {
 		return fmt.Errorf("%w: %s rowid %d", ErrNoSuchRow, table, id)

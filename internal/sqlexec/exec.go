@@ -3,6 +3,8 @@ package sqlexec
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/relational"
 )
@@ -16,12 +18,23 @@ const rowidColumn = "rowid"
 // namespace of materialized temporary tables (probe-query results kept
 // for reuse, per Section 6.1). Temporary tables have no indexes — the
 // paper's Fig. 16 discussion relies on exactly this asymmetry.
+//
+// Concurrency: the statistics counters are updated atomically and the
+// temporary-table namespace is internally locked, so read-only
+// ExecSelect calls may run concurrently. DML (ExecInsert/ExecDelete/
+// ExecUpdate) mutates the underlying database, which supports a single
+// writer — callers must serialize mutating statements (ufilter.Filter
+// does so for the Apply pipeline).
 type Executor struct {
-	DB    *relational.Database
-	temps map[string]*ResultSet
+	DB *relational.Database
+
+	tempMu sync.RWMutex
+	temps  map[string]*ResultSet
 
 	// Stats accumulate over the executor's lifetime for the benchmark
-	// harness: rows visited during scans and index probes issued.
+	// harness: rows visited during scans and index probes issued. Read
+	// them with RowsScannedTotal/IndexProbesTotal when other goroutines
+	// may be executing queries.
 	RowsScanned int64
 	IndexProbes int64
 }
@@ -31,20 +44,38 @@ func NewExecutor(db *relational.Database) *Executor {
 	return &Executor{DB: db, temps: make(map[string]*ResultSet)}
 }
 
+// RowsScannedTotal atomically reads the rows-visited counter.
+func (e *Executor) RowsScannedTotal() int64 { return atomic.LoadInt64(&e.RowsScanned) }
+
+// IndexProbesTotal atomically reads the index-probe counter.
+func (e *Executor) IndexProbesTotal() int64 { return atomic.LoadInt64(&e.IndexProbes) }
+
+// addRowsScanned bumps the scan counter; a call per visited row.
+func (e *Executor) addRowsScanned(n int64) { atomic.AddInt64(&e.RowsScanned, n) }
+
+// addIndexProbes bumps the probe counter.
+func (e *Executor) addIndexProbes(n int64) { atomic.AddInt64(&e.IndexProbes, n) }
+
 // Materialize stores a result set as a temporary table usable in FROM
 // clauses and IN-subqueries (the paper's TAB_book).
 func (e *Executor) Materialize(name string, rs *ResultSet) {
+	e.tempMu.Lock()
 	e.temps[strings.ToLower(name)] = rs
+	e.tempMu.Unlock()
 }
 
 // DropTemp removes a materialized table.
 func (e *Executor) DropTemp(name string) {
+	e.tempMu.Lock()
 	delete(e.temps, strings.ToLower(name))
+	e.tempMu.Unlock()
 }
 
 // Temp fetches a materialized table by name.
 func (e *Executor) Temp(name string) (*ResultSet, bool) {
+	e.tempMu.RLock()
 	rs, ok := e.temps[strings.ToLower(name)]
+	e.tempMu.RUnlock()
 	return rs, ok
 }
 
@@ -72,7 +103,7 @@ func (s *baseSource) columnNames() []string { return s.def.ColumnNames() }
 
 func (s *baseSource) scan(fn func(relational.RowID, []relational.Value) bool) {
 	s.e.DB.Scan(s.def.Name, func(r *relational.Row) bool {
-		s.e.RowsScanned++
+		s.e.addRowsScanned(1)
 		return fn(r.ID, r.Values)
 	})
 }
@@ -85,7 +116,7 @@ func (s *baseSource) lookup(cols []string, vals []relational.Value) ([]relationa
 	if err != nil {
 		return nil, nil, false
 	}
-	s.e.IndexProbes++
+	s.e.addIndexProbes(1)
 	rows := make([][]relational.Value, len(ids))
 	for i, id := range ids {
 		r, err := s.e.DB.Get(s.def.Name, id)
@@ -120,7 +151,7 @@ func (s *tempSource) columnNames() []string { return s.cols }
 
 func (s *tempSource) scan(fn func(relational.RowID, []relational.Value) bool) {
 	for _, row := range s.rs.Rows {
-		s.e.RowsScanned++
+		s.e.addRowsScanned(1)
 		if !fn(0, row) {
 			return
 		}
@@ -134,7 +165,7 @@ func (s *tempSource) lookup([]string, []relational.Value) ([]relational.RowID, [
 func (s *tempSource) rowCount() int { return len(s.rs.Rows) }
 
 func (e *Executor) resolveSource(name string) (source, error) {
-	if rs, ok := e.temps[strings.ToLower(name)]; ok {
+	if rs, ok := e.Temp(name); ok {
 		return newTempSource(e, name, rs), nil
 	}
 	if def, ok := e.DB.Schema().Table(name); ok {
@@ -316,7 +347,7 @@ func (e *Executor) ExecSelect(s *SelectStmt) (*ResultSet, error) {
 	evalPred := func(np normPred) (bool, error) {
 		lv := colValue(np.leftTable, np.leftCol)
 		if np.p.InTemp != "" {
-			temp, ok := e.temps[strings.ToLower(np.p.InTemp)]
+			temp, ok := e.Temp(np.p.InTemp)
 			if !ok {
 				return false, fmt.Errorf("%w: temp table %s", relational.ErrNoSuchTable, np.p.InTemp)
 			}
@@ -330,7 +361,7 @@ func (e *Executor) ExecSelect(s *SelectStmt) (*ResultSet, error) {
 				return false, fmt.Errorf("%w: %s.%s", relational.ErrNoSuchColumn, np.p.InTemp, np.p.InTempColumn)
 			}
 			for _, row := range temp.Rows {
-				e.RowsScanned++
+				e.addRowsScanned(1)
 				if lv.Equal(row[ci]) {
 					return true, nil
 				}
@@ -444,7 +475,7 @@ func (e *Executor) ExecSelect(s *SelectStmt) (*ResultSet, error) {
 				if err != nil {
 					return true // no such row: empty result for this branch
 				}
-				e.IndexProbes++
+				e.addIndexProbes(1)
 				tryRow(id, r.Values)
 				return joinErr == nil
 			}
@@ -488,7 +519,7 @@ func (e *Executor) ExecSelect(s *SelectStmt) (*ResultSet, error) {
 			if !isBase || !e.DB.HasIndexOn(bs.def.Name, []string{np.leftCol}) {
 				continue
 			}
-			temp, ok := e.temps[strings.ToLower(np.p.InTemp)]
+			temp, ok := e.Temp(np.p.InTemp)
 			if !ok {
 				continue
 			}

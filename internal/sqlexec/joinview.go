@@ -133,7 +133,7 @@ func (e *Executor) EvaluateJoinView(v *JoinViewDef) (*ResultSet, error) {
 	}
 
 	e.DB.Scan(v.Root, func(r *relational.Row) bool {
-		e.RowsScanned++
+		e.addRowsScanned(1)
 		vals := make([]relational.Value, len(r.Values))
 		copy(vals, r.Values)
 		expand(1, [][]relational.Value{vals})

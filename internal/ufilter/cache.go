@@ -1,0 +1,220 @@
+package ufilter
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xqparse"
+)
+
+// The decision cache memoizes the schema-level verdicts of Steps 1+2.
+// The paper's "lightweight" claim rests on those steps being pure
+// schema-level work: the verdict for an update template never changes
+// after the filter is compiled (it reads only the STAR marks, never base
+// data), so under production traffic each template is classified once
+// and every structurally-equal update afterwards is served from memory.
+// Step 3 — the data-driven check — is never cached: it must see the
+// current database.
+//
+// Two tiers:
+//
+//   - a text tier keyed by the raw update string, which also skips
+//     parsing for byte-identical resubmissions (the common retry /
+//     hot-update shape), and
+//   - a template tier keyed by the literal-stripped fingerprint, which
+//     hits across updates that differ only in literal values.
+//
+// Templates whose verdict provably cannot depend on literal values
+// (see fingerprint.go) store one verdict for the whole template;
+// literal-sensitive templates store one verdict per literal tuple, so
+// they still hit on repeated values and never serve a wrong answer.
+
+// cacheMaxEntries bounds each tier — the text tier by map size, the
+// template tier by total stored verdicts across all templates and
+// their per-literal maps. A full tier is reset wholesale (the
+// workloads are template-skewed, so a full tier means adversarial or
+// unbounded-distinct traffic where caching cannot help).
+const cacheMaxEntries = 1 << 14
+
+// textEntry is one text-tier slot: the parse result plus the verdict.
+type textEntry struct {
+	parsed *xqparse.UpdateQuery
+	res    *Result
+}
+
+// templateEntry is one template-tier slot. Exactly one of res/byLits is
+// used, according to sensitive.
+type templateEntry struct {
+	sensitive bool
+	res       *Result            // template-wide verdict (literal-independent)
+	byLits    map[string]*Result // per-literal-tuple verdicts
+}
+
+// decisionCache is the concurrency-safe two-tier memo table.
+type decisionCache struct {
+	mu         sync.RWMutex
+	byText     map[string]textEntry
+	byTemplate map[string]*templateEntry
+	// templateResults counts every verdict stored in the template tier
+	// (template-wide and per-literal alike) so the tier's total size is
+	// bounded even when many literal-sensitive templates each grow
+	// their own byLits map.
+	templateResults int
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	textHits atomic.Int64
+}
+
+func newDecisionCache() *decisionCache {
+	return &decisionCache{
+		byText:     make(map[string]textEntry),
+		byTemplate: make(map[string]*templateEntry),
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the decision cache's
+// effectiveness counters.
+type CacheStats struct {
+	// Hits counts Check/CheckParsed calls answered from either tier.
+	Hits int64
+	// Misses counts calls that ran the full schema-level pipeline.
+	Misses int64
+	// TextHits counts the subset of Hits that also skipped parsing.
+	TextHits int64
+	// TextEntries and TemplateEntries are the current tier sizes.
+	TextEntries     int
+	TemplateEntries int
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 when empty.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func (c *decisionCache) stats() CacheStats {
+	c.mu.RLock()
+	nt, ntpl := len(c.byText), len(c.byTemplate)
+	c.mu.RUnlock()
+	return CacheStats{
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		TextHits:        c.textHits.Load(),
+		TextEntries:     nt,
+		TemplateEntries: ntpl,
+	}
+}
+
+// lookupText serves a byte-identical resubmission without parsing.
+func (c *decisionCache) lookupText(text string) (*Result, bool) {
+	c.mu.RLock()
+	e, ok := c.byText[text]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.textHits.Add(1)
+	return e.res.cloneShallow(e.parsed), true
+}
+
+// lookupTemplate serves a structurally-equal update. tkey/lkey come from
+// fingerprint/literalKey over the parsed update.
+func (c *decisionCache) lookupTemplate(tkey, lkey string, u *xqparse.UpdateQuery) (*Result, bool) {
+	c.mu.RLock()
+	e, ok := c.byTemplate[tkey]
+	var res *Result
+	if ok {
+		if e.sensitive {
+			res = e.byLits[lkey]
+		} else {
+			res = e.res
+		}
+	}
+	c.mu.RUnlock()
+	if res == nil {
+		return nil, false
+	}
+	c.hits.Add(1)
+	return res.cloneShallow(u), true
+}
+
+// store records a freshly computed verdict in both tiers. sensitive
+// reports whether the verdict may depend on the predicate literal
+// values; sensitive verdicts are stored per literal tuple. A template
+// already marked sensitive stays sensitive (a template-wide verdict is
+// only trusted when every store agreed it is literal-independent).
+func (c *decisionCache) store(text, tkey, lkey string, u *xqparse.UpdateQuery, res *Result, sensitive bool) {
+	c.misses.Add(1)
+	stored := res.cloneShallow(u)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if text != "" {
+		if len(c.byText) >= cacheMaxEntries {
+			c.byText = make(map[string]textEntry)
+		}
+		c.byText[text] = textEntry{parsed: u, res: stored}
+	}
+	if c.templateResults >= cacheMaxEntries {
+		c.byTemplate = make(map[string]*templateEntry)
+		c.templateResults = 0
+	}
+	e := c.byTemplate[tkey]
+	if e == nil {
+		e = &templateEntry{sensitive: sensitive}
+		c.byTemplate[tkey] = e
+	}
+	if sensitive && !e.sensitive && e.res != nil {
+		// A later, better-informed store demoted the template (e.g. the
+		// first instance failed resolution before leaf types were known).
+		// Drop the template-wide verdict rather than guess which literal
+		// tuple it was computed for.
+		e.res = nil
+		e.sensitive = true
+		c.templateResults--
+	}
+	if e.sensitive || sensitive {
+		e.sensitive = true
+		if e.byLits == nil {
+			e.byLits = make(map[string]*Result)
+		}
+		if _, exists := e.byLits[lkey]; !exists {
+			c.templateResults++
+		}
+		e.byLits[lkey] = stored
+		return
+	}
+	if e.res == nil {
+		c.templateResults++
+	}
+	e.res = stored
+}
+
+// storeText records a parse-skipping alias for text, used when a
+// template-tier hit arrived through Check with a text the text tier had
+// not seen yet.
+func (c *decisionCache) storeText(text string, u *xqparse.UpdateQuery, res *Result) {
+	stored := res.cloneShallow(u)
+	c.mu.Lock()
+	if len(c.byText) >= cacheMaxEntries {
+		c.byText = make(map[string]textEntry)
+	}
+	c.byText[text] = textEntry{parsed: u, res: stored}
+	c.mu.Unlock()
+}
+
+// cloneShallow copies a schema-level Result so callers (and Apply, which
+// appends probes and SQL) can mutate their copy without corrupting the
+// cached one. Conditions is the only populated slice after Steps 1+2.
+func (r *Result) cloneShallow(u *xqparse.UpdateQuery) *Result {
+	cp := *r
+	cp.Update = u
+	if len(r.Conditions) > 0 {
+		cp.Conditions = append([]Condition(nil), r.Conditions...)
+	}
+	return &cp
+}

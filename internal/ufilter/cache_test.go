@@ -1,0 +1,275 @@
+package ufilter
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/bookdb"
+	"repro/internal/xqparse"
+)
+
+// deleteReviewsByTitle builds a U12-shaped update: a string literal on
+// the title leaf, which carries no CHECK annotations — the verdict is
+// literal-independent, so all titles share one template-tier entry.
+func deleteReviewsByTitle(title string) string {
+	return fmt.Sprintf(`
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = %q
+UPDATE $book { DELETE $book/review }`, title)
+}
+
+// deleteBooksOverPrice builds a U9-shaped update: a float literal on
+// the price leaf, which carries CHECK annotations (the view publishes
+// books under $50 only) — the verdict depends on the literal, so the
+// template is literal-sensitive.
+func deleteBooksOverPrice(price string) string {
+	return fmt.Sprintf(`
+FOR $root IN document("BookView.xml"),
+    $book = $root/book
+WHERE $book/price > %s
+UPDATE $root { DELETE $book }`, price)
+}
+
+// TestCacheTextTier: a byte-identical resubmission is a text-tier hit
+// with the same verdict.
+func TestCacheTextTier(t *testing.T) {
+	f := newFilter(t, StrategyHybrid)
+	r1, err := f.Check(deleteReviewsByTitle("Data on the Web"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := f.Check(deleteReviewsByTitle("Data on the Web"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.CacheStats()
+	if st.TextHits != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 text hit / 1 hit / 1 miss", st)
+	}
+	if r1.Accepted != r2.Accepted || r1.Outcome != r2.Outcome || r1.Reason != r2.Reason {
+		t.Errorf("cached verdict differs: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestCacheTemplateTier: structurally-equal updates with different
+// string literals on a check-free leaf hit the template tier (one miss,
+// then hits), and a cached rejection replays identically.
+func TestCacheTemplateTier(t *testing.T) {
+	f := newFilter(t, StrategyHybrid)
+	titles := []string{"Data on the Web", "Programming in Unix", "TCP/IP Illustrated"}
+	var first *Result
+	for i, title := range titles {
+		res, err := f.Check(deleteReviewsByTitle(title))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res
+		} else if res.Accepted != first.Accepted || res.Outcome != first.Outcome {
+			t.Errorf("title %q verdict diverged: %+v vs %+v", title, res, first)
+		}
+	}
+	st := f.CacheStats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("stats = %+v, want 1 miss / 2 template hits", st)
+	}
+	if st.TemplateEntries != 1 {
+		t.Errorf("TemplateEntries = %d, want 1", st.TemplateEntries)
+	}
+}
+
+// TestCacheLiteralSensitive: the price template's verdict flips with
+// the literal (overlap test against the view's CHECK), so the cache
+// must key those verdicts by literal value — and still serve repeats.
+func TestCacheLiteralSensitive(t *testing.T) {
+	f := newFilter(t, StrategyHybrid)
+	ok1, err := f.Check(deleteBooksOverPrice("40.00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := f.Check(deleteBooksOverPrice("50.00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok2, err := f.Check(deleteBooksOverPrice("40.00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok1.Accepted || ok1.Outcome != OutcomeConditional {
+		t.Errorf("price>40 should be conditionally translatable, got %+v", ok1)
+	}
+	if bad.Accepted || bad.Outcome != OutcomeInvalid {
+		t.Errorf("price>50 should be invalid (no overlap with the view), got %+v", bad)
+	}
+	if ok2.Accepted != ok1.Accepted || ok2.Outcome != ok1.Outcome || ok2.Reason != ok1.Reason {
+		t.Errorf("cached literal-sensitive verdict diverged: %+v vs %+v", ok2, ok1)
+	}
+	st := f.CacheStats()
+	if st.Misses != 2 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 misses (distinct literals) / 1 hit (repeat)", st)
+	}
+}
+
+// TestCacheMatchesUncached replays the paper's full update corpus twice
+// — cached against uncached — and requires identical verdicts.
+func TestCacheMatchesUncached(t *testing.T) {
+	cached := newFilter(t, StrategyHybrid)
+	plain := newFilter(t, StrategyHybrid)
+	plain.DisableCache = true
+	corpus := append([]string{},
+		deleteReviewsByTitle("Data on the Web"),
+		deleteBooksOverPrice("45.00"),
+		deleteBooksOverPrice("55.00"),
+	)
+	for _, u := range allBookUpdates() {
+		corpus = append(corpus, u)
+	}
+	// Two passes: the second is served from cache.
+	for pass := 0; pass < 2; pass++ {
+		for i, text := range corpus {
+			want, err1 := plain.Check(text)
+			got, err2 := cached.Check(text)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("pass %d update %d: err %v vs %v", pass, i, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if got.Accepted != want.Accepted || got.Outcome != want.Outcome ||
+				got.RejectedAt != want.RejectedAt || got.Reason != want.Reason ||
+				!reflect.DeepEqual(got.Conditions, want.Conditions) {
+				t.Errorf("pass %d update %d: cached %+v, uncached %+v", pass, i, got, want)
+			}
+		}
+	}
+	if st := cached.CacheStats(); st.Hits == 0 {
+		t.Error("second pass produced no cache hits")
+	}
+	if st := plain.CacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("disabled cache recorded traffic: %+v", st)
+	}
+}
+
+// TestCachedResultIsolated: mutating a returned Result (as Apply does)
+// must not corrupt the cached copy.
+func TestCachedResultIsolated(t *testing.T) {
+	f := newFilter(t, StrategyHybrid)
+	text := deleteBooksOverPrice("41.00")
+	r1, err := f.Check(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Accepted = false
+	r1.Reason = "mutated by caller"
+	r1.Conditions = append(r1.Conditions, CondDupConsistency)
+	r1.Probes = append(r1.Probes, "SELECT 1")
+	r2, err := f.Check(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Accepted || r2.Reason == "mutated by caller" || len(r2.Probes) != 0 {
+		t.Errorf("cached result was corrupted by caller mutation: %+v", r2)
+	}
+	if len(r2.Conditions) != 1 || r2.Conditions[0] != CondMinimization {
+		t.Errorf("cached conditions corrupted: %v", r2.Conditions)
+	}
+}
+
+// TestCheckParsedCached: CheckParsed shares the template tier with
+// Check even though it never sees update text.
+func TestCheckParsedCached(t *testing.T) {
+	f := newFilter(t, StrategyHybrid)
+	u1, err := xqparse.ParseUpdate(deleteReviewsByTitle("Data on the Web"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := xqparse.ParseUpdate(deleteReviewsByTitle("Some Other Title"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CheckParsed(u1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CheckParsed(u2); err != nil {
+		t.Fatal(err)
+	}
+	st := f.CacheStats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss / 1 hit", st)
+	}
+}
+
+// TestCheckBatch: batch results arrive in input order, agree with
+// sequential Check, and report per-update parse errors.
+func TestCheckBatch(t *testing.T) {
+	f := newFilter(t, StrategyHybrid)
+	updates := []string{
+		deleteReviewsByTitle("Data on the Web"),
+		"NOT AN UPDATE AT ALL",
+		deleteBooksOverPrice("55.00"),
+		deleteReviewsByTitle("Data on the Web"),
+	}
+	seq := newFilter(t, StrategyHybrid)
+	results := f.CheckBatch(updates, 4)
+	if len(results) != len(updates) {
+		t.Fatalf("got %d results, want %d", len(results), len(updates))
+	}
+	for i, br := range results {
+		if br.Index != i {
+			t.Errorf("result %d has Index %d", i, br.Index)
+		}
+		want, wantErr := seq.Check(updates[i])
+		if (br.Err == nil) != (wantErr == nil) {
+			t.Errorf("update %d: batch err %v, sequential err %v", i, br.Err, wantErr)
+			continue
+		}
+		if br.Err != nil {
+			continue
+		}
+		if br.Result.Accepted != want.Accepted || br.Result.Outcome != want.Outcome {
+			t.Errorf("update %d: batch %+v, sequential %+v", i, br.Result, want)
+		}
+	}
+	// Empty batch and zero workers are fine.
+	if out := f.CheckBatch(nil, 0); len(out) != 0 {
+		t.Errorf("empty batch returned %d results", len(out))
+	}
+}
+
+// TestCacheTemplateTierBounded: the template tier's total stored
+// verdicts — across per-literal maps of many sensitive templates — are
+// bounded by cacheMaxEntries, resetting wholesale at the cap.
+func TestCacheTemplateTierBounded(t *testing.T) {
+	c := newDecisionCache()
+	res := &Result{Accepted: true}
+	// Many sensitive templates, several literals each: per-map caps
+	// would never trigger, the global bound must.
+	perTemplate := 8
+	templates := cacheMaxEntries/perTemplate + 2
+	for ti := 0; ti < templates; ti++ {
+		tkey := fmt.Sprintf("template-%d", ti)
+		for li := 0; li < perTemplate; li++ {
+			c.store("", tkey, fmt.Sprintf("lit-%d", li), nil, res, true)
+			if c.templateResults > cacheMaxEntries {
+				t.Fatalf("templateResults %d exceeds bound %d", c.templateResults, cacheMaxEntries)
+			}
+		}
+	}
+	if c.templateResults > cacheMaxEntries {
+		t.Fatalf("final templateResults %d exceeds bound", c.templateResults)
+	}
+	// The reset must have fired at least once given the volume stored.
+	if got := len(c.byTemplate); got >= templates {
+		t.Errorf("byTemplate holds %d templates; wholesale reset never fired", got)
+	}
+}
+
+// allBookUpdates lists the paper's u1..u13 corpus.
+func allBookUpdates() []string {
+	var out []string
+	for _, u := range bookdb.AllUpdates() {
+		out = append(out, u.Text)
+	}
+	return out
+}

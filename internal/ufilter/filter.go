@@ -3,7 +3,9 @@ package ufilter
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/asg"
 	"repro/internal/relational"
@@ -84,6 +86,15 @@ type Result struct {
 // database: the ASGs are built and STAR-marked once at view definition
 // time (the paper's "compiled once and reused thereafter"), then any
 // number of updates can be checked against them.
+//
+// Concurrency: Check, CheckParsed and CheckBatch are safe for
+// concurrent use — the schema-level steps read only the immutable ASGs
+// and marks, and the decision cache is internally synchronized. Apply,
+// ApplyParsed and BlindApply mutate the database and the executor's
+// temporary-table namespace, so the filter serializes them internally;
+// they may run concurrently with Check calls. The configuration fields
+// (Strategy, SkipSchemaChecks, DisableCache) must be set before the
+// filter is shared across goroutines.
 type Filter struct {
 	View     *asg.ViewASG
 	Base     *asg.BaseASG
@@ -94,6 +105,20 @@ type Filter struct {
 	// SkipSchemaChecks makes Apply execute the translation without
 	// Steps 1 and 2. Benchmark use only (the Fig. 13 baseline).
 	SkipSchemaChecks bool
+
+	// DisableCache turns the schema-level decision cache off, forcing
+	// every Check through the full parse/resolve/STAR pipeline.
+	// Benchmark and debugging use only.
+	DisableCache bool
+
+	// applyMu serializes the mutating pipeline (Apply/BlindApply): the
+	// translation shares tempSeq, pendingUserPreds, the executor's
+	// temporary tables and the database's single-transaction engine.
+	applyMu sync.Mutex
+
+	// cache memoizes the Steps 1+2 verdict per update template; see
+	// cache.go. Never nil for filters built by New.
+	cache *decisionCache
 
 	tempSeq int
 	// pendingUserPreds carries the current update's predicates for the
@@ -119,23 +144,77 @@ func New(viewQuery string, db *relational.Database) (*Filter, error) {
 		Base:  base,
 		Marks: marks,
 		Exec:  sqlexec.NewExecutor(db),
+		cache: newDecisionCache(),
 	}, nil
+}
+
+// CacheStats snapshots the decision cache's hit/miss counters. All
+// zeros when the cache is disabled or the filter has not checked any
+// update yet.
+func (f *Filter) CacheStats() CacheStats {
+	if f.cache == nil {
+		return CacheStats{}
+	}
+	return f.cache.stats()
 }
 
 // Check runs the two schema-level steps only (no base-data access):
 // Step 1 validation and Step 2 STAR reasoning. Updates that pass are
 // reported Accepted with their STAR outcome; Step 3 still applies when
 // the update is executed.
+//
+// The verdict is served from the decision cache when an identical or
+// structurally-equal update was checked before: a byte-identical
+// resubmission skips even parsing, and an update that differs only in
+// predicate literal values skips resolution and STAR classification
+// (when the template's verdict provably cannot depend on the literals).
 func (f *Filter) Check(updateText string) (*Result, error) {
+	if f.cache != nil && !f.DisableCache {
+		if res, ok := f.cache.lookupText(updateText); ok {
+			return res, nil
+		}
+	}
 	u, err := xqparse.ParseUpdate(updateText)
 	if err != nil {
 		return nil, err
 	}
-	return f.CheckParsed(u)
+	return f.checkCached(u, updateText)
 }
 
 // CheckParsed is Check over a pre-parsed update.
 func (f *Filter) CheckParsed(u *xqparse.UpdateQuery) (*Result, error) {
+	return f.checkCached(u, "")
+}
+
+// checkCached consults the template tier of the decision cache before
+// running the schema-level pipeline, and stores fresh verdicts with
+// their literal-sensitivity classification. text, when non-empty, also
+// feeds the parse-skipping text tier.
+func (f *Filter) checkCached(u *xqparse.UpdateQuery, text string) (*Result, error) {
+	if f.cache == nil || f.DisableCache {
+		res, _, err := f.checkUncached(u)
+		return res, err
+	}
+	tkey := fingerprint(u)
+	lkey := literalKey(u)
+	if res, ok := f.cache.lookupTemplate(tkey, lkey, u); ok {
+		if text != "" {
+			f.cache.storeText(text, u, res)
+		}
+		return res, nil
+	}
+	res, sensitive, err := f.checkUncached(u)
+	if err != nil {
+		return nil, err
+	}
+	f.cache.store(text, tkey, lkey, u, res, sensitive)
+	return res, nil
+}
+
+// checkUncached is the uncached schema-level pipeline: Step 1
+// (resolution + validation) and Step 2 (STAR). It also classifies the
+// verdict's literal sensitivity for the cache (see fingerprint.go).
+func (f *Filter) checkUncached(u *xqparse.UpdateQuery) (*Result, bool, error) {
 	res := &Result{Update: u}
 	r, err := Resolve(u, f.View)
 	if err != nil {
@@ -144,19 +223,22 @@ func (f *Filter) CheckParsed(u *xqparse.UpdateQuery) (*Result, error) {
 			res.RejectedAt = StepValidation
 			res.Outcome = OutcomeInvalid
 			res.Reason = re.msg
-			return res, nil
+			// Resolution failed before leaf types were known; classify
+			// sensitivity from the literal kinds alone (conservative).
+			return res, literalSensitiveSyntactic(u), nil
 		}
-		return nil, err
+		return nil, false, err
 	}
+	sensitive := literalSensitiveResolved(u, r)
 	if err := Validate(r); err != nil {
 		var ve *validationError
 		if errors.As(err, &ve) {
 			res.RejectedAt = StepValidation
 			res.Outcome = OutcomeInvalid
 			res.Reason = ve.msg
-			return res, nil
+			return res, sensitive, nil
 		}
-		return nil, err
+		return nil, false, err
 	}
 	// Step 2: STAR checking per operation; the most pessimistic verdict
 	// wins and the first untranslatable op rejects the update.
@@ -170,7 +252,7 @@ func (f *Filter) CheckParsed(u *xqparse.UpdateQuery) (*Result, error) {
 				res.RejectedAt = StepSTAR
 				res.Outcome = OutcomeUntranslatable
 				res.Reason = v.Reason
-				return res, nil
+				return res, sensitive, nil
 			case OutcomeConditional:
 				res.Outcome = OutcomeConditional
 				res.Conditions = append(res.Conditions, v.Conditions...)
@@ -185,7 +267,7 @@ func (f *Filter) CheckParsed(u *xqparse.UpdateQuery) (*Result, error) {
 		}
 	}
 	res.Accepted = true
-	return res, nil
+	return res, sensitive, nil
 }
 
 // starVerdicts applies the STAR checking procedure to one resolved op.
@@ -206,6 +288,54 @@ func (f *Filter) starVerdicts(ro *ResolvedOp) []StarVerdict {
 	return nil
 }
 
+// BatchResult pairs one update of a CheckBatch call with its verdict.
+// Exactly one of Result and Err is set.
+type BatchResult struct {
+	// Index is the update's position in the input slice.
+	Index int
+	// Result is the schema-level verdict, nil when Err is set.
+	Result *Result
+	// Err reports a parse or internal error for this update only.
+	Err error
+}
+
+// CheckBatch fans a slice of updates across a worker pool and runs the
+// schema-level Check on each, returning per-update results in input
+// order. All workers share the filter's decision cache, so batches with
+// repeated templates — the production shape the paper's "lightweight"
+// claim targets — are answered mostly from memory. workers <= 0 selects
+// GOMAXPROCS; a batch smaller than the pool uses one worker per update.
+func (f *Filter) CheckBatch(updates []string, workers int) []BatchResult {
+	out := make([]BatchResult, len(updates))
+	if len(updates) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(updates) {
+		workers = len(updates)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := f.Check(updates[i])
+				out[i] = BatchResult{Index: i, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range updates {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
 // Apply runs the full pipeline: Steps 1 and 2, then Step 3's probe
 // queries and update-point checking under the configured strategy, and
 // finally executes the translated statements. A rejected update leaves
@@ -218,8 +348,13 @@ func (f *Filter) Apply(updateText string) (*Result, error) {
 	return f.ApplyParsed(u)
 }
 
-// ApplyParsed is Apply over a pre-parsed update.
+// ApplyParsed is Apply over a pre-parsed update. Applies are serialized
+// with each other (and with BlindApply): Step 3 and the translation
+// share the executor's temporary tables and the engine's
+// single-transaction machinery.
 func (f *Filter) ApplyParsed(u *xqparse.UpdateQuery) (*Result, error) {
+	f.applyMu.Lock()
+	defer f.applyMu.Unlock()
 	var res *Result
 	var err error
 	if f.SkipSchemaChecks {
@@ -577,6 +712,8 @@ type BlindResult struct {
 // paper), and roll back when a side effect is found. It is deliberately
 // expensive — this is the baseline U-Filter avoids.
 func (f *Filter) BlindApply(updateText string) (*BlindResult, error) {
+	f.applyMu.Lock()
+	defer f.applyMu.Unlock()
 	u, err := xqparse.ParseUpdate(updateText)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,198 @@
+package ufilter
+
+import (
+	"strings"
+
+	"repro/internal/relational"
+	"repro/internal/xmltree"
+	"repro/internal/xqparse"
+)
+
+// Fingerprinting for the decision cache. The schema-level verdict of
+// Check (Steps 1+2) is a function of the update's *template*: the same
+// operation kinds against the same view paths with the same predicate
+// shapes always classify identically, because STAR reasons over the ASG
+// marks alone. The one exception is predicate literals: a literal's
+// concrete value can flip the verdict when the predicate's leaf carries
+// CHECK annotations (the Step 1 overlap test, update u5) or when
+// coercing the literal into the leaf's domain can fail for some values
+// but not others ("12" is a valid INTEGER, "witty" is not). The
+// fingerprint therefore strips literal values but records their kinds,
+// and a separate literal key re-attaches the values for templates the
+// cache has learned are literal-sensitive.
+
+// fingerprint canonically encodes the template of a parsed update:
+// bindings, predicate shapes (literal values stripped, kinds kept),
+// the update target, and each operation with its path and — for
+// content-bearing operations — the full inserted fragment, whose
+// structure and leaf values both feed Step 1's hierarchy and domain
+// checks.
+func fingerprint(u *xqparse.UpdateQuery) string {
+	var b strings.Builder
+	for _, bd := range u.Bindings {
+		b.WriteString("b:$")
+		b.WriteString(bd.Var)
+		b.WriteByte('=')
+		b.WriteString(bd.Source.String())
+		b.WriteByte('\n')
+	}
+	for _, p := range u.Preds {
+		b.WriteString("p:")
+		writeOperandShape(&b, p.Left)
+		b.WriteByte(' ')
+		b.WriteString(p.Op.String())
+		b.WriteByte(' ')
+		writeOperandShape(&b, p.Right)
+		b.WriteByte('\n')
+	}
+	b.WriteString("t:$")
+	b.WriteString(u.TargetVar)
+	b.WriteByte('\n')
+	for _, op := range u.Ops {
+		b.WriteString("o:")
+		b.WriteString(op.Kind.String())
+		if op.PathVar != "" {
+			b.WriteString(" $")
+			b.WriteString(op.PathVar)
+		}
+		for _, st := range op.Path {
+			b.WriteByte('/')
+			b.WriteString(st)
+		}
+		if op.TextOnly {
+			b.WriteString("/text()")
+		}
+		if op.Content != nil {
+			b.WriteByte(' ')
+			writeFragment(&b, op.Content)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// writeOperandShape encodes one predicate operand with its literal value
+// stripped: paths stay verbatim, literals collapse to their kind.
+func writeOperandShape(b *strings.Builder, o xqparse.PredOperand) {
+	if o.IsLiteral {
+		b.WriteString("lit#")
+		b.WriteString(kindTag(o.Lit.Kind))
+		return
+	}
+	b.WriteByte('$')
+	b.WriteString(o.Var)
+	if o.Field != "" {
+		b.WriteByte('/')
+		b.WriteString(o.Field)
+	}
+}
+
+// kindTag is a short stable name for a literal's value kind.
+func kindTag(k relational.ValueKind) string {
+	switch k {
+	case relational.KindNull:
+		return "null"
+	case relational.KindString:
+		return "str"
+	case relational.KindInt:
+		return "int"
+	case relational.KindFloat:
+		return "float"
+	default:
+		return "other"
+	}
+}
+
+// writeFragment serializes an insert/replace fragment — element names
+// and text — in document order.
+func writeFragment(b *strings.Builder, n *xmltree.Node) {
+	if !n.IsElement() {
+		b.WriteByte('"')
+		b.WriteString(n.Text)
+		b.WriteByte('"')
+		return
+	}
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	b.WriteByte('>')
+	for _, c := range n.Children {
+		writeFragment(b, c)
+	}
+	b.WriteString("</>")
+}
+
+// literalKey canonically encodes the predicate literal values of an
+// update, in predicate order. Together with the fingerprint it uniquely
+// determines the schema-level verdict even for literal-sensitive
+// templates.
+func literalKey(u *xqparse.UpdateQuery) string {
+	var b strings.Builder
+	for _, p := range u.Preds {
+		for _, o := range [2]xqparse.PredOperand{p.Left, p.Right} {
+			if o.IsLiteral {
+				b.WriteString(o.Lit.EncodeKey())
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}
+
+// valueDependentCoercion reports whether coercing a literal of kind k
+// into leaf type t can fail for some values but succeed for others —
+// the cases where the *value*, not just the kind, decides Step 1's
+// verdict. Mirrors relational.Value.CoerceTo.
+func valueDependentCoercion(k relational.ValueKind, t relational.Type) bool {
+	if k == relational.KindNull {
+		return false
+	}
+	switch t {
+	case relational.TypeString:
+		return false
+	case relational.TypeInt, relational.TypeDate:
+		return k != relational.KindInt
+	case relational.TypeFloat:
+		return k != relational.KindInt && k != relational.KindFloat
+	default:
+		return true
+	}
+}
+
+// literalSensitiveResolved decides, for an update whose resolution
+// succeeded, whether the verdict may depend on predicate literal values:
+// a predicate leaf carrying CHECK annotations feeds the satisfiability
+// test, and a value-dependent coercion can reject some literals of the
+// template's kind. UserPreds align 1:1 with u.Preds (compilePred keeps
+// order), so the parsed literal kinds pair with the resolved leaves.
+func literalSensitiveResolved(u *xqparse.UpdateQuery, r *ResolvedUpdate) bool {
+	for i, up := range r.UserPreds {
+		if len(up.Leaf.Checks) > 0 {
+			return true
+		}
+		if i < len(u.Preds) {
+			lit := u.Preds[i].Left
+			if !lit.IsLiteral {
+				lit = u.Preds[i].Right
+			}
+			if lit.IsLiteral && valueDependentCoercion(lit.Lit.Kind, up.Leaf.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// literalSensitiveSyntactic is the conservative fallback for updates
+// whose resolution failed (no leaf types available): only string and
+// float literals have value-dependent coercions anywhere in the type
+// system, so templates without them fail or pass uniformly.
+func literalSensitiveSyntactic(u *xqparse.UpdateQuery) bool {
+	for _, p := range u.Preds {
+		for _, o := range [2]xqparse.PredOperand{p.Left, p.Right} {
+			if o.IsLiteral && (o.Lit.Kind == relational.KindString || o.Lit.Kind == relational.KindFloat) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,8 +1,20 @@
 // Package viewengine materializes virtual XML views over the relational
 // engine, playing the role of the XPERANTO/SilkRoute publishing
-// middleware in the paper's architecture: it evaluates the default XML
-// view (Fig. 2) and user view queries (Fig. 3) by compiling each FLWR
-// block to a select-project-join over the base tables.
+// middleware in the U-Filter paper's architecture (Section 2, Fig. 5's
+// "view generation" box): it evaluates the default XML view — each
+// relation published as <table><row>...</row></table>, Fig. 2 — and
+// user view queries (the FLWR definitions of Fig. 3(a)) by compiling
+// each FLWR block to a select-project-join over the base tables and
+// nesting the results into an xmltree document.
+//
+// U-Filter itself never needs a materialized view to reach a verdict —
+// that independence is the point of the paper. The engine exists for
+// everything around the checker: the quickstart and examples show the
+// view being edited, tests compare an update's effect against the
+// expected document, and the Fig. 14 "blind" baseline
+// (ufilter.Filter.BlindApply) materializes the view before and after an
+// uninformed translation to detect side effects the hard way — the
+// expensive diff-and-rollback U-Filter's schema-level steps avoid.
 package viewengine
 
 import (

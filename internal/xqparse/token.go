@@ -1,7 +1,27 @@
-// Package xqparse parses the two XQuery dialects the paper uses: the
-// SilkRoute/XPERANTO-style FLWR view-definition queries of Fig. 3(a) and
-// the "XQuery-like" update language of Tatarinov et al. used in
-// Figs. 4 and 10 (FOR ... WHERE ... UPDATE $var { INSERT/DELETE/REPLACE }).
+// Package xqparse parses the two XQuery dialects the U-Filter paper
+// uses, producing the ASTs every downstream stage consumes:
+//
+//   - View definitions (Fig. 3(a)): SilkRoute/XPERANTO-style FLWR
+//     queries over the default XML view — nested FOR ... WHERE ...
+//     RETURN blocks with element constructors and projections.
+//     [ParseViewQuery] returns a [ViewQuery], which internal/asg
+//     compiles into the view's Annotated Schema Graph and
+//     internal/viewengine evaluates to materialize the view.
+//
+//   - View updates (Figs. 4 and 10): the "XQuery-like" update language
+//     of Tatarinov et al. — FOR ... WHERE ... UPDATE $var {
+//     INSERT <frag/> | DELETE $v/path | REPLACE $v/path WITH <frag/> }.
+//     [ParseUpdate] returns an [UpdateQuery], the input to U-Filter's
+//     Step 1 (internal/ufilter.Resolve binds it against the view ASG).
+//
+// The grammar covers the paper's corpus, not full XQuery: conjunctive
+// WHERE clauses comparing paths to literals or paths to paths
+// (correlation predicates, Pred.IsCorrelation), document() roots,
+// child-axis paths with an optional trailing /text(), and literal
+// element fragments. The update AST is deliberately cheap to
+// re-traverse: internal/ufilter fingerprints it (operation kinds,
+// paths, predicate shapes with literals stripped) to key the
+// schema-level decision cache.
 package xqparse
 
 import (
