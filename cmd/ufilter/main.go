@@ -9,12 +9,18 @@
 //	ufilter -dataset tpch -view vfail:region -update-text 'FOR $t IN ... UPDATE $t { DELETE $t }'
 //	echo 'FOR ...' | ufilter -dataset psd -apply
 //	cat updates.xq | ufilter -dataset book -batch -workers 8 -stats
+//	cat updates.xq | ufilter -dataset book -batch -json | jq .result.accepted
 //
 // Batch mode (-batch) reads any number of updates from stdin — each
 // terminated by a line containing only ";" — fans them across a worker
 // pool, and prints one verdict line per update plus, with -stats, the
 // decision-cache hit rate. Batch mode runs the schema-level checks
 // (Steps 1+2) only.
+//
+// The -json flag switches both single and batch modes to one JSON
+// object per line, using the same stable encoding the ufilterd daemon
+// serves, so shell pipelines and the daemon's smoke tests consume one
+// format.
 //
 // Datasets: book (the paper's running example, Figs. 1-4/10),
 // tpch (the Section 7.2 evaluation substrate), psd (the Section 7.3
@@ -24,6 +30,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,9 +39,8 @@ import (
 
 	repro "repro"
 	"repro/internal/bookdb"
-	"repro/internal/psd"
 	"repro/internal/relational"
-	"repro/internal/tpch"
+	"repro/internal/server"
 )
 
 func main() {
@@ -50,6 +56,7 @@ func main() {
 	batch := flag.Bool("batch", false, `check many updates from stdin (";" line separates updates)`)
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "after a batch, print decision-cache statistics")
+	jsonOut := flag.Bool("json", false, "emit results as JSON (one object per update) — the same encoding ufilterd serves")
 	flag.Parse()
 
 	db, viewQuery, err := buildDataset(*dataset, *viewName, *mb)
@@ -78,7 +85,7 @@ func main() {
 		if *marks {
 			fail(fmt.Errorf("-batch reads updates from stdin and cannot be combined with -marks"))
 		}
-		os.Exit(runBatch(f, os.Stdin, *workers, *stats))
+		os.Exit(runBatch(f, os.Stdin, *workers, *stats, *jsonOut))
 	}
 
 	if *marks {
@@ -100,41 +107,28 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	printResult(res, *apply)
+	if *jsonOut {
+		printJSON(res)
+	} else {
+		printResult(res, *apply)
+	}
 	if !res.Accepted {
 		os.Exit(2)
 	}
 }
 
-func buildDataset(dataset, viewName string, mb int) (*relational.Database, string, error) {
-	switch strings.ToLower(dataset) {
-	case "book":
-		db, err := bookdb.NewDatabase(relational.DeleteCascade)
-		return db, bookdb.ViewQuery, err
-	case "psd":
-		db, err := psd.NewDatabase(100)
-		return db, psd.ViewQuery, err
-	case "tpch":
-		db, err := tpch.NewDatabaseMB(mb)
-		if err != nil {
-			return nil, "", err
-		}
-		q := tpch.VsuccessQuery
-		switch {
-		case viewName == "" || strings.EqualFold(viewName, "vsuccess"):
-		case strings.EqualFold(viewName, "vlinear"):
-			q = tpch.VlinearQuery
-		case strings.EqualFold(viewName, "vbush"):
-			q = tpch.VbushQuery
-		case strings.HasPrefix(strings.ToLower(viewName), "vfail:"):
-			q = tpch.VfailQuery(strings.ToLower(viewName[len("vfail:"):]))
-		default:
-			return nil, "", fmt.Errorf("unknown tpch view %q", viewName)
-		}
-		return db, q, nil
-	default:
-		return nil, "", fmt.Errorf("unknown dataset %q (want book, tpch or psd)", dataset)
+// printJSON emits one value in the shared wire encoding (the same the
+// ufilterd daemon serves), one object per line for shell pipelines.
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		fail(err)
 	}
+}
+
+func buildDataset(dataset, viewName string, mb int) (*relational.Database, string, error) {
+	return server.BuildDataset(server.ViewConfig{Dataset: dataset, TPCHView: viewName, MB: mb})
 }
 
 func loadUpdate(dataset, name, file, text string) (string, error) {
@@ -178,7 +172,7 @@ func printResult(res *repro.Result, applied bool) {
 	fmt.Printf("accepted:  %v\n", res.Accepted)
 	fmt.Printf("outcome:   %s\n", res.Outcome)
 	if res.RejectedAt != 0 {
-		fmt.Printf("rejected:  step %d\n", res.RejectedAt)
+		fmt.Printf("rejected:  step %s\n", res.RejectedAt)
 	}
 	if res.Reason != "" {
 		fmt.Printf("reason:    %s\n", res.Reason)
@@ -201,9 +195,10 @@ func printResult(res *repro.Result, applied bool) {
 }
 
 // runBatch reads ";"-separated updates from r, checks them through the
-// worker pool, prints one line per update and returns the process exit
-// code (2 when any update was rejected or failed to parse).
-func runBatch(f *repro.Filter, r io.Reader, workers int, stats bool) int {
+// worker pool, prints one line per update (JSON objects with -json) and
+// returns the process exit code (2 when any update was rejected or
+// failed to parse).
+func runBatch(f *repro.Filter, r io.Reader, workers int, stats, jsonOut bool) int {
 	updates, err := readBatch(r)
 	if err != nil {
 		fail(err)
@@ -213,22 +208,35 @@ func runBatch(f *repro.Filter, r io.Reader, workers int, stats bool) int {
 	}
 	exit := 0
 	for _, br := range f.CheckBatch(updates, workers) {
+		if jsonOut {
+			printJSON(br)
+		}
 		switch {
 		case br.Err != nil:
-			fmt.Printf("[%d] error: %v\n", br.Index, br.Err)
+			if !jsonOut {
+				fmt.Printf("[%d] error: %v\n", br.Index, br.Err)
+			}
 			exit = 2
 		case br.Result.Accepted:
-			fmt.Printf("[%d] accepted outcome=%s\n", br.Index, br.Result.Outcome)
+			if !jsonOut {
+				fmt.Printf("[%d] accepted outcome=%s\n", br.Index, br.Result.Outcome)
+			}
 		default:
-			fmt.Printf("[%d] rejected step=%d outcome=%s reason=%s\n",
-				br.Index, br.Result.RejectedAt, br.Result.Outcome, br.Result.Reason)
+			if !jsonOut {
+				fmt.Printf("[%d] rejected step=%s outcome=%s reason=%s\n",
+					br.Index, br.Result.RejectedAt, br.Result.Outcome, br.Result.Reason)
+			}
 			exit = 2
 		}
 	}
 	if stats {
 		st := f.CacheStats()
-		fmt.Printf("cache: hits=%d misses=%d text-hits=%d hit-rate=%.1f%% templates=%d\n",
-			st.Hits, st.Misses, st.TextHits, 100*st.HitRate(), st.TemplateEntries)
+		if jsonOut {
+			printJSON(map[string]any{"cache": st, "hit_rate": st.HitRate()})
+		} else {
+			fmt.Printf("cache: hits=%d misses=%d text-hits=%d hit-rate=%.1f%% templates=%d\n",
+				st.Hits, st.Misses, st.TextHits, 100*st.HitRate(), st.TemplateEntries)
+		}
 	}
 	return exit
 }

@@ -1,0 +1,286 @@
+// Command ufilterd runs the U-Filter update gateway: a long-running
+// HTTP/JSON daemon hosting a registry of named views, each a compiled
+// ufilter.Filter over its own in-memory database, with bounded
+// admission control in front of the serialized apply pipeline and live
+// statistics endpoints.
+//
+// Usage:
+//
+//	ufilterd -addr :8080 -views book,tpch
+//	ufilterd -addr 127.0.0.1:0 -views book,tpch:vbush,psd -queue 8
+//	ufilterd -config ufilterd.json
+//	ufilterd -loadgen -duration 3s -clients 16
+//	ufilterd -loadgen -target http://127.0.0.1:8080 -loadgen-view book
+//
+// The -views flag takes comma-separated dataset specs: book, psd,
+// tpch, or tpch:<variant> (vsuccess, vlinear, vbush, vfail:<relation>).
+// Each spec registers a view named after the spec (":" becomes "-").
+// A -config JSON file (see server.Config) replaces -views entirely and
+// can size datasets, pick strategies and set per-view queue depths.
+// Additional views can be registered at runtime via POST /views.
+//
+// Endpoints: GET /healthz, GET/POST /views, POST /views/{name}/check,
+// /check-batch, /apply, GET /views/{name}/stats, GET /metrics.
+//
+// The -loadgen mode demonstrates sustained concurrent traffic: it
+// boots an in-process server (or targets -target), fans -clients
+// goroutines over mixed check/apply HTTP traffic for -duration, and
+// reports throughput, shed applies and the final cache hit rate.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/bookdb"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:0 selects an ephemeral port)")
+	configPath := flag.String("config", "", "JSON config file (server.Config); replaces -views")
+	views := flag.String("views", "book,tpch", "comma-separated dataset specs to host: book, psd, tpch, tpch:<variant>")
+	queue := flag.Int("queue", server.DefaultApplyQueueDepth, "default per-view apply admission queue depth")
+	loadgen := flag.Bool("loadgen", false, "run the load generator instead of serving")
+	target := flag.String("target", "", "loadgen: base URL of a running ufilterd (empty boots one in-process)")
+	duration := flag.Duration("duration", 3*time.Second, "loadgen: how long to sustain traffic")
+	clients := flag.Int("clients", 16, "loadgen: concurrent client goroutines")
+	loadgenView := flag.String("loadgen-view", "book", "loadgen: view name to drive")
+	flag.Parse()
+
+	cfg, err := loadConfig(*configPath, *views, *queue)
+	if err != nil {
+		fail(err)
+	}
+	if *loadgen {
+		if err := runLoadgen(cfg, *addr, *target, *loadgenView, *clients, *duration); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if err := runServer(cfg, *addr); err != nil {
+		fail(err)
+	}
+}
+
+// loadConfig builds the server configuration from -config, or from the
+// -views spec list when no file is given.
+func loadConfig(path, viewSpecs string, queueDepth int) (*server.Config, error) {
+	if path != "" {
+		return server.LoadConfig(path)
+	}
+	cfg := &server.Config{ApplyQueueDepth: queueDepth}
+	for _, spec := range strings.Split(viewSpecs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		vc := server.ViewConfig{Name: strings.ReplaceAll(spec, ":", "-")}
+		dataset, variant, _ := strings.Cut(spec, ":")
+		vc.Dataset = dataset
+		if strings.EqualFold(dataset, "tpch") {
+			vc.TPCHView = variant
+		} else if variant != "" {
+			return nil, fmt.Errorf("dataset %q takes no variant (got %q)", dataset, spec)
+		}
+		cfg.Views = append(cfg.Views, vc)
+	}
+	return cfg, nil
+}
+
+// buildServer compiles every configured view into a fresh registry.
+func buildServer(cfg *server.Config) (*server.Server, error) {
+	reg := server.NewRegistry()
+	reg.DefaultQueueDepth = cfg.ApplyQueueDepth
+	for _, vc := range cfg.Views {
+		if _, err := reg.Add(vc); err != nil {
+			return nil, err
+		}
+	}
+	return server.New(reg), nil
+}
+
+// runServer serves until SIGINT/SIGTERM, then drains gracefully.
+func runServer(cfg *server.Config, addr string) error {
+	srv, err := buildServer(cfg)
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ufilterd: listening on %s (views: %s)\n", bound, strings.Join(srv.Registry.Names(), ", "))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("ufilterd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	return <-done
+}
+
+// runLoadgen sustains mixed check/apply traffic against a server and
+// prints a throughput summary.
+func runLoadgen(cfg *server.Config, addr, target, viewName string, clients int, duration time.Duration) error {
+	base := target
+	var srv *server.Server
+	if base == "" {
+		var err error
+		srv, err = buildServer(cfg)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(addr, ":8080") || addr == ":8080" {
+			addr = "127.0.0.1:0" // don't squat the default port for a transient run
+		}
+		bound, err := srv.Listen(addr)
+		if err != nil {
+			return err
+		}
+		go func() { _ = srv.Serve() }()
+		base = "http://" + bound
+		fmt.Printf("ufilterd loadgen: booted in-process server on %s\n", bound)
+	}
+	base = strings.TrimRight(base, "/")
+
+	// The workload: every client rotates over the paper's update corpus
+	// plus per-client literal variants (template-tier cache traffic);
+	// every eighth request is a full apply — an insert/delete pair that
+	// restores the database — so the serialized pipeline and admission
+	// queue see sustained pressure too.
+	var checkTexts []string
+	for _, u := range bookdb.AllUpdates() {
+		checkTexts = append(checkTexts, u.Text)
+	}
+	for i := 0; i < 16; i++ {
+		checkTexts = append(checkTexts, fmt.Sprintf(`
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Title %d"
+UPDATE $book { DELETE $book/review }`, i))
+	}
+
+	var checks, applies, shed, errs atomic.Int64
+	deadline := time.Now().Add(duration)
+	client := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				if i%8 == 7 {
+					ins := fmt.Sprintf(`
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Data on the Web"
+UPDATE $book {
+  INSERT <review><reviewid>9%02d%04d</reviewid><comment> loadgen </comment></review>
+}`, c, i)
+					for _, u := range []string{ins, bookdb.U12} {
+						status, err := postCheck(client, base, viewName, "apply", u)
+						switch {
+						case err != nil:
+							errs.Add(1)
+						case status == http.StatusTooManyRequests:
+							shed.Add(1)
+						case status == http.StatusOK:
+							applies.Add(1)
+						default:
+							errs.Add(1)
+						}
+					}
+					continue
+				}
+				status, err := postCheck(client, base, viewName, "check", checkTexts[(c*31+i)%len(checkTexts)])
+				if err != nil || status != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				checks.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	stats, statsErr := fetchStats(client, base, viewName)
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	secs := duration.Seconds()
+	total := checks.Load() + applies.Load()
+	fmt.Printf("loadgen: %d clients, %s against view %q\n", clients, duration, viewName)
+	fmt.Printf("  checks:   %d (%.0f/s)\n", checks.Load(), float64(checks.Load())/secs)
+	fmt.Printf("  applies:  %d (%.0f/s), %d shed with 429\n", applies.Load(), float64(applies.Load())/secs, shed.Load())
+	fmt.Printf("  errors:   %d\n", errs.Load())
+	fmt.Printf("  total ok: %d (%.0f/s)\n", total, float64(total)/secs)
+	if statsErr == nil {
+		fmt.Printf("  server:   cache hit rate %.1f%%, %d stmts executed, %d rows scanned\n",
+			100*stats.CacheHitRate, stats.Filter.Database.StatementsExecuted, stats.Filter.Executor.RowsScanned)
+	}
+	if errs.Load() > 0 {
+		return fmt.Errorf("loadgen saw %d request errors", errs.Load())
+	}
+	return nil
+}
+
+// postCheck POSTs {"update": text} to /views/{view}/{op} and returns
+// the HTTP status.
+func postCheck(client *http.Client, base, view, op, update string) (int, error) {
+	body, err := json.Marshal(map[string]string{"update": update})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(fmt.Sprintf("%s/views/%s/%s", base, view, op), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// fetchStats GETs /views/{view}/stats.
+func fetchStats(client *http.Client, base, view string) (*server.ViewStats, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/views/%s/stats", base, view))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats: HTTP %d", resp.StatusCode)
+	}
+	var st server.ViewStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ufilterd:", err)
+	os.Exit(1)
+}

@@ -37,6 +37,15 @@
 //
 //	results := f.CheckBatch(updates, runtime.GOMAXPROCS(0))
 //	stats := f.CacheStats() // hit/miss counters, HitRate()
+//	snap := f.Stats()       // cache + executor + database counters
+//
+// The filter is also served over the wire: internal/server and
+// cmd/ufilterd host a registry of named views behind an HTTP/JSON
+// gateway with bounded admission control in front of the serialized
+// apply pipeline, live per-view statistics and Prometheus-style
+// metrics. Result and every verdict enum marshal to stable JSON (the
+// enum spellings are exactly their String forms), so the CLI's -json
+// output and the daemon's responses are one format.
 package repro
 
 import (
@@ -79,6 +88,35 @@ const (
 	OutcomeConditional    = ufilter.OutcomeConditional
 	OutcomeUnconditional  = ufilter.OutcomeUnconditional
 )
+
+// Step identifies the U-Filter step that produced a rejection.
+type Step = ufilter.Step
+
+// Pipeline steps.
+const (
+	StepNone       = ufilter.StepNone
+	StepValidation = ufilter.StepValidation
+	StepSTAR       = ufilter.StepSTAR
+	StepData       = ufilter.StepData
+)
+
+// Condition is the side condition attached to a conditionally
+// translatable update.
+type Condition = ufilter.Condition
+
+// StarVerdict is the STAR checking procedure's answer for one
+// operation.
+type StarVerdict = ufilter.StarVerdict
+
+// Stats is a read-only snapshot of a filter's cache, executor and
+// database counters; see Filter.Stats.
+type Stats = ufilter.Stats
+
+// ParseStrategy maps a strategy name ("hybrid", "outside", "internal")
+// to its value; the empty string selects StrategyHybrid.
+func ParseStrategy(name string) (Strategy, error) {
+	return ufilter.ParseStrategy(name)
+}
 
 // NewFilter parses a view query, builds and STAR-marks its Annotated
 // Schema Graphs over the database, and returns a ready filter.

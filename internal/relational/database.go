@@ -60,8 +60,12 @@ type Database struct {
 	// disk-backed engine would; reads never log. This asymmetry between
 	// DML and probe queries is what the outside strategy exploits
 	// (Fig. 17: a suppressed zero-row DELETE also skips its logging).
-	redo    []byte
-	redoOps int64
+	// redoOps and redoBytes are the cumulative record/byte counters,
+	// maintained atomically so statistics reads never race a writer
+	// (the buffer itself is written only under the single-writer rule).
+	redo      []byte
+	redoOps   atomic.Int64
+	redoBytes atomic.Int64
 }
 
 // StatementsExecutedTotal atomically reads the DML statement counter.
@@ -69,17 +73,41 @@ func (db *Database) StatementsExecutedTotal() int64 {
 	return atomic.LoadInt64(&db.StatementsExecuted)
 }
 
-// RedoBytes returns the size of the write-ahead log buffer.
-func (db *Database) RedoBytes() int { return len(db.redo) }
+// RedoBytes atomically reads the cumulative number of bytes appended to
+// the write-ahead log since creation (flush truncations do not reset
+// it).
+func (db *Database) RedoBytes() int64 { return db.redoBytes.Load() }
 
-// RedoRecords returns the number of log records appended.
-func (db *Database) RedoRecords() int64 { return db.redoOps }
+// RedoRecords atomically reads the number of log records appended.
+func (db *Database) RedoRecords() int64 { return db.redoOps.Load() }
+
+// DBStats is a point-in-time snapshot of the database's statistics
+// counters. Every field is read atomically, so a snapshot may be taken
+// while another goroutine is mutating the database.
+type DBStats struct {
+	// StatementsExecuted counts DML statements since creation.
+	StatementsExecuted int64 `json:"statements_executed"`
+	// RedoRecords counts write-ahead log records appended.
+	RedoRecords int64 `json:"redo_records"`
+	// RedoBytes counts cumulative write-ahead log bytes appended.
+	RedoBytes int64 `json:"redo_bytes"`
+}
+
+// Stats snapshots the statistics counters atomically.
+func (db *Database) Stats() DBStats {
+	return DBStats{
+		StatementsExecuted: db.StatementsExecutedTotal(),
+		RedoRecords:        db.redoOps.Load(),
+		RedoBytes:          db.redoBytes.Load(),
+	}
+}
 
 // appendRedo logs one record. The buffer is truncated periodically so
 // long benchmark runs do not grow memory without bound; the append cost
 // (the part a real engine pays per statement) is preserved.
 func (db *Database) appendRedo(kind byte, table string, id RowID, values []Value) {
-	db.redoOps++
+	db.redoOps.Add(1)
+	n := len(db.redo)
 	db.redo = append(db.redo, kind)
 	db.redo = append(db.redo, table...)
 	var buf [8]byte
@@ -91,6 +119,7 @@ func (db *Database) appendRedo(kind byte, table string, id RowID, values []Value
 	for _, val := range values {
 		db.redo = append(db.redo, val.EncodeKey()...)
 	}
+	db.redoBytes.Add(int64(len(db.redo) - n))
 	if len(db.redo) > 1<<20 {
 		db.redo = db.redo[:0] // simulate a log flush
 	}
@@ -101,7 +130,8 @@ func (db *Database) appendRedo(kind byte, table string, id RowID, values []Value
 // one that ends up matching zero rows. Probe queries never log; this is
 // the cost the outside strategy saves by suppressing empty deletes.
 func (db *Database) LogStatement(sql string) {
-	db.redoOps++
+	db.redoOps.Add(1)
+	db.redoBytes.Add(int64(1 + len(sql)))
 	db.redo = append(db.redo, 'S')
 	db.redo = append(db.redo, sql...)
 	if len(db.redo) > 1<<20 {

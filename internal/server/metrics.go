@@ -1,0 +1,75 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// handleMetrics renders every view's counters as Prometheus-style
+// text (gauge/counter lines with a view label), hand-rolled so the
+// daemon stays dependency-free.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	type metric struct {
+		name, help, kind string
+		values           map[string]float64 // label value -> sample
+	}
+	metrics := []metric{
+		{"ufilterd_checks_total", "Schema-level checks served.", "counter", map[string]float64{}},
+		{"ufilterd_check_errors_total", "Checks that failed to parse or errored.", "counter", map[string]float64{}},
+		{"ufilterd_applies_total", "Full-pipeline applies executed.", "counter", map[string]float64{}},
+		{"ufilterd_applies_accepted_total", "Applies accepted and committed.", "counter", map[string]float64{}},
+		{"ufilterd_applies_rejected_total", "Applies rejected by the pipeline.", "counter", map[string]float64{}},
+		{"ufilterd_apply_queue_shed_total", "Applies shed with 429 by admission control.", "counter", map[string]float64{}},
+		{"ufilterd_apply_queue_depth", "Apply admission queue capacity.", "gauge", map[string]float64{}},
+		{"ufilterd_apply_queue_in_flight", "Apply slots currently held.", "gauge", map[string]float64{}},
+		{"ufilterd_cache_hits_total", "Decision cache hits.", "counter", map[string]float64{}},
+		{"ufilterd_cache_misses_total", "Decision cache misses.", "counter", map[string]float64{}},
+		{"ufilterd_cache_hit_rate", "Decision cache hit rate.", "gauge", map[string]float64{}},
+		{"ufilterd_rows_scanned_total", "Rows visited by table scans.", "counter", map[string]float64{}},
+		{"ufilterd_index_probes_total", "Index lookups issued.", "counter", map[string]float64{}},
+		{"ufilterd_statements_executed_total", "DML statements executed.", "counter", map[string]float64{}},
+		{"ufilterd_redo_records_total", "Write-ahead log records appended.", "counter", map[string]float64{}},
+		{"ufilterd_redo_bytes_total", "Write-ahead log bytes appended.", "counter", map[string]float64{}},
+	}
+	for _, v := range s.Registry.Views() {
+		st := v.Stats()
+		samples := []float64{
+			float64(st.Checks),
+			float64(st.CheckErrors),
+			float64(st.Applies.Total),
+			float64(st.Applies.Accepted),
+			float64(st.Applies.Rejected),
+			float64(st.Queue.Shed),
+			float64(st.Queue.Depth),
+			float64(st.Queue.InFlight),
+			float64(st.Filter.Cache.Hits),
+			float64(st.Filter.Cache.Misses),
+			st.CacheHitRate,
+			float64(st.Filter.Executor.RowsScanned),
+			float64(st.Filter.Executor.IndexProbes),
+			float64(st.Filter.Database.StatementsExecuted),
+			float64(st.Filter.Database.RedoRecords),
+			float64(st.Filter.Database.RedoBytes),
+		}
+		for i := range metrics {
+			metrics[i].values[v.Name] = samples[i]
+		}
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind)
+		labels := make([]string, 0, len(m.values))
+		for l := range m.values {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			fmt.Fprintf(&b, "%s{view=%q} %g\n", m.name, l, m.values[l])
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,398 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bookdb"
+	"repro/internal/psd"
+	"repro/internal/relational"
+	"repro/internal/tpch"
+	"repro/internal/ufilter"
+)
+
+// DefaultApplyQueueDepth bounds each view's apply admission queue when
+// the configuration does not choose one: the filter serializes applies
+// internally, so the depth is the number of requests allowed to be
+// running-or-waiting before the server starts shedding load with 429.
+const DefaultApplyQueueDepth = 16
+
+// Config is the ufilterd configuration, loadable from a JSON file.
+type Config struct {
+	// Views seeds the registry at startup.
+	Views []ViewConfig `json:"views"`
+	// ApplyQueueDepth is the default per-view apply queue bound;
+	// DefaultApplyQueueDepth when zero.
+	ApplyQueueDepth int `json:"apply_queue_depth,omitempty"`
+}
+
+// ViewConfig describes one named view to host: a built-in dataset plus
+// an optional custom view query over that dataset's schema.
+type ViewConfig struct {
+	// Name is the view's registry key, used in request paths.
+	Name string `json:"name"`
+	// Dataset selects the backing database: book, tpch or psd.
+	Dataset string `json:"dataset"`
+	// TPCHView selects the tpch view variant (vsuccess, vlinear, vbush,
+	// vfail:<relation>); vsuccess when empty.
+	TPCHView string `json:"tpch_view,omitempty"`
+	// MB sizes the tpch dataset (nominal MB, default 1).
+	MB int `json:"mb,omitempty"`
+	// Proteins sizes the psd dataset (default 100).
+	Proteins int `json:"proteins,omitempty"`
+	// Query, when non-empty, replaces the dataset's built-in view query
+	// (it must range over the dataset's schema).
+	Query string `json:"query,omitempty"`
+	// Strategy names the data-driven strategy: hybrid (default),
+	// outside or internal.
+	Strategy string `json:"strategy,omitempty"`
+	// QueueDepth overrides the server-wide apply queue bound.
+	QueueDepth int `json:"queue_depth,omitempty"`
+}
+
+// LoadConfig reads a JSON Config from a file.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("config %s: %w", path, err)
+	}
+	return &cfg, nil
+}
+
+// View is one hosted filter: a compiled ufilter.Filter over its own
+// database, wrapped with admission control for the serialized apply
+// pipeline and per-view traffic counters.
+type View struct {
+	Name     string
+	Filter   *ufilter.Filter
+	Dataset  string
+	Strategy ufilter.Strategy
+
+	// queue holds the admission slots for Apply: capacity is the bound
+	// on requests running-or-waiting; a full queue sheds load (429).
+	queue chan struct{}
+
+	// applyNanos accumulates wall time spent inside Filter.Apply, used
+	// to estimate Retry-After under backpressure.
+	applyNanos atomic.Int64
+
+	checks          atomic.Int64
+	checkErrors     atomic.Int64
+	applies         atomic.Int64
+	appliesAccepted atomic.Int64
+	appliesRejected atomic.Int64
+	appliesOverflow atomic.Int64
+
+	// applyFn runs the full pipeline; defaults to Filter.Apply. Tests
+	// substitute a blocking function to exercise backpressure
+	// deterministically.
+	applyFn func(string) (*ufilter.Result, error)
+}
+
+// QueueDepth returns the apply admission bound.
+func (v *View) QueueDepth() int { return cap(v.queue) }
+
+// QueueLen returns the number of admission slots currently held.
+func (v *View) QueueLen() int { return len(v.queue) }
+
+// tryAcquire claims an apply admission slot without blocking.
+func (v *View) tryAcquire() bool {
+	select {
+	case v.queue <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (v *View) release() { <-v.queue }
+
+// retryAfter estimates how long a shed request should wait before
+// retrying: the full queue drains one serialized apply at a time, so
+// the estimate is queue depth times the observed mean apply latency,
+// rounded up to at least one second.
+func (v *View) retryAfter() time.Duration {
+	n := v.applies.Load()
+	if n == 0 {
+		return time.Second
+	}
+	mean := time.Duration(v.applyNanos.Load() / n)
+	est := mean * time.Duration(cap(v.queue))
+	if est < time.Second {
+		return time.Second
+	}
+	return est.Round(time.Second)
+}
+
+// Check classifies one update through the schema-level steps and bumps
+// the view's counters.
+func (v *View) Check(update string) (*ufilter.Result, error) {
+	v.checks.Add(1)
+	res, err := v.Filter.Check(update)
+	if err != nil {
+		v.checkErrors.Add(1)
+	}
+	return res, err
+}
+
+// CheckBatch fans a batch across the filter's worker pool.
+func (v *View) CheckBatch(updates []string, workers int) []ufilter.BatchResult {
+	v.checks.Add(int64(len(updates)))
+	out := v.Filter.CheckBatch(updates, workers)
+	for _, br := range out {
+		if br.Err != nil {
+			v.checkErrors.Add(1)
+		}
+	}
+	return out
+}
+
+// Apply admits one full-pipeline update if a queue slot is free. ok is
+// false when the queue is saturated; the caller should shed the
+// request with the returned retry hint.
+func (v *View) Apply(update string) (res *ufilter.Result, retry time.Duration, ok bool, err error) {
+	if !v.tryAcquire() {
+		v.appliesOverflow.Add(1)
+		return nil, v.retryAfter(), false, nil
+	}
+	defer v.release()
+	start := time.Now()
+	res, err = v.applyFn(update)
+	v.applyNanos.Add(time.Since(start).Nanoseconds())
+	v.applies.Add(1)
+	switch {
+	case err != nil:
+	case res.Accepted:
+		v.appliesAccepted.Add(1)
+	default:
+		v.appliesRejected.Add(1)
+	}
+	return res, 0, true, err
+}
+
+// ViewStats is the wire form of GET /views/{name}/stats.
+type ViewStats struct {
+	View         string        `json:"view"`
+	Dataset      string        `json:"dataset"`
+	Strategy     string        `json:"strategy"`
+	Checks       int64         `json:"checks"`
+	CheckErrors  int64         `json:"check_errors"`
+	Applies      ApplyStats    `json:"applies"`
+	Queue        QueueStats    `json:"queue"`
+	Filter       ufilter.Stats `json:"filter"`
+	CacheHitRate float64       `json:"cache_hit_rate"`
+}
+
+// ApplyStats breaks down the full-pipeline traffic.
+type ApplyStats struct {
+	Total    int64 `json:"total"`
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+}
+
+// QueueStats reports the admission queue's shape and shed count.
+type QueueStats struct {
+	Depth    int   `json:"depth"`
+	InFlight int   `json:"in_flight"`
+	Shed     int64 `json:"shed"`
+}
+
+// Stats snapshots the view's counters, safe under concurrent traffic.
+func (v *View) Stats() ViewStats {
+	fs := v.Filter.Stats()
+	return ViewStats{
+		View:        v.Name,
+		Dataset:     v.Dataset,
+		Strategy:    v.Strategy.String(),
+		Checks:      v.checks.Load(),
+		CheckErrors: v.checkErrors.Load(),
+		Applies: ApplyStats{
+			Total:    v.applies.Load(),
+			Accepted: v.appliesAccepted.Load(),
+			Rejected: v.appliesRejected.Load(),
+		},
+		Queue: QueueStats{
+			Depth:    cap(v.queue),
+			InFlight: len(v.queue),
+			Shed:     v.appliesOverflow.Load(),
+		},
+		Filter:       fs,
+		CacheHitRate: fs.Cache.HitRate(),
+	}
+}
+
+// Registry is the concurrency-safe set of hosted views.
+type Registry struct {
+	// DefaultQueueDepth is the apply admission bound for views whose
+	// config does not set one; DefaultApplyQueueDepth when zero. Set it
+	// before serving traffic (it is read without synchronization).
+	DefaultQueueDepth int
+
+	mu    sync.RWMutex
+	views map[string]*View
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{views: make(map[string]*View)}
+}
+
+// validViewName reports whether a name can round-trip through the
+// /views/{name}/... route patterns (one path segment, no escaping).
+func validViewName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Add compiles and registers a view from its configuration. The name
+// must be a single path segment ([A-Za-z0-9._-]+) and unused.
+func (r *Registry) Add(vc ViewConfig) (*View, error) {
+	name := strings.TrimSpace(vc.Name)
+	if !validViewName(name) {
+		return nil, fmt.Errorf("view name %q must be non-empty and contain only letters, digits, '.', '_' or '-'", name)
+	}
+	// Cheap pre-check before the expensive dataset build; the
+	// authoritative check re-runs under the write lock below.
+	r.mu.RLock()
+	_, exists := r.views[name]
+	r.mu.RUnlock()
+	if exists {
+		return nil, fmt.Errorf("view %q already exists", name)
+	}
+	strategy, err := ufilter.ParseStrategy(vc.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	db, builtinQuery, err := BuildDataset(vc)
+	if err != nil {
+		return nil, err
+	}
+	query := vc.Query
+	if strings.TrimSpace(query) == "" {
+		query = builtinQuery
+	}
+	f, err := ufilter.New(query, db)
+	if err != nil {
+		return nil, fmt.Errorf("view %s: %w", name, err)
+	}
+	f.Strategy = strategy
+	depth := vc.QueueDepth
+	if depth <= 0 {
+		depth = r.DefaultQueueDepth
+	}
+	if depth <= 0 {
+		depth = DefaultApplyQueueDepth
+	}
+	v := &View{
+		Name:     name,
+		Filter:   f,
+		Dataset:  strings.ToLower(vc.Dataset),
+		Strategy: strategy,
+		queue:    make(chan struct{}, depth),
+	}
+	v.applyFn = f.Apply
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.views[name]; exists {
+		return nil, fmt.Errorf("view %q already exists", name)
+	}
+	r.views[name] = v
+	return v, nil
+}
+
+// Get fetches a view by name.
+func (r *Registry) Get(name string) (*View, bool) {
+	r.mu.RLock()
+	v, ok := r.views[name]
+	r.mu.RUnlock()
+	return v, ok
+}
+
+// Names lists the registered view names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.views))
+	for n := range r.views {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Views lists the registered views in name order.
+func (r *Registry) Views() []*View {
+	r.mu.RLock()
+	out := make([]*View, 0, len(r.views))
+	for _, v := range r.views {
+		out = append(out, v)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// BuildDataset instantiates the built-in dataset a view ranges over,
+// returning the database and the dataset's default view query. It is
+// the one implementation of dataset/variant dispatch, shared by the
+// registry and the ufilter CLI.
+func BuildDataset(vc ViewConfig) (*relational.Database, string, error) {
+	switch strings.ToLower(vc.Dataset) {
+	case "book", "":
+		db, err := bookdb.NewDatabase(relational.DeleteCascade)
+		return db, bookdb.ViewQuery, err
+	case "psd":
+		proteins := vc.Proteins
+		if proteins <= 0 {
+			proteins = 100
+		}
+		db, err := psd.NewDatabase(proteins)
+		return db, psd.ViewQuery, err
+	case "tpch":
+		mb := vc.MB
+		if mb <= 0 {
+			mb = 1
+		}
+		db, err := tpch.NewDatabaseMB(mb)
+		if err != nil {
+			return nil, "", err
+		}
+		q := tpch.VsuccessQuery
+		viewName := vc.TPCHView
+		switch {
+		case viewName == "" || strings.EqualFold(viewName, "vsuccess"):
+		case strings.EqualFold(viewName, "vlinear"):
+			q = tpch.VlinearQuery
+		case strings.EqualFold(viewName, "vbush"):
+			q = tpch.VbushQuery
+		case strings.HasPrefix(strings.ToLower(viewName), "vfail:"):
+			q = tpch.VfailQuery(strings.ToLower(viewName[len("vfail:"):]))
+		default:
+			return nil, "", fmt.Errorf("unknown tpch view %q", viewName)
+		}
+		return db, q, nil
+	default:
+		return nil, "", fmt.Errorf("unknown dataset %q (want book, tpch or psd)", vc.Dataset)
+	}
+}

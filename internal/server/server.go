@@ -1,0 +1,244 @@
+// Package server is the ufilterd subsystem: a long-running HTTP/JSON
+// gateway that hosts a registry of named U-Filter views (each a
+// compiled ufilter.Filter over its own in-memory database) and exposes
+// the paper's three-step update check over the wire.
+//
+// The serving model mirrors the library's concurrency contract.
+// Schema-level checks (POST /views/{name}/check and /check-batch) read
+// only immutable ASGs plus the internally synchronized decision cache,
+// so they fan out freely across goroutines — one per request, exactly
+// as net/http provides. Full-pipeline applies
+// (POST /views/{name}/apply) are serialized per filter, so the server
+// fronts each view with a bounded admission queue: a request either
+// claims a running-or-waiting slot or is shed immediately with
+// 429 Too Many Requests and a Retry-After estimate, keeping check
+// latency flat while the apply pipeline is saturated.
+//
+// Endpoints:
+//
+//	GET  /healthz                    liveness probe
+//	GET  /views                      list hosted views
+//	POST /views                      register a view (ViewConfig JSON)
+//	POST /views/{name}/check         schema-level Steps 1+2
+//	POST /views/{name}/check-batch   worker-pool batch check
+//	POST /views/{name}/apply         full pipeline + execution
+//	GET  /views/{name}/stats         ViewStats JSON
+//	GET  /metrics                    Prometheus-style text, all views
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Server hosts the registry behind an http.Server with graceful
+// shutdown.
+type Server struct {
+	Registry *Registry
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// New builds a server over a registry (an empty one when nil).
+func New(reg *Registry) *Server {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	s := &Server{Registry: reg}
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the route table, usable directly under httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /views", s.handleListViews)
+	mux.HandleFunc("POST /views", s.handleCreateView)
+	mux.HandleFunc("POST /views/{name}/check", s.withView(s.handleCheck))
+	mux.HandleFunc("POST /views/{name}/check-batch", s.withView(s.handleCheckBatch))
+	mux.HandleFunc("POST /views/{name}/apply", s.withView(s.handleApply))
+	mux.HandleFunc("GET /views/{name}/stats", s.withView(s.handleStats))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Listen binds the address (host:0 selects an ephemeral port) and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	return ln.Addr().String(), nil
+}
+
+// Serve blocks serving requests on the listener bound by Listen until
+// Shutdown or a fatal error. http.ErrServerClosed is filtered as the
+// normal shutdown signal.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return fmt.Errorf("server: Serve before Listen")
+	}
+	if err := s.httpSrv.Serve(s.ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Shutdown drains in-flight requests and stops the server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// withView resolves the {name} path value to a registered view.
+func (s *Server) withView(fn func(http.ResponseWriter, *http.Request, *View)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		v, ok := s.Registry.Get(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such view %q", name)
+			return
+		}
+		fn(w, r, v)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "views": len(s.Registry.Names())})
+}
+
+// viewInfo is one row of GET /views.
+type viewInfo struct {
+	Name       string `json:"name"`
+	Dataset    string `json:"dataset"`
+	Strategy   string `json:"strategy"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+func (s *Server) handleListViews(w http.ResponseWriter, _ *http.Request) {
+	views := s.Registry.Views()
+	out := make([]viewInfo, len(views))
+	for i, v := range views {
+		out[i] = viewInfo{Name: v.Name, Dataset: v.Dataset, Strategy: v.Strategy.String(), QueueDepth: v.QueueDepth()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"views": out})
+}
+
+func (s *Server) handleCreateView(w http.ResponseWriter, r *http.Request) {
+	var vc ViewConfig
+	if err := decodeBody(r, &vc); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v, err := s.Registry.Add(vc)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, viewInfo{Name: v.Name, Dataset: v.Dataset, Strategy: v.Strategy.String(), QueueDepth: v.QueueDepth()})
+}
+
+// checkRequest is the body of /check and /apply.
+type checkRequest struct {
+	Update string `json:"update"`
+}
+
+// batchRequest is the body of /check-batch.
+type batchRequest struct {
+	Updates []string `json:"updates"`
+	Workers int      `json:"workers,omitempty"`
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request, v *View) {
+	var req checkRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := v.Check(req.Update)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request, v *View) {
+	var req batchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeError(w, http.StatusBadRequest, "updates must be non-empty")
+		return
+	}
+	results := v.CheckBatch(req.Updates, req.Workers)
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request, v *View) {
+	var req checkRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, retry, ok, err := v.Apply(req.Update)
+	if !ok {
+		secs := int(retry / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests,
+			"apply queue for view %q is full (depth %d); retry after %ds", v.Name, v.QueueDepth(), secs)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, v *View) {
+	writeJSON(w, http.StatusOK, v.Stats())
+}

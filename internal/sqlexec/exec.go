@@ -50,6 +50,24 @@ func (e *Executor) RowsScannedTotal() int64 { return atomic.LoadInt64(&e.RowsSca
 // IndexProbesTotal atomically reads the index-probe counter.
 func (e *Executor) IndexProbesTotal() int64 { return atomic.LoadInt64(&e.IndexProbes) }
 
+// ExecStats is a point-in-time snapshot of the executor's statistics
+// counters. Every field is read atomically, so a snapshot may be taken
+// while other goroutines are executing queries.
+type ExecStats struct {
+	// RowsScanned counts rows visited during table scans.
+	RowsScanned int64 `json:"rows_scanned"`
+	// IndexProbes counts index lookups issued.
+	IndexProbes int64 `json:"index_probes"`
+}
+
+// Stats snapshots the statistics counters atomically.
+func (e *Executor) Stats() ExecStats {
+	return ExecStats{
+		RowsScanned: e.RowsScannedTotal(),
+		IndexProbes: e.IndexProbesTotal(),
+	}
+}
+
 // addRowsScanned bumps the scan counter; a call per visited row.
 func (e *Executor) addRowsScanned(n int64) { atomic.AddInt64(&e.RowsScanned, n) }
 

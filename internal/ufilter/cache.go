@@ -77,14 +77,14 @@ func newDecisionCache() *decisionCache {
 // effectiveness counters.
 type CacheStats struct {
 	// Hits counts Check/CheckParsed calls answered from either tier.
-	Hits int64
+	Hits int64 `json:"hits"`
 	// Misses counts calls that ran the full schema-level pipeline.
-	Misses int64
+	Misses int64 `json:"misses"`
 	// TextHits counts the subset of Hits that also skipped parsing.
-	TextHits int64
+	TextHits int64 `json:"text_hits"`
 	// TextEntries and TemplateEntries are the current tier sizes.
-	TextEntries     int
-	TemplateEntries int
+	TextEntries     int `json:"text_entries"`
+	TemplateEntries int `json:"template_entries"`
 }
 
 // HitRate returns Hits/(Hits+Misses), 0 when empty.

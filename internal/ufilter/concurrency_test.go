@@ -172,3 +172,74 @@ UPDATE $book {
 	close(stop)
 	readers.Wait()
 }
+
+// TestStatsDuringApplyRace is the race-detector regression for the
+// "statistics reads never race a writer" contract: Check traffic and
+// Stats snapshots (which read the redo-log and executor counters) run
+// while Apply is appending redo records. Before redoOps/redoBytes
+// became atomics this raced on the write-ahead-log counters.
+func TestStatsDuringApplyRace(t *testing.T) {
+	f := newFilter(t, StrategyHybrid)
+	var readers, writers sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := f.Check(deleteReviewsByTitle(fmt.Sprintf("Stats %d", (g+i)%6))); err != nil {
+					t.Errorf("check: %v", err)
+					return
+				}
+				st := f.Stats()
+				if st.Database.RedoBytes < 0 || st.Database.RedoRecords < 0 {
+					t.Errorf("implausible snapshot: %+v", st.Database)
+					return
+				}
+			}
+		}(g)
+	}
+
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 20; i++ {
+			ins := fmt.Sprintf(`
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Data on the Web"
+UPDATE $book {
+  INSERT
+    <review>
+      <reviewid>81%02d</reviewid>
+      <comment> stats race </comment>
+    </review>
+}`, i)
+			if _, err := f.Apply(ins); err != nil {
+				t.Errorf("apply insert: %v", err)
+				return
+			}
+			if _, err := f.Apply(bookdb.U12); err != nil {
+				t.Errorf("apply delete: %v", err)
+				return
+			}
+		}
+	}()
+
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := f.Stats()
+	if st.Database.RedoRecords == 0 || st.Database.RedoBytes == 0 {
+		t.Errorf("applies should have appended redo records, got %+v", st.Database)
+	}
+	if st.Database.StatementsExecuted == 0 {
+		t.Errorf("applies should have executed statements, got %+v", st.Database)
+	}
+}

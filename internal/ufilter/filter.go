@@ -62,24 +62,27 @@ const (
 )
 
 // Result reports the outcome of checking (and optionally applying) one
-// view update through the U-Filter pipeline.
+// view update through the U-Filter pipeline. The JSON encoding is
+// stable: enum fields marshal to the same strings their String methods
+// print, so the CLI, the ufilterd server and tests share one spelling
+// of each verdict.
 type Result struct {
-	Update     *xqparse.UpdateQuery
-	Accepted   bool
-	RejectedAt Step
-	Outcome    Outcome
-	Conditions []Condition
-	Reason     string
+	Update     *xqparse.UpdateQuery `json:"-"`
+	Accepted   bool                 `json:"accepted"`
+	RejectedAt Step                 `json:"rejected_at"`
+	Outcome    Outcome              `json:"outcome"`
+	Conditions []Condition          `json:"conditions,omitempty"`
+	Reason     string               `json:"reason,omitempty"`
 	// Probes lists the SQL text of the probe queries issued by Step 3.
-	Probes []string
+	Probes []string `json:"probes,omitempty"`
 	// SQL lists the translated statements (generated; executed when
 	// Apply was used).
-	SQL []string
+	SQL []string `json:"sql,omitempty"`
 	// RowsAffected counts base rows touched by an applied update.
-	RowsAffected int
+	RowsAffected int `json:"rows_affected"`
 	// Warnings carries non-fatal signals such as the engine's "zero
 	// tuples deleted" response.
-	Warnings []string
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 // Filter is a compiled U-Filter instance for one view over one

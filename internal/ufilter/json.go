@@ -1,0 +1,205 @@
+package ufilter
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// This file pins down the wire spelling of every verdict enum. The
+// String methods and the JSON codecs share one table per type, so the
+// CLI's -json output, the ufilterd server's responses and test
+// assertions all agree on (and round-trip through) the same strings.
+
+// String names the pipeline step.
+func (s Step) String() string {
+	switch s {
+	case StepNone:
+		return "none"
+	case StepValidation:
+		return "validation"
+	case StepSTAR:
+		return "star"
+	case StepData:
+		return "data"
+	default:
+		return fmt.Sprintf("Step(%d)", int(s))
+	}
+}
+
+var stepNames = map[string]Step{
+	"none":       StepNone,
+	"validation": StepValidation,
+	"star":       StepSTAR,
+	"data":       StepData,
+}
+
+// MarshalJSON encodes the step as its String form.
+func (s Step) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a step from its String form.
+func (s *Step) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	v, ok := stepNames[name]
+	if !ok {
+		return fmt.Errorf("unknown step %q", name)
+	}
+	*s = v
+	return nil
+}
+
+var outcomeNames = map[string]Outcome{
+	"invalid":                      OutcomeInvalid,
+	"untranslatable":               OutcomeUntranslatable,
+	"conditionally translatable":   OutcomeConditional,
+	"unconditionally translatable": OutcomeUnconditional,
+}
+
+// MarshalJSON encodes the outcome as its String form.
+func (o Outcome) MarshalJSON() ([]byte, error) { return json.Marshal(o.String()) }
+
+// UnmarshalJSON decodes an outcome from its String form.
+func (o *Outcome) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	v, ok := outcomeNames[name]
+	if !ok {
+		return fmt.Errorf("unknown outcome %q", name)
+	}
+	*o = v
+	return nil
+}
+
+var conditionNames = map[string]Condition{
+	"none":                        CondNone,
+	"translation minimization":    CondMinimization,
+	"duplication consistency":     CondDupConsistency,
+	"shared parts must pre-exist": CondSharedPartsExist,
+}
+
+// MarshalJSON encodes the condition as its String form.
+func (c Condition) MarshalJSON() ([]byte, error) { return json.Marshal(c.String()) }
+
+// UnmarshalJSON decodes a condition from its String form.
+func (c *Condition) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	v, ok := conditionNames[name]
+	if !ok {
+		return fmt.Errorf("unknown condition %q", name)
+	}
+	*c = v
+	return nil
+}
+
+// MarshalJSON encodes the strategy as its String form.
+func (s Strategy) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a strategy from its String form.
+func (s *Strategy) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	v, err := ParseStrategy(name)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// ParseStrategy maps a strategy name (as printed by Strategy.String) to
+// its value, case-insensitively. An empty name selects StrategyHybrid.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "hybrid":
+		return StrategyHybrid, nil
+	case "outside":
+		return StrategyOutside, nil
+	case "internal":
+		return StrategyInternal, nil
+	default:
+		return StrategyHybrid, fmt.Errorf("unknown strategy %q (want hybrid, outside or internal)", name)
+	}
+}
+
+// String renders the verdict as "<outcome>[ (conditions: a, b)][: reason]".
+func (v StarVerdict) String() string {
+	var b strings.Builder
+	b.WriteString(v.Outcome.String())
+	if len(v.Conditions) > 0 {
+		names := make([]string, len(v.Conditions))
+		for i, c := range v.Conditions {
+			names[i] = c.String()
+		}
+		fmt.Fprintf(&b, " (conditions: %s)", strings.Join(names, ", "))
+	}
+	if v.Reason != "" {
+		b.WriteString(": ")
+		b.WriteString(v.Reason)
+	}
+	return b.String()
+}
+
+// starVerdictJSON is the stable wire form of a StarVerdict.
+type starVerdictJSON struct {
+	Outcome    Outcome     `json:"outcome"`
+	Conditions []Condition `json:"conditions,omitempty"`
+	Reason     string      `json:"reason,omitempty"`
+}
+
+// MarshalJSON encodes the verdict with the shared enum spellings.
+func (v StarVerdict) MarshalJSON() ([]byte, error) {
+	return json.Marshal(starVerdictJSON(v))
+}
+
+// UnmarshalJSON decodes a verdict from its wire form.
+func (v *StarVerdict) UnmarshalJSON(data []byte) error {
+	var w starVerdictJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*v = StarVerdict(w)
+	return nil
+}
+
+// batchResultJSON is the stable wire form of a BatchResult: the error,
+// if any, travels as a string.
+type batchResultJSON struct {
+	Index  int     `json:"index"`
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// MarshalJSON encodes a per-update batch verdict.
+func (br BatchResult) MarshalJSON() ([]byte, error) {
+	w := batchResultJSON{Index: br.Index, Result: br.Result}
+	if br.Err != nil {
+		w.Error = br.Err.Error()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a per-update batch verdict; a non-empty error
+// string becomes an opaque error value.
+func (br *BatchResult) UnmarshalJSON(data []byte) error {
+	var w batchResultJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	br.Index = w.Index
+	br.Result = w.Result
+	br.Err = nil
+	if w.Error != "" {
+		br.Err = fmt.Errorf("%s", w.Error)
+	}
+	return nil
+}
