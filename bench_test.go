@@ -516,3 +516,98 @@ func BenchmarkViewMaterialization(b *testing.B) {
 		_ = res
 	}
 }
+
+// BenchmarkPlanExecuteMany is the compile-once/execute-many acceptance
+// benchmark: one bound-literal update template (a leaf replace keyed by
+// two predicates), executed as (a) N× Filter.Apply re-deriving
+// everything per call (cache disabled — the pre-plan pipeline), (b) N×
+// Filter.Apply through the plan cache, (c) plan.Compile once + N×
+// Executor.Execute with bound literal tuples, and (d) the group-commit
+// ExecuteBatch path. The prepared paths must beat (a) by ≥2x; CI's
+// BENCH_plan.json records the same series via cmd/benchrunner.
+func BenchmarkPlanExecuteMany(b *testing.B) {
+	texts := [2]string{
+		planBenchUpdate("98001", "TCP/IP Illustrated"),
+		planBenchUpdate("98003", "Data on the Web"),
+	}
+	args := [2][]relational.Value{
+		{relational.String_("98001"), relational.String_("TCP/IP Illustrated")},
+		{relational.String_("98003"), relational.String_("Data on the Web")},
+	}
+	newBookFilter := func(b *testing.B, disableCache bool) *ufilter.Filter {
+		db, err := bookdb.NewDatabase(relational.DeleteCascade)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := ufilter.New(bookdb.ViewQuery, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.DisableCache = disableCache
+		return f
+	}
+	requireAccepted := func(b *testing.B, res *ufilter.Result, err error) {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Accepted {
+			b.Fatalf("rejected: %s", res.Reason)
+		}
+	}
+	b.Run("filter-apply-uncached", func(b *testing.B) {
+		f := newBookFilter(b, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := f.Apply(texts[i%2])
+			requireAccepted(b, res, err)
+		}
+	})
+	b.Run("filter-apply-cached", func(b *testing.B) {
+		f := newBookFilter(b, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := f.Apply(texts[i%2])
+			requireAccepted(b, res, err)
+		}
+	})
+	b.Run("plan-execute", func(b *testing.B) {
+		f := newBookFilter(b, false)
+		p, err := f.Prepare(texts[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := f.Execute(p, args[i%2])
+			requireAccepted(b, res, err)
+		}
+	})
+	b.Run("plan-execute-batch", func(b *testing.B) {
+		f := newBookFilter(b, false)
+		p, err := f.Prepare(texts[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := make([][]relational.Value, 64)
+		for i := range batch {
+			batch[i] = args[i%2]
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, br := range f.ExecuteBatch(p, batch) {
+				requireAccepted(b, br.Result, br.Err)
+			}
+		}
+	})
+}
+
+// planBenchUpdate is the benchmark's bound-literal template: two
+// predicate literals select the book, the replacement value is part of
+// the template.
+func planBenchUpdate(bookid, title string) string {
+	return fmt.Sprintf(`
+FOR $book IN document("BookView.xml")/book
+WHERE $book/bookid/text() = %q AND $book/title/text() = %q
+UPDATE $book { REPLACE $book/price WITH <price>42.50</price> }`, bookid, title)
+}

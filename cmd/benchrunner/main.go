@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,7 +25,9 @@ func main() {
 	sizesFlag := flag.String("sizes", "50,100,150,200,250,300,350,400,450,500",
 		"comma-separated database sizes (MB) for Figs. 15-17")
 	iters := flag.Int("iters", 20, "operations per size for Figs. 15-17")
-	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17")
+	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan")
+	planIters := flag.Int("plan-iters", 2000, "iterations for the plan (compile-once/execute-many) benchmark")
+	planOut := flag.String("plan-out", "BENCH_plan.json", "file the plan benchmark's JSON is written to")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -59,6 +62,9 @@ func main() {
 	}
 	if run("fig17") {
 		printFig17(sizes, *iters)
+	}
+	if run("plan") {
+		printPlanBench(*planIters, *planOut)
 	}
 }
 
@@ -154,6 +160,34 @@ func printFig16(sizes []int, iters int) {
 	for _, r := range rows {
 		fmt.Printf("%-8d %14v %14v %7.2fx\n", r.MB, r.Hybrid, r.Outside,
 			float64(r.Outside)/float64(r.Hybrid))
+	}
+}
+
+// printPlanBench runs the compile-once/execute-many benchmark (the
+// bound-literal workload: one template, fresh literals per request)
+// and records the series as JSON so CI tracks the repo's perf
+// trajectory across commits.
+func printPlanBench(iters int, outPath string) {
+	header("Plan — compile-once/execute-many vs per-request pipeline (bound-literal workload)")
+	pb, err := experiments.RunPlanBench(iters)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-28s %14s %12s\n", "Path", "ns/op", "speedup")
+	fmt.Printf("%-28s %14d %12s\n", "check uncached", pb.CheckUncachedNsOp, "1.00x")
+	fmt.Printf("%-28s %14d %11.2fx\n", "check plan-cached", pb.CheckCachedNsOp, pb.CheckSpeedup)
+	fmt.Printf("%-28s %14d %12s\n", "apply uncached", pb.ApplyUncachedNsOp, "1.00x")
+	fmt.Printf("%-28s %14d %11.2fx\n", "apply plan-cached filter", pb.ApplyCachedNsOp, pb.ApplyCachedSpeedup)
+	fmt.Printf("%-28s %14d %11.2fx\n", "apply prepared Execute", pb.ApplyPlanNsOp, pb.ApplySpeedup)
+	if outPath != "" {
+		data, err := json.MarshalIndent(pb, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
 	}
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ufilter -dataset book -update u9
+//	ufilter -dataset book -update u9 -prepare
 //	ufilter -dataset book -update-file my_update.xq -apply
 //	ufilter -dataset tpch -view vfail:region -update-text 'FOR $t IN ... UPDATE $t { DELETE $t }'
 //	echo 'FOR ...' | ufilter -dataset psd -apply
@@ -50,6 +51,7 @@ func main() {
 	updateFile := flag.String("update-file", "", "file containing the update query")
 	updateText := flag.String("update-text", "", "inline update query")
 	apply := flag.Bool("apply", false, "run the full pipeline and execute the translation (default: schema checks only)")
+	prepare := flag.Bool("prepare", false, "dry-run: compile the update into an UpdatePlan and print it without executing")
 	strategy := flag.String("strategy", "hybrid", "data-driven strategy: hybrid, outside, internal")
 	marks := flag.Bool("marks", false, "print the STAR (UPoint|UContext) marks and exit")
 	mb := flag.Int("mb", 1, "tpch dataset size (nominal MB)")
@@ -96,6 +98,21 @@ func main() {
 	update, err := loadUpdate(*dataset, *updateName, *updateFile, *updateText)
 	if err != nil {
 		fail(err)
+	}
+
+	if *prepare {
+		if *apply {
+			fail(fmt.Errorf("-prepare is a dry run and cannot be combined with -apply"))
+		}
+		p, err := f.Prepare(update)
+		if err != nil {
+			fail(err)
+		}
+		printPlan(p)
+		if p.Verdict == nil || !p.Verdict.Accepted {
+			os.Exit(2)
+		}
+		return
 	}
 
 	var res *repro.Result
@@ -160,6 +177,40 @@ func loadUpdate(dataset, name, file, text string) (string, error) {
 			return "", fmt.Errorf("no update given: use -update, -update-file, -update-text or stdin")
 		}
 		return string(data), nil
+	}
+}
+
+// printPlan renders a compiled UpdatePlan: the schema verdict, the
+// literal slots the execute-many path binds, and per-op STAR verdicts,
+// parameterized probe templates and shared-part checks. Nothing is
+// executed — this is the compile half of compile-once/execute-many.
+func printPlan(p *repro.UpdatePlan) {
+	fmt.Printf("mode:      prepared (compile only, nothing executed)\n")
+	fmt.Printf("template:  %d ops, %d literal slots, sensitive=%v\n", len(p.Ops), len(p.Slots), p.Sensitive)
+	if p.Verdict != nil {
+		fmt.Printf("accepted:  %v\n", p.Verdict.Accepted)
+		fmt.Printf("outcome:   %s\n", p.Verdict.Outcome)
+		if p.Verdict.Reason != "" {
+			fmt.Printf("reason:    %s\n", p.Verdict.Reason)
+		}
+		for _, c := range p.Verdict.Conditions {
+			fmt.Printf("condition: %s\n", c)
+		}
+	}
+	for i, s := range p.Slots {
+		fmt.Printf("slot ?%d:   %s %s <literal>\n", i+1, s.Leaf.RelAttr(), s.Op)
+	}
+	for i := range p.Ops {
+		po := &p.Ops[i]
+		for _, v := range po.Verdicts {
+			fmt.Printf("op %d star: %s\n", i, v)
+		}
+		if po.Probe != nil {
+			fmt.Printf("op %d probe: %s\n", i, po.Probe.String())
+		}
+		for _, chk := range po.SharedChecks {
+			fmt.Printf("op %d shared: %s must already hold key %v\n", i, chk.Rel, chk.KeyVals)
+		}
 	}
 }
 

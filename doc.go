@@ -29,14 +29,22 @@
 //	res, _ := f.Check(bookdb.U9)   // schema-level steps 1+2
 //	res, _ = f.Apply(bookdb.U13)   // full pipeline + execution
 //
-// A Filter is safe for concurrent Check calls and memoizes schema-level
-// verdicts per update template in an internal decision cache (the
-// verdict of Steps 1+2 depends only on the view and schema, never on
-// base data, so it is computed once per template and served from memory
-// thereafter). CheckBatch fans a slice of updates across a worker pool:
+// A Filter is safe for concurrent Check calls and routes everything
+// through an internal plan cache (internal/plan): each update template
+// is compiled once into an immutable UpdatePlan — resolution, Steps
+// 1+2, parameterized probe SQL — and every structurally-equal update
+// afterwards binds its literal tuple into the plan (the verdict of
+// Steps 1+2 depends only on the view and schema, never on base data).
+// CheckBatch fans a slice of updates across a worker pool; Prepare/
+// Execute expose the compile-once/execute-many fast path; ApplyBatch
+// and ExecuteBatch group-commit N updates under one transaction and
+// one redo flush:
 //
 //	results := f.CheckBatch(updates, runtime.GOMAXPROCS(0))
-//	stats := f.CacheStats() // hit/miss counters, HitRate()
+//	p, _ := f.Prepare(updateText)       // compile once
+//	res, _ := f.Execute(p, args)        // bind + run, no parsing
+//	batch := f.ApplyBatch(updateTexts)  // group commit
+//	stats := f.CacheStats() // hit/miss/plan counters, HitRate()
 //	snap := f.Stats()       // cache + executor + database counters
 //
 // The filter is also served over the wire: internal/server and
@@ -111,6 +119,12 @@ type StarVerdict = ufilter.StarVerdict
 // Stats is a read-only snapshot of a filter's cache, executor and
 // database counters; see Filter.Stats.
 type Stats = ufilter.Stats
+
+// UpdatePlan is the compile-once artifact of the internal/plan layer:
+// an update template's resolved operations, STAR verdicts, shared-check
+// list and parameterized probe statements. Obtain one with
+// Filter.Prepare and execute it with Filter.Execute/ExecuteBatch.
+type UpdatePlan = ufilter.UpdatePlan
 
 // ParseStrategy maps a strategy name ("hybrid", "outside", "internal")
 // to its value; the empty string selects StrategyHybrid.

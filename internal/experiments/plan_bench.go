@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bookdb"
+	"repro/internal/relational"
+	"repro/internal/ufilter"
+)
+
+// PlanBench records the compile-once/execute-many measurement the
+// repo's CI tracks (BENCH_plan.json): the same bound-literal workload
+// — structurally identical updates differing only in predicate
+// literals — run through the uncached pipeline, the plan-cached
+// Filter API, and the prepared UpdatePlan fast path. The speedup
+// columns are the perf trajectory of the internal/plan layer.
+type PlanBench struct {
+	Iterations int `json:"iterations"`
+
+	// Schema-level Check of one template with a fresh literal each
+	// iteration.
+	CheckUncachedNsOp int64   `json:"check_uncached_ns_op"`
+	CheckCachedNsOp   int64   `json:"check_cached_ns_op"`
+	CheckPerSec       float64 `json:"check_cached_per_sec"`
+	CheckSpeedup      float64 `json:"check_speedup"`
+
+	// Full Apply of one template (leaf replace) with the literal
+	// cycling over existing rows.
+	ApplyUncachedNsOp int64   `json:"apply_uncached_ns_op"`
+	ApplyCachedNsOp   int64   `json:"apply_cached_ns_op"`
+	ApplyPlanNsOp     int64   `json:"apply_plan_ns_op"`
+	ApplyPlanPerSec   float64 `json:"apply_plan_per_sec"`
+	// ApplySpeedup is prepared-plan Execute vs the uncached Apply;
+	// ApplyCachedSpeedup is the plan-cache Filter.Apply vs the same.
+	ApplySpeedup       float64 `json:"apply_speedup"`
+	ApplyCachedSpeedup float64 `json:"apply_cached_speedup"`
+}
+
+// checkTemplate yields a U12-shaped delete whose title literal varies
+// per iteration: every text is distinct, so caching wins only through
+// the literal-stripped template tier.
+func checkTemplate(i int) string {
+	return fmt.Sprintf(`
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Title %d"
+UPDATE $book { DELETE $book/review }`, i)
+}
+
+// applyBooks are the two books that satisfy the view's predicates, so
+// every bound tuple probes successfully and the translated UPDATE
+// runs.
+var applyBooks = [2][2]string{
+	{"98001", "TCP/IP Illustrated"},
+	{"98003", "Data on the Web"},
+}
+
+// applyTemplate yields a leaf replace with two bound literals (key and
+// title — the production shape: templates carry a couple of selective
+// predicates) cycling over rows that exist in the view, so every apply
+// runs the probe and the translated UPDATE.
+func applyTemplate(i int) string {
+	b := applyBooks[i%len(applyBooks)]
+	return fmt.Sprintf(`
+FOR $book IN document("BookView.xml")/book
+WHERE $book/bookid/text() = %q AND $book/title/text() = %q
+UPDATE $book { REPLACE $book/price WITH <price>42.50</price> }`, b[0], b[1])
+}
+
+// RunPlanBench measures the three tiers over the book dataset and
+// returns the table BENCH_plan.json records.
+func RunPlanBench(iters int) (*PlanBench, error) {
+	if iters <= 0 {
+		iters = 1000
+	}
+	out := &PlanBench{Iterations: iters}
+
+	newFilter := func(disableCache bool) (*ufilter.Filter, error) {
+		db, err := bookdb.NewDatabase(relational.DeleteCascade)
+		if err != nil {
+			return nil, err
+		}
+		f, err := ufilter.New(bookdb.ViewQuery, db)
+		if err != nil {
+			return nil, err
+		}
+		f.DisableCache = disableCache
+		return f, nil
+	}
+
+	// Check, uncached: full parse/resolve/STAR per call.
+	f, err := newFilter(true)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := f.Check(checkTemplate(i)); err != nil {
+			return nil, err
+		}
+	}
+	out.CheckUncachedNsOp = time.Since(start).Nanoseconds() / int64(iters)
+
+	// Check, plan-cached: parse + template-tier verdict.
+	if f, err = newFilter(false); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := f.Check(checkTemplate(i)); err != nil {
+			return nil, err
+		}
+	}
+	out.CheckCachedNsOp = time.Since(start).Nanoseconds() / int64(iters)
+
+	// Apply, uncached: full pipeline per call.
+	if f, err = newFilter(true); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		res, err := f.Apply(applyTemplate(i))
+		if err != nil {
+			return nil, err
+		}
+		if !res.Accepted {
+			return nil, fmt.Errorf("plan bench apply rejected: %s", res.Reason)
+		}
+	}
+	out.ApplyUncachedNsOp = time.Since(start).Nanoseconds() / int64(iters)
+
+	// Apply, plan-cached Filter API: parse + cached verdict + cached
+	// plan execution.
+	if f, err = newFilter(false); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		res, err := f.Apply(applyTemplate(i))
+		if err != nil {
+			return nil, err
+		}
+		if !res.Accepted {
+			return nil, fmt.Errorf("plan bench cached apply rejected: %s", res.Reason)
+		}
+	}
+	out.ApplyCachedNsOp = time.Since(start).Nanoseconds() / int64(iters)
+
+	// Apply, prepared plan: Compile once, Execute many with bound args.
+	if f, err = newFilter(false); err != nil {
+		return nil, err
+	}
+	p, err := f.Prepare(applyTemplate(0))
+	if err != nil {
+		return nil, err
+	}
+	argTuples := [2][]relational.Value{
+		{relational.String_(applyBooks[0][0]), relational.String_(applyBooks[0][1])},
+		{relational.String_(applyBooks[1][0]), relational.String_(applyBooks[1][1])},
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		res, err := f.Execute(p, argTuples[i%len(argTuples)])
+		if err != nil {
+			return nil, err
+		}
+		if !res.Accepted {
+			return nil, fmt.Errorf("plan bench execute rejected: %s", res.Reason)
+		}
+	}
+	out.ApplyPlanNsOp = time.Since(start).Nanoseconds() / int64(iters)
+
+	if out.CheckCachedNsOp > 0 {
+		out.CheckSpeedup = float64(out.CheckUncachedNsOp) / float64(out.CheckCachedNsOp)
+		out.CheckPerSec = 1e9 / float64(out.CheckCachedNsOp)
+	}
+	if out.ApplyPlanNsOp > 0 {
+		out.ApplySpeedup = float64(out.ApplyUncachedNsOp) / float64(out.ApplyPlanNsOp)
+		out.ApplyPlanPerSec = 1e9 / float64(out.ApplyPlanNsOp)
+	}
+	if out.ApplyCachedNsOp > 0 {
+		out.ApplyCachedSpeedup = float64(out.ApplyUncachedNsOp) / float64(out.ApplyCachedNsOp)
+	}
+	return out, nil
+}

@@ -1,4 +1,4 @@
-package ufilter
+package plan
 
 import (
 	"sync"
@@ -7,14 +7,18 @@ import (
 	"repro/internal/xqparse"
 )
 
-// The decision cache memoizes the schema-level verdicts of Steps 1+2.
-// The paper's "lightweight" claim rests on those steps being pure
-// schema-level work: the verdict for an update template never changes
-// after the filter is compiled (it reads only the STAR marks, never base
-// data), so under production traffic each template is classified once
-// and every structurally-equal update afterwards is served from memory.
-// Step 3 — the data-driven check — is never cached: it must see the
-// current database.
+// The plan cache memoizes compiled UpdatePlans per update template,
+// with the schema-level verdicts of Steps 1+2 as its verdict tier (the
+// decision cache of earlier revisions, absorbed). The paper's
+// "lightweight" claim rests on those steps being pure schema-level
+// work: the verdict for an update template never changes after the
+// view is compiled (it reads only the STAR marks, never base data), so
+// under production traffic each template is compiled once and every
+// structurally-equal update afterwards is served from memory — and,
+// on the Apply path, executed off the compiled plan's prepared probe
+// statements and precompiled translation artifacts. Step 3 — the
+// data-driven check — is never cached: it must see the current
+// database.
 //
 // Two tiers:
 //
@@ -22,12 +26,14 @@ import (
 //     parsing for byte-identical resubmissions (the common retry /
 //     hot-update shape), and
 //   - a template tier keyed by the literal-stripped fingerprint, which
-//     hits across updates that differ only in literal values.
+//     holds the compiled UpdatePlan and hits across updates that
+//     differ only in literal values.
 //
 // Templates whose verdict provably cannot depend on literal values
 // (see fingerprint.go) store one verdict for the whole template;
-// literal-sensitive templates store one verdict per literal tuple, so
-// they still hit on repeated values and never serve a wrong answer.
+// literal-sensitive templates store one verdict per literal tuple —
+// derived cheaply off the compiled plan — so they still hit on
+// repeated values and never serve a wrong answer.
 
 // cacheMaxEntries bounds each tier — the text tier by map size, the
 // template tier by total stored verdicts across all templates and
@@ -42,16 +48,18 @@ type textEntry struct {
 	res    *Result
 }
 
-// templateEntry is one template-tier slot. Exactly one of res/byLits is
-// used, according to sensitive.
+// templateEntry is one template-tier slot: the compiled plan plus the
+// verdict tier. Exactly one of res/byLits is used, according to
+// sensitive.
 type templateEntry struct {
+	plan      *UpdatePlan
 	sensitive bool
 	res       *Result            // template-wide verdict (literal-independent)
 	byLits    map[string]*Result // per-literal-tuple verdicts
 }
 
-// decisionCache is the concurrency-safe two-tier memo table.
-type decisionCache struct {
+// Cache is the concurrency-safe two-tier plan/verdict memo table.
+type Cache struct {
 	mu         sync.RWMutex
 	byText     map[string]textEntry
 	byTemplate map[string]*templateEntry
@@ -60,31 +68,43 @@ type decisionCache struct {
 	// bounded even when many literal-sensitive templates each grow
 	// their own byLits map.
 	templateResults int
+	// planCount tracks how many entries currently hold a compiled plan.
+	planCount int
 
-	hits     atomic.Int64
-	misses   atomic.Int64
-	textHits atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	textHits    atomic.Int64
+	planApplies atomic.Int64
 }
 
-func newDecisionCache() *decisionCache {
-	return &decisionCache{
+// NewCache returns an empty plan cache.
+func NewCache() *Cache {
+	return &Cache{
 		byText:     make(map[string]textEntry),
 		byTemplate: make(map[string]*templateEntry),
 	}
 }
 
-// CacheStats is a point-in-time snapshot of the decision cache's
+// CacheStats is a point-in-time snapshot of the plan cache's
 // effectiveness counters.
 type CacheStats struct {
 	// Hits counts Check/CheckParsed calls answered from either tier.
 	Hits int64 `json:"hits"`
-	// Misses counts calls that ran the full schema-level pipeline.
+	// Misses counts calls that ran the full schema-level pipeline (or,
+	// for a known template with a new literal tuple, a plan-bound
+	// re-validation).
 	Misses int64 `json:"misses"`
 	// TextHits counts the subset of Hits that also skipped parsing.
 	TextHits int64 `json:"text_hits"`
 	// TextEntries and TemplateEntries are the current tier sizes.
 	TextEntries     int `json:"text_entries"`
 	TemplateEntries int `json:"template_entries"`
+	// Plans counts the compiled UpdatePlans currently cached.
+	Plans int `json:"plans"`
+	// PlanApplies counts applies executed off a cached compiled plan
+	// (prepared probes + precompiled translation artifacts) instead of
+	// a fresh resolution.
+	PlanApplies int64 `json:"plan_applies"`
 }
 
 // HitRate returns Hits/(Hits+Misses), 0 when empty.
@@ -96,9 +116,10 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-func (c *decisionCache) stats() CacheStats {
+// Stats snapshots the cache counters; safe under concurrent traffic.
+func (c *Cache) Stats() CacheStats {
 	c.mu.RLock()
-	nt, ntpl := len(c.byText), len(c.byTemplate)
+	nt, ntpl, nplans := len(c.byText), len(c.byTemplate), c.planCount
 	c.mu.RUnlock()
 	return CacheStats{
 		Hits:            c.hits.Load(),
@@ -106,11 +127,13 @@ func (c *decisionCache) stats() CacheStats {
 		TextHits:        c.textHits.Load(),
 		TextEntries:     nt,
 		TemplateEntries: ntpl,
+		Plans:           nplans,
+		PlanApplies:     c.planApplies.Load(),
 	}
 }
 
 // lookupText serves a byte-identical resubmission without parsing.
-func (c *decisionCache) lookupText(text string) (*Result, bool) {
+func (c *Cache) lookupText(text string) (*Result, bool) {
 	c.mu.RLock()
 	e, ok := c.byText[text]
 	c.mu.RUnlock()
@@ -124,7 +147,7 @@ func (c *decisionCache) lookupText(text string) (*Result, bool) {
 
 // lookupTemplate serves a structurally-equal update. tkey/lkey come from
 // fingerprint/literalKey over the parsed update.
-func (c *decisionCache) lookupTemplate(tkey, lkey string, u *xqparse.UpdateQuery) (*Result, bool) {
+func (c *Cache) lookupTemplate(tkey, lkey string, u *xqparse.UpdateQuery) (*Result, bool) {
 	c.mu.RLock()
 	e, ok := c.byTemplate[tkey]
 	var res *Result
@@ -143,12 +166,26 @@ func (c *decisionCache) lookupTemplate(tkey, lkey string, u *xqparse.UpdateQuery
 	return res.cloneShallow(u), true
 }
 
-// store records a freshly computed verdict in both tiers. sensitive
-// reports whether the verdict may depend on the predicate literal
-// values; sensitive verdicts are stored per literal tuple. A template
-// already marked sensitive stays sensitive (a template-wide verdict is
-// only trusted when every store agreed it is literal-independent).
-func (c *decisionCache) store(text, tkey, lkey string, u *xqparse.UpdateQuery, res *Result, sensitive bool) {
+// plan returns the compiled UpdatePlan of a template, nil when the
+// template has not been compiled (or the tier was reset).
+func (c *Cache) plan(tkey string) *UpdatePlan {
+	c.mu.RLock()
+	e, ok := c.byTemplate[tkey]
+	var p *UpdatePlan
+	if ok {
+		p = e.plan
+	}
+	c.mu.RUnlock()
+	return p
+}
+
+// store records a freshly computed verdict (and, when non-nil, the
+// compiled plan) in both tiers. sensitive reports whether the verdict
+// may depend on the predicate literal values; sensitive verdicts are
+// stored per literal tuple. A template already marked sensitive stays
+// sensitive (a template-wide verdict is only trusted when every store
+// agreed it is literal-independent).
+func (c *Cache) store(text, tkey, lkey string, u *xqparse.UpdateQuery, p *UpdatePlan, res *Result, sensitive bool) {
 	c.misses.Add(1)
 	stored := res.cloneShallow(u)
 	c.mu.Lock()
@@ -162,11 +199,22 @@ func (c *decisionCache) store(text, tkey, lkey string, u *xqparse.UpdateQuery, r
 	if c.templateResults >= cacheMaxEntries {
 		c.byTemplate = make(map[string]*templateEntry)
 		c.templateResults = 0
+		c.planCount = 0
 	}
 	e := c.byTemplate[tkey]
 	if e == nil {
 		e = &templateEntry{sensitive: sensitive}
 		c.byTemplate[tkey] = e
+	}
+	if p != nil && (e.plan == nil || (e.plan.Resolved == nil && p.Resolved != nil)) {
+		// First compilation, or an upgrade: a literal-sensitive
+		// template whose exemplar failed resolution compiles into a
+		// verdict-only plan; a later instance that resolves replaces it
+		// with the full plan.
+		if e.plan == nil {
+			c.planCount++
+		}
+		e.plan = p
 	}
 	if sensitive && !e.sensitive && e.res != nil {
 		// A later, better-informed store demoted the template (e.g. the
@@ -197,7 +245,7 @@ func (c *decisionCache) store(text, tkey, lkey string, u *xqparse.UpdateQuery, r
 // storeText records a parse-skipping alias for text, used when a
 // template-tier hit arrived through Check with a text the text tier had
 // not seen yet.
-func (c *decisionCache) storeText(text string, u *xqparse.UpdateQuery, res *Result) {
+func (c *Cache) storeText(text string, u *xqparse.UpdateQuery, res *Result) {
 	stored := res.cloneShallow(u)
 	c.mu.Lock()
 	if len(c.byText) >= cacheMaxEntries {

@@ -1,0 +1,42 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCacheTemplateTierBounded: the template tier's total stored
+// verdicts — across per-literal maps of many sensitive templates — are
+// bounded by cacheMaxEntries, resetting wholesale at the cap. The
+// plan-count bookkeeping must reset with it.
+func TestCacheTemplateTierBounded(t *testing.T) {
+	c := NewCache()
+	res := &Result{Accepted: true}
+	// Many sensitive templates, several literals each: per-map caps
+	// would never trigger, the global bound must.
+	perTemplate := 8
+	templates := cacheMaxEntries/perTemplate + 2
+	for ti := 0; ti < templates; ti++ {
+		tkey := fmt.Sprintf("template-%d", ti)
+		p := &UpdatePlan{Key: tkey}
+		for li := 0; li < perTemplate; li++ {
+			c.store("", tkey, fmt.Sprintf("lit-%d", li), nil, p, res, true)
+			if c.templateResults > cacheMaxEntries {
+				t.Fatalf("templateResults %d exceeds bound %d", c.templateResults, cacheMaxEntries)
+			}
+		}
+	}
+	if c.templateResults > cacheMaxEntries {
+		t.Fatalf("final templateResults %d exceeds bound", c.templateResults)
+	}
+	// The reset must have fired at least once given the volume stored.
+	if got := len(c.byTemplate); got >= templates {
+		t.Errorf("byTemplate holds %d templates; wholesale reset never fired", got)
+	}
+	if c.planCount > len(c.byTemplate) {
+		t.Errorf("planCount %d exceeds live templates %d after reset", c.planCount, len(c.byTemplate))
+	}
+	if st := c.Stats(); st.Plans != c.planCount {
+		t.Errorf("Stats().Plans = %d, want %d", st.Plans, c.planCount)
+	}
+}

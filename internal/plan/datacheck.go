@@ -1,4 +1,4 @@
-package ufilter
+package plan
 
 import (
 	"fmt"
@@ -19,13 +19,13 @@ import (
 // counterpart in most engines' join-view support (the paper's first
 // shortcoming: "limited on supporting updates over Join-views"), so
 // they fall back to the hybrid path with a warning.
-func (f *Filter) executeInternal(ro *ResolvedOp, stmts []sqlexec.Statement, res *Result) (string, error) {
+func (e *Executor) executeInternal(ro *ResolvedOp, stmts []sqlexec.Statement, res *Result) (string, error) {
 	if ro.Op.Kind != xqparse.OpInsert {
 		res.Warnings = append(res.Warnings,
 			"internal strategy: relational join-views do not support this operation; falling back to hybrid")
-		return f.executeHybrid(stmts, res)
+		return e.executeHybrid(stmts, res)
 	}
-	jv, err := f.joinViewFor(ro.Target)
+	jv, err := e.joinViewFor(ro.Target)
 	if err != nil {
 		return "", err
 	}
@@ -36,7 +36,7 @@ func (f *Filter) executeInternal(ro *ResolvedOp, stmts []sqlexec.Statement, res 
 	if c.Kind != asg.KindRoot && len(c.UCBinding) > 0 {
 		sel := &sqlexec.SelectStmt{From: c.UCBinding.Names()}
 		for _, t := range sel.From {
-			def, ok := f.View.Schema.Table(t)
+			def, ok := e.View.Schema.Table(t)
 			if !ok {
 				continue
 			}
@@ -50,12 +50,12 @@ func (f *Filter) executeInternal(ro *ResolvedOp, stmts []sqlexec.Statement, res 
 				sel.Where = append(sel.Where, p)
 			}
 		}
-		for _, up := range f.pendingUserPreds {
+		for _, up := range e.pendingUserPreds {
 			if keep.Has(up.Leaf.RelName) {
 				sel.Where = append(sel.Where, sqlexec.Cmp(up.Leaf.RelName, up.Leaf.ColName, up.Op, up.Lit))
 			}
 		}
-		rs, err := f.Exec.ExecSelect(sel)
+		rs, err := e.Exec.ExecSelect(sel)
 		if err != nil {
 			return "", err
 		}
@@ -102,7 +102,7 @@ func (f *Filter) executeInternal(ro *ResolvedOp, stmts []sqlexec.Statement, res 
 		}
 		sql := &sqlexec.InsertStmt{Table: jv.Name, Values: full}
 		res.SQL = append(res.SQL, sql.String())
-		n, err := f.Exec.InsertIntoJoinView(jv, full)
+		n, err := e.Exec.InsertIntoJoinView(jv, full)
 		if err != nil {
 			if relational.IsConstraintViolation(err) {
 				return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
@@ -117,7 +117,7 @@ func (f *Filter) executeInternal(ro *ResolvedOp, stmts []sqlexec.Statement, res 
 
 // joinViewFor derives the left-join relational view (Fig. 11) covering
 // the relations from the root down to the target node.
-func (f *Filter) joinViewFor(target *asg.Node) (*sqlexec.JoinViewDef, error) {
+func (e *Executor) joinViewFor(target *asg.Node) (*sqlexec.JoinViewDef, error) {
 	// Relations in nesting order, with the edge conditions seen on the
 	// way down.
 	var chainNodes []*asg.Node
@@ -136,14 +136,14 @@ func (f *Filter) joinViewFor(target *asg.Node) (*sqlexec.JoinViewDef, error) {
 			}
 		}
 	}
-	rels = f.fkOrder(rels)
+	rels = e.fkOrder(rels)
 	if len(rels) == 0 {
 		return nil, fmt.Errorf("ufilter: node %s maps to no relations", target.Label())
 	}
-	jv := &sqlexec.JoinViewDef{Name: "Relational" + f.View.Root.Name, Root: rels[0]}
+	jv := &sqlexec.JoinViewDef{Name: "Relational" + e.View.Root.Name, Root: rels[0]}
 	placed := asg.NewRelSet(rels[0])
 	for _, r := range rels[1:] {
-		step, ok := findJoinStep(r, placed, conds, f.View.Schema)
+		step, ok := findJoinStep(r, placed, conds, e.View.Schema)
 		if !ok {
 			return nil, fmt.Errorf("ufilter: no join condition links %s into the relational view", r)
 		}

@@ -1,0 +1,716 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/asg"
+	"repro/internal/relational"
+	"repro/internal/sqlexec"
+	"repro/internal/xqparse"
+)
+
+// Strategy selects the data-driven update-point checking approach of
+// Section 6.2.
+type Strategy int
+
+const (
+	// StrategyHybrid translates to single-table SQL and lets the
+	// relational engine's constraint errors signal data conflicts
+	// (Section 6.2.2, hybrid).
+	StrategyHybrid Strategy = iota
+	// StrategyOutside issues a probe per target relation before
+	// translating, detecting conflicts and empty deletes early
+	// (Section 6.2.2, outside).
+	StrategyOutside
+	// StrategyInternal maps the XML view to a relational left-join view
+	// and updates that view (Section 6.2.1).
+	StrategyInternal
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyHybrid:
+		return "hybrid"
+	case StrategyOutside:
+		return "outside"
+	case StrategyInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Step identifies the U-Filter step that produced a rejection.
+type Step int
+
+const (
+	// StepNone means the update was not rejected.
+	StepNone Step = 0
+	// StepValidation is Step 1 (update validation).
+	StepValidation Step = 1
+	// StepSTAR is Step 2 (schema-driven translatability reasoning).
+	StepSTAR Step = 2
+	// StepData is Step 3 (data-driven translatability checking).
+	StepData Step = 3
+)
+
+// Result reports the outcome of checking (and optionally applying) one
+// view update through the U-Filter pipeline. The JSON encoding is
+// stable: enum fields marshal to the same strings their String methods
+// print, so the CLI, the ufilterd server and tests share one spelling
+// of each verdict.
+type Result struct {
+	Update     *xqparse.UpdateQuery `json:"-"`
+	Accepted   bool                 `json:"accepted"`
+	RejectedAt Step                 `json:"rejected_at"`
+	Outcome    Outcome              `json:"outcome"`
+	Conditions []Condition          `json:"conditions,omitempty"`
+	Reason     string               `json:"reason,omitempty"`
+	// Probes lists the SQL text of the probe queries issued by Step 3.
+	Probes []string `json:"probes,omitempty"`
+	// SQL lists the translated statements (generated; executed when
+	// Apply was used).
+	SQL []string `json:"sql,omitempty"`
+	// RowsAffected counts base rows touched by an applied update.
+	RowsAffected int `json:"rows_affected"`
+	// Warnings carries non-fatal signals such as the engine's "zero
+	// tuples deleted" response.
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// Executor is the compiled runtime for one view over one database: the
+// ASGs are built and STAR-marked once at view definition time (the
+// paper's "compiled once and reused thereafter"), then any number of
+// updates can be checked, compiled into UpdatePlans, and executed
+// against it.
+//
+// Concurrency: Check, CheckParsed, CheckBatch and Compile are safe for
+// concurrent use — the schema-level steps read only the immutable ASGs
+// and marks, and the plan cache is internally synchronized. Apply,
+// ApplyParsed, ApplyBatch, Execute, ExecuteBatch and BlindApply mutate
+// the database and the executor's temporary-table namespace, so the
+// executor serializes them internally; they may run concurrently with
+// Check calls. The configuration fields (Strategy, SkipSchemaChecks,
+// DisableCache) must be set before the executor is shared across
+// goroutines.
+type Executor struct {
+	View     *asg.ViewASG
+	Base     *asg.BaseASG
+	Marks    *Marks
+	Exec     *sqlexec.Executor
+	Strategy Strategy
+
+	// SkipSchemaChecks makes Apply execute the translation without
+	// Steps 1 and 2. Benchmark use only (the Fig. 13 baseline).
+	SkipSchemaChecks bool
+
+	// DisableCache turns the plan cache off, forcing every Check
+	// through the full parse/resolve/STAR pipeline and every Apply
+	// through a fresh resolution. Benchmark and debugging use only.
+	DisableCache bool
+
+	// applyMu serializes the mutating pipeline: the translation shares
+	// tempSeq, pendingUserPreds, the executor's temporary tables and
+	// the database's single-transaction engine.
+	applyMu sync.Mutex
+
+	// cache memoizes compiled UpdatePlans and schema-level verdicts per
+	// update template; see cache.go. Never nil for executors built by
+	// NewExecutor.
+	cache *Cache
+
+	tempSeq int
+	// pendingUserPreds carries the current update's predicates for the
+	// internal strategy's wide probe and translateDelete's fallback.
+	pendingUserPreds []UserPred
+}
+
+// NewExecutor builds the runtime for a marked view over a database.
+func NewExecutor(view *asg.ViewASG, base *asg.BaseASG, marks *Marks, db *relational.Database) *Executor {
+	return &Executor{
+		View:  view,
+		Base:  base,
+		Marks: marks,
+		Exec:  sqlexec.NewExecutor(db),
+		cache: NewCache(),
+	}
+}
+
+// CacheStats snapshots the plan cache's hit/miss counters. All zeros
+// when the cache is disabled or the executor has not checked any
+// update yet.
+func (e *Executor) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
+// Check runs the two schema-level steps only (no base-data access):
+// Step 1 validation and Step 2 STAR reasoning. Updates that pass are
+// reported Accepted with their STAR outcome; Step 3 still applies when
+// the update is executed.
+//
+// The verdict is served from the plan cache when an identical or
+// structurally-equal update was checked before: a byte-identical
+// resubmission skips even parsing, and an update that differs only in
+// predicate literal values is answered off the template's compiled
+// UpdatePlan (a stored verdict when the template's verdict provably
+// cannot depend on the literals, a cheap re-validation of the bound
+// literals otherwise).
+func (e *Executor) Check(updateText string) (*Result, error) {
+	if e.cache != nil && !e.DisableCache {
+		if res, ok := e.cache.lookupText(updateText); ok {
+			return res, nil
+		}
+	}
+	u, err := xqparse.ParseUpdate(updateText)
+	if err != nil {
+		return nil, err
+	}
+	return e.checkCached(u, updateText)
+}
+
+// CheckParsed is Check over a pre-parsed update.
+func (e *Executor) CheckParsed(u *xqparse.UpdateQuery) (*Result, error) {
+	return e.checkCached(u, "")
+}
+
+// checkCached consults the template tier of the plan cache before
+// compiling, and stores fresh plans/verdicts with their
+// literal-sensitivity classification. text, when non-empty, also feeds
+// the parse-skipping text tier.
+func (e *Executor) checkCached(u *xqparse.UpdateQuery, text string) (*Result, error) {
+	if e.cache == nil || e.DisableCache {
+		p, err := e.compile(u, false)
+		if err != nil {
+			return nil, err
+		}
+		return p.Verdict, nil
+	}
+	tkey := fingerprint(u)
+	lkey := literalKey(u)
+	if res, ok := e.cache.lookupTemplate(tkey, lkey, u); ok {
+		if text != "" {
+			e.cache.storeText(text, u, res)
+		}
+		return res, nil
+	}
+	// A verdict miss with a compiled plan present means a
+	// literal-sensitive template saw a new literal tuple: derive the
+	// verdict by binding the literals against the plan instead of
+	// re-running resolution and STAR.
+	if p := e.cache.plan(tkey); p != nil && p.Resolved != nil {
+		res := p.verdictParsed(u)
+		e.cache.store(text, tkey, lkey, u, nil, res, true)
+		return res.cloneShallow(u), nil
+	}
+	p, err := e.compile(u, true)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.store(text, tkey, lkey, u, p, p.Verdict, p.Sensitive)
+	return p.Verdict.cloneShallow(u), nil
+}
+
+// starVerdicts applies the STAR checking procedure to one resolved op.
+// Replace is delete-then-insert (footnote 4), but leaf/tag replaces are
+// value updates and always translatable once valid.
+func (e *Executor) starVerdicts(ro *ResolvedOp) []StarVerdict {
+	switch ro.Op.Kind {
+	case xqparse.OpDelete:
+		return []StarVerdict{e.Marks.CheckDelete(ro.Target)}
+	case xqparse.OpInsert:
+		return []StarVerdict{e.Marks.CheckInsert(ro.Target)}
+	case xqparse.OpReplace:
+		if ro.Target.Kind == asg.KindInternal {
+			return []StarVerdict{e.Marks.CheckDelete(ro.Target), e.Marks.CheckInsert(ro.Target)}
+		}
+		return []StarVerdict{{Outcome: OutcomeUnconditional, Reason: "leaf replace translates to an UPDATE"}}
+	}
+	return nil
+}
+
+// BatchResult pairs one update of a CheckBatch or ApplyBatch call with
+// its verdict. Exactly one of Result and Err is set.
+type BatchResult struct {
+	// Index is the update's position in the input slice.
+	Index int
+	// Result is the verdict, nil when Err is set.
+	Result *Result
+	// Err reports a parse or internal error for this update only.
+	Err error
+}
+
+// CheckBatch fans a slice of updates across a worker pool and runs the
+// schema-level Check on each, returning per-update results in input
+// order. All workers share the executor's plan cache, so batches with
+// repeated templates — the production shape the paper's "lightweight"
+// claim targets — are answered mostly from memory. workers <= 0 selects
+// GOMAXPROCS; a batch smaller than the pool uses one worker per update.
+func (e *Executor) CheckBatch(updates []string, workers int) []BatchResult {
+	out := make([]BatchResult, len(updates))
+	if len(updates) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(updates) {
+		workers = len(updates)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := e.Check(updates[i])
+				out[i] = BatchResult{Index: i, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range updates {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Apply runs the full pipeline: Steps 1 and 2, then Step 3's probe
+// queries and update-point checking under the configured strategy, and
+// finally executes the translated statements. A rejected update leaves
+// the database untouched.
+func (e *Executor) Apply(updateText string) (*Result, error) {
+	u, err := xqparse.ParseUpdate(updateText)
+	if err != nil {
+		return nil, err
+	}
+	return e.ApplyParsed(u)
+}
+
+// ApplyParsed is Apply over a pre-parsed update. Applies are serialized
+// with each other (and with BlindApply/Execute): Step 3 and the
+// translation share the executor's temporary tables and the engine's
+// single-transaction machinery.
+//
+// When the update's template has a compiled UpdatePlan in the cache,
+// execution reuses the plan's resolution, prepared probe statements and
+// precompiled insert artifacts instead of re-deriving them.
+func (e *Executor) ApplyParsed(u *xqparse.UpdateQuery) (*Result, error) {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	if e.SkipSchemaChecks {
+		// Benchmark mode (Fig. 13's "Update" bar): execute the
+		// translation without the schema-level steps. Only safe for
+		// updates known to be translatable.
+		res := &Result{Update: u, Outcome: OutcomeUnconditional}
+		r, err := Resolve(u, e.View)
+		if err != nil {
+			return nil, err
+		}
+		return e.applyResolved(r, nil, r.UserPreds, res)
+	}
+	res, err := e.CheckParsed(u)
+	if err != nil || !res.Accepted {
+		return res, err
+	}
+	if !e.DisableCache && e.cache != nil {
+		if p := e.cache.plan(fingerprint(u)); p != nil && p.Resolved != nil {
+			if preds, inv := p.bindParsed(u); inv == nil {
+				e.cache.planApplies.Add(1)
+				return e.applyResolved(p.Resolved, p.Ops, preds, res)
+			}
+		}
+	}
+	r, err := Resolve(u, e.View)
+	if err != nil {
+		return nil, err // cannot happen: CheckParsed resolved already
+	}
+	return e.applyResolved(r, nil, r.UserPreds, res)
+}
+
+// applyResolved runs the data-driven pipeline for one update inside its
+// own transaction. planned is non-nil when a compiled UpdatePlan's
+// per-op artifacts (prepared probes, insert plans) are available; preds
+// are the update's bound user predicates. Callers must hold applyMu.
+func (e *Executor) applyResolved(r *ResolvedUpdate, planned []PlannedOp, preds []UserPred, res *Result) (*Result, error) {
+	res.Accepted = false
+	e.pendingUserPreds = preds
+	defer func() { e.pendingUserPreds = nil }()
+
+	txn := e.Exec.DB.Begin()
+	committed := false
+	defer func() {
+		if !committed {
+			txn.Rollback()
+		}
+	}()
+
+	rejected, err := e.runOps(r, planned, preds, res)
+	if err != nil {
+		return nil, err
+	}
+	if rejected {
+		return res, nil
+	}
+	if err := txn.Commit(); err != nil {
+		return nil, err
+	}
+	committed = true
+	res.Accepted = true
+	return res, nil
+}
+
+// runOps executes every operation of a resolved update against the
+// open transaction: context probe, translation, shared checks and the
+// translated statements under the configured strategy. It reports
+// rejected=true (with res.RejectedAt/Reason set) when Step 1 or Step 3
+// rejects the update mid-flight.
+func (e *Executor) runOps(r *ResolvedUpdate, planned []PlannedOp, preds []UserPred, res *Result) (rejected bool, err error) {
+	var args []relational.Value
+	if planned != nil {
+		args = make([]relational.Value, len(preds))
+		for i := range preds {
+			args[i] = preds[i].Lit
+		}
+	}
+	for i := range r.Ops {
+		ro := &r.Ops[i]
+		var po *PlannedOp
+		if planned != nil && i < len(planned) {
+			po = &planned[i]
+		}
+		probe, tempName, reject, err := e.contextCheck(ro, preds, po, args, res)
+		if err != nil {
+			return false, err
+		}
+		if tempName != "" {
+			// The temp only needs to outlive this op's statements.
+			defer e.Exec.DropTemp(tempName)
+		}
+		if reject != "" {
+			res.RejectedAt = StepData
+			res.Reason = reject
+			return true, nil
+		}
+		var tr *opTranslation
+		switch ro.Op.Kind {
+		case xqparse.OpDelete:
+			tr, err = e.translateDelete(ro, probe, tempName, res)
+		case xqparse.OpInsert:
+			if po != nil && po.insert != nil {
+				tr = po.insert.translate(probe)
+			} else {
+				tr, err = e.translateInsert(ro, probe)
+			}
+		case xqparse.OpReplace:
+			tr, err = e.translateReplacePlanned(ro, probe, po, res)
+		}
+		if err != nil {
+			var ve *validationError
+			if errors.As(err, &ve) {
+				res.RejectedAt = StepValidation
+				res.Outcome = OutcomeInvalid
+				res.Reason = ve.msg
+				return true, nil
+			}
+			return false, err
+		}
+		if reject, err := e.runSharedChecks(tr.SharedChecks, res); err != nil {
+			return false, err
+		} else if reject != "" {
+			res.RejectedAt = StepData
+			res.Reason = reject
+			return true, nil
+		}
+		reject, err = e.executeStatements(ro, tr.Statements, res)
+		if err != nil {
+			return false, err
+		}
+		if reject != "" {
+			res.RejectedAt = StepData
+			res.Reason = reject
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// translateReplacePlanned is translateReplace with the plan's
+// precompiled artifacts (coerced replacement value, insert plan)
+// substituted when available.
+func (e *Executor) translateReplacePlanned(ro *ResolvedOp, probe *sqlexec.ResultSet, po *PlannedOp, res *Result) (*opTranslation, error) {
+	if po == nil {
+		return e.translateReplace(ro, probe)
+	}
+	t := ro.Target
+	switch t.Kind {
+	case asg.KindLeaf, asg.KindTag:
+		if po.replaceVal == nil {
+			return e.translateReplace(ro, probe)
+		}
+		return translateLeafReplace(replaceLeafOf(t), *po.replaceVal, probe)
+	default:
+		del, err := e.translateDelete(ro, probe, "", res)
+		if err != nil {
+			return nil, err
+		}
+		var ins *opTranslation
+		if po.insert != nil {
+			ins = po.insert.translate(probe)
+		} else {
+			ins, err = e.translateInsert(replaceInsertOp(ro), probe)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &opTranslation{
+			Statements:   append(del.Statements, ins.Statements...),
+			SharedChecks: ins.SharedChecks,
+		}, nil
+	}
+}
+
+// contextCheck runs the data-driven update context check (Section 6.1):
+// it probes whether the view element the update anchors at exists, and
+// materializes the probe result for reuse by the translation. With a
+// planned op, the probe comes from the plan's prepared statement bound
+// to the update's literal tuple instead of being rebuilt.
+//
+// The materialized temporary table is consumed only by the IN-temp
+// shape of internal-node deletes (the paper's U3), so other op kinds
+// skip the materialization; runOps drops the temp once its op
+// finishes, keeping the executor's temp namespace bounded under
+// sustained traffic.
+func (e *Executor) contextCheck(ro *ResolvedOp, userPreds []UserPred, po *PlannedOp, args []relational.Value, res *Result) (*sqlexec.ResultSet, string, string, error) {
+	c := ro.Context
+	var rs *sqlexec.ResultSet
+	var probeSQL string
+	if po != nil && po.NoProbe {
+		return nil, "", "", nil
+	}
+	if po != nil && po.Probe != nil {
+		var err error
+		rs, err = po.Probe.ExecSelect(args...)
+		if err != nil {
+			return nil, "", "", err
+		}
+		probeSQL = po.Probe.SQL(args...)
+	} else {
+		// Dynamic path: no plan, or the plan's probe artifact could not
+		// be prepared — rebuild the probe so the context check still
+		// runs.
+		sel := e.buildContextProbe(c, userPreds, relsNeededByOp(ro))
+		if sel == nil {
+			return nil, "", "", nil
+		}
+		var err error
+		rs, err = e.Exec.ExecSelect(sel)
+		if err != nil {
+			return nil, "", "", err
+		}
+		probeSQL = sel.String()
+	}
+	res.Probes = append(res.Probes, probeSQL)
+	if rs.Empty() {
+		return nil, "", fmt.Sprintf("update context <%s> does not exist in the view (probe %q returned no rows)",
+			c.Name, probeSQL), nil
+	}
+	if ro.Op.Kind != xqparse.OpDelete || ro.Target.Kind != asg.KindInternal {
+		// Inserts, replaces and leaf deletes read the probe result
+		// directly; no translated statement references the temp.
+		return rs, "", "", nil
+	}
+	e.tempSeq++
+	tempName := fmt.Sprintf("TAB_%s_%d", strings.ToLower(c.Name), e.tempSeq)
+	e.Exec.Materialize(tempName, rs)
+	return rs, tempName, "", nil
+}
+
+// runSharedChecks verifies the CondSharedPartsExist probes: each shared
+// relation's row must already exist (otherwise the insert would surface
+// a new instance of another view node — a side effect) and must agree
+// with the fragment's values (duplication consistency).
+func (e *Executor) runSharedChecks(checks []SharedCheck, res *Result) (string, error) {
+	for _, chk := range checks {
+		sel := &sqlexec.SelectStmt{From: []string{chk.Rel}}
+		for i, c := range chk.KeyCols {
+			sel.Where = append(sel.Where, sqlexec.Eq(chk.Rel, c, chk.KeyVals[i]))
+		}
+		rs, err := e.Exec.ExecSelect(sel)
+		if err != nil {
+			return "", err
+		}
+		res.Probes = append(res.Probes, sel.String())
+		if rs.Empty() {
+			return fmt.Sprintf("inserting would create a new %s row, causing another view element to appear (shared part %v missing)",
+				chk.Rel, chk.KeyVals), nil
+		}
+		for col, want := range chk.AllCols {
+			ci, ok := rs.ColumnIndex(sqlexec.ColRef{Table: chk.Rel, Column: col})
+			if !ok {
+				continue
+			}
+			got := rs.Rows[0][ci]
+			if !want.IsNull() && !got.Equal(want) {
+				return fmt.Sprintf("duplication consistency violated: %s.%s is %s in the base but %s in the inserted element",
+					chk.Rel, col, got, want), nil
+			}
+		}
+	}
+	return "", nil
+}
+
+// executeStatements runs the translated statements under the configured
+// update-point strategy. It returns a non-empty rejection reason when a
+// data conflict is detected.
+func (e *Executor) executeStatements(ro *ResolvedOp, stmts []sqlexec.Statement, res *Result) (string, error) {
+	switch e.Strategy {
+	case StrategyInternal:
+		return e.executeInternal(ro, stmts, res)
+	case StrategyOutside:
+		return e.executeOutside(stmts, res)
+	default:
+		return e.executeHybrid(stmts, res)
+	}
+}
+
+// executeHybrid feeds the statements straight to the engine and
+// interprets constraint errors as data conflicts and zero-row deletes
+// as warnings (Section 6.2.2, hybrid strategy).
+func (e *Executor) executeHybrid(stmts []sqlexec.Statement, res *Result) (string, error) {
+	for _, st := range stmts {
+		sql := st.String()
+		res.SQL = append(res.SQL, sql)
+		switch s := st.(type) {
+		case *sqlexec.InsertStmt:
+			if _, err := e.Exec.ExecInsertRendered(s, sql); err != nil {
+				if relational.IsConstraintViolation(err) {
+					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
+				}
+				return "", err
+			}
+			res.RowsAffected++
+		case *sqlexec.DeleteStmt:
+			n, err := e.Exec.ExecDeleteRendered(s, sql)
+			if err != nil {
+				if relational.IsConstraintViolation(err) {
+					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
+				}
+				return "", err
+			}
+			if n == 0 {
+				res.Warnings = append(res.Warnings, fmt.Sprintf("zero tuples deleted by %q", sql))
+			}
+			res.RowsAffected += n
+		case *sqlexec.UpdateStmt:
+			n, err := e.Exec.ExecUpdateRendered(s, sql)
+			if err != nil {
+				if relational.IsConstraintViolation(err) {
+					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
+				}
+				return "", err
+			}
+			res.RowsAffected += n
+		}
+	}
+	return "", nil
+}
+
+// executeOutside probes for conflicts before issuing each statement
+// (Section 6.2.2, outside strategy): inserts are preceded by a key
+// probe, deletes by an existence probe that suppresses the statement
+// when nothing matches (early failure detection).
+func (e *Executor) executeOutside(stmts []sqlexec.Statement, res *Result) (string, error) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *sqlexec.InsertStmt:
+			def, ok := e.Exec.DB.Schema().Table(s.Table)
+			if ok && len(def.PrimaryKey) > 0 {
+				probe := &sqlexec.SelectStmt{
+					Project: []sqlexec.ColRef{{Table: s.Table, Column: "rowid"}},
+					From:    []string{s.Table},
+					NoIndex: true,
+				}
+				complete := true
+				for _, pk := range def.PrimaryKey {
+					v, present := s.Values[strings.ToLower(pk)]
+					if !present {
+						v, present = s.Values[pk]
+					}
+					if !present || v.IsNull() {
+						complete = false
+						break
+					}
+					probe.Where = append(probe.Where, sqlexec.Eq(s.Table, pk, v))
+				}
+				if complete {
+					rs, err := e.Exec.ExecSelect(probe)
+					if err != nil {
+						return "", err
+					}
+					res.Probes = append(res.Probes, probe.String())
+					if !rs.Empty() {
+						return fmt.Sprintf("data conflict detected by probe: a %s row with the same key already exists", s.Table), nil
+					}
+				}
+			}
+			res.SQL = append(res.SQL, s.String())
+			if _, err := e.Exec.ExecInsert(s); err != nil {
+				if relational.IsConstraintViolation(err) {
+					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
+				}
+				return "", err
+			}
+			res.RowsAffected++
+		case *sqlexec.DeleteStmt:
+			probe := &sqlexec.SelectStmt{
+				Project: []sqlexec.ColRef{{Table: s.Table, Column: "rowid"}},
+				From:    []string{s.Table},
+				Where:   s.Where,
+				NoIndex: true,
+			}
+			rs, err := e.Exec.ExecSelect(probe)
+			if err != nil {
+				return "", err
+			}
+			res.Probes = append(res.Probes, probe.String())
+			if rs.Empty() {
+				res.Warnings = append(res.Warnings,
+					fmt.Sprintf("probe found no tuples to delete; %q not issued", s.String()))
+				continue
+			}
+			// The probe confirmed matching rows exist; issue the
+			// translated statement (the outside strategy probes, then
+			// feeds the same update sequence to the engine).
+			res.SQL = append(res.SQL, s.String())
+			n, err := e.Exec.ExecDelete(s)
+			if err != nil {
+				if relational.IsConstraintViolation(err) {
+					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
+				}
+				return "", err
+			}
+			res.RowsAffected += n
+		case *sqlexec.UpdateStmt:
+			res.SQL = append(res.SQL, s.String())
+			n, err := e.Exec.ExecUpdate(s)
+			if err != nil {
+				if relational.IsConstraintViolation(err) {
+					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
+				}
+				return "", err
+			}
+			res.RowsAffected += n
+		}
+	}
+	return "", nil
+}

@@ -1,0 +1,638 @@
+// Package plan is the compile-once/execute-many layer of the U-Filter
+// pipeline. It separates what WangRM06's three-step framework decides
+// from schema alone — resolution against the view ASG, Step 1
+// validation, Step 2 STAR reasoning, and the structure of the probe
+// queries and translated SQL — from what must see base data. An
+// UpdatePlan captures the schema-level work for one update *template*
+// (the update with its predicate literal values stripped): resolved
+// operations, per-op STAR verdicts, the shared-part check list, and
+// parameterized probe statement templates prepared through
+// internal/sqlexec. The Executor then binds a concrete literal tuple
+// into a plan and runs the data-driven checks and the translation
+// against the database, so structurally-repeated updates — the
+// production traffic shape — pay parsing, resolution and STAR
+// classification once per template instead of once per request.
+//
+// Layering: xqparse → asg/viewengine → plan → sqlexec → relational.
+// Package ufilter remains the public facade: its Filter embeds an
+// Executor and routes Check/Apply/CheckBatch through the plan cache.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/asg"
+	"repro/internal/relational"
+	"repro/internal/sqlexec"
+	"repro/internal/xqparse"
+)
+
+// Slot describes one literal slot of an update template: the resolved
+// view leaf the predicate compares (its type drives coercion) and the
+// comparison operator. Slots are ordered as the template's predicates
+// are; a bind-argument tuple supplies one value per slot.
+type Slot struct {
+	Leaf *asg.Node
+	Op   relational.CompareOp
+}
+
+// PlannedOp carries the per-operation compile artifacts of an
+// UpdatePlan.
+type PlannedOp struct {
+	// Verdicts are the STAR checking procedure's answers for the op.
+	Verdicts []StarVerdict
+	// Probe is the prepared context-probe statement with the
+	// template's literal slots as parameters; nil when the op anchors
+	// at the view root (no probe needed — see NoProbe) or when the
+	// artifact could not be prepared (execution then rebuilds the
+	// probe dynamically).
+	Probe *sqlexec.Stmt
+	// NoProbe records that the op genuinely needs no context probe
+	// (root-anchored); it distinguishes that case from a missing
+	// prepared artifact.
+	NoProbe bool
+	// SharedChecks lists the shared-part existence/consistency checks
+	// Step 3 must run for inserts (CondSharedPartsExist).
+	SharedChecks []SharedCheck
+
+	insert     *insertPlan
+	replaceVal *relational.Value
+}
+
+// UpdatePlan is the immutable compile-once artifact for one update
+// template over one view: everything the schema-level steps decide,
+// plus the prepared statement templates the execution reuses. Plans
+// are safe for concurrent use; binding never mutates them.
+type UpdatePlan struct {
+	// Key is the literal-stripped template fingerprint (see
+	// fingerprint.go) — the plan cache's template-tier key.
+	Key string
+	// Template is the exemplar update the plan was compiled from.
+	Template *xqparse.UpdateQuery
+	// Resolved is the template's resolution against the view ASG; nil
+	// when resolution failed (the plan then only carries the verdict).
+	Resolved *ResolvedUpdate
+	// Sensitive reports whether the schema verdict may depend on the
+	// predicate literal values (see fingerprint.go); insensitive
+	// templates share one verdict across all literal tuples.
+	Sensitive bool
+	// Verdict is the schema-level verdict computed for the exemplar's
+	// literals. For insensitive templates it is the verdict of every
+	// instance of the template.
+	Verdict *Result
+	// Slots are the template's literal slots in predicate order.
+	Slots []Slot
+	// Ops holds one entry per resolved operation.
+	Ops []PlannedOp
+
+	// star is the STAR fold over all ops — the verdict assuming Step 1
+	// passes. Shared by every literal tuple of the template.
+	star *Result
+	// opInvalid is the template-level Step 1 rejection from per-op
+	// validation (fragment hierarchy/domain checks, which read only the
+	// template); nil when the ops validate. Computed once so bound
+	// verdicts only re-run the literal-dependent overlap test.
+	opInvalid *Result
+}
+
+// Compile runs the schema-level pipeline once for an update over the
+// executor's view and returns the immutable UpdatePlan: resolution,
+// Step 1 validation and Step 2 STAR verdicts, plus prepared probe
+// statement templates and precompiled insert/replace artifacts.
+// Updates that fail resolution still yield a plan (carrying the
+// invalid verdict), so callers can distinguish "update is bad" from
+// "the pipeline broke"; only internal errors return a non-nil error.
+func (e *Executor) Compile(u *xqparse.UpdateQuery) (*UpdatePlan, error) {
+	return e.compile(u, true)
+}
+
+// CompileText parses an update and compiles it.
+func (e *Executor) CompileText(updateText string) (*UpdatePlan, error) {
+	u, err := xqparse.ParseUpdate(updateText)
+	if err != nil {
+		return nil, err
+	}
+	return e.Compile(u)
+}
+
+// compile is Compile with the expensive execution artifacts (prepared
+// probes, insert plans) optional: the check-only path skips them.
+func (e *Executor) compile(u *xqparse.UpdateQuery, withArtifacts bool) (*UpdatePlan, error) {
+	p := &UpdatePlan{Key: fingerprint(u), Template: u}
+	r, err := Resolve(u, e.View)
+	if err != nil {
+		var re *resolveError
+		if errors.As(err, &re) {
+			p.Sensitive = literalSensitiveSyntactic(u)
+			p.Verdict = &Result{
+				Update:     u,
+				RejectedAt: StepValidation,
+				Outcome:    OutcomeInvalid,
+				Reason:     re.msg,
+			}
+			return p, nil
+		}
+		return nil, err
+	}
+	p.Resolved = r
+	p.Sensitive = literalSensitiveResolved(u, r)
+	p.Slots = make([]Slot, len(r.UserPreds))
+	for i, up := range r.UserPreds {
+		p.Slots[i] = Slot{Leaf: up.Leaf, Op: up.Op}
+	}
+
+	// Step 2 fold: per-op STAR verdicts, most pessimistic outcome wins,
+	// first untranslatable op rejects the template. The fold is
+	// literal-independent, so it is computed once here and cloned into
+	// every instance's verdict.
+	star := &Result{Update: u, Outcome: OutcomeUnconditional}
+	rejected := false
+	p.Ops = make([]PlannedOp, len(r.Ops))
+	for i := range r.Ops {
+		ro := &r.Ops[i]
+		verdicts := e.starVerdicts(ro)
+		p.Ops[i].Verdicts = verdicts
+		if rejected {
+			continue
+		}
+		for _, v := range verdicts {
+			switch v.Outcome {
+			case OutcomeUntranslatable:
+				star.RejectedAt = StepSTAR
+				star.Outcome = OutcomeUntranslatable
+				star.Conditions = nil
+				star.Reason = v.Reason
+				rejected = true
+			case OutcomeConditional:
+				star.Outcome = OutcomeConditional
+				star.Conditions = append(star.Conditions, v.Conditions...)
+				if star.Reason == "" {
+					star.Reason = v.Reason
+				}
+			case OutcomeUnconditional:
+				if star.Reason == "" {
+					star.Reason = v.Reason
+				}
+			}
+			if rejected {
+				break
+			}
+		}
+	}
+	star.Accepted = !rejected
+	p.star = star
+
+	// Template-level half of Step 1: the per-op checks never read the
+	// predicate literals, so their verdict is computed once here.
+	if err := validateOps(r); err != nil {
+		var ve *validationError
+		if !errors.As(err, &ve) {
+			return nil, err
+		}
+		p.opInvalid = &Result{
+			Update:     u,
+			RejectedAt: StepValidation,
+			Outcome:    OutcomeInvalid,
+			Reason:     ve.msg,
+		}
+	}
+
+	// Exemplar verdict: Step 1 over the exemplar's own literals, then
+	// the STAR fold.
+	p.Verdict = p.verdictFor(r.UserPreds, u)
+
+	if withArtifacts && !rejected {
+		e.compileArtifacts(p)
+	}
+	return p, nil
+}
+
+// compileArtifacts prepares the per-op execution artifacts: the
+// parameterized context-probe statements and the template-level
+// insert/replace translations. Artifact compilation is best-effort —
+// an op whose artifacts cannot be precompiled (e.g. a replace whose
+// value fails coercion, which Step 1 rejects anyway) simply falls back
+// to the dynamic translation path at execution time.
+func (e *Executor) compileArtifacts(p *UpdatePlan) {
+	r := p.Resolved
+	for i := range r.Ops {
+		ro := &r.Ops[i]
+		po := &p.Ops[i]
+		if sel := e.buildContextProbeTemplate(ro.Context, p.Slots, relsNeededByOp(ro)); sel != nil {
+			narrowProbeProjection(sel, ro)
+			if stmt, err := e.Exec.Prepare(sel); err == nil {
+				po.Probe = stmt
+			}
+		} else {
+			po.NoProbe = true
+		}
+		switch ro.Op.Kind {
+		case xqparse.OpInsert:
+			if ip, err := e.compileInsert(ro); err == nil {
+				po.insert = ip
+				po.SharedChecks = ip.sharedChecks
+			}
+		case xqparse.OpReplace:
+			switch ro.Target.Kind {
+			case asg.KindLeaf, asg.KindTag:
+				if v, err := e.compileReplaceValue(ro); err == nil {
+					po.replaceVal = &v
+				}
+			default:
+				if ip, err := e.compileInsert(replaceInsertOp(ro)); err == nil {
+					po.insert = ip
+					po.SharedChecks = ip.sharedChecks
+				}
+			}
+		}
+	}
+}
+
+// narrowProbeProjection trims a prepared probe template's projection to
+// the columns the op's translation actually reads — the compile-time
+// equivalent of the paper's "only retrieves the L_ORDERKEY"
+// observation. The dynamic (uncached) path keeps the full projection
+// because its materialized result may be consulted ad hoc; a compiled
+// plan knows the op's consumers exactly: rowids of the written
+// relation plus the context side of the target's edge conditions. Row
+// multiplicity is untouched (projection never dedupes), so per-row
+// insert fan-out is preserved.
+func narrowProbeProjection(sel *sqlexec.SelectStmt, ro *ResolvedOp) {
+	needed := map[string]bool{}
+	addCol := func(rel, col string) { needed[strings.ToLower(rel)+"."+strings.ToLower(col)] = true }
+	addEdgeCtxCols := func(t *asg.Node) {
+		cr := t.CR()
+		for _, jc := range t.EdgeConds {
+			if !cr.Has(jc.LeftRel) {
+				addCol(jc.LeftRel, jc.LeftCol)
+			}
+			if !cr.Has(jc.RightRel) {
+				addCol(jc.RightRel, jc.RightCol)
+			}
+		}
+	}
+	t := ro.Target
+	switch ro.Op.Kind {
+	case xqparse.OpDelete:
+		if t.Kind == asg.KindInternal {
+			if t.DeleteAnchor != "" {
+				addCol(t.DeleteAnchor, "rowid")
+			}
+			addEdgeCtxCols(t)
+		} else {
+			addCol(replaceLeafOf(t).RelName, "rowid")
+		}
+	case xqparse.OpInsert:
+		addEdgeCtxCols(t)
+	case xqparse.OpReplace:
+		if t.Kind == asg.KindInternal {
+			if t.DeleteAnchor != "" {
+				addCol(t.DeleteAnchor, "rowid")
+			}
+			addEdgeCtxCols(t)
+		} else {
+			addCol(replaceLeafOf(t).RelName, "rowid")
+		}
+	default:
+		return
+	}
+	kept := sel.Project[:0:0]
+	for _, c := range sel.Project {
+		if needed[strings.ToLower(c.Table)+"."+strings.ToLower(c.Column)] {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 && len(sel.Project) > 0 {
+		// Keep one column as the existence witness; an empty Project
+		// would select everything.
+		kept = append(kept, sel.Project[0])
+	}
+	sel.Project = kept
+}
+
+// verdictFor assembles the schema verdict for one bound literal tuple:
+// the literal-dependent overlap test over the bound predicates, the
+// precomputed per-op validation verdict, then the precomputed STAR
+// fold — exactly Validate's order, with the template-level halves paid
+// once at compile time. u tags the returned Result.
+func (p *UpdatePlan) verdictFor(preds []UserPred, u *xqparse.UpdateQuery) *Result {
+	if err := validatePreds(preds); err != nil {
+		return &Result{
+			Update:     u,
+			RejectedAt: StepValidation,
+			Outcome:    OutcomeInvalid,
+			Reason:     err.Error(),
+		}
+	}
+	if p.opInvalid != nil {
+		return p.opInvalid.cloneShallow(u)
+	}
+	return p.star.cloneShallow(u)
+}
+
+// bindParsed extracts and compiles the predicate literals of a parsed
+// instance of this template. It returns the bound predicates, or an
+// invalid Result when a literal does not fit its leaf's domain (the
+// same rejection resolution would produce).
+func (p *UpdatePlan) bindParsed(u *xqparse.UpdateQuery) ([]UserPred, *Result) {
+	rb := &ResolvedUpdate{Query: u, VarNodes: p.Resolved.VarNodes}
+	for _, pr := range u.Preds {
+		up, err := rb.compilePred(pr)
+		if err != nil {
+			return nil, &Result{
+				Update:     u,
+				RejectedAt: StepValidation,
+				Outcome:    OutcomeInvalid,
+				Reason:     err.Error(),
+			}
+		}
+		rb.UserPreds = append(rb.UserPreds, up)
+	}
+	return rb.UserPreds, nil
+}
+
+// verdictParsed derives the schema verdict of a parsed instance off
+// the compiled plan — no parsing of the view, no resolution, no STAR
+// walk; just literal binding plus Step 1 over the bound predicates.
+func (p *UpdatePlan) verdictParsed(u *xqparse.UpdateQuery) *Result {
+	preds, inv := p.bindParsed(u)
+	if inv != nil {
+		return inv
+	}
+	return p.verdictFor(preds, u)
+}
+
+// BindArgs extracts the literal tuple of a parsed instance of this
+// template, in slot order — the bridge from "updates arriving as text"
+// to the Execute fast path.
+func (p *UpdatePlan) BindArgs(u *xqparse.UpdateQuery) []relational.Value {
+	var args []relational.Value
+	for _, pr := range u.Preds {
+		for _, o := range [2]xqparse.PredOperand{pr.Left, pr.Right} {
+			if o.IsLiteral {
+				args = append(args, o.Lit)
+			}
+		}
+	}
+	return args
+}
+
+// bindArgs coerces a raw argument tuple into bound user predicates, or
+// returns an invalid Result when a value does not fit its slot's
+// domain.
+func (p *UpdatePlan) bindArgs(args []relational.Value) ([]UserPred, *Result) {
+	preds := make([]UserPred, len(p.Slots))
+	for i, s := range p.Slots {
+		v, err := args[i].CoerceTo(s.Leaf.Type)
+		if err != nil {
+			return nil, &Result{
+				Update:     p.Template,
+				RejectedAt: StepValidation,
+				Outcome:    OutcomeInvalid,
+				Reason:     resolveErrf("predicate literal %s does not match the type of %s: %v", args[i], s.Leaf.RelAttr(), err).Error(),
+			}
+		}
+		preds[i] = UserPred{Leaf: s.Leaf, Op: s.Op, Lit: v}
+	}
+	return preds, nil
+}
+
+// Verdict computes the schema-level verdict of the plan's template
+// bound to a literal tuple, without touching base data — the
+// compiled-plan equivalent of Check.
+func (e *Executor) Verdict(p *UpdatePlan, args []relational.Value) (*Result, error) {
+	res, _, err := p.verdictArgs(args)
+	return res, err
+}
+
+// verdictArgs binds a literal tuple and returns the schema verdict
+// plus the bound predicates (nil when the verdict is a rejection).
+func (p *UpdatePlan) verdictArgs(args []relational.Value) (*Result, []UserPred, error) {
+	if p.Resolved == nil {
+		// Resolution-failed template: the stored verdict is all we
+		// have (and for insensitive templates, all there is).
+		return p.Verdict.cloneShallow(p.Template), nil, nil
+	}
+	if len(args) != len(p.Slots) {
+		return nil, nil, fmt.Errorf("plan: template expects %d bind arguments, got %d", len(p.Slots), len(args))
+	}
+	preds, inv := p.bindArgs(args)
+	if inv != nil {
+		return inv, nil, nil
+	}
+	res := p.verdictFor(preds, p.Template)
+	if !res.Accepted {
+		return res, nil, nil
+	}
+	return res, preds, nil
+}
+
+// Execute binds a literal tuple into a compiled plan and runs the full
+// pipeline against the database: the bound schema verdict, then Step
+// 3's probes (through the plan's prepared statements), the translation
+// and the statement execution under the configured strategy, inside
+// one transaction. This is the execute-many half of
+// compile-once/execute-many: no parsing, no resolution, no STAR walk,
+// no probe construction.
+func (e *Executor) Execute(p *UpdatePlan, args []relational.Value) (*Result, error) {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	res, preds, err := p.verdictArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Accepted {
+		return res, nil
+	}
+	return e.applyResolved(p.Resolved, p.Ops, preds, res)
+}
+
+// groupItem is one update of a group-commit batch, carried through
+// applyGroup.
+type groupItem struct {
+	res     *Result
+	r       *ResolvedUpdate
+	planned []PlannedOp
+	preds   []UserPred
+	err     error
+	skip    bool // verdict already rejected; never enters the txn
+}
+
+// applyGroup executes the accepted items inside ONE transaction with a
+// savepoint per item: a rejected or failed item rolls back to its own
+// savepoint without disturbing its siblings, and the single commit at
+// the end flushes the write-ahead log once for the whole group (the
+// group-commit property ApplyBatch and ExecuteBatch expose). Callers
+// must hold applyMu.
+func (e *Executor) applyGroup(items []*groupItem) {
+	anyRunnable := false
+	for _, it := range items {
+		if it != nil && !it.skip && it.err == nil {
+			anyRunnable = true
+		}
+	}
+	if !anyRunnable {
+		return
+	}
+	txn := e.Exec.DB.Begin()
+	committed := false
+	defer func() {
+		if !committed {
+			txn.Rollback()
+		}
+	}()
+	// failAll marks every item whose work is being discarded by the
+	// whole-transaction rollback — earlier accepted items must not be
+	// reported committed when the group aborts.
+	failAll := func(err error) {
+		for _, it := range items {
+			if it == nil || it.skip {
+				continue
+			}
+			if it.res != nil && it.res.Accepted {
+				it.res.Accepted = false
+			}
+			if it.err == nil {
+				it.err = err
+			}
+		}
+	}
+	for _, it := range items {
+		if it == nil || it.skip || it.err != nil {
+			continue
+		}
+		mark := txn.Savepoint()
+		it.res.Accepted = false
+		e.pendingUserPreds = it.preds
+		rejected, err := e.runOps(it.r, it.planned, it.preds, it.res)
+		e.pendingUserPreds = nil
+		switch {
+		case err != nil:
+			if rbErr := txn.RollbackTo(mark); rbErr != nil {
+				// The transaction is no longer trustworthy; abort the
+				// whole group and say so on every item.
+				failAll(rbErr)
+				return
+			}
+			it.err = err
+		case rejected:
+			if rbErr := txn.RollbackTo(mark); rbErr != nil {
+				failAll(rbErr)
+				return
+			}
+		default:
+			it.res.Accepted = true
+		}
+	}
+	if err := txn.Commit(); err != nil {
+		failAll(err)
+		return
+	}
+	committed = true
+}
+
+// ApplyBatch runs a slice of updates through the full pipeline under
+// group commit: every update is schema-checked (through the plan
+// cache), the accepted ones execute inside one shared transaction with
+// per-update savepoints, and a single commit flushes the write-ahead
+// log once for the whole batch. Results arrive in input order; a
+// rejected or failed update leaves the database exactly as its
+// siblings' updates (and nothing else) left it.
+func (e *Executor) ApplyBatch(updates []string) []BatchResult {
+	out := make([]BatchResult, len(updates))
+	if len(updates) == 0 {
+		return out
+	}
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	items := make([]*groupItem, len(updates))
+	for i, text := range updates {
+		out[i].Index = i
+		u, err := xqparse.ParseUpdate(text)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		res, err := e.CheckParsed(u)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		it := &groupItem{res: res}
+		items[i] = it
+		if !res.Accepted {
+			it.skip = true
+			continue
+		}
+		if !e.DisableCache && e.cache != nil {
+			if p := e.cache.plan(fingerprint(u)); p != nil && p.Resolved != nil {
+				if preds, inv := p.bindParsed(u); inv == nil {
+					e.cache.planApplies.Add(1)
+					it.r, it.planned, it.preds = p.Resolved, p.Ops, preds
+				}
+			}
+		}
+		if it.r == nil {
+			r, err := Resolve(u, e.View)
+			if err != nil {
+				it.err = err
+				continue
+			}
+			it.r, it.preds = r, r.UserPreds
+		}
+	}
+	e.applyGroup(items)
+	for i, it := range items {
+		if it == nil {
+			continue
+		}
+		if it.err != nil {
+			out[i].Err = it.err
+			continue
+		}
+		out[i].Result = it.res
+	}
+	return out
+}
+
+// ExecuteBatch is Execute over many literal tuples of one compiled
+// plan, under group commit: one transaction, one write-ahead-log
+// flush, N bound executions. Results arrive in tuple order.
+func (e *Executor) ExecuteBatch(p *UpdatePlan, argsList [][]relational.Value) []BatchResult {
+	out := make([]BatchResult, len(argsList))
+	if len(argsList) == 0 {
+		return out
+	}
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	items := make([]*groupItem, len(argsList))
+	for i, args := range argsList {
+		out[i].Index = i
+		res, preds, err := p.verdictArgs(args)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		it := &groupItem{res: res}
+		items[i] = it
+		if !res.Accepted {
+			it.skip = true
+			continue
+		}
+		it.r, it.planned, it.preds = p.Resolved, p.Ops, preds
+	}
+	e.applyGroup(items)
+	for i, it := range items {
+		if it == nil {
+			continue
+		}
+		if it.err != nil {
+			out[i].Err = it.err
+			continue
+		}
+		out[i].Result = it.res
+	}
+	return out
+}

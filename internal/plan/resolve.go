@@ -1,4 +1,4 @@
-package ufilter
+package plan
 
 import (
 	"fmt"

@@ -1,10 +1,7 @@
-// Package ufilter implements the paper's contribution: the three-step
-// lightweight view update checking framework of Fig. 5 — update
-// validation (Section 4), schema-driven translatability reasoning / the
-// STAR algorithm (Section 5), data-driven translatability checking
-// (Section 6) — plus the update translation engine that emits the final
-// single-table SQL statements.
-package ufilter
+// STAR — schema-driven translatability reasoning (Section 5): the
+// marking procedure run once per view at compile time, and the per-op
+// checking procedure plans consult.
+package plan
 
 import (
 	"fmt"

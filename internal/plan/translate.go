@@ -1,4 +1,4 @@
-package ufilter
+package plan
 
 import (
 	"fmt"
@@ -11,10 +11,42 @@ import (
 	"repro/internal/xqparse"
 )
 
+// probePred is one user predicate in probe-builder form: the resolved
+// leaf plus the comparison's right-hand operand — a literal for
+// immediate execution, or a parameter placeholder when compiling a
+// reusable probe template for an UpdatePlan.
+type probePred struct {
+	leaf *asg.Node
+	op   relational.CompareOp
+	rhs  sqlexec.Operand
+}
+
 // buildContextProbe composes the probe query of Section 6.1 for an
-// operation anchored at context node C: the view's predicates along the
-// path to C joined with the user update's predicates. The probe projects
-// every column plus the rowid of each retained relation so its
+// operation anchored at context node C, with the user's predicate
+// literals inlined.
+func (e *Executor) buildContextProbe(c *asg.Node, userPreds []UserPred, mustKeep asg.RelSet) *sqlexec.SelectStmt {
+	preds := make([]probePred, len(userPreds))
+	for i, up := range userPreds {
+		preds[i] = probePred{leaf: up.Leaf, op: up.Op, rhs: sqlexec.LitOperand(up.Lit)}
+	}
+	return e.buildProbe(c, preds, mustKeep)
+}
+
+// buildContextProbeTemplate composes the same probe with parameter
+// placeholders in place of the predicate literals: slot i's literal
+// binds parameter ?i+1. The result is the parameterized SQL statement
+// an UpdatePlan prepares once and executes many times.
+func (e *Executor) buildContextProbeTemplate(c *asg.Node, slots []Slot, mustKeep asg.RelSet) *sqlexec.SelectStmt {
+	preds := make([]probePred, len(slots))
+	for i, s := range slots {
+		preds[i] = probePred{leaf: s.Leaf, op: s.Op, rhs: sqlexec.ParamOperand(i)}
+	}
+	return e.buildProbe(c, preds, mustKeep)
+}
+
+// buildProbe is the shared probe builder: the view's predicates along
+// the path to C joined with the user update's predicates. The probe
+// projects every column plus the rowid of each retained relation so its
 // materialized result can be reused by the translated statements.
 //
 // Probe pruning: a relation is dropped when no predicate mentions it and
@@ -24,7 +56,7 @@ import (
 // "only the L_ORDERKEY" in the paper's Fig. 15 discussion). Relations
 // reachable only through nullable joins stay, which keeps the paper's
 // PQ1/PQ2 shape for BookView.
-func (f *Filter) buildContextProbe(c *asg.Node, userPreds []UserPred, mustKeep asg.RelSet) *sqlexec.SelectStmt {
+func (e *Executor) buildProbe(c *asg.Node, userPreds []probePred, mustKeep asg.RelSet) *sqlexec.SelectStmt {
 	if c.Kind == asg.KindRoot || len(c.UCBinding) == 0 {
 		return nil
 	}
@@ -37,8 +69,8 @@ func (f *Filter) buildContextProbe(c *asg.Node, userPreds []UserPred, mustKeep a
 		}
 	}
 	for _, up := range userPreds {
-		if c.UCBinding.Has(up.Leaf.RelName) {
-			pinned.Add(up.Leaf.RelName)
+		if c.UCBinding.Has(up.leaf.RelName) {
+			pinned.Add(up.leaf.RelName)
 		}
 	}
 	for _, sp := range c.ScopePreds {
@@ -97,7 +129,7 @@ func (f *Filter) buildContextProbe(c *asg.Node, userPreds []UserPred, mustKeep a
 			if sp.Right.Rel == r {
 				other, mine = sp.Left, sp.Right
 			}
-			if f.joinGuaranteedByFK(other, mine) {
+			if e.joinGuaranteedByFK(other, mine) {
 				delete(keep, r)
 				changed = true
 			}
@@ -107,7 +139,7 @@ func (f *Filter) buildContextProbe(c *asg.Node, userPreds []UserPred, mustKeep a
 	tables := keep.Names()
 	sel := &sqlexec.SelectStmt{From: tables}
 	for _, t := range tables {
-		def, ok := f.View.Schema.Table(t)
+		def, ok := e.View.Schema.Table(t)
 		if !ok {
 			continue
 		}
@@ -122,8 +154,12 @@ func (f *Filter) buildContextProbe(c *asg.Node, userPreds []UserPred, mustKeep a
 		}
 	}
 	for _, up := range userPreds {
-		if keep.Has(up.Leaf.RelName) {
-			sel.Where = append(sel.Where, sqlexec.Cmp(up.Leaf.RelName, up.Leaf.ColName, up.Op, up.Lit))
+		if keep.Has(up.leaf.RelName) {
+			sel.Where = append(sel.Where, sqlexec.Predicate{
+				Left:  sqlexec.ColOperand(up.leaf.RelName, up.leaf.ColName),
+				Op:    up.op,
+				Right: up.rhs,
+			})
 		}
 	}
 	return sel
@@ -132,8 +168,8 @@ func (f *Filter) buildContextProbe(c *asg.Node, userPreds []UserPred, mustKeep a
 // joinGuaranteedByFK reports whether the equality from.Rel.from.Col =
 // to.Rel.to.Col is implied for every from-row by a NOT NULL foreign key
 // from from.Rel onto a key of to.Rel.
-func (f *Filter) joinGuaranteedByFK(from, to asg.Ref) bool {
-	def, ok := f.View.Schema.Table(from.Rel)
+func (e *Executor) joinGuaranteedByFK(from, to asg.Ref) bool {
+	def, ok := e.View.Schema.Table(from.Rel)
 	if !ok {
 		return false
 	}
@@ -224,11 +260,15 @@ type opTranslation struct {
 	Statements []sqlexec.Statement
 	// SharedChecks are existence/consistency probes the data-driven
 	// step must run before the inserts (CondSharedPartsExist).
-	SharedChecks []sharedCheck
+	SharedChecks []SharedCheck
 }
 
-// sharedCheck verifies that a shared fragment part already exists.
-type sharedCheck struct {
+// SharedCheck verifies that a shared fragment part already exists in
+// the base (CondSharedPartsExist) and agrees with the inserted values
+// (duplication consistency). It is template-level: the fragment's leaf
+// values are fixed per update template, so an UpdatePlan carries the
+// checks precomputed.
+type SharedCheck struct {
 	Rel     string
 	KeyCols []string
 	KeyVals []relational.Value
@@ -238,7 +278,7 @@ type sharedCheck struct {
 // translateDelete generates the statements for a delete of target T
 // anchored at context C, given the materialized probe (nil when C is
 // the root). res records any auxiliary probe issued.
-func (f *Filter) translateDelete(ro *ResolvedOp, probe *sqlexec.ResultSet, tempName string, res *Result) (*opTranslation, error) {
+func (e *Executor) translateDelete(ro *ResolvedOp, probe *sqlexec.ResultSet, tempName string, res *Result) (*opTranslation, error) {
 	t := ro.Target
 	out := &opTranslation{}
 	switch t.Kind {
@@ -298,10 +338,11 @@ func (f *Filter) translateDelete(ro *ResolvedOp, probe *sqlexec.ResultSet, tempN
 		// anchor to a relation present in the materialized context, use
 		// the paper's U3 shape (DELETE ... WHERE col IN (SELECT ... FROM
 		// TAB_<ctx>)). Otherwise — e.g. bushy views whose target spans
-		// several new relations — probe the target instances directly
-		// and delete by rowid.
+		// several new relations, or the delete half of a replace, which
+		// carries no materialized temp — probe the target instances
+		// directly and delete by rowid.
 		var where []sqlexec.Predicate
-		usable := probe != nil
+		usable := probe != nil && tempName != ""
 		for _, jc := range t.EdgeConds {
 			aRel, aCol, cRel, cCol := jc.LeftRel, jc.LeftCol, jc.RightRel, jc.RightCol
 			if !t.CR().Has(aRel) {
@@ -325,11 +366,11 @@ func (f *Filter) translateDelete(ro *ResolvedOp, probe *sqlexec.ResultSet, tempN
 			return out, nil
 		}
 		// Fallback: probe the target node's own instances.
-		sel := f.buildContextProbe(t, f.pendingUserPreds, asg.NewRelSet(anchor))
+		sel := e.buildContextProbe(t, e.pendingUserPreds, asg.NewRelSet(anchor))
 		if sel == nil {
 			return nil, fmt.Errorf("ufilter: no probe derivable for delete of <%s>", t.Name)
 		}
-		rs, err := f.Exec.ExecSelect(sel)
+		rs, err := e.Exec.ExecSelect(sel)
 		if err != nil {
 			return nil, err
 		}
@@ -351,11 +392,21 @@ func (f *Filter) translateDelete(ro *ResolvedOp, probe *sqlexec.ResultSet, tempN
 	return nil, fmt.Errorf("ufilter: cannot delete node kind %s", t.Kind)
 }
 
-// translateInsert generates the statements for inserting a fragment as
-// a new instance of node N under context C. One set of inserts is
-// produced per probe row (per qualifying context instance); when C is
-// the root a single set is produced.
-func (f *Filter) translateInsert(ro *ResolvedOp, probe *sqlexec.ResultSet) (*opTranslation, error) {
+// insertPlan is the template-level half of an insert translation: the
+// fragment's coerced values per relation, the shared-part checks and
+// the FK-ordered insert list are all fixed per update template, so an
+// UpdatePlan computes them once. Only the per-probe-row context wiring
+// is left for execution time.
+type insertPlan struct {
+	node         *asg.Node
+	relVals      map[string]map[string]relational.Value
+	sharedChecks []SharedCheck
+	insertRels   []string
+}
+
+// compileInsert builds the template-level insert artifacts for an
+// insert of a fragment as a new instance of node ro.Target.
+func (e *Executor) compileInsert(ro *ResolvedOp) (*insertPlan, error) {
 	n := ro.Target
 	leafVals, err := fragmentLeafValues(ro.Op.Content, n)
 	if err != nil {
@@ -379,7 +430,7 @@ func (f *Filter) translateInsert(ro *ResolvedOp, probe *sqlexec.ResultSet) (*opT
 		relVals[lv.Leaf.RelName][lv.Leaf.ColName] = v
 	}
 	cr := n.CR()
-	shared := f.Marks.SharedRels[n]
+	shared := e.Marks.SharedRels[n]
 
 	// Intra-fragment wiring: join conditions between two relations of
 	// the fragment copy values across (book.pubid := publisher.pubid).
@@ -404,15 +455,15 @@ func (f *Filter) translateInsert(ro *ResolvedOp, probe *sqlexec.ResultSet) (*opT
 		}
 	}
 
-	out := &opTranslation{}
+	ip := &insertPlan{node: n, relVals: relVals}
 	// Shared parts (Rule 3): verified, not inserted.
 	for _, rel := range shared.Names() {
 		vals := relVals[rel]
-		def, ok := f.View.Schema.Table(rel)
+		def, ok := e.View.Schema.Table(rel)
 		if !ok || len(def.PrimaryKey) == 0 {
 			continue
 		}
-		chk := sharedCheck{Rel: rel, AllCols: vals}
+		chk := SharedCheck{Rel: rel, AllCols: vals}
 		complete := true
 		for _, pk := range def.PrimaryKey {
 			v, ok := vals[strings.ToLower(pk)]
@@ -426,22 +477,30 @@ func (f *Filter) translateInsert(ro *ResolvedOp, probe *sqlexec.ResultSet) (*opT
 		if !complete {
 			return nil, invalidf("insert of <%s> must supply the key of shared relation %s", n.Name, rel)
 		}
-		out.SharedChecks = append(out.SharedChecks, chk)
+		ip.sharedChecks = append(ip.sharedChecks, chk)
 	}
 
 	// Insert relations in FK order (referenced tables first).
-	var insertRels []string
 	for _, r := range cr.Names() {
 		if !shared.Has(r) {
-			insertRels = append(insertRels, r)
+			ip.insertRels = append(ip.insertRels, r)
 		}
 	}
-	insertRels = f.fkOrder(insertRels)
+	ip.insertRels = e.fkOrder(ip.insertRels)
+	return ip, nil
+}
 
+// translate is the execution-time half: one set of inserts per probe
+// row (per qualifying context instance), with the context side of each
+// edge condition wired into the new tuples; when the context is the
+// root a single set is produced.
+func (ip *insertPlan) translate(probe *sqlexec.ResultSet) *opTranslation {
+	n, cr := ip.node, ip.node.CR()
+	out := &opTranslation{SharedChecks: ip.sharedChecks}
 	emit := func(wire map[string]relational.Value) {
-		for _, rel := range insertRels {
+		for _, rel := range ip.insertRels {
 			vals := map[string]relational.Value{}
-			for c, v := range relVals[rel] {
+			for c, v := range ip.relVals[rel] {
 				vals[c] = v
 			}
 			for qualified, v := range wire {
@@ -458,7 +517,7 @@ func (f *Filter) translateInsert(ro *ResolvedOp, probe *sqlexec.ResultSet) (*opT
 
 	if probe == nil {
 		emit(nil)
-		return out, nil
+		return out
 	}
 	// Context wiring: per probe row, copy the context side of each edge
 	// condition into the new tuples (review.bookid := book.bookid).
@@ -480,20 +539,110 @@ func (f *Filter) translateInsert(ro *ResolvedOp, probe *sqlexec.ResultSet) (*opT
 		}
 		emit(wire)
 	}
+	return out
+}
+
+// translateInsert generates the statements for inserting a fragment as
+// a new instance of node N under context C — the uncached path:
+// compile the template artifacts, then wire them to the probe.
+func (e *Executor) translateInsert(ro *ResolvedOp, probe *sqlexec.ResultSet) (*opTranslation, error) {
+	ip, err := e.compileInsert(ro)
+	if err != nil {
+		return nil, err
+	}
+	return ip.translate(probe), nil
+}
+
+// translateReplace translates a replace: for tag/leaf targets it is a
+// single-column UPDATE; internal targets decompose into delete+insert.
+func (e *Executor) translateReplace(ro *ResolvedOp, probe *sqlexec.ResultSet) (*opTranslation, error) {
+	t := ro.Target
+	switch t.Kind {
+	case asg.KindLeaf, asg.KindTag:
+		v, err := e.compileReplaceValue(ro)
+		if err != nil {
+			return nil, err
+		}
+		return translateLeafReplace(replaceLeafOf(t), v, probe)
+	default:
+		del, err := e.translateDelete(ro, probe, "", nil)
+		if err != nil {
+			return nil, err
+		}
+		ins, err := e.translateInsert(replaceInsertOp(ro), probe)
+		if err != nil {
+			return nil, err
+		}
+		return &opTranslation{
+			Statements:   append(del.Statements, ins.Statements...),
+			SharedChecks: ins.SharedChecks,
+		}, nil
+	}
+}
+
+// replaceLeafOf resolves the leaf a tag/leaf replace writes to.
+func replaceLeafOf(t *asg.Node) *asg.Node {
+	if t.Kind == asg.KindTag {
+		return t.LeafUnder()
+	}
+	return t
+}
+
+// replaceInsertOp derives the insert half of an internal-node replace
+// (footnote 4: replace is delete-then-insert of the same element).
+func replaceInsertOp(ro *ResolvedOp) *ResolvedOp {
+	return &ResolvedOp{
+		Op:      xqparse.UpdateOp{Kind: xqparse.OpInsert, Content: ro.Op.Content},
+		Context: ro.Context,
+		Target:  ro.Target,
+	}
+}
+
+// compileReplaceValue coerces a leaf/tag replace's new content into the
+// leaf's domain — template-level, since the content is part of the
+// update template.
+func (e *Executor) compileReplaceValue(ro *ResolvedOp) (relational.Value, error) {
+	leaf := replaceLeafOf(ro.Target)
+	raw := strings.TrimSpace(ro.Op.Content.TextContent())
+	if raw == "" {
+		return relational.Null(), nil
+	}
+	v, err := relational.String_(raw).CoerceTo(leaf.Type)
+	if err != nil {
+		return relational.Value{}, invalidf("replacement value %q is not in the domain of %s", raw, leaf.RelAttr())
+	}
+	return v, nil
+}
+
+// translateLeafReplace emits one single-column UPDATE per probed target
+// row.
+func translateLeafReplace(leaf *asg.Node, v relational.Value, probe *sqlexec.ResultSet) (*opTranslation, error) {
+	ids, err := probeRowIDs(probe, leaf.RelName)
+	if err != nil {
+		return nil, err
+	}
+	out := &opTranslation{}
+	for _, id := range ids {
+		out.Statements = append(out.Statements, &sqlexec.UpdateStmt{
+			Table: leaf.RelName,
+			Set:   map[string]relational.Value{leaf.ColName: v},
+			Where: []sqlexec.Predicate{sqlexec.Eq(leaf.RelName, "rowid", relational.Int_(int64(id)))},
+		})
+	}
 	return out, nil
 }
 
 // fkOrder sorts relations so referenced tables precede referencing ones.
-func (f *Filter) fkOrder(rels []string) []string {
+func (e *Executor) fkOrder(rels []string) []string {
 	sorted := append([]string(nil), rels...)
 	sort.SliceStable(sorted, func(i, j int) bool {
-		return f.fkDepth(sorted[i]) < f.fkDepth(sorted[j])
+		return e.fkDepth(sorted[i]) < e.fkDepth(sorted[j])
 	})
 	return sorted
 }
 
 // fkDepth counts the longest FK chain from the relation to a root table.
-func (f *Filter) fkDepth(rel string) int {
+func (e *Executor) fkDepth(rel string) int {
 	depth := 0
 	seen := map[string]bool{}
 	var walk func(r string) int
@@ -502,7 +651,7 @@ func (f *Filter) fkDepth(rel string) int {
 			return 0
 		}
 		seen[r] = true
-		def, ok := f.View.Schema.Table(r)
+		def, ok := e.View.Schema.Table(r)
 		if !ok {
 			return 0
 		}

@@ -1,4 +1,4 @@
-package ufilter
+package plan
 
 import (
 	"fmt"
@@ -23,11 +23,23 @@ func invalidf(format string, args ...interface{}) error {
 // agree with every local constraint captured in the view ASG. It returns
 // nil for valid updates and a *validationError describing the first
 // violation otherwise.
+//
+// The two halves have different caching granularity — the overlap test
+// depends on the predicate literal values, the per-op checks only on
+// the template — so an UpdatePlan runs validatePreds per bound tuple
+// and validateOps once at compile time.
 func Validate(r *ResolvedUpdate) error {
-	// Overlap check (delete check (i), but applied to every update's
-	// predicates): a user predicate that contradicts the view's check
-	// annotations selects nothing that exists in the view.
-	for _, up := range r.UserPreds {
+	if err := validatePreds(r.UserPreds); err != nil {
+		return err
+	}
+	return validateOps(r)
+}
+
+// validatePreds is the overlap check (delete check (i), but applied to
+// every update's predicates): a user predicate that contradicts the
+// view's check annotations selects nothing that exists in the view.
+func validatePreds(preds []UserPred) error {
+	for _, up := range preds {
 		if len(up.Leaf.Checks) == 0 {
 			continue
 		}
@@ -36,6 +48,12 @@ func Validate(r *ResolvedUpdate) error {
 				up.String(), up.Leaf.RelAttr(), renderChecks(up.Leaf.Checks))
 		}
 	}
+	return nil
+}
+
+// validateOps runs the per-operation checks, which read only the
+// update template (targets, cardinalities, fragment values).
+func validateOps(r *ResolvedUpdate) error {
 	for i := range r.Ops {
 		ro := &r.Ops[i]
 		switch ro.Op.Kind {

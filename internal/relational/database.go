@@ -63,9 +63,10 @@ type Database struct {
 	// redoOps and redoBytes are the cumulative record/byte counters,
 	// maintained atomically so statistics reads never race a writer
 	// (the buffer itself is written only under the single-writer rule).
-	redo      []byte
-	redoOps   atomic.Int64
-	redoBytes atomic.Int64
+	redo        []byte
+	redoOps     atomic.Int64
+	redoBytes   atomic.Int64
+	redoFlushes atomic.Int64
 }
 
 // StatementsExecutedTotal atomically reads the DML statement counter.
@@ -81,6 +82,19 @@ func (db *Database) RedoBytes() int64 { return db.redoBytes.Load() }
 // RedoRecords atomically reads the number of log records appended.
 func (db *Database) RedoRecords() int64 { return db.redoOps.Load() }
 
+// RedoFlushes atomically reads the number of write-ahead-log flushes:
+// one per transaction commit (the cost group commit amortizes over a
+// batch) plus buffer-overflow flushes.
+func (db *Database) RedoFlushes() int64 { return db.redoFlushes.Load() }
+
+// flushRedo models a log flush: the buffer is forced out (truncated
+// here) and the flush counter advances. Called on every transaction
+// commit and when the buffer overflows.
+func (db *Database) flushRedo() {
+	db.redoFlushes.Add(1)
+	db.redo = db.redo[:0]
+}
+
 // DBStats is a point-in-time snapshot of the database's statistics
 // counters. Every field is read atomically, so a snapshot may be taken
 // while another goroutine is mutating the database.
@@ -91,6 +105,8 @@ type DBStats struct {
 	RedoRecords int64 `json:"redo_records"`
 	// RedoBytes counts cumulative write-ahead log bytes appended.
 	RedoBytes int64 `json:"redo_bytes"`
+	// RedoFlushes counts write-ahead log flushes (one per commit).
+	RedoFlushes int64 `json:"redo_flushes"`
 }
 
 // Stats snapshots the statistics counters atomically.
@@ -99,6 +115,7 @@ func (db *Database) Stats() DBStats {
 		StatementsExecuted: db.StatementsExecutedTotal(),
 		RedoRecords:        db.redoOps.Load(),
 		RedoBytes:          db.redoBytes.Load(),
+		RedoFlushes:        db.redoFlushes.Load(),
 	}
 }
 
@@ -121,7 +138,7 @@ func (db *Database) appendRedo(kind byte, table string, id RowID, values []Value
 	}
 	db.redoBytes.Add(int64(len(db.redo) - n))
 	if len(db.redo) > 1<<20 {
-		db.redo = db.redo[:0] // simulate a log flush
+		db.flushRedo() // buffer overflow forces a flush
 	}
 }
 
@@ -135,7 +152,7 @@ func (db *Database) LogStatement(sql string) {
 	db.redo = append(db.redo, 'S')
 	db.redo = append(db.redo, sql...)
 	if len(db.redo) > 1<<20 {
-		db.redo = db.redo[:0]
+		db.flushRedo()
 	}
 }
 

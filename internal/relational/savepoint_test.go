@@ -1,0 +1,117 @@
+package relational
+
+import "testing"
+
+// savepointTestDB builds a one-table database with three rows.
+func savepointTestDB(t *testing.T) *Database {
+	t.Helper()
+	item, err := NewTableDef("item", []Column{
+		{Name: "id", Type: TypeInt, NotNull: true},
+		{Name: "name", Type: TypeString},
+	}, []string{"id"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := NewSchema(item)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(schema)
+	for i, n := range []string{"ant", "bee", "cat"} {
+		if _, err := db.Insert("item", map[string]Value{"id": Int_(int64(i + 1)), "name": String_(n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestSavepointRollbackTo: rolling back to a savepoint undoes only the
+// work logged after it and keeps the transaction open — the per-update
+// isolation the group-commit batch path builds on.
+func TestSavepointRollbackTo(t *testing.T) {
+	db := savepointTestDB(t)
+	txn := db.Begin()
+
+	if _, err := db.Insert("item", map[string]Value{"id": Int_(10), "name": String_("dog")}); err != nil {
+		t.Fatal(err)
+	}
+	mark := txn.Savepoint()
+	if _, err := db.Insert("item", map[string]Value{"id": Int_(11), "name": String_("eel")}); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := db.LookupEqual("item", []string{"id"}, []Value{Int_(1)})
+	if err := db.UpdateRow("item", ids[0], map[string]Value{"name": String_("mutated")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.RollbackTo(mark); err != nil {
+		t.Fatal(err)
+	}
+	// Post-savepoint work gone, pre-savepoint work intact, txn open.
+	if got, _ := db.LookupEqual("item", []string{"id"}, []Value{Int_(11)}); len(got) != 0 {
+		t.Error("row 11 survived RollbackTo")
+	}
+	vals, _ := db.ValuesByName("item", ids[0])
+	if vals["name"].Str != "ant" {
+		t.Errorf("update survived RollbackTo: %v", vals["name"])
+	}
+	if got, _ := db.LookupEqual("item", []string{"id"}, []Value{Int_(10)}); len(got) != 1 {
+		t.Error("pre-savepoint insert lost")
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := db.LookupEqual("item", []string{"id"}, []Value{Int_(10)}); len(got) != 1 {
+		t.Error("committed insert lost")
+	}
+	if db.RowCount("item") != 4 {
+		t.Errorf("rows = %d, want 4", db.RowCount("item"))
+	}
+}
+
+// TestRedoFlushPerCommit: every commit flushes the write-ahead log
+// exactly once, so one transaction covering N statements pays one
+// flush — the group-commit accounting Stats exposes.
+func TestRedoFlushPerCommit(t *testing.T) {
+	db := savepointTestDB(t)
+	base := db.RedoFlushes()
+
+	txn := db.Begin()
+	for i := 20; i < 25; i++ {
+		if _, err := db.Insert("item", map[string]Value{"id": Int_(int64(i)), "name": String_("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.RedoFlushes() - base; got != 1 {
+		t.Errorf("flushes after one commit = %d, want 1", got)
+	}
+	// Five single-statement transactions: five flushes.
+	for i := 30; i < 35; i++ {
+		txn := db.Begin()
+		if _, err := db.Insert("item", map[string]Value{"id": Int_(int64(i)), "name": String_("y")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.RedoFlushes() - base; got != 6 {
+		t.Errorf("flushes = %d, want 6", got)
+	}
+	if db.Stats().RedoFlushes != db.RedoFlushes() {
+		t.Error("Stats().RedoFlushes disagrees with RedoFlushes()")
+	}
+	// Rollback does not flush.
+	txn = db.Begin()
+	if _, err := db.Insert("item", map[string]Value{"id": Int_(99), "name": String_("z")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.RedoFlushes() - base; got != 6 {
+		t.Errorf("rollback flushed: %d, want 6", got)
+	}
+}

@@ -54,7 +54,9 @@ func (t *Txn) recordUpdate(table string, old *Row) {
 // OpCount returns the number of logged operations (touched tuples).
 func (t *Txn) OpCount() int { return len(t.log) }
 
-// Commit finishes the transaction, discarding the undo log.
+// Commit finishes the transaction, discarding the undo log and
+// flushing the write-ahead log once — the group-commit property: N
+// updates applied inside one transaction pay one flush, not N.
 func (t *Txn) Commit() error {
 	if t.done {
 		return fmt.Errorf("relational: transaction already finished")
@@ -62,6 +64,28 @@ func (t *Txn) Commit() error {
 	t.done = true
 	t.db.activeTxn = nil
 	t.log = nil
+	t.db.flushRedo()
+	return nil
+}
+
+// Savepoint marks the current position in the undo log. RollbackTo
+// with the returned mark undoes everything logged after it, which is
+// how a batch apply rejects one update without aborting its siblings.
+func (t *Txn) Savepoint() int { return len(t.log) }
+
+// RollbackTo replays the undo log in reverse down to the given
+// savepoint, keeping the transaction open.
+func (t *Txn) RollbackTo(mark int) error {
+	if t.done {
+		return fmt.Errorf("relational: transaction already finished")
+	}
+	if mark < 0 || mark > len(t.log) {
+		return fmt.Errorf("relational: savepoint %d out of range (log has %d entries)", mark, len(t.log))
+	}
+	if err := t.undoFrom(mark); err != nil {
+		return err
+	}
+	t.log = t.log[:mark]
 	return nil
 }
 
@@ -74,7 +98,16 @@ func (t *Txn) Rollback() error {
 	}
 	t.done = true
 	t.db.activeTxn = nil
-	for i := len(t.log) - 1; i >= 0; i-- {
+	if err := t.undoFrom(0); err != nil {
+		return err
+	}
+	t.log = nil
+	return nil
+}
+
+// undoFrom compensates log entries [from, len) in reverse order.
+func (t *Txn) undoFrom(from int) error {
+	for i := len(t.log) - 1; i >= from; i-- {
 		e := t.log[i]
 		td, err := t.db.tableData(e.table)
 		if err != nil {
@@ -107,6 +140,5 @@ func (t *Txn) Rollback() error {
 			}
 		}
 	}
-	t.log = nil
 	return nil
 }

@@ -22,17 +22,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ufilterd_applies_total", "Full-pipeline applies executed.", "counter", map[string]float64{}},
 		{"ufilterd_applies_accepted_total", "Applies accepted and committed.", "counter", map[string]float64{}},
 		{"ufilterd_applies_rejected_total", "Applies rejected by the pipeline.", "counter", map[string]float64{}},
+		{"ufilterd_apply_batches_total", "Group-commit apply-batch calls.", "counter", map[string]float64{}},
 		{"ufilterd_apply_queue_shed_total", "Applies shed with 429 by admission control.", "counter", map[string]float64{}},
 		{"ufilterd_apply_queue_depth", "Apply admission queue capacity.", "gauge", map[string]float64{}},
 		{"ufilterd_apply_queue_in_flight", "Apply slots currently held.", "gauge", map[string]float64{}},
-		{"ufilterd_cache_hits_total", "Decision cache hits.", "counter", map[string]float64{}},
-		{"ufilterd_cache_misses_total", "Decision cache misses.", "counter", map[string]float64{}},
-		{"ufilterd_cache_hit_rate", "Decision cache hit rate.", "gauge", map[string]float64{}},
+		{"ufilterd_cache_hits_total", "Plan cache verdict hits.", "counter", map[string]float64{}},
+		{"ufilterd_cache_misses_total", "Plan cache verdict misses.", "counter", map[string]float64{}},
+		{"ufilterd_cache_hit_rate", "Plan cache verdict hit rate.", "gauge", map[string]float64{}},
+		{"ufilterd_plan_cache_plans", "Compiled update plans currently cached.", "gauge", map[string]float64{}},
+		{"ufilterd_plan_applies_total", "Applies executed off a cached compiled plan.", "counter", map[string]float64{}},
 		{"ufilterd_rows_scanned_total", "Rows visited by table scans.", "counter", map[string]float64{}},
 		{"ufilterd_index_probes_total", "Index lookups issued.", "counter", map[string]float64{}},
 		{"ufilterd_statements_executed_total", "DML statements executed.", "counter", map[string]float64{}},
 		{"ufilterd_redo_records_total", "Write-ahead log records appended.", "counter", map[string]float64{}},
 		{"ufilterd_redo_bytes_total", "Write-ahead log bytes appended.", "counter", map[string]float64{}},
+		{"ufilterd_redo_flushes_total", "Write-ahead log flushes (group commit amortizes these).", "counter", map[string]float64{}},
 	}
 	for _, v := range s.Registry.Views() {
 		st := v.Stats()
@@ -42,17 +46,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			float64(st.Applies.Total),
 			float64(st.Applies.Accepted),
 			float64(st.Applies.Rejected),
+			float64(st.Applies.Batches),
 			float64(st.Queue.Shed),
 			float64(st.Queue.Depth),
 			float64(st.Queue.InFlight),
 			float64(st.Filter.Cache.Hits),
 			float64(st.Filter.Cache.Misses),
 			st.CacheHitRate,
+			float64(st.Filter.Cache.Plans),
+			float64(st.Filter.Cache.PlanApplies),
 			float64(st.Filter.Executor.RowsScanned),
 			float64(st.Filter.Executor.IndexProbes),
 			float64(st.Filter.Database.StatementsExecuted),
 			float64(st.Filter.Database.RedoRecords),
 			float64(st.Filter.Database.RedoBytes),
+			float64(st.Filter.Database.RedoFlushes),
 		}
 		for i := range metrics {
 			metrics[i].values[v.Name] = samples[i]

@@ -92,15 +92,20 @@ type View struct {
 	appliesAccepted atomic.Int64
 	appliesRejected atomic.Int64
 	appliesOverflow atomic.Int64
+	applyBatches    atomic.Int64
 
 	// applyFn runs the full pipeline; defaults to Filter.Apply. Tests
 	// substitute a blocking function to exercise backpressure
 	// deterministically.
 	applyFn func(string) (*ufilter.Result, error)
+	// applyBatchFn runs the group-commit batch pipeline; defaults to
+	// Filter.ApplyBatch.
+	applyBatchFn func([]string) []ufilter.BatchResult
 }
 
-// QueueDepth returns the apply admission bound.
-func (v *View) QueueDepth() int { return cap(v.queue) }
+// QueueCapacity returns the apply admission bound (the number of
+// requests allowed to be running-or-waiting before load shedding).
+func (v *View) QueueCapacity() int { return cap(v.queue) }
 
 // QueueLen returns the number of admission slots currently held.
 func (v *View) QueueLen() int { return len(v.queue) }
@@ -118,16 +123,23 @@ func (v *View) tryAcquire() bool {
 func (v *View) release() { <-v.queue }
 
 // retryAfter estimates how long a shed request should wait before
-// retrying: the full queue drains one serialized apply at a time, so
-// the estimate is queue depth times the observed mean apply latency,
-// rounded up to at least one second.
+// retrying from the queue's live state: the serialized pipeline drains
+// one apply per observed mean latency, so the wait is the number of
+// requests currently running-or-waiting divided by that drain rate
+// (current depth × mean latency), rounded up to at least one second. A
+// half-empty queue therefore quotes a shorter retry than a full one,
+// instead of the old constant depth-based estimate.
 func (v *View) retryAfter() time.Duration {
 	n := v.applies.Load()
 	if n == 0 {
 		return time.Second
 	}
 	mean := time.Duration(v.applyNanos.Load() / n)
-	est := mean * time.Duration(cap(v.queue))
+	depth := len(v.queue)
+	if depth == 0 {
+		depth = 1
+	}
+	est := mean * time.Duration(depth)
 	if est < time.Second {
 		return time.Second
 	}
@@ -180,15 +192,48 @@ func (v *View) Apply(update string) (res *ufilter.Result, retry time.Duration, o
 	return res, 0, true, err
 }
 
+// ApplyBatch admits a whole batch under ONE queue slot — the batch
+// occupies the serialized pipeline once — and runs it through the
+// filter's group-commit path (one transaction, one redo flush for all
+// accepted updates). ok is false when the queue is saturated. The
+// per-update wall time feeds the same drain-rate estimate single
+// applies use.
+func (v *View) ApplyBatch(updates []string) (results []ufilter.BatchResult, retry time.Duration, ok bool) {
+	if !v.tryAcquire() {
+		v.appliesOverflow.Add(1)
+		return nil, v.retryAfter(), false
+	}
+	defer v.release()
+	start := time.Now()
+	results = v.applyBatchFn(updates)
+	v.applyNanos.Add(time.Since(start).Nanoseconds())
+	v.applies.Add(int64(len(updates)))
+	v.applyBatches.Add(1)
+	for _, br := range results {
+		switch {
+		case br.Err != nil:
+		case br.Result != nil && br.Result.Accepted:
+			v.appliesAccepted.Add(1)
+		default:
+			v.appliesRejected.Add(1)
+		}
+	}
+	return results, 0, true
+}
+
 // ViewStats is the wire form of GET /views/{name}/stats.
 type ViewStats struct {
-	View         string        `json:"view"`
-	Dataset      string        `json:"dataset"`
-	Strategy     string        `json:"strategy"`
-	Checks       int64         `json:"checks"`
-	CheckErrors  int64         `json:"check_errors"`
-	Applies      ApplyStats    `json:"applies"`
-	Queue        QueueStats    `json:"queue"`
+	View        string     `json:"view"`
+	Dataset     string     `json:"dataset"`
+	Strategy    string     `json:"strategy"`
+	Checks      int64      `json:"checks"`
+	CheckErrors int64      `json:"check_errors"`
+	Applies     ApplyStats `json:"applies"`
+	Queue       QueueStats `json:"queue"`
+	// QueueDepth is the number of apply requests currently
+	// running-or-waiting — the live depth Retry-After estimates drain
+	// from (the queue's capacity is Queue.Depth).
+	QueueDepth   int           `json:"queue_depth"`
 	Filter       ufilter.Stats `json:"filter"`
 	CacheHitRate float64       `json:"cache_hit_rate"`
 }
@@ -198,6 +243,9 @@ type ApplyStats struct {
 	Total    int64 `json:"total"`
 	Accepted int64 `json:"accepted"`
 	Rejected int64 `json:"rejected"`
+	// Batches counts group-commit apply-batch calls (each covering
+	// many updates under one transaction and one redo flush).
+	Batches int64 `json:"batches"`
 }
 
 // QueueStats reports the admission queue's shape and shed count.
@@ -220,12 +268,14 @@ func (v *View) Stats() ViewStats {
 			Total:    v.applies.Load(),
 			Accepted: v.appliesAccepted.Load(),
 			Rejected: v.appliesRejected.Load(),
+			Batches:  v.applyBatches.Load(),
 		},
 		Queue: QueueStats{
 			Depth:    cap(v.queue),
 			InFlight: len(v.queue),
 			Shed:     v.appliesOverflow.Load(),
 		},
+		QueueDepth:   len(v.queue),
 		Filter:       fs,
 		CacheHitRate: fs.Cache.HitRate(),
 	}
@@ -311,6 +361,7 @@ func (r *Registry) Add(vc ViewConfig) (*View, error) {
 		queue:    make(chan struct{}, depth),
 	}
 	v.applyFn = f.Apply
+	v.applyBatchFn = f.ApplyBatch
 
 	r.mu.Lock()
 	defer r.mu.Unlock()

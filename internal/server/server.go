@@ -22,6 +22,8 @@
 //	POST /views/{name}/check         schema-level Steps 1+2
 //	POST /views/{name}/check-batch   worker-pool batch check
 //	POST /views/{name}/apply         full pipeline + execution
+//	POST /views/{name}/apply-batch   group-commit batch apply (one txn,
+//	                                 one redo flush for the whole batch)
 //	GET  /views/{name}/stats         ViewStats JSON
 //	GET  /metrics                    Prometheus-style text, all views
 package server
@@ -68,6 +70,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /views/{name}/check", s.withView(s.handleCheck))
 	mux.HandleFunc("POST /views/{name}/check-batch", s.withView(s.handleCheckBatch))
 	mux.HandleFunc("POST /views/{name}/apply", s.withView(s.handleApply))
+	mux.HandleFunc("POST /views/{name}/apply-batch", s.withView(s.handleApplyBatch))
 	mux.HandleFunc("GET /views/{name}/stats", s.withView(s.handleStats))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -148,7 +151,7 @@ func (s *Server) handleListViews(w http.ResponseWriter, _ *http.Request) {
 	views := s.Registry.Views()
 	out := make([]viewInfo, len(views))
 	for i, v := range views {
-		out[i] = viewInfo{Name: v.Name, Dataset: v.Dataset, Strategy: v.Strategy.String(), QueueDepth: v.QueueDepth()}
+		out[i] = viewInfo{Name: v.Name, Dataset: v.Dataset, Strategy: v.Strategy.String(), QueueDepth: v.QueueCapacity()}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"views": out})
 }
@@ -164,7 +167,7 @@ func (s *Server) handleCreateView(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, viewInfo{Name: v.Name, Dataset: v.Dataset, Strategy: v.Strategy.String(), QueueDepth: v.QueueDepth()})
+	writeJSON(w, http.StatusCreated, viewInfo{Name: v.Name, Dataset: v.Dataset, Strategy: v.Strategy.String(), QueueDepth: v.QueueCapacity()})
 }
 
 // checkRequest is the body of /check and /apply.
@@ -229,7 +232,7 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request, v *View) {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusTooManyRequests,
-			"apply queue for view %q is full (depth %d); retry after %ds", v.Name, v.QueueDepth(), secs)
+			"apply queue for view %q is full (depth %d); retry after %ds", v.Name, v.QueueCapacity(), secs)
 		return
 	}
 	if err != nil {
@@ -237,6 +240,44 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request, v *View) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleApplyBatch runs a batch of updates through the group-commit
+// apply path: one admission slot, one transaction, one redo flush for
+// every accepted update in the batch. Per-update verdicts come back in
+// input order.
+func (s *Server) handleApplyBatch(w http.ResponseWriter, r *http.Request, v *View) {
+	var req batchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeError(w, http.StatusBadRequest, "updates must be non-empty")
+		return
+	}
+	results, retry, ok := v.ApplyBatch(req.Updates)
+	if !ok {
+		secs := int(retry / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests,
+			"apply queue for view %q is full (depth %d); retry after %ds", v.Name, v.QueueCapacity(), secs)
+		return
+	}
+	accepted := 0
+	for _, br := range results {
+		if br.Err == nil && br.Result != nil && br.Result.Accepted {
+			accepted++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":  results,
+		"accepted": accepted,
+		"rejected": len(results) - accepted,
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, v *View) {

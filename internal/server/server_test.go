@@ -252,8 +252,8 @@ func TestCreateViewInheritsDefaultQueueDepth(t *testing.T) {
 		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
 	}
 	v, _ := reg.Get("book")
-	if v.QueueDepth() != 2 {
-		t.Fatalf("queue depth = %d, want the registry default 2", v.QueueDepth())
+	if v.QueueCapacity() != 2 {
+		t.Fatalf("queue depth = %d, want the registry default 2", v.QueueCapacity())
 	}
 }
 
@@ -471,12 +471,12 @@ func TestLoadConfig(t *testing.T) {
 		}
 	}
 	b, _ := reg.Get("book")
-	if b.Strategy != ufilter.StrategyOutside || b.QueueDepth() != 4 {
-		t.Errorf("book: strategy %v depth %d", b.Strategy, b.QueueDepth())
+	if b.Strategy != ufilter.StrategyOutside || b.QueueCapacity() != 4 {
+		t.Errorf("book: strategy %v depth %d", b.Strategy, b.QueueCapacity())
 	}
 	p, _ := reg.Get("proteins")
-	if p.QueueDepth() != 2 {
-		t.Errorf("proteins depth = %d, want per-view override 2", p.QueueDepth())
+	if p.QueueCapacity() != 2 {
+		t.Errorf("proteins depth = %d, want per-view override 2", p.QueueCapacity())
 	}
 }
 

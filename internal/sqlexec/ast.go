@@ -10,6 +10,7 @@ package sqlexec
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/relational"
@@ -35,12 +36,18 @@ func (c ColRef) equalFold(o ColRef) bool {
 	return strings.EqualFold(c.Table, o.Table) && strings.EqualFold(c.Column, o.Column)
 }
 
-// Operand is one side of a predicate: either a column reference or a
-// literal value.
+// Operand is one side of a predicate: a column reference, a literal
+// value, or a parameter placeholder to be bound by a prepared
+// statement (see prepared.go).
 type Operand struct {
 	IsColumn bool
 	Col      ColRef
 	Lit      relational.Value
+	// IsParam marks a placeholder; Param is its zero-based slot in the
+	// bind-argument tuple. Statements containing unbound parameters can
+	// be prepared and printed but not executed.
+	IsParam bool
+	Param   int
 }
 
 // ColOperand builds a column operand.
@@ -51,15 +58,37 @@ func ColOperand(table, column string) Operand {
 // LitOperand builds a literal operand.
 func LitOperand(v relational.Value) Operand { return Operand{Lit: v} }
 
-// String renders the operand in SQL syntax.
+// ParamOperand builds a parameter placeholder for bind slot i.
+func ParamOperand(i int) Operand { return Operand{IsParam: true, Param: i} }
+
+// String renders the operand in SQL syntax; parameters print as ?N
+// (1-based, like Oracle's :N positional binds).
 func (o Operand) String() string {
-	if o.IsColumn {
-		return o.Col.String()
+	var b strings.Builder
+	o.writeTo(&b)
+	return b.String()
+}
+
+// writeTo renders the operand into a builder (the statement renderers'
+// hot path — no fmt machinery).
+func (o Operand) writeTo(b *strings.Builder) {
+	switch {
+	case o.IsColumn:
+		if o.Col.Table != "" {
+			b.WriteString(o.Col.Table)
+			b.WriteByte('.')
+		}
+		b.WriteString(o.Col.Column)
+	case o.IsParam:
+		b.WriteByte('?')
+		b.WriteString(strconv.Itoa(o.Param + 1))
+	case o.Lit.Kind == relational.KindString:
+		b.WriteByte('\'')
+		b.WriteString(o.Lit.Str)
+		b.WriteByte('\'')
+	default:
+		b.WriteString(o.Lit.String())
 	}
-	if o.Lit.Kind == relational.KindString {
-		return "'" + o.Lit.Str + "'"
-	}
-	return o.Lit.String()
 }
 
 // Predicate is a conjunct of a WHERE clause: either "left op right" or,
@@ -76,10 +105,26 @@ type Predicate struct {
 
 // String renders the predicate in SQL syntax.
 func (p Predicate) String() string {
+	var b strings.Builder
+	p.writeTo(&b)
+	return b.String()
+}
+
+// writeTo renders the predicate into a builder.
+func (p Predicate) writeTo(b *strings.Builder) {
+	p.Left.writeTo(b)
 	if p.InTemp != "" {
-		return fmt.Sprintf("%s IN (SELECT %s FROM %s)", p.Left, p.InTempColumn, p.InTemp)
+		b.WriteString(" IN (SELECT ")
+		b.WriteString(p.InTempColumn)
+		b.WriteString(" FROM ")
+		b.WriteString(p.InTemp)
+		b.WriteByte(')')
+		return
 	}
-	return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Right)
+	b.WriteByte(' ')
+	b.WriteString(p.Op.String())
+	b.WriteByte(' ')
+	p.Right.writeTo(b)
 }
 
 // Eq builds an equality predicate between a column and a literal.
@@ -114,27 +159,47 @@ type SelectStmt struct {
 // String renders the statement in SQL syntax.
 func (s *SelectStmt) String() string {
 	var b strings.Builder
+	s.writeTo(&b, nil)
+	return b.String()
+}
+
+// writeTo renders the statement; a non-nil args tuple substitutes
+// parameter placeholders inline (the prepared-statement probe-text
+// path, which skips materializing a bound copy).
+func (s *SelectStmt) writeTo(b *strings.Builder, args []relational.Value) {
 	b.WriteString("SELECT ")
 	if len(s.Project) == 0 {
 		b.WriteString("*")
 	} else {
-		parts := make([]string, len(s.Project))
 		for i, c := range s.Project {
-			parts[i] = c.String()
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if c.Table != "" {
+				b.WriteString(c.Table)
+				b.WriteByte('.')
+			}
+			b.WriteString(c.Column)
 		}
-		b.WriteString(strings.Join(parts, ", "))
 	}
 	b.WriteString(" FROM ")
 	b.WriteString(strings.Join(s.From, ", "))
-	if len(s.Where) > 0 {
-		parts := make([]string, len(s.Where))
-		for i, p := range s.Where {
-			parts[i] = p.String()
+	for i, p := range s.Where {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
 		}
-		b.WriteString(" WHERE ")
-		b.WriteString(strings.Join(parts, " AND "))
+		if args != nil {
+			if p.Left.IsParam {
+				p.Left = LitOperand(args[p.Left.Param])
+			}
+			if p.Right.IsParam {
+				p.Right = LitOperand(args[p.Right.Param])
+			}
+		}
+		p.writeTo(b)
 	}
-	return b.String()
 }
 
 // InsertStmt is a single-table INSERT.
@@ -151,12 +216,20 @@ func (s *InsertStmt) String() string {
 		cols = append(cols, c)
 	}
 	sort.Strings(cols)
-	vals := make([]string, len(cols))
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(s.Table)
+	b.WriteString(" (")
+	b.WriteString(strings.Join(cols, ", "))
+	b.WriteString(") VALUES (")
 	for i, c := range cols {
-		vals[i] = Operand{Lit: s.Values[c]}.String()
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		Operand{Lit: s.Values[c]}.writeTo(&b)
 	}
-	return fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
-		s.Table, strings.Join(cols, ", "), strings.Join(vals, ", "))
+	b.WriteString(")")
+	return b.String()
 }
 
 // DeleteStmt is a single-table DELETE with a conjunctive WHERE.
@@ -168,16 +241,22 @@ type DeleteStmt struct {
 // String renders the statement in SQL syntax.
 func (s *DeleteStmt) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "DELETE FROM %s", s.Table)
-	if len(s.Where) > 0 {
-		parts := make([]string, len(s.Where))
-		for i, p := range s.Where {
-			parts[i] = p.String()
-		}
-		b.WriteString(" WHERE ")
-		b.WriteString(strings.Join(parts, " AND "))
-	}
+	b.WriteString("DELETE FROM ")
+	b.WriteString(s.Table)
+	writeWhere(&b, s.Where)
 	return b.String()
+}
+
+// writeWhere renders a conjunctive WHERE clause.
+func writeWhere(b *strings.Builder, where []Predicate) {
+	for i, p := range where {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		p.writeTo(b)
+	}
 }
 
 // UpdateStmt is a single-table UPDATE with a conjunctive WHERE.
@@ -195,20 +274,19 @@ func (s *UpdateStmt) String() string {
 		cols = append(cols, c)
 	}
 	sort.Strings(cols)
-	sets := make([]string, len(cols))
-	for i, c := range cols {
-		sets[i] = fmt.Sprintf("%s = %s", c, Operand{Lit: s.Set[c]})
-	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "UPDATE %s SET %s", s.Table, strings.Join(sets, ", "))
-	if len(s.Where) > 0 {
-		parts := make([]string, len(s.Where))
-		for i, p := range s.Where {
-			parts[i] = p.String()
+	b.WriteString("UPDATE ")
+	b.WriteString(s.Table)
+	b.WriteString(" SET ")
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteString(", ")
 		}
-		b.WriteString(" WHERE ")
-		b.WriteString(strings.Join(parts, " AND "))
+		b.WriteString(c)
+		b.WriteString(" = ")
+		Operand{Lit: s.Set[c]}.writeTo(&b)
 	}
+	writeWhere(&b, s.Where)
 	return b.String()
 }
 

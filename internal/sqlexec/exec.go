@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -252,36 +253,68 @@ type normPred struct {
 	rightCol   string
 }
 
-// ExecSelect evaluates a conjunctive select-project-join query. Join
-// order is chosen greedily: the most constrained relation (literal
-// equality on an indexed column, then literal predicates, then smallest
-// cardinality) is bound first, and subsequent relations are joined via
-// index lookups whenever an index covers the join columns, falling back
-// to filtered scans otherwise.
-func (e *Executor) ExecSelect(s *SelectStmt) (*ResultSet, error) {
+// projSlot locates one projected column against the FROM sources.
+type projSlot struct {
+	table string
+	col   string
+	idx   int // column index; -1 for rowid
+}
+
+// compiledSelect is a select statement with its name resolution and
+// join planning done: sources, normalized predicates, projection slots
+// and the greedy join order. Prepared statements compile once and run
+// many times; a one-shot ExecSelect compiles and runs immediately.
+// Predicates may still contain parameter placeholders — they are bound
+// per run.
+type compiledSelect struct {
+	stmt      *SelectStmt
+	srcs      map[string]source
+	order     []string
+	joinOrder []string
+	preds     []normPred
+	columns   []ColRef
+	slots     []projSlot
+	nparams   int
+}
+
+// compileSelect resolves a conjunctive select-project-join query:
+// sources, predicate column references (canonicalizing literal-on-left
+// into literal-on-right), projection slots, and the greedy join order —
+// the most constrained relation (literal equality on an indexed column,
+// then literal predicates, then smallest cardinality) is bound first,
+// and subsequent relations are joined via index lookups whenever an
+// index covers the join columns, falling back to filtered scans
+// otherwise.
+func (e *Executor) compileSelect(s *SelectStmt) (*compiledSelect, error) {
 	if len(s.From) == 0 {
 		return nil, fmt.Errorf("sqlexec: SELECT with empty FROM")
 	}
-	srcs := make(map[string]source, len(s.From))
-	order := make([]string, 0, len(s.From))
+	cs := &compiledSelect{stmt: s}
+	cs.srcs = make(map[string]source, len(s.From))
+	cs.order = make([]string, 0, len(s.From))
 	for _, f := range s.From {
 		src, err := e.resolveSource(f)
 		if err != nil {
 			return nil, err
 		}
 		key := strings.ToLower(f)
-		if _, dup := srcs[key]; dup {
+		if _, dup := cs.srcs[key]; dup {
 			return nil, fmt.Errorf("sqlexec: relation %s listed twice in FROM (aliases unsupported)", f)
 		}
-		srcs[key] = src
-		order = append(order, key)
+		cs.srcs[key] = src
+		cs.order = append(cs.order, key)
 	}
 
 	// Normalize predicates: resolve column references and canonicalize
 	// literal-on-left into literal-on-right.
-	preds := make([]normPred, 0, len(s.Where))
+	cs.preds = make([]normPred, 0, len(s.Where))
 	for _, p := range s.Where {
 		np := normPred{p: p}
+		for _, o := range [2]Operand{p.Left, p.Right} {
+			if o.IsParam && o.Param+1 > cs.nparams {
+				cs.nparams = o.Param + 1
+			}
+		}
 		if !p.Left.IsColumn {
 			if p.Right.IsColumn && p.InTemp == "" {
 				p.Left, p.Right = p.Right, p.Left
@@ -291,62 +324,94 @@ func (e *Executor) ExecSelect(s *SelectStmt) (*ResultSet, error) {
 				return nil, fmt.Errorf("sqlexec: predicate %s has no column operand", p)
 			}
 		}
-		lt, lc, err := resolveColumn(srcs, np.p.Left.Col)
+		lt, lc, err := resolveColumn(cs.srcs, np.p.Left.Col)
 		if err != nil {
 			return nil, err
 		}
 		np.leftTable, np.leftCol = lt, lc
 		if np.p.Right.IsColumn && np.p.InTemp == "" {
-			rt, rc, err := resolveColumn(srcs, np.p.Right.Col)
+			rt, rc, err := resolveColumn(cs.srcs, np.p.Right.Col)
 			if err != nil {
 				return nil, err
 			}
 			np.rightTable, np.rightCol = rt, rc
 		}
-		preds = append(preds, np)
+		cs.preds = append(cs.preds, np)
 	}
 
 	// Greedy join-order scoring.
-	joinOrder := planJoinOrder(e, srcs, order, preds)
+	cs.joinOrder = planJoinOrder(e, cs.srcs, cs.order, cs.preds)
 
-	bind := &binding{
-		rowids: make(map[string]relational.RowID, len(order)),
-		rows:   make(map[string][]relational.Value, len(order)),
-	}
-	var out ResultSet
 	project := s.Project
 	if len(project) == 0 {
-		for _, key := range order {
-			src := srcs[key]
+		for _, key := range cs.order {
+			src := cs.srcs[key]
 			for _, c := range src.columnNames() {
 				project = append(project, ColRef{Table: src.name(), Column: c})
 			}
 		}
 	}
-	out.Columns = make([]ColRef, len(project))
-	type projSlot struct {
-		table string
-		col   string
-		idx   int // column index; -1 for rowid
-	}
-	slots := make([]projSlot, len(project))
+	cs.columns = make([]ColRef, len(project))
+	cs.slots = make([]projSlot, len(project))
 	for i, pr := range project {
-		pt, pc, err := resolveColumn(srcs, pr)
+		pt, pc, err := resolveColumn(cs.srcs, pr)
 		if err != nil {
 			return nil, err
 		}
-		out.Columns[i] = ColRef{Table: pt, Column: pc}
+		cs.columns[i] = ColRef{Table: pt, Column: pc}
 		idx := -1
 		if !strings.EqualFold(pc, rowidColumn) {
-			for j, c := range srcs[strings.ToLower(pt)].columnNames() {
+			for j, c := range cs.srcs[strings.ToLower(pt)].columnNames() {
 				if strings.EqualFold(c, pc) {
 					idx = j
 					break
 				}
 			}
 		}
-		slots[i] = projSlot{table: strings.ToLower(pt), col: pc, idx: idx}
+		cs.slots[i] = projSlot{table: strings.ToLower(pt), col: pc, idx: idx}
 	}
+	return cs, nil
+}
+
+// ExecSelect compiles and evaluates a select in one shot. Statements
+// containing parameter placeholders must go through Prepare/Bind.
+func (e *Executor) ExecSelect(s *SelectStmt) (*ResultSet, error) {
+	cs, err := e.compileSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	return e.runSelect(cs, nil)
+}
+
+// runSelect evaluates a compiled select under a bound argument tuple
+// (nil for statements without parameters).
+func (e *Executor) runSelect(cs *compiledSelect, args []relational.Value) (*ResultSet, error) {
+	if len(args) < cs.nparams {
+		return nil, fmt.Errorf("sqlexec: select needs %d bind arguments, got %d (Bind the prepared statement first)", cs.nparams, len(args))
+	}
+	s := cs.stmt
+	srcs, joinOrder, preds, slots := cs.srcs, cs.joinOrder, cs.preds, cs.slots
+	// Materialize parameter values into a run-local predicate view.
+	if cs.nparams > 0 {
+		bound := make([]normPred, len(preds))
+		copy(bound, preds)
+		for i := range bound {
+			if bound[i].p.Left.IsParam {
+				bound[i].p.Left = LitOperand(args[bound[i].p.Left.Param])
+			}
+			if bound[i].p.Right.IsParam {
+				bound[i].p.Right = LitOperand(args[bound[i].p.Right.Param])
+			}
+		}
+		preds = bound
+	}
+
+	bind := &binding{
+		rowids: make(map[string]relational.RowID, len(cs.order)),
+		rows:   make(map[string][]relational.Value, len(cs.order)),
+	}
+	var out ResultSet
+	out.Columns = cs.columns
 
 	// predicateReady reports whether every column in the predicate is
 	// bound; evaluate returns its truth under the current binding.
@@ -676,7 +741,14 @@ func planJoinOrder(e *Executor, srcs map[string]source, order []string, preds []
 // ExecInsert executes a single-table insert, surfacing the engine's
 // constraint errors (the hybrid strategy's conflict signal).
 func (e *Executor) ExecInsert(s *InsertStmt) (relational.RowID, error) {
-	e.DB.LogStatement(s.String())
+	return e.ExecInsertRendered(s, s.String())
+}
+
+// ExecInsertRendered is ExecInsert with the statement's SQL text
+// already rendered — callers that also report the text (Result.SQL)
+// stringify once.
+func (e *Executor) ExecInsertRendered(s *InsertStmt, sql string) (relational.RowID, error) {
+	e.DB.LogStatement(sql)
 	return e.DB.Insert(s.Table, s.Values)
 }
 
@@ -684,7 +756,12 @@ func (e *Executor) ExecInsert(s *InsertStmt) (relational.RowID, error) {
 // rows removed (0 is the engine's "zero tuples deleted" warning, not an
 // error — exactly the hybrid-strategy signal for statement U3).
 func (e *Executor) ExecDelete(s *DeleteStmt) (int, error) {
-	e.DB.LogStatement(s.String())
+	return e.ExecDeleteRendered(s, s.String())
+}
+
+// ExecDeleteRendered is ExecDelete with the SQL text pre-rendered.
+func (e *Executor) ExecDeleteRendered(s *DeleteStmt, sql string) (int, error) {
+	e.DB.LogStatement(sql)
 	ids, err := e.matchRows(s.Table, s.Where)
 	if err != nil {
 		return 0, err
@@ -703,7 +780,12 @@ func (e *Executor) ExecDelete(s *DeleteStmt) (int, error) {
 // ExecUpdate executes a single-table update, returning the number of
 // rows modified.
 func (e *Executor) ExecUpdate(s *UpdateStmt) (int, error) {
-	e.DB.LogStatement(s.String())
+	return e.ExecUpdateRendered(s, s.String())
+}
+
+// ExecUpdateRendered is ExecUpdate with the SQL text pre-rendered.
+func (e *Executor) ExecUpdateRendered(s *UpdateStmt, sql string) (int, error) {
+	e.DB.LogStatement(sql)
 	ids, err := e.matchRows(s.Table, s.Where)
 	if err != nil {
 		return 0, err
@@ -717,8 +799,28 @@ func (e *Executor) ExecUpdate(s *UpdateStmt) (int, error) {
 }
 
 // matchRows evaluates a single-table WHERE clause and returns matching
-// row ids. It reuses the select machinery with a rowid projection.
+// row ids. The translated statements' dominant shape — one rowid
+// equality, as probeRowIDs emits — fetches the row directly instead of
+// spinning up the join machinery; everything else reuses the select
+// path with a rowid projection.
 func (e *Executor) matchRows(table string, where []Predicate) ([]relational.RowID, error) {
+	if len(where) == 1 {
+		p := where[0]
+		if p.InTemp == "" && p.Op == relational.OpEQ &&
+			p.Left.IsColumn && strings.EqualFold(p.Left.Col.Column, rowidColumn) &&
+			(p.Left.Col.Table == "" || strings.EqualFold(p.Left.Col.Table, table)) &&
+			!p.Right.IsColumn && !p.Right.IsParam && p.Right.Lit.Kind == relational.KindInt {
+			id := relational.RowID(p.Right.Lit.Int)
+			if _, err := e.DB.Get(table, id); err != nil {
+				if errors.Is(err, relational.ErrNoSuchRow) {
+					return nil, nil // no such row: statement matches nothing
+				}
+				return nil, err // e.g. no such table
+			}
+			e.addIndexProbes(1)
+			return []relational.RowID{id}, nil
+		}
+	}
 	sel := &SelectStmt{
 		Project: []ColRef{{Table: table, Column: rowidColumn}},
 		From:    []string{table},

@@ -237,34 +237,6 @@ func TestCheckBatch(t *testing.T) {
 	}
 }
 
-// TestCacheTemplateTierBounded: the template tier's total stored
-// verdicts — across per-literal maps of many sensitive templates — are
-// bounded by cacheMaxEntries, resetting wholesale at the cap.
-func TestCacheTemplateTierBounded(t *testing.T) {
-	c := newDecisionCache()
-	res := &Result{Accepted: true}
-	// Many sensitive templates, several literals each: per-map caps
-	// would never trigger, the global bound must.
-	perTemplate := 8
-	templates := cacheMaxEntries/perTemplate + 2
-	for ti := 0; ti < templates; ti++ {
-		tkey := fmt.Sprintf("template-%d", ti)
-		for li := 0; li < perTemplate; li++ {
-			c.store("", tkey, fmt.Sprintf("lit-%d", li), nil, res, true)
-			if c.templateResults > cacheMaxEntries {
-				t.Fatalf("templateResults %d exceeds bound %d", c.templateResults, cacheMaxEntries)
-			}
-		}
-	}
-	if c.templateResults > cacheMaxEntries {
-		t.Fatalf("final templateResults %d exceeds bound", c.templateResults)
-	}
-	// The reset must have fired at least once given the volume stored.
-	if got := len(c.byTemplate); got >= templates {
-		t.Errorf("byTemplate holds %d templates; wholesale reset never fired", got)
-	}
-}
-
 // allBookUpdates lists the paper's u1..u13 corpus.
 func allBookUpdates() []string {
 	var out []string

@@ -1,132 +1,128 @@
+// Package ufilter is the public facade over the paper's contribution:
+// the three-step lightweight view update checking framework of Fig. 5
+// — update validation (Section 4), schema-driven translatability
+// reasoning / the STAR algorithm (Section 5), data-driven
+// translatability checking (Section 6) — plus the update translation
+// engine that emits the final single-table SQL statements.
+//
+// The pipeline itself lives in internal/plan, the
+// compile-once/execute-many layer: plan.Compile turns an update
+// template into an immutable UpdatePlan (resolved ops, STAR verdicts,
+// shared-check list, parameterized probe statements) and the
+// plan.Executor binds literal tuples and executes against the
+// database. Filter wraps one Executor per view, keeps the historical
+// Check/Apply/CheckBatch API, and routes everything through the
+// executor's internal plan cache — so callers get
+// compile-once/execute-many behavior without touching the plan API,
+// while Prepare/Execute expose it directly for prepared workloads.
 package ufilter
 
 import (
-	"errors"
-	"fmt"
-	"runtime"
-	"strings"
-	"sync"
-
 	"repro/internal/asg"
+	"repro/internal/plan"
 	"repro/internal/relational"
-	"repro/internal/sqlexec"
-	"repro/internal/viewengine"
 	"repro/internal/xmltree"
 	"repro/internal/xqparse"
 )
 
-// Strategy selects the data-driven update-point checking approach of
-// Section 6.2.
-type Strategy int
-
-const (
-	// StrategyHybrid translates to single-table SQL and lets the
-	// relational engine's constraint errors signal data conflicts
-	// (Section 6.2.2, hybrid).
-	StrategyHybrid Strategy = iota
-	// StrategyOutside issues a probe per target relation before
-	// translating, detecting conflicts and empty deletes early
-	// (Section 6.2.2, outside).
-	StrategyOutside
-	// StrategyInternal maps the XML view to a relational left-join view
-	// and updates that view (Section 6.2.1).
-	StrategyInternal
+// Re-exported pipeline types: the facade's API is the plan package's
+// API under the names this package has always used, so existing
+// callers (and the repro root facade) compile unchanged.
+type (
+	// Strategy selects the data-driven update-point checking approach
+	// of Section 6.2.
+	Strategy = plan.Strategy
+	// Step identifies the U-Filter step that produced a rejection.
+	Step = plan.Step
+	// Outcome is the STAR classification of Fig. 6.
+	Outcome = plan.Outcome
+	// Condition is the side condition attached to a conditionally
+	// translatable update.
+	Condition = plan.Condition
+	// StarVerdict is the STAR checking procedure's answer for one
+	// operation.
+	StarVerdict = plan.StarVerdict
+	// Result reports the outcome of checking (and optionally applying)
+	// one view update.
+	Result = plan.Result
+	// BatchResult pairs one update of a CheckBatch/ApplyBatch call with
+	// its verdict.
+	BatchResult = plan.BatchResult
+	// BlindResult reports the Fig. 14 "translate then diff then
+	// rollback" baseline execution.
+	BlindResult = plan.BlindResult
+	// CacheStats snapshots the plan cache's effectiveness counters.
+	CacheStats = plan.CacheStats
+	// Marks carries the STAR marking of one view.
+	Marks = plan.Marks
+	// UserPred is a user-update predicate compiled against the view
+	// ASG.
+	UserPred = plan.UserPred
+	// ResolvedUpdate is a parsed update bound to the view's ASG.
+	ResolvedUpdate = plan.ResolvedUpdate
+	// ResolvedOp is one update operation bound to view ASG nodes.
+	ResolvedOp = plan.ResolvedOp
+	// UpdatePlan is the immutable compile-once artifact for one update
+	// template; see Filter.Prepare.
+	UpdatePlan = plan.UpdatePlan
 )
 
-// String names the strategy.
-func (s Strategy) String() string {
-	switch s {
-	case StrategyHybrid:
-		return "hybrid"
-	case StrategyOutside:
-		return "outside"
-	case StrategyInternal:
-		return "internal"
-	default:
-		return fmt.Sprintf("Strategy(%d)", int(s))
-	}
+// Update-point strategies (Section 6.2).
+const (
+	StrategyHybrid   = plan.StrategyHybrid
+	StrategyOutside  = plan.StrategyOutside
+	StrategyInternal = plan.StrategyInternal
+)
+
+// Pipeline steps.
+const (
+	StepNone       = plan.StepNone
+	StepValidation = plan.StepValidation
+	StepSTAR       = plan.StepSTAR
+	StepData       = plan.StepData
+)
+
+// STAR classification outcomes.
+const (
+	OutcomeInvalid        = plan.OutcomeInvalid
+	OutcomeUntranslatable = plan.OutcomeUntranslatable
+	OutcomeConditional    = plan.OutcomeConditional
+	OutcomeUnconditional  = plan.OutcomeUnconditional
+)
+
+// Side conditions of conditionally translatable updates.
+const (
+	CondNone             = plan.CondNone
+	CondMinimization     = plan.CondMinimization
+	CondDupConsistency   = plan.CondDupConsistency
+	CondSharedPartsExist = plan.CondSharedPartsExist
+)
+
+// ParseStrategy maps a strategy name (as printed by Strategy.String) to
+// its value, case-insensitively. An empty name selects StrategyHybrid.
+func ParseStrategy(name string) (Strategy, error) { return plan.ParseStrategy(name) }
+
+// MarkViewASG runs the STAR marking procedure (Algorithm 1) over a
+// view's ASGs.
+func MarkViewASG(view *asg.ViewASG, base *asg.BaseASG) *Marks {
+	return plan.MarkViewASG(view, base)
 }
 
-// Step identifies the U-Filter step that produced a rejection.
-type Step int
-
-const (
-	// StepNone means the update was not rejected.
-	StepNone Step = 0
-	// StepValidation is Step 1 (update validation).
-	StepValidation Step = 1
-	// StepSTAR is Step 2 (schema-driven translatability reasoning).
-	StepSTAR Step = 2
-	// StepData is Step 3 (data-driven translatability checking).
-	StepData Step = 3
-)
-
-// Result reports the outcome of checking (and optionally applying) one
-// view update through the U-Filter pipeline. The JSON encoding is
-// stable: enum fields marshal to the same strings their String methods
-// print, so the CLI, the ufilterd server and tests share one spelling
-// of each verdict.
-type Result struct {
-	Update     *xqparse.UpdateQuery `json:"-"`
-	Accepted   bool                 `json:"accepted"`
-	RejectedAt Step                 `json:"rejected_at"`
-	Outcome    Outcome              `json:"outcome"`
-	Conditions []Condition          `json:"conditions,omitempty"`
-	Reason     string               `json:"reason,omitempty"`
-	// Probes lists the SQL text of the probe queries issued by Step 3.
-	Probes []string `json:"probes,omitempty"`
-	// SQL lists the translated statements (generated; executed when
-	// Apply was used).
-	SQL []string `json:"sql,omitempty"`
-	// RowsAffected counts base rows touched by an applied update.
-	RowsAffected int `json:"rows_affected"`
-	// Warnings carries non-fatal signals such as the engine's "zero
-	// tuples deleted" response.
-	Warnings []string `json:"warnings,omitempty"`
+// Resolve binds an update query's variables, predicates and operations
+// to nodes of the view ASG (Step 1's first half).
+func Resolve(u *xqparse.UpdateQuery, view *asg.ViewASG) (*ResolvedUpdate, error) {
+	return plan.Resolve(u, view)
 }
 
 // Filter is a compiled U-Filter instance for one view over one
-// database: the ASGs are built and STAR-marked once at view definition
-// time (the paper's "compiled once and reused thereafter"), then any
-// number of updates can be checked against them.
-//
-// Concurrency: Check, CheckParsed and CheckBatch are safe for
-// concurrent use — the schema-level steps read only the immutable ASGs
-// and marks, and the decision cache is internally synchronized. Apply,
-// ApplyParsed and BlindApply mutate the database and the executor's
-// temporary-table namespace, so the filter serializes them internally;
-// they may run concurrently with Check calls. The configuration fields
-// (Strategy, SkipSchemaChecks, DisableCache) must be set before the
-// filter is shared across goroutines.
+// database. It embeds the plan.Executor that holds the marked ASGs,
+// the SQL executor and the plan cache; the historical API (Check,
+// CheckParsed, CheckBatch, Apply, ApplyParsed, BlindApply, CacheStats)
+// is the executor's, promoted. The concurrency contract is the
+// executor's: checks fan out freely, mutating calls are serialized
+// internally.
 type Filter struct {
-	View     *asg.ViewASG
-	Base     *asg.BaseASG
-	Marks    *Marks
-	Exec     *sqlexec.Executor
-	Strategy Strategy
-
-	// SkipSchemaChecks makes Apply execute the translation without
-	// Steps 1 and 2. Benchmark use only (the Fig. 13 baseline).
-	SkipSchemaChecks bool
-
-	// DisableCache turns the schema-level decision cache off, forcing
-	// every Check through the full parse/resolve/STAR pipeline.
-	// Benchmark and debugging use only.
-	DisableCache bool
-
-	// applyMu serializes the mutating pipeline (Apply/BlindApply): the
-	// translation shares tempSeq, pendingUserPreds, the executor's
-	// temporary tables and the database's single-transaction engine.
-	applyMu sync.Mutex
-
-	// cache memoizes the Steps 1+2 verdict per update template; see
-	// cache.go. Never nil for filters built by New.
-	cache *decisionCache
-
-	tempSeq int
-	// pendingUserPreds carries the current update's predicates for the
-	// internal strategy's wide probe.
-	pendingUserPreds []UserPred
+	*plan.Executor
 }
 
 // New parses a view query, builds and marks its ASGs over the given
@@ -141,822 +137,35 @@ func New(viewQuery string, db *relational.Database) (*Filter, error) {
 		return nil, err
 	}
 	base := asg.BuildBaseASG(view, db.Schema())
-	marks := MarkViewASG(view, base)
-	return &Filter{
-		View:  view,
-		Base:  base,
-		Marks: marks,
-		Exec:  sqlexec.NewExecutor(db),
-		cache: newDecisionCache(),
-	}, nil
+	marks := plan.MarkViewASG(view, base)
+	return &Filter{Executor: plan.NewExecutor(view, base, marks, db)}, nil
 }
 
-// CacheStats snapshots the decision cache's hit/miss counters. All
-// zeros when the cache is disabled or the filter has not checked any
-// update yet.
-func (f *Filter) CacheStats() CacheStats {
-	if f.cache == nil {
-		return CacheStats{}
-	}
-	return f.cache.stats()
+// Prepare compiles an update's template into an immutable UpdatePlan:
+// resolution, Step 1 validation and Step 2 STAR verdicts run once, and
+// the plan carries parameterized probe statements plus precompiled
+// translation artifacts. Pair it with Execute/ExecuteBatch (promoted
+// from plan.Executor) for the compile-once/execute-many fast path; the
+// plain Check/Apply API reaches the same machinery through the
+// internal plan cache.
+func (f *Filter) Prepare(updateText string) (*UpdatePlan, error) {
+	return f.Executor.CompileText(updateText)
 }
 
-// Check runs the two schema-level steps only (no base-data access):
-// Step 1 validation and Step 2 STAR reasoning. Updates that pass are
-// reported Accepted with their STAR outcome; Step 3 still applies when
-// the update is executed.
-//
-// The verdict is served from the decision cache when an identical or
-// structurally-equal update was checked before: a byte-identical
-// resubmission skips even parsing, and an update that differs only in
-// predicate literal values skips resolution and STAR classification
-// (when the template's verdict provably cannot depend on the literals).
-func (f *Filter) Check(updateText string) (*Result, error) {
-	if f.cache != nil && !f.DisableCache {
-		if res, ok := f.cache.lookupText(updateText); ok {
-			return res, nil
-		}
-	}
-	u, err := xqparse.ParseUpdate(updateText)
-	if err != nil {
-		return nil, err
-	}
-	return f.checkCached(u, updateText)
+// Test-support forwarders: package-internal tests exercise pieces of
+// the pipeline that now live in internal/plan.
+func checkConjunctionSatisfiable(preds []relational.CheckPredicate) bool {
+	return plan.ConjunctionSatisfiable(preds)
 }
 
-// CheckParsed is Check over a pre-parsed update.
-func (f *Filter) CheckParsed(u *xqparse.UpdateQuery) (*Result, error) {
-	return f.checkCached(u, "")
-}
-
-// checkCached consults the template tier of the decision cache before
-// running the schema-level pipeline, and stores fresh verdicts with
-// their literal-sensitivity classification. text, when non-empty, also
-// feeds the parse-skipping text tier.
-func (f *Filter) checkCached(u *xqparse.UpdateQuery, text string) (*Result, error) {
-	if f.cache == nil || f.DisableCache {
-		res, _, err := f.checkUncached(u)
-		return res, err
-	}
-	tkey := fingerprint(u)
-	lkey := literalKey(u)
-	if res, ok := f.cache.lookupTemplate(tkey, lkey, u); ok {
-		if text != "" {
-			f.cache.storeText(text, u, res)
-		}
-		return res, nil
-	}
-	res, sensitive, err := f.checkUncached(u)
-	if err != nil {
-		return nil, err
-	}
-	f.cache.store(text, tkey, lkey, u, res, sensitive)
-	return res, nil
-}
-
-// checkUncached is the uncached schema-level pipeline: Step 1
-// (resolution + validation) and Step 2 (STAR). It also classifies the
-// verdict's literal sensitivity for the cache (see fingerprint.go).
-func (f *Filter) checkUncached(u *xqparse.UpdateQuery) (*Result, bool, error) {
-	res := &Result{Update: u}
-	r, err := Resolve(u, f.View)
-	if err != nil {
-		var re *resolveError
-		if errors.As(err, &re) {
-			res.RejectedAt = StepValidation
-			res.Outcome = OutcomeInvalid
-			res.Reason = re.msg
-			// Resolution failed before leaf types were known; classify
-			// sensitivity from the literal kinds alone (conservative).
-			return res, literalSensitiveSyntactic(u), nil
-		}
-		return nil, false, err
-	}
-	sensitive := literalSensitiveResolved(u, r)
-	if err := Validate(r); err != nil {
-		var ve *validationError
-		if errors.As(err, &ve) {
-			res.RejectedAt = StepValidation
-			res.Outcome = OutcomeInvalid
-			res.Reason = ve.msg
-			return res, sensitive, nil
-		}
-		return nil, false, err
-	}
-	// Step 2: STAR checking per operation; the most pessimistic verdict
-	// wins and the first untranslatable op rejects the update.
-	res.Outcome = OutcomeUnconditional
-	for i := range r.Ops {
-		ro := &r.Ops[i]
-		verdicts := f.starVerdicts(ro)
-		for _, v := range verdicts {
-			switch v.Outcome {
-			case OutcomeUntranslatable:
-				res.RejectedAt = StepSTAR
-				res.Outcome = OutcomeUntranslatable
-				res.Reason = v.Reason
-				return res, sensitive, nil
-			case OutcomeConditional:
-				res.Outcome = OutcomeConditional
-				res.Conditions = append(res.Conditions, v.Conditions...)
-				if res.Reason == "" {
-					res.Reason = v.Reason
-				}
-			case OutcomeUnconditional:
-				if res.Reason == "" {
-					res.Reason = v.Reason
-				}
-			}
-		}
-	}
-	res.Accepted = true
-	return res, sensitive, nil
-}
-
-// starVerdicts applies the STAR checking procedure to one resolved op.
-// Replace is delete-then-insert (footnote 4), but leaf/tag replaces are
-// value updates and always translatable once valid.
-func (f *Filter) starVerdicts(ro *ResolvedOp) []StarVerdict {
-	switch ro.Op.Kind {
-	case xqparse.OpDelete:
-		return []StarVerdict{f.Marks.CheckDelete(ro.Target)}
-	case xqparse.OpInsert:
-		return []StarVerdict{f.Marks.CheckInsert(ro.Target)}
-	case xqparse.OpReplace:
-		if ro.Target.Kind == asg.KindInternal {
-			return []StarVerdict{f.Marks.CheckDelete(ro.Target), f.Marks.CheckInsert(ro.Target)}
-		}
-		return []StarVerdict{{Outcome: OutcomeUnconditional, Reason: "leaf replace translates to an UPDATE"}}
-	}
-	return nil
-}
-
-// BatchResult pairs one update of a CheckBatch call with its verdict.
-// Exactly one of Result and Err is set.
-type BatchResult struct {
-	// Index is the update's position in the input slice.
-	Index int
-	// Result is the schema-level verdict, nil when Err is set.
-	Result *Result
-	// Err reports a parse or internal error for this update only.
-	Err error
-}
-
-// CheckBatch fans a slice of updates across a worker pool and runs the
-// schema-level Check on each, returning per-update results in input
-// order. All workers share the filter's decision cache, so batches with
-// repeated templates — the production shape the paper's "lightweight"
-// claim targets — are answered mostly from memory. workers <= 0 selects
-// GOMAXPROCS; a batch smaller than the pool uses one worker per update.
-func (f *Filter) CheckBatch(updates []string, workers int) []BatchResult {
-	out := make([]BatchResult, len(updates))
-	if len(updates) == 0 {
-		return out
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(updates) {
-		workers = len(updates)
-	}
-	next := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				res, err := f.Check(updates[i])
-				out[i] = BatchResult{Index: i, Result: res, Err: err}
-			}
-		}()
-	}
-	for i := range updates {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out
-}
-
-// Apply runs the full pipeline: Steps 1 and 2, then Step 3's probe
-// queries and update-point checking under the configured strategy, and
-// finally executes the translated statements. A rejected update leaves
-// the database untouched.
-func (f *Filter) Apply(updateText string) (*Result, error) {
-	u, err := xqparse.ParseUpdate(updateText)
-	if err != nil {
-		return nil, err
-	}
-	return f.ApplyParsed(u)
-}
-
-// ApplyParsed is Apply over a pre-parsed update. Applies are serialized
-// with each other (and with BlindApply): Step 3 and the translation
-// share the executor's temporary tables and the engine's
-// single-transaction machinery.
-func (f *Filter) ApplyParsed(u *xqparse.UpdateQuery) (*Result, error) {
-	f.applyMu.Lock()
-	defer f.applyMu.Unlock()
-	var res *Result
-	var err error
-	if f.SkipSchemaChecks {
-		// Benchmark mode (Fig. 13's "Update" bar): execute the
-		// translation without the schema-level steps. Only safe for
-		// updates known to be translatable.
-		res = &Result{Update: u, Outcome: OutcomeUnconditional}
-	} else {
-		res, err = f.CheckParsed(u)
-		if err != nil || !res.Accepted {
-			return res, err
-		}
-	}
-	r, err := Resolve(u, f.View)
-	if err != nil {
-		return nil, err // cannot happen: CheckParsed resolved already
-	}
-	res.Accepted = false
-	f.pendingUserPreds = r.UserPreds
-	defer func() { f.pendingUserPreds = nil }()
-
-	txn := f.Exec.DB.Begin()
-	committed := false
-	defer func() {
-		if !committed {
-			txn.Rollback()
-		}
-	}()
-
-	for i := range r.Ops {
-		ro := &r.Ops[i]
-		probe, tempName, reject, err := f.contextCheck(ro, r.UserPreds, res)
-		if err != nil {
-			return nil, err
-		}
-		if reject != "" {
-			res.RejectedAt = StepData
-			res.Reason = reject
-			return res, nil
-		}
-		var tr *opTranslation
-		switch ro.Op.Kind {
-		case xqparse.OpDelete:
-			tr, err = f.translateDelete(ro, probe, tempName, res)
-		case xqparse.OpInsert:
-			tr, err = f.translateInsert(ro, probe)
-		case xqparse.OpReplace:
-			tr, err = f.translateReplace(ro, probe)
-		}
-		if err != nil {
-			var ve *validationError
-			if errors.As(err, &ve) {
-				res.RejectedAt = StepValidation
-				res.Outcome = OutcomeInvalid
-				res.Reason = ve.msg
-				return res, nil
-			}
-			return nil, err
-		}
-		if reject, err := f.runSharedChecks(tr.SharedChecks, res); err != nil {
-			return nil, err
-		} else if reject != "" {
-			res.RejectedAt = StepData
-			res.Reason = reject
-			return res, nil
-		}
-		reject, err = f.executeStatements(ro, tr.Statements, res)
-		if err != nil {
-			return nil, err
-		}
-		if reject != "" {
-			res.RejectedAt = StepData
-			res.Reason = reject
-			return res, nil
-		}
-	}
-	if err := txn.Commit(); err != nil {
-		return nil, err
-	}
-	committed = true
-	res.Accepted = true
-	return res, nil
-}
-
-// contextCheck runs the data-driven update context check (Section 6.1):
-// it probes whether the view element the update anchors at exists, and
-// materializes the probe result for reuse by the translation.
-func (f *Filter) contextCheck(ro *ResolvedOp, userPreds []UserPred, res *Result) (*sqlexec.ResultSet, string, string, error) {
-	c := ro.Context
-	sel := f.buildContextProbe(c, userPreds, relsNeededByOp(ro))
-	if sel == nil {
-		return nil, "", "", nil
-	}
-	rs, err := f.Exec.ExecSelect(sel)
-	if err != nil {
-		return nil, "", "", err
-	}
-	res.Probes = append(res.Probes, sel.String())
-	if rs.Empty() {
-		return nil, "", fmt.Sprintf("update context <%s> does not exist in the view (probe %q returned no rows)",
-			c.Name, sel.String()), nil
-	}
-	f.tempSeq++
-	tempName := fmt.Sprintf("TAB_%s_%d", strings.ToLower(c.Name), f.tempSeq)
-	f.Exec.Materialize(tempName, rs)
-	return rs, tempName, "", nil
-}
-
-// runSharedChecks verifies the CondSharedPartsExist probes: each shared
-// relation's row must already exist (otherwise the insert would surface
-// a new instance of another view node — a side effect) and must agree
-// with the fragment's values (duplication consistency).
-func (f *Filter) runSharedChecks(checks []sharedCheck, res *Result) (string, error) {
-	for _, chk := range checks {
-		sel := &sqlexec.SelectStmt{From: []string{chk.Rel}}
-		for i, c := range chk.KeyCols {
-			sel.Where = append(sel.Where, sqlexec.Eq(chk.Rel, c, chk.KeyVals[i]))
-		}
-		rs, err := f.Exec.ExecSelect(sel)
-		if err != nil {
-			return "", err
-		}
-		res.Probes = append(res.Probes, sel.String())
-		if rs.Empty() {
-			return fmt.Sprintf("inserting would create a new %s row, causing another view element to appear (shared part %v missing)",
-				chk.Rel, chk.KeyVals), nil
-		}
-		for col, want := range chk.AllCols {
-			ci, ok := rs.ColumnIndex(sqlexec.ColRef{Table: chk.Rel, Column: col})
-			if !ok {
-				continue
-			}
-			got := rs.Rows[0][ci]
-			if !want.IsNull() && !got.Equal(want) {
-				return fmt.Sprintf("duplication consistency violated: %s.%s is %s in the base but %s in the inserted element",
-					chk.Rel, col, got, want), nil
-			}
-		}
-	}
-	return "", nil
-}
-
-// executeStatements runs the translated statements under the configured
-// update-point strategy. It returns a non-empty rejection reason when a
-// data conflict is detected.
-func (f *Filter) executeStatements(ro *ResolvedOp, stmts []sqlexec.Statement, res *Result) (string, error) {
-	switch f.Strategy {
-	case StrategyInternal:
-		return f.executeInternal(ro, stmts, res)
-	case StrategyOutside:
-		return f.executeOutside(stmts, res)
-	default:
-		return f.executeHybrid(stmts, res)
-	}
-}
-
-// executeHybrid feeds the statements straight to the engine and
-// interprets constraint errors as data conflicts and zero-row deletes
-// as warnings (Section 6.2.2, hybrid strategy).
-func (f *Filter) executeHybrid(stmts []sqlexec.Statement, res *Result) (string, error) {
-	for _, st := range stmts {
-		res.SQL = append(res.SQL, st.String())
-		switch s := st.(type) {
-		case *sqlexec.InsertStmt:
-			if _, err := f.Exec.ExecInsert(s); err != nil {
-				if relational.IsConstraintViolation(err) {
-					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
-				}
-				return "", err
-			}
-			res.RowsAffected++
-		case *sqlexec.DeleteStmt:
-			n, err := f.Exec.ExecDelete(s)
-			if err != nil {
-				if relational.IsConstraintViolation(err) {
-					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
-				}
-				return "", err
-			}
-			if n == 0 {
-				res.Warnings = append(res.Warnings, fmt.Sprintf("zero tuples deleted by %q", s.String()))
-			}
-			res.RowsAffected += n
-		case *sqlexec.UpdateStmt:
-			n, err := f.Exec.ExecUpdate(s)
-			if err != nil {
-				if relational.IsConstraintViolation(err) {
-					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
-				}
-				return "", err
-			}
-			res.RowsAffected += n
-		}
-	}
-	return "", nil
-}
-
-// executeOutside probes for conflicts before issuing each statement
-// (Section 6.2.2, outside strategy): inserts are preceded by a key
-// probe, deletes by an existence probe that suppresses the statement
-// when nothing matches (early failure detection).
-func (f *Filter) executeOutside(stmts []sqlexec.Statement, res *Result) (string, error) {
-	for _, st := range stmts {
-		switch s := st.(type) {
-		case *sqlexec.InsertStmt:
-			def, ok := f.Exec.DB.Schema().Table(s.Table)
-			if ok && len(def.PrimaryKey) > 0 {
-				probe := &sqlexec.SelectStmt{
-					Project: []sqlexec.ColRef{{Table: s.Table, Column: "rowid"}},
-					From:    []string{s.Table},
-					NoIndex: true,
-				}
-				complete := true
-				for _, pk := range def.PrimaryKey {
-					v, present := s.Values[strings.ToLower(pk)]
-					if !present {
-						v, present = s.Values[pk]
-					}
-					if !present || v.IsNull() {
-						complete = false
-						break
-					}
-					probe.Where = append(probe.Where, sqlexec.Eq(s.Table, pk, v))
-				}
-				if complete {
-					rs, err := f.Exec.ExecSelect(probe)
-					if err != nil {
-						return "", err
-					}
-					res.Probes = append(res.Probes, probe.String())
-					if !rs.Empty() {
-						return fmt.Sprintf("data conflict detected by probe: a %s row with the same key already exists", s.Table), nil
-					}
-				}
-			}
-			res.SQL = append(res.SQL, s.String())
-			if _, err := f.Exec.ExecInsert(s); err != nil {
-				if relational.IsConstraintViolation(err) {
-					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
-				}
-				return "", err
-			}
-			res.RowsAffected++
-		case *sqlexec.DeleteStmt:
-			probe := &sqlexec.SelectStmt{
-				Project: []sqlexec.ColRef{{Table: s.Table, Column: "rowid"}},
-				From:    []string{s.Table},
-				Where:   s.Where,
-				NoIndex: true,
-			}
-			rs, err := f.Exec.ExecSelect(probe)
-			if err != nil {
-				return "", err
-			}
-			res.Probes = append(res.Probes, probe.String())
-			if rs.Empty() {
-				res.Warnings = append(res.Warnings,
-					fmt.Sprintf("probe found no tuples to delete; %q not issued", s.String()))
-				continue
-			}
-			// The probe confirmed matching rows exist; issue the
-			// translated statement (the outside strategy probes, then
-			// feeds the same update sequence to the engine).
-			res.SQL = append(res.SQL, s.String())
-			n, err := f.Exec.ExecDelete(s)
-			if err != nil {
-				if relational.IsConstraintViolation(err) {
-					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
-				}
-				return "", err
-			}
-			res.RowsAffected += n
-		case *sqlexec.UpdateStmt:
-			res.SQL = append(res.SQL, s.String())
-			n, err := f.Exec.ExecUpdate(s)
-			if err != nil {
-				if relational.IsConstraintViolation(err) {
-					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
-				}
-				return "", err
-			}
-			res.RowsAffected += n
-		}
-	}
-	return "", nil
-}
-
-// translateReplace translates a replace: for tag/leaf targets it is a
-// single-column UPDATE; internal targets decompose into delete+insert.
-func (f *Filter) translateReplace(ro *ResolvedOp, probe *sqlexec.ResultSet) (*opTranslation, error) {
-	t := ro.Target
-	switch t.Kind {
-	case asg.KindLeaf, asg.KindTag:
-		leaf := t
-		if t.Kind == asg.KindTag {
-			leaf = t.LeafUnder()
-		}
-		raw := strings.TrimSpace(ro.Op.Content.TextContent())
-		var v relational.Value
-		if raw == "" {
-			v = relational.Null()
-		} else {
-			var err error
-			v, err = relational.String_(raw).CoerceTo(leaf.Type)
-			if err != nil {
-				return nil, invalidf("replacement value %q is not in the domain of %s", raw, leaf.RelAttr())
-			}
-		}
-		ids, err := probeRowIDs(probe, leaf.RelName)
-		if err != nil {
-			return nil, err
-		}
-		out := &opTranslation{}
-		for _, id := range ids {
-			out.Statements = append(out.Statements, &sqlexec.UpdateStmt{
-				Table: leaf.RelName,
-				Set:   map[string]relational.Value{leaf.ColName: v},
-				Where: []sqlexec.Predicate{sqlexec.Eq(leaf.RelName, "rowid", relational.Int_(int64(id)))},
-			})
-		}
-		return out, nil
-	default:
-		del, err := f.translateDelete(ro, probe, "", nil)
-		if err != nil {
-			return nil, err
-		}
-		insOp := &ResolvedOp{
-			Op:      xqparse.UpdateOp{Kind: xqparse.OpInsert, Content: ro.Op.Content},
-			Context: ro.Context,
-			Target:  ro.Target,
-		}
-		ins, err := f.translateInsert(insOp, probe)
-		if err != nil {
-			return nil, err
-		}
-		return &opTranslation{
-			Statements:   append(del.Statements, ins.Statements...),
-			SharedChecks: ins.SharedChecks,
-		}, nil
-	}
-}
-
-// BlindResult reports the baseline "translate without checking"
-// execution used by the Fig. 14 experiment.
-type BlindResult struct {
-	SideEffect  bool
-	RowsTouched int
-	RolledBack  bool
-	ViewNodes   int // size of the materialized view (comparison cost)
-}
-
-// BlindApply is the paper's strawman: translate the update directly
-// (no STAR check), execute it, detect view side effects by comparing
-// the materialized view before and after (as SQL-Server does, per the
-// paper), and roll back when a side effect is found. It is deliberately
-// expensive — this is the baseline U-Filter avoids.
-func (f *Filter) BlindApply(updateText string) (*BlindResult, error) {
-	f.applyMu.Lock()
-	defer f.applyMu.Unlock()
-	u, err := xqparse.ParseUpdate(updateText)
-	if err != nil {
-		return nil, err
-	}
-	r, err := Resolve(u, f.View)
-	if err != nil {
-		return nil, err
-	}
-	eng := &viewengine.Engine{Exec: f.Exec}
-	before, err := eng.Materialize(f.View.Query)
-	if err != nil {
-		return nil, err
-	}
-	res := &BlindResult{ViewNodes: before.Count()}
-
-	txn := f.Exec.DB.Begin()
-	dummy := &Result{}
-	touched := 0
-	for i := range r.Ops {
-		ro := &r.Ops[i]
-		probe, tempName, reject, err := f.contextCheck(ro, r.UserPreds, dummy)
-		if err != nil {
-			txn.Rollback()
-			return nil, err
-		}
-		if reject != "" {
-			continue
-		}
-		tr, err := f.blindTranslate(ro, probe, tempName)
-		if err != nil {
-			txn.Rollback()
-			return nil, err
-		}
-		for _, st := range tr.Statements {
-			switch s := st.(type) {
-			case *sqlexec.InsertStmt:
-				if _, err := f.Exec.ExecInsert(s); err == nil {
-					touched++
-				}
-			case *sqlexec.DeleteStmt:
-				n, _ := f.Exec.ExecDelete(s)
-				touched += n
-			case *sqlexec.UpdateStmt:
-				n, _ := f.Exec.ExecUpdate(s)
-				touched += n
-			}
-		}
-	}
-	res.RowsTouched = touched
-
-	after, err := eng.Materialize(f.View.Query)
-	if err != nil {
-		txn.Rollback()
-		return nil, err
-	}
-	// Side-effect detection: elements other than the update's own
-	// targets must be unchanged. Comparing per-tag element populations
-	// is the cheap-but-honest equivalent of the paper's view diff.
-	res.SideEffect = f.detectSideEffect(r, before, after)
-	if res.SideEffect {
-		if err := txn.Rollback(); err != nil {
-			return nil, err
-		}
-		res.RolledBack = true
-	} else if err := txn.Commit(); err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-// blindTranslate mirrors translateDelete/translateInsert but without
-// the safety net: unsafe deletes fall back to deleting the relation
-// that owns the element's direct content — exactly the naive
-// translation whose side effects the baseline then has to discover.
-func (f *Filter) blindTranslate(ro *ResolvedOp, probe *sqlexec.ResultSet, tempName string) (*opTranslation, error) {
-	if ro.Op.Kind == xqparse.OpDelete && ro.Target.Kind == asg.KindInternal && ro.Target.DeleteAnchor == "" {
-		// Pick the relation owning most of the element's direct leaves.
-		counts := map[string]int{}
-		for _, c := range ro.Target.Children {
-			if c.Kind == asg.KindTag && c.RelName != "" {
-				counts[c.RelName]++
-			}
-		}
-		best, bestN := "", -1
-		for r, n := range counts {
-			if n > bestN {
-				best, bestN = r, n
-			}
-		}
-		if best == "" {
-			cr := ro.Target.CR().Names()
-			if len(cr) > 0 {
-				best = cr[0]
-			} else {
-				best = ro.Target.UPBinding.Names()[0]
-			}
-		}
-		ro.Target.DeleteAnchor = best
-		defer func() { ro.Target.DeleteAnchor = "" }()
-		return f.translateDelete(ro, probe, tempName, nil)
-	}
-	switch ro.Op.Kind {
-	case xqparse.OpDelete:
-		return f.translateDelete(ro, probe, tempName, nil)
-	case xqparse.OpInsert:
-		return f.translateInsert(ro, probe)
-	default:
-		return f.translateReplace(ro, probe)
-	}
-}
-
-// detectSideEffect builds the expected view — the before-image with
-// exactly the update's own target instances removed — and compares it
-// against the actual after-image, the paper's "compare the view before
-// the update and after the update" baseline check. Any difference
-// beyond the intended edit is a side effect.
-func (f *Filter) detectSideEffect(r *ResolvedUpdate, before, after *xmltree.Node) bool {
-	expected := before.Clone()
-	for i := range r.Ops {
-		ro := &r.Ops[i]
-		switch ro.Op.Kind {
-		case xqparse.OpDelete:
-			target := ro.Target
-			if target.Kind == asg.KindLeaf {
-				target = target.Parent
-			}
-			removeMatchingInstances(expected, target, r.UserPreds)
-		case xqparse.OpInsert:
-			// The inserted instance should appear under each matching
-			// context; append a copy so a correct insert diffs clean.
-			for _, ctx := range instancesOf(expected, ro.Context) {
-				if matchesPreds(ctx, ro.Context, r.UserPreds) {
-					ctx.Append(ro.Op.Content.Clone())
-				}
-			}
-		}
-	}
-	return !expected.Equal(after)
-}
-
-// pathFromRoot lists the tag names from the view root down to n.
-func pathFromRoot(n *asg.Node) []string {
-	var rev []string
-	for cur := n; cur != nil && cur.Kind != asg.KindRoot; cur = cur.Parent {
-		rev = append(rev, cur.Name)
-	}
-	out := make([]string, len(rev))
-	for i := range rev {
-		out[i] = rev[len(rev)-1-i]
-	}
-	return out
-}
-
-// instancesOf returns the XML instances of a view ASG node in a
-// materialized document.
-func instancesOf(doc *xmltree.Node, n *asg.Node) []*xmltree.Node {
-	path := pathFromRoot(n)
-	if len(path) == 0 {
-		return []*xmltree.Node{doc}
-	}
-	return doc.FindAll(path...)
-}
-
-// predWithin reports whether the predicate's leaf lies in the subtree
-// of the given node.
-func predWithin(up UserPred, node *asg.Node) bool {
-	for cur := up.Leaf.Parent; cur != nil; cur = cur.Parent {
-		if cur == node {
-			return true
-		}
-	}
-	return false
-}
-
-// matchesPreds evaluates the user predicates that live inside the given
-// node's subtree against one instance. Predicates anchored elsewhere
-// are treated as matching (conservative).
-func matchesPreds(inst *xmltree.Node, node *asg.Node, preds []UserPred) bool {
-	for _, up := range preds {
-		// Relative path from node down to the predicate's tag.
-		var rev []string
-		cur := up.Leaf.Parent
-		for ; cur != nil && cur != node; cur = cur.Parent {
-			rev = append(rev, cur.Name)
-		}
-		if cur != node {
-			continue // predicate anchored outside this subtree
-		}
-		path := make([]string, len(rev))
-		for i := range rev {
-			path[i] = rev[len(rev)-1-i]
-		}
-		tag := inst
-		if len(path) > 0 {
-			tag = inst.Find(path...)
-		}
-		if tag == nil {
-			return false
-		}
-		v, err := relational.String_(tag.TextContent()).CoerceTo(up.Leaf.Type)
-		if err != nil {
-			return false
-		}
-		if !up.Op.Apply(v, up.Lit) {
-			return false
-		}
-	}
-	return true
-}
-
-// removeMatchingInstances deletes from the document every instance of
-// the target node whose subtree satisfies the user predicates.
 func removeMatchingInstances(doc *xmltree.Node, target *asg.Node, preds []UserPred) {
-	path := pathFromRoot(target)
-	if len(path) == 0 {
-		return
-	}
-	parents := []*xmltree.Node{doc}
-	if len(path) > 1 {
-		parents = doc.FindAll(path[:len(path)-1]...)
-	}
-	tag := path[len(path)-1]
-	// Predicates anchored inside the target evaluate per instance;
-	// those anchored higher filter the parent instances.
-	var parentPreds []UserPred
-	if target.Parent != nil {
-		for _, up := range preds {
-			if predWithin(up, target.Parent) && !predWithin(up, target) {
-				parentPreds = append(parentPreds, up)
-			}
-		}
-	}
-	for _, p := range parents {
-		if target.Parent != nil && !matchesPreds(p, target.Parent, parentPreds) {
-			continue
-		}
-		for _, inst := range p.ChildrenNamed(tag) {
-			if matchesPreds(inst, target, preds) {
-				p.RemoveChild(inst)
-			}
-		}
-	}
+	plan.RemoveMatchingInstances(doc, target, preds)
+}
+
+func matchesPreds(inst *xmltree.Node, node *asg.Node, preds []UserPred) bool {
+	return plan.MatchesPreds(inst, node, preds)
+}
+
+func instancesOf(doc *xmltree.Node, n *asg.Node) []*xmltree.Node {
+	return plan.InstancesOf(doc, n)
 }
