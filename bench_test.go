@@ -611,3 +611,72 @@ FOR $book IN document("BookView.xml")/book
 WHERE $book/bookid/text() = %q AND $book/title/text() = %q
 UPDATE $book { REPLACE $book/price WITH <price>42.50</price> }`, bookid, title)
 }
+
+// BenchmarkCheckDuringApply measures the snapshot-isolated read path:
+// schema checks and snapshot-pinned data checks while a writer loops
+// group-commit ApplyBatch calls back to back. Under MVCC a check never
+// waits on the apply, so per-op time must stay in the same regime as
+// an idle system's (cmd/benchrunner -only mvcc records the p50/p99
+// series as BENCH_mvcc.json for CI).
+func BenchmarkCheckDuringApply(b *testing.B) {
+	db, err := bookdb.NewDatabase(relational.DeleteCascade)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := ufilter.New(bookdb.ViewQuery, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	checkText := `
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Data on the Web"
+UPDATE $book { DELETE $book/review }`
+	insertText := func(i int) string {
+		return fmt.Sprintf(`
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Data on the Web"
+UPDATE $book { INSERT <review><reviewid>%d</reviewid><comment> bench </comment></review> }`, 600000+i)
+	}
+	done := make(chan struct{})
+	applyDone := make(chan struct{})
+	go func() {
+		defer close(applyDone)
+		for n := 0; ; n++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			batch := make([]string, 0, 17)
+			for i := 0; i < 16; i++ {
+				batch = append(batch, insertText(n*16+i))
+			}
+			batch = append(batch, checkText) // restoring delete
+			for _, br := range f.ApplyBatch(batch) {
+				if br.Err != nil || br.Result == nil || !br.Result.Accepted {
+					// The writer must really write, or the "during
+					// apply" measurement is vacuous.
+					panic(fmt.Sprintf("apply writer failed: %+v %v", br.Result, br.Err))
+				}
+			}
+		}
+	}()
+	b.Run("check", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := f.Check(checkText)
+			if err != nil || !res.Accepted {
+				b.Fatalf("check = %+v, %v", res, err)
+			}
+		}
+	})
+	b.Run("data-check", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := f.CheckData(checkText)
+			if err != nil || !res.Accepted {
+				b.Fatalf("data check = %+v, %v", res, err)
+			}
+		}
+	})
+	close(done)
+	<-applyDone
+}

@@ -25,9 +25,11 @@ func main() {
 	sizesFlag := flag.String("sizes", "50,100,150,200,250,300,350,400,450,500",
 		"comma-separated database sizes (MB) for Figs. 15-17")
 	iters := flag.Int("iters", 20, "operations per size for Figs. 15-17")
-	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan")
+	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan,mvcc")
 	planIters := flag.Int("plan-iters", 2000, "iterations for the plan (compile-once/execute-many) benchmark")
 	planOut := flag.String("plan-out", "BENCH_plan.json", "file the plan benchmark's JSON is written to")
+	mvccIters := flag.Int("mvcc-iters", 2000, "checks per side for the MVCC checks-during-apply benchmark")
+	mvccOut := flag.String("mvcc-out", "BENCH_mvcc.json", "file the MVCC benchmark's JSON is written to")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -65,6 +67,9 @@ func main() {
 	}
 	if run("plan") {
 		printPlanBench(*planIters, *planOut)
+	}
+	if run("mvcc") {
+		printMVCCBench(*mvccIters, *mvccOut)
 	}
 }
 
@@ -181,6 +186,35 @@ func printPlanBench(iters int, outPath string) {
 	fmt.Printf("%-28s %14d %11.2fx\n", "apply prepared Execute", pb.ApplyPlanNsOp, pb.ApplySpeedup)
 	if outPath != "" {
 		data, err := json.MarshalIndent(pb, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+// printMVCCBench runs BenchmarkCheckDuringApply's harness — check
+// latency percentiles idle vs racing a saturating group-commit writer
+// — and records the series as JSON so CI tracks whether the snapshot-
+// isolated read path keeps check latency independent of apply load.
+func printMVCCBench(iters int, outPath string) {
+	header("MVCC — checks during apply (snapshot-isolated read path)")
+	mb, err := experiments.RunMVCCBench(iters)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-26s %12s %12s %8s\n", "Path", "p50 ns", "p99 ns", "ratio")
+	fmt.Printf("%-26s %12d %12d %8s\n", "check idle", mb.CheckIdleP50Ns, mb.CheckIdleP99Ns, "")
+	fmt.Printf("%-26s %12d %12d %7.2fx\n", "check during apply", mb.CheckBusyP50Ns, mb.CheckBusyP99Ns, mb.CheckP99Ratio)
+	fmt.Printf("%-26s %12d %12d %8s\n", "data check idle", mb.DataCheckIdleP50Ns, mb.DataCheckIdleP99Ns, "")
+	fmt.Printf("%-26s %12d %12d %7.2fx\n", "data check during apply", mb.DataCheckBusyP50Ns, mb.DataCheckBusyP99Ns, mb.DataCheckP99Ratio)
+	fmt.Printf("applies committed during busy side: %d; snapshots opened: %d; versions reclaimed: %d\n",
+		mb.AppliesDuringBusy, mb.SnapshotsOpened, mb.VersionsReclaimed)
+	if outPath != "" {
+		data, err := json.MarshalIndent(mb, "", "  ")
 		if err != nil {
 			fatal(err)
 		}

@@ -58,6 +58,7 @@ func main() {
 	batch := flag.Bool("batch", false, `check many updates from stdin (";" line separates updates)`)
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "after a batch, print decision-cache statistics")
+	snapshotStats := flag.Bool("snapshot-stats", false, "after the run, print MVCC version-chain depth and reclaim counters (retention-leak debugging)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON (one object per update) — the same encoding ufilterd serves")
 	flag.Parse()
 
@@ -87,7 +88,11 @@ func main() {
 		if *marks {
 			fail(fmt.Errorf("-batch reads updates from stdin and cannot be combined with -marks"))
 		}
-		os.Exit(runBatch(f, os.Stdin, *workers, *stats, *jsonOut))
+		code := runBatch(f, os.Stdin, *workers, *stats, *jsonOut)
+		if *snapshotStats {
+			printSnapshotStats(f, *jsonOut)
+		}
+		os.Exit(code)
 	}
 
 	if *marks {
@@ -129,9 +134,28 @@ func main() {
 	} else {
 		printResult(res, *apply)
 	}
+	if *snapshotStats {
+		printSnapshotStats(f, *jsonOut)
+	}
 	if !res.Accepted {
 		os.Exit(2)
 	}
+}
+
+// printSnapshotStats reports the MVCC version store's shape after a
+// run: chain depth and stored-version counts expose retention leaks
+// (a forgotten snapshot pins history and chains keep growing), the
+// reclaim counters show whether the reclaimer is keeping up.
+func printSnapshotStats(f *repro.Filter, jsonOut bool) {
+	vs := f.Exec.DB.VersionStats()
+	if jsonOut {
+		printJSON(map[string]any{"versions": vs})
+		return
+	}
+	fmt.Printf("mvcc: live-rows=%d versions=%d max-chain-depth=%d commit-seq=%d\n",
+		vs.LiveRows, vs.Versions, vs.MaxChainDepth, vs.CommitSeq)
+	fmt.Printf("mvcc: snapshots active=%d opened=%d; reclaimed=%d versions in %d passes\n",
+		vs.SnapshotsActive, vs.SnapshotsOpened, vs.VersionsReclaimed, vs.Reclaims)
 }
 
 // printJSON emits one value in the shared wire encoding (the same the

@@ -118,6 +118,10 @@ func runServer(cfg *server.Config, addr string) error {
 	if err != nil {
 		return err
 	}
+	// Background MVCC reclaimers keep version chains shallow while
+	// snapshots come and go with check-batch and stats traffic.
+	stopReclaimers := srv.Registry.StartReclaimers(2 * time.Second)
+	defer stopReclaimers()
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return err
@@ -160,6 +164,8 @@ func runLoadgen(cfg *server.Config, addr, target, viewName string, clients int, 
 		if err != nil {
 			return err
 		}
+		stopReclaimers := srv.Registry.StartReclaimers(time.Second)
+		defer stopReclaimers()
 		go func() { _ = srv.Serve() }()
 		base = "http://" + bound
 		fmt.Printf("ufilterd loadgen: booted in-process server on %s\n", bound)
@@ -213,6 +219,19 @@ UPDATE $book {
 					}
 					continue
 				}
+				if i%16 == 3 {
+					// Snapshot-pinned data check: the whole batch is
+					// verified against one point-in-time view, even while
+					// the apply clients above are mutating the database.
+					status, err := postCheckBatchData(client, base, viewName,
+						checkTexts[(c*31+i)%len(checkTexts)], checkTexts[(c*7+i)%len(checkTexts)])
+					if err != nil || status != http.StatusOK {
+						errs.Add(1)
+						continue
+					}
+					checks.Add(2)
+					continue
+				}
 				status, err := postCheck(client, base, viewName, "check", checkTexts[(c*31+i)%len(checkTexts)])
 				if err != nil || status != http.StatusOK {
 					errs.Add(1)
@@ -255,6 +274,22 @@ func postCheck(client *http.Client, base, view, op, update string) (int, error) 
 		return 0, err
 	}
 	resp, err := client.Post(fmt.Sprintf("%s/views/%s/%s", base, view, op), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// postCheckBatchData POSTs a {"updates": [...], "data": true} batch to
+// /views/{view}/check-batch — the snapshot-pinned data-check path.
+func postCheckBatchData(client *http.Client, base, view string, updates ...string) (int, error) {
+	body, err := json.Marshal(map[string]any{"updates": updates, "data": true})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(fmt.Sprintf("%s/views/%s/check-batch", base, view), "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}

@@ -40,6 +40,20 @@
 // and ExecuteBatch group-commit N updates under one transaction and
 // one redo flush:
 //
+// Read-consistency contract. Checking never waits on executing: the
+// relational engine is multi-versioned (internal/relational), writers
+// serialize on a narrow writer lock, and every check runs lock-free.
+// Check/CheckBatch are schema-only. CheckData and CheckBatchData add
+// Step 3's read-only probes (update-context existence, shared-part
+// consistency) evaluated against a database snapshot pinned for the
+// call — CheckBatchData pins ONE snapshot for the whole batch — so a
+// check sees a single point-in-time view: all of a concurrent apply's
+// effects or none of them, never a torn intermediate state. Snapshots
+// are O(1) to take (f.Snapshot(), close when done); old row versions
+// are retained until the oldest live snapshot releases them and are
+// then freed by the reclaimer (inline on commits, or in the background
+// via relational.Database.StartReclaimer).
+//
 //	results := f.CheckBatch(updates, runtime.GOMAXPROCS(0))
 //	p, _ := f.Prepare(updateText)       // compile once
 //	res, _ := f.Execute(p, args)        // bind + run, no parsing

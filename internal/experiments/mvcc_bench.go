@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bookdb"
+	"repro/internal/relational"
+	"repro/internal/ufilter"
+)
+
+// MVCCBench records the snapshot-isolation measurement the repo's CI
+// tracks (BENCH_mvcc.json): check latency percentiles on an idle
+// system versus the same checks racing a writer that loops group-commit
+// ApplyBatch calls back to back — the mixed ~90/10 check/apply workload
+// the ufilterd gateway serves. Under the MVCC read path a check never
+// waits on an apply, so the busy percentiles should sit within a small
+// constant of the idle ones instead of stalling behind the writer lock.
+type MVCCBench struct {
+	ChecksPerSide int `json:"checks_per_side"`
+	Checkers      int `json:"checkers"`
+
+	// Schema-level Check (Steps 1+2, plan-cache answered).
+	CheckIdleP50Ns int64 `json:"check_idle_p50_ns"`
+	CheckIdleP99Ns int64 `json:"check_idle_p99_ns"`
+	CheckBusyP50Ns int64 `json:"check_busy_p50_ns"`
+	CheckBusyP99Ns int64 `json:"check_busy_p99_ns"`
+	// CheckP99Ratio = busy p99 / idle p99.
+	CheckP99Ratio float64 `json:"check_p99_ratio"`
+
+	// Snapshot-pinned data check (Steps 1+2 plus read-only Step 3
+	// probes against a pinned snapshot).
+	DataCheckIdleP50Ns int64 `json:"data_check_idle_p50_ns"`
+	DataCheckIdleP99Ns int64 `json:"data_check_idle_p99_ns"`
+	DataCheckBusyP50Ns int64 `json:"data_check_busy_p50_ns"`
+	DataCheckBusyP99Ns int64 `json:"data_check_busy_p99_ns"`
+	DataCheckP99Ratio  float64 `json:"data_check_p99_ratio"`
+
+	// AppliesDuringBusy counts updates the writer committed while the
+	// busy side was measured (the interference actually present).
+	AppliesDuringBusy int64 `json:"applies_during_busy"`
+	// SnapshotsOpened / VersionsReclaimed are the database's MVCC
+	// counters after the run.
+	SnapshotsOpened   int64 `json:"snapshots_opened"`
+	VersionsReclaimed int64 `json:"versions_reclaimed"`
+}
+
+// mvccCheckTemplate cycles literals so the plan cache's template tier
+// answers (the production traffic shape).
+func mvccCheckTemplate(i int) string {
+	return fmt.Sprintf(`
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Title %d"
+UPDATE $book { DELETE $book/review }`, i%64)
+}
+
+// mvccDataCheckText probes a context that exists, so the data check
+// runs its full probe every time.
+const mvccDataCheckText = `
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Data on the Web"
+UPDATE $book { DELETE $book/review }`
+
+func mvccInsertText(i int) string {
+	return fmt.Sprintf(`
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Data on the Web"
+UPDATE $book { INSERT <review><reviewid>%d</reviewid><comment> bench </comment></review> }`, 500000+i)
+}
+
+func percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// measureChecks runs iters checks across nCheckers goroutines and
+// returns the sorted per-call latencies.
+func measureChecks(f *ufilter.Filter, iters, nCheckers int, data bool) ([]int64, error) {
+	lat := make([]int64, iters)
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for c := 0; c < nCheckers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= iters {
+					return
+				}
+				start := time.Now()
+				var err error
+				var res *ufilter.Result
+				if data {
+					res, err = f.CheckData(mvccDataCheckText)
+				} else {
+					res, err = f.Check(mvccCheckTemplate(i))
+				}
+				lat[i] = time.Since(start).Nanoseconds()
+				if err == nil && !res.Accepted {
+					err = fmt.Errorf("mvcc bench check rejected: %s", res.Reason)
+				}
+				if err != nil {
+					firstErr.Store(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat, nil
+}
+
+// RunMVCCBench measures check latency idle vs under a saturating
+// writer and returns the table BENCH_mvcc.json records.
+func RunMVCCBench(iters int) (*MVCCBench, error) {
+	if iters <= 0 {
+		iters = 2000
+	}
+	const checkers = 2
+	out := &MVCCBench{ChecksPerSide: iters, Checkers: checkers}
+
+	db, err := bookdb.NewDatabase(relational.DeleteCascade)
+	if err != nil {
+		return nil, err
+	}
+	f, err := ufilter.New(bookdb.ViewQuery, db)
+	if err != nil {
+		return nil, err
+	}
+
+	// Idle side: no writer running.
+	idle, err := measureChecks(f, iters, checkers, false)
+	if err != nil {
+		return nil, err
+	}
+	idleData, err := measureChecks(f, iters, checkers, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Busy side: a writer loops group-commit batches (16 inserts + the
+	// restoring delete) back to back while the same checks run.
+	done := make(chan struct{})
+	var applies atomic.Int64
+	var applyErr atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; ; n++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			batch := make([]string, 0, 17)
+			for i := 0; i < 16; i++ {
+				batch = append(batch, mvccInsertText(n*16+i))
+			}
+			batch = append(batch, mvccDataCheckText) // the restoring delete
+			for _, br := range f.ApplyBatch(batch) {
+				if br.Err != nil {
+					applyErr.Store(br.Err)
+					return
+				}
+				// A rejected apply is a bench failure too: a writer
+				// looping no-op batches would measure the busy side
+				// against an effectively idle system.
+				if br.Result == nil {
+					applyErr.Store(fmt.Errorf("mvcc bench apply returned no result"))
+					return
+				}
+				if !br.Result.Accepted {
+					applyErr.Store(fmt.Errorf("mvcc bench apply rejected: %s", br.Result.Reason))
+					return
+				}
+			}
+			applies.Add(int64(len(batch)))
+		}
+	}()
+	busy, err := measureChecks(f, iters, checkers, false)
+	if err == nil {
+		var busyData []int64
+		busyData, err = measureChecks(f, iters, checkers, true)
+		if err == nil {
+			out.DataCheckBusyP50Ns = percentile(busyData, 0.50)
+			out.DataCheckBusyP99Ns = percentile(busyData, 0.99)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	if aerr, _ := applyErr.Load().(error); aerr != nil {
+		return nil, aerr
+	}
+
+	out.CheckIdleP50Ns = percentile(idle, 0.50)
+	out.CheckIdleP99Ns = percentile(idle, 0.99)
+	out.CheckBusyP50Ns = percentile(busy, 0.50)
+	out.CheckBusyP99Ns = percentile(busy, 0.99)
+	out.DataCheckIdleP50Ns = percentile(idleData, 0.50)
+	out.DataCheckIdleP99Ns = percentile(idleData, 0.99)
+	if out.CheckIdleP99Ns > 0 {
+		out.CheckP99Ratio = float64(out.CheckBusyP99Ns) / float64(out.CheckIdleP99Ns)
+	}
+	if out.DataCheckIdleP99Ns > 0 {
+		out.DataCheckP99Ratio = float64(out.DataCheckBusyP99Ns) / float64(out.DataCheckIdleP99Ns)
+	}
+	out.AppliesDuringBusy = applies.Load()
+	// Quiesced and unpinned: a final reclaim pass frees the history the
+	// busy side accumulated (commits also piggyback reclaims, so part
+	// may already be gone).
+	db.Reclaim()
+	st := db.Stats()
+	out.SnapshotsOpened = st.SnapshotsOpened
+	out.VersionsReclaimed = st.VersionsReclaimed
+	return out, nil
+}

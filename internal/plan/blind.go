@@ -24,8 +24,8 @@ type BlindResult struct {
 // paper), and roll back when a side effect is found. It is deliberately
 // expensive — this is the baseline U-Filter avoids.
 func (e *Executor) BlindApply(updateText string) (*BlindResult, error) {
-	e.applyMu.Lock()
-	defer e.applyMu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	u, err := xqparse.ParseUpdate(updateText)
 	if err != nil {
 		return nil, err

@@ -89,15 +89,19 @@ type Result struct {
 // updates can be checked, compiled into UpdatePlans, and executed
 // against it.
 //
-// Concurrency: Check, CheckParsed, CheckBatch and Compile are safe for
-// concurrent use — the schema-level steps read only the immutable ASGs
-// and marks, and the plan cache is internally synchronized. Apply,
-// ApplyParsed, ApplyBatch, Execute, ExecuteBatch and BlindApply mutate
-// the database and the executor's temporary-table namespace, so the
-// executor serializes them internally; they may run concurrently with
-// Check calls. The configuration fields (Strategy, SkipSchemaChecks,
-// DisableCache) must be set before the executor is shared across
-// goroutines.
+// Concurrency: the executor is split into a lock-free read path and a
+// serialized write path. Check, CheckParsed, CheckBatch and Compile
+// read only the immutable ASGs and marks plus the internally
+// synchronized plan cache; CheckData, CheckDataAt and CheckBatchData
+// additionally run Step 3's read-only probes against a pinned database
+// snapshot — none of them ever take the writer lock, so checks run
+// fully concurrently with an in-flight apply and their latency is
+// independent of apply load. Apply, ApplyParsed, ApplyBatch, Execute,
+// ExecuteBatch and BlindApply mutate the database and the executor's
+// temporary-table namespace, so the executor serializes them on the
+// narrow writer lock (writeMu). The configuration fields (Strategy,
+// SkipSchemaChecks, DisableCache) must be set before the executor is
+// shared across goroutines.
 type Executor struct {
 	View     *asg.ViewASG
 	Base     *asg.BaseASG
@@ -114,10 +118,13 @@ type Executor struct {
 	// through a fresh resolution. Benchmark and debugging use only.
 	DisableCache bool
 
-	// applyMu serializes the mutating pipeline: the translation shares
-	// tempSeq, pendingUserPreds, the executor's temporary tables and
-	// the database's single-transaction engine.
-	applyMu sync.Mutex
+	// writeMu is the narrow writer lock: it serializes only the
+	// mutating pipeline (the translation shares tempSeq,
+	// pendingUserPreds, the executor's temporary tables and the
+	// database's single-transaction engine). The check paths never
+	// acquire it — snapshot-isolated reads in internal/relational make
+	// the read side lock-free.
+	writeMu sync.Mutex
 
 	// cache memoizes compiled UpdatePlans and schema-level verdicts per
 	// update template; see cache.go. Never nil for executors built by
@@ -305,8 +312,8 @@ func (e *Executor) Apply(updateText string) (*Result, error) {
 // execution reuses the plan's resolution, prepared probe statements and
 // precompiled insert artifacts instead of re-deriving them.
 func (e *Executor) ApplyParsed(u *xqparse.UpdateQuery) (*Result, error) {
-	e.applyMu.Lock()
-	defer e.applyMu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	if e.SkipSchemaChecks {
 		// Benchmark mode (Fig. 13's "Update" bar): execute the
 		// translation without the schema-level steps. Only safe for
@@ -340,7 +347,7 @@ func (e *Executor) ApplyParsed(u *xqparse.UpdateQuery) (*Result, error) {
 // applyResolved runs the data-driven pipeline for one update inside its
 // own transaction. planned is non-nil when a compiled UpdatePlan's
 // per-op artifacts (prepared probes, insert plans) are available; preds
-// are the update's bound user predicates. Callers must hold applyMu.
+// are the update's bound user predicates. Callers must hold writeMu.
 func (e *Executor) applyResolved(r *ResolvedUpdate, planned []PlannedOp, preds []UserPred, res *Result) (*Result, error) {
 	res.Accepted = false
 	e.pendingUserPreds = preds
@@ -540,12 +547,19 @@ func (e *Executor) contextCheck(ro *ResolvedOp, userPreds []UserPred, po *Planne
 // a new instance of another view node — a side effect) and must agree
 // with the fragment's values (duplication consistency).
 func (e *Executor) runSharedChecks(checks []SharedCheck, res *Result) (string, error) {
+	return e.runSharedChecksOn(e.Exec.DB, checks, res)
+}
+
+// runSharedChecksOn is runSharedChecks with the probes routed through a
+// Reader, so the snapshot-pinned check path verifies shared parts
+// against the same point-in-time state as its context probes.
+func (e *Executor) runSharedChecksOn(rd sqlexec.Reader, checks []SharedCheck, res *Result) (string, error) {
 	for _, chk := range checks {
 		sel := &sqlexec.SelectStmt{From: []string{chk.Rel}}
 		for i, c := range chk.KeyCols {
 			sel.Where = append(sel.Where, sqlexec.Eq(chk.Rel, c, chk.KeyVals[i]))
 		}
-		rs, err := e.Exec.ExecSelect(sel)
+		rs, err := e.Exec.ExecSelectOn(rd, sel)
 		if err != nil {
 			return "", err
 		}

@@ -437,8 +437,8 @@ func (p *UpdatePlan) verdictArgs(args []relational.Value) (*Result, []UserPred, 
 // compile-once/execute-many: no parsing, no resolution, no STAR walk,
 // no probe construction.
 func (e *Executor) Execute(p *UpdatePlan, args []relational.Value) (*Result, error) {
-	e.applyMu.Lock()
-	defer e.applyMu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	res, preds, err := p.verdictArgs(args)
 	if err != nil {
 		return nil, err
@@ -465,7 +465,7 @@ type groupItem struct {
 // savepoint without disturbing its siblings, and the single commit at
 // the end flushes the write-ahead log once for the whole group (the
 // group-commit property ApplyBatch and ExecuteBatch expose). Callers
-// must hold applyMu.
+// must hold writeMu.
 func (e *Executor) applyGroup(items []*groupItem) {
 	anyRunnable := false
 	for _, it := range items {
@@ -545,8 +545,8 @@ func (e *Executor) ApplyBatch(updates []string) []BatchResult {
 	if len(updates) == 0 {
 		return out
 	}
-	e.applyMu.Lock()
-	defer e.applyMu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	items := make([]*groupItem, len(updates))
 	for i, text := range updates {
 		out[i].Index = i
@@ -605,8 +605,8 @@ func (e *Executor) ExecuteBatch(p *UpdatePlan, argsList [][]relational.Value) []
 	if len(argsList) == 0 {
 		return out
 	}
-	e.applyMu.Lock()
-	defer e.applyMu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	items := make([]*groupItem, len(argsList))
 	for i, args := range argsList {
 		out[i].Index = i

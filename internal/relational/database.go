@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -21,30 +22,127 @@ func (r *Row) clone() *Row {
 	return &Row{ID: r.ID, Values: vals}
 }
 
-// tableData is the storage for a single relation: rows plus maintained
-// hash indexes.
+// liveSeq is the end stamp of a version that has not been superseded or
+// deleted: visible to the writer and to every snapshot taken after its
+// begin stamp.
+const liveSeq = ^uint64(0)
+
+// rowVersion is one entry of a row's version chain, newest first. The
+// row content and begin stamp are immutable after creation; end and
+// prev are atomics because the single writer stamps/truncates them
+// while snapshot readers traverse the chain lock-free.
+//
+// Visibility: a snapshot pinned at commit sequence S sees the version
+// with begin <= S < end; the writer (and unpinned "latest" reads) see
+// the head iff end == liveSeq. A version deleted or superseded by an
+// in-flight transaction carries end = committed+1, which is invisible
+// to the writer's own reads and stays invisible to snapshots at or
+// below the pinned sequence — commit makes it all visible atomically
+// by advancing the database's commit sequence.
+type rowVersion struct {
+	row   Row    // immutable after creation
+	begin uint64 // commit seq at which this version becomes visible
+	end   atomic.Uint64
+	prev  atomic.Pointer[rowVersion]
+}
+
+// visibleAt walks the chain from v and returns the version a snapshot
+// at seq sees, or nil. Chains are newest-first; once a version with
+// begin <= seq is passed, every older version ended at or before that
+// begin, so the walk can stop.
+func (v *rowVersion) visibleAt(seq uint64) *rowVersion {
+	for ; v != nil; v = v.prev.Load() {
+		if v.begin <= seq {
+			if seq < v.end.Load() {
+				return v
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// tableData is the storage for a single relation: row version chains
+// plus maintained hash indexes.
+//
+// Index entries are inserted when a version is created and removed only
+// when the version is rolled back (uncommitted versions are invisible
+// to everyone, so eager removal is safe) or reclaimed (no snapshot can
+// see them anymore). Between a delete/update and the reclaim, an index
+// bucket may therefore hold ids whose current values no longer match
+// the key; every index consumer re-verifies the resolved version's
+// values against the probe, which is also what makes index lookups
+// correct for snapshot readers.
 type tableData struct {
 	def     *TableDef
-	rows    map[RowID]*Row
-	order   []RowID // insertion order, for deterministic scans
+	rows    map[RowID]*rowVersion // head = newest version
+	order   []RowID               // insertion order, for deterministic scans
 	indexes []*hashIndex
 	pkIndex *hashIndex // nil when the table has no primary key
-	dirty   bool       // order slice needs compaction
+	live    int        // heads with end == liveSeq (the writer's row count)
+	dirty   bool       // order slice needs compaction (rows were reclaimed)
 }
 
 // Database is an in-memory relational database instance: a schema plus
-// row storage, indexes and transaction support.
+// a versioned row store, indexes and transaction support.
 //
-// Concurrency: the engine is single-writer — mutations (Insert, Delete,
-// UpdateRow, Begin/Commit/Rollback) must be serialized by the caller,
-// as ufilter.Filter does for its Apply pipeline. Readers may run
-// concurrently with each other between mutations, and the
-// StatementsExecuted counter is maintained atomically so statistics
-// reads never race a writer.
+// # Concurrency
+//
+// The engine is single-writer, multi-reader with snapshot isolation.
+// Mutations (Insert, Delete, UpdateRow, Begin/Commit/Rollback, Reclaim)
+// must be serialized by the caller, as plan.Executor does for its apply
+// pipeline. Readers never block behind a writer's transaction: the
+// structural latch (mu) is held per row operation — the millisecond
+// equivalent of a page latch — never across a statement or transaction,
+// so a long batch apply interleaves with concurrent reads at row-op
+// granularity.
+//
+// Consistency is layered on top by versioning. db.Snapshot() pins an
+// immutable O(1) point-in-time view: every read through the snapshot
+// resolves row version chains at the pinned commit sequence, so a
+// snapshot reader observes either all or none of a transaction's
+// effects regardless of interleaving. Reads directly on the Database
+// are "latest" reads: individually safe, but read-uncommitted — they
+// see the writer's in-flight state (uncommitted inserts and updates
+// are visible, uncommitted deletes take effect immediately), which is
+// exactly what the writer's own probes inside a transaction need.
+// Concurrent observers that need committed-state isolation must pin a
+// snapshot.
+//
+// Old versions are retained until no live snapshot can see them and are
+// then freed by Reclaim (piggybacked on commits and optionally run by a
+// background reclaimer, see StartReclaimer).
 type Database struct {
 	schema    *Schema
 	tables    map[string]*tableData
 	nextRowID RowID
+
+	// mu is the structural latch protecting the row maps, order slices
+	// and index buckets. Writers hold it for one row operation; readers
+	// hold it while collecting structure references and never across
+	// callbacks, so reader and writer critical sections are both short
+	// and nested acquisition cannot occur.
+	mu sync.RWMutex
+
+	// commitSeq is the last committed sequence number; snapshots pin it.
+	// The writer stamps new versions with commitSeq+1 and advances it at
+	// commit (or at statement end outside a transaction).
+	commitSeq atomic.Uint64
+
+	// snapMu guards the live-snapshot registry. Reclaim computes the
+	// oldest pinned sequence under it, so registering a snapshot and
+	// truncating version chains cannot interleave.
+	snapMu sync.Mutex
+	snaps  map[*Snapshot]struct{}
+
+	snapshotsOpened   atomic.Int64
+	versionsReclaimed atomic.Int64
+	reclaims          atomic.Int64
+
+	// versionsSinceReclaim counts versions created or killed since the
+	// last reclaim; commits piggyback a reclaim pass when it overflows.
+	// Writer-owned (mutated under mu).
+	versionsSinceReclaim int
 
 	// activeTxn, when non-nil, records undo entries for Rollback.
 	activeTxn *Txn
@@ -68,6 +166,36 @@ type Database struct {
 	redoBytes   atomic.Int64
 	redoFlushes atomic.Int64
 }
+
+// Reader is the read-only surface shared by a live *Database and a
+// pinned *Snapshot. Layers that only consume data (the sqlexec SELECT
+// machinery, the plan layer's data-driven check probes, the server's
+// statistics handlers) take a Reader so the same code path runs
+// against the latest state or against an immutable point-in-time view.
+type Reader interface {
+	// Schema returns the database schema.
+	Schema() *Schema
+	// Get returns a copy of the row with the given id.
+	Get(table string, id RowID) (*Row, error)
+	// Scan visits every visible row of a table in insertion order. The
+	// callback must not mutate the row; returning false stops the scan.
+	Scan(table string, fn func(*Row) bool) error
+	// LookupEqual returns the ids of visible rows whose named columns
+	// equal the given values.
+	LookupEqual(table string, columns []string, values []Value) ([]RowID, error)
+	// HasIndexOn reports whether an index covers exactly the named
+	// columns.
+	HasIndexOn(table string, columns []string) bool
+	// RowCount returns the number of visible rows in the table.
+	RowCount(table string) int
+	// TotalRows returns the number of visible rows across all tables.
+	TotalRows() int
+}
+
+var (
+	_ Reader = (*Database)(nil)
+	_ Reader = (*Snapshot)(nil)
+)
 
 // StatementsExecutedTotal atomically reads the DML statement counter.
 func (db *Database) StatementsExecutedTotal() int64 {
@@ -96,8 +224,9 @@ func (db *Database) flushRedo() {
 }
 
 // DBStats is a point-in-time snapshot of the database's statistics
-// counters. Every field is read atomically, so a snapshot may be taken
-// while another goroutine is mutating the database.
+// counters. Every field is read atomically (or under its own short
+// mutex), so a snapshot may be taken while another goroutine is
+// mutating the database.
 type DBStats struct {
 	// StatementsExecuted counts DML statements since creation.
 	StatementsExecuted int64 `json:"statements_executed"`
@@ -107,15 +236,33 @@ type DBStats struct {
 	RedoBytes int64 `json:"redo_bytes"`
 	// RedoFlushes counts write-ahead log flushes (one per commit).
 	RedoFlushes int64 `json:"redo_flushes"`
+	// SnapshotsActive is the number of currently pinned snapshots.
+	SnapshotsActive int64 `json:"snapshots_active"`
+	// SnapshotsOpened counts snapshots ever pinned.
+	SnapshotsOpened int64 `json:"snapshots_opened"`
+	// VersionsReclaimed counts row versions freed by the reclaimer.
+	VersionsReclaimed int64 `json:"versions_reclaimed"`
+	// Reclaims counts reclaim passes (inline and background).
+	Reclaims int64 `json:"reclaims"`
+	// CommitSeq is the last committed sequence number.
+	CommitSeq uint64 `json:"commit_seq"`
 }
 
 // Stats snapshots the statistics counters atomically.
 func (db *Database) Stats() DBStats {
+	db.snapMu.Lock()
+	active := int64(len(db.snaps))
+	db.snapMu.Unlock()
 	return DBStats{
 		StatementsExecuted: db.StatementsExecutedTotal(),
 		RedoRecords:        db.redoOps.Load(),
 		RedoBytes:          db.redoBytes.Load(),
 		RedoFlushes:        db.redoFlushes.Load(),
+		SnapshotsActive:    active,
+		SnapshotsOpened:    db.snapshotsOpened.Load(),
+		VersionsReclaimed:  db.versionsReclaimed.Load(),
+		Reclaims:           db.reclaims.Load(),
+		CommitSeq:          db.commitSeq.Load(),
 	}
 }
 
@@ -147,6 +294,8 @@ func (db *Database) appendRedo(kind byte, table string, id RowID, values []Value
 // one that ends up matching zero rows. Probe queries never log; this is
 // the cost the outside strategy saves by suppressing empty deletes.
 func (db *Database) LogStatement(sql string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.redoOps.Add(1)
 	db.redoBytes.Add(int64(1 + len(sql)))
 	db.redo = append(db.redo, 'S')
@@ -163,9 +312,10 @@ func NewDatabase(schema *Schema) *Database {
 		schema:    schema,
 		tables:    make(map[string]*tableData, len(schema.Tables())),
 		nextRowID: 1,
+		snaps:     make(map[*Snapshot]struct{}),
 	}
 	for _, t := range schema.Tables() {
-		td := &tableData{def: t, rows: make(map[RowID]*Row)}
+		td := &tableData{def: t, rows: make(map[RowID]*rowVersion)}
 		if len(t.PrimaryKey) > 0 {
 			cols := mustColumnIndexes(t, t.PrimaryKey)
 			td.pkIndex = newHashIndex(indexName(t.Name, t.PrimaryKey), cols, true)
@@ -220,51 +370,79 @@ func (db *Database) tableData(name string) (*tableData, error) {
 	return td, nil
 }
 
-// RowCount returns the number of rows currently stored in the table.
+// pendingSeq is the sequence the in-flight (or next auto-committed)
+// statement stamps its versions with.
+func (db *Database) pendingSeq() uint64 { return db.commitSeq.Load() + 1 }
+
+// endStatementLocked finishes an auto-committed statement: outside a
+// transaction every statement commits by itself, advancing the commit
+// sequence so snapshots taken afterwards see it. Callers hold mu.
+func (db *Database) endStatementLocked() {
+	if db.activeTxn == nil {
+		db.commitSeq.Add(1)
+		db.maybeReclaimLocked()
+	}
+}
+
+// RowCount returns the number of rows currently visible to a latest
+// read of the table (the writer's view).
 func (db *Database) RowCount(table string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	td, err := db.tableData(table)
 	if err != nil {
 		return 0
 	}
-	return len(td.rows)
+	return td.live
 }
 
 // TotalRows returns the number of rows across all tables, used by the
 // benchmarks to report effective database size.
 func (db *Database) TotalRows() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	n := 0
 	for _, td := range db.tables {
-		n += len(td.rows)
+		n += td.live
 	}
 	return n
 }
 
 // Get returns a copy of the row with the given id.
 func (db *Database) Get(table string, id RowID) (*Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	td, err := db.tableData(table)
 	if err != nil {
 		return nil, err
 	}
-	r, ok := td.rows[id]
-	if !ok {
+	v, ok := td.rows[id]
+	if !ok || v.end.Load() != liveSeq {
 		return nil, fmt.Errorf("%w: %s rowid %d", ErrNoSuchRow, table, id)
 	}
-	return r.clone(), nil
+	return v.row.clone(), nil
 }
 
-// ScanIDs returns the row ids of a table in insertion order.
+// ScanIDs returns the visible row ids of a table in insertion order.
 func (db *Database) ScanIDs(table string) []RowID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	td, err := db.tableData(table)
 	if err != nil {
 		return nil
 	}
-	td.compact()
-	out := make([]RowID, len(td.order))
-	copy(out, td.order)
+	out := make([]RowID, 0, len(td.order))
+	for _, id := range td.order {
+		if v, ok := td.rows[id]; ok && v.end.Load() == liveSeq {
+			out = append(out, id)
+		}
+	}
 	return out
 }
 
-func (td *tableData) compact() {
+// compactLocked drops reclaimed ids from the order slice. Called by the
+// reclaimer (a writer) only; readers filter invisible ids instead.
+func (td *tableData) compactLocked() {
 	if !td.dirty {
 		return
 	}
@@ -278,31 +456,70 @@ func (td *tableData) compact() {
 	td.dirty = false
 }
 
-// Scan visits every row of a table in insertion order. The callback
-// receives the stored row; it must not mutate it. Returning false stops
-// the scan.
-func (db *Database) Scan(table string, fn func(*Row) bool) error {
+// collectHeads gathers the version-chain heads of a table in insertion
+// order under the read latch. Row content is immutable and the chain
+// links are atomics, so callers resolve visibility and run callbacks
+// after the latch is released — scans never hold a lock across user
+// code, which is what lets a reader interleave with a writer without
+// nested-latch deadlocks.
+func (db *Database) collectHeads(table string) ([]*rowVersion, *tableData, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	td, err := db.tableData(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]*rowVersion, 0, len(td.order))
+	for _, id := range td.order {
+		if v, ok := td.rows[id]; ok {
+			out = append(out, v)
+		}
+	}
+	return out, td, nil
+}
+
+// Scan visits every visible row of a table in insertion order. The
+// callback receives the stored row; it must not mutate it. Returning
+// false stops the scan. The latch is not held while the callback runs.
+func (db *Database) Scan(table string, fn func(*Row) bool) error {
+	heads, td, err := db.collectHeads(table)
 	if err != nil {
 		return err
 	}
-	td.compact()
-	for _, id := range td.order {
-		r, ok := td.rows[id]
-		if !ok {
-			continue
+	for _, v := range heads {
+		if v.end.Load() != liveSeq {
+			// The head we collected was stamped dead. Either the row is
+			// really gone (deleted — possibly by the in-flight writer,
+			// whose state latest reads must honor) or a concurrent
+			// writer superseded it after we collected; re-resolve the
+			// current head so an updated row is visited with its new
+			// values instead of silently vanishing from the scan.
+			db.mu.RLock()
+			v = td.rows[v.row.ID]
+			db.mu.RUnlock()
+			if v == nil || v.end.Load() != liveSeq {
+				continue
+			}
 		}
-		if !fn(r) {
+		if !fn(&v.row) {
 			return nil
 		}
 	}
 	return nil
 }
 
-// LookupEqual returns the ids of rows whose named columns equal the
-// given values, using a hash index when one covers the columns and
+// LookupEqual returns the ids of visible rows whose named columns equal
+// the given values, using a hash index when one covers the columns and
 // falling back to a scan otherwise. The returned ids are deterministic.
 func (db *Database) LookupEqual(table string, columns []string, values []Value) ([]RowID, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.lookupEqualLocked(table, columns, values)
+}
+
+// lookupEqualLocked is LookupEqual for callers already holding the
+// latch (the writer's constraint checks).
+func (db *Database) lookupEqualLocked(table string, columns []string, values []Value) ([]RowID, error) {
 	td, err := db.tableData(table)
 	if err != nil {
 		return nil, err
@@ -315,26 +532,33 @@ func (db *Database) LookupEqual(table string, columns []string, values []Value) 
 		}
 		cols[i] = idx
 	}
+	matchesLive := func(v *rowVersion) bool {
+		if v == nil || v.end.Load() != liveSeq {
+			return false
+		}
+		for i, c := range cols {
+			if !v.row.Values[c].Equal(values[i]) {
+				return false
+			}
+		}
+		return true
+	}
 	if ix := td.findIndex(cols); ix != nil {
 		ordered := reorderForIndex(ix, cols, values)
-		return ix.lookup(ordered), nil
+		// Index buckets may carry stale ids (versions awaiting reclaim);
+		// re-verify the live version's values against the probe.
+		var out []RowID
+		for _, id := range ix.lookup(ordered) {
+			if matchesLive(td.rows[id]) {
+				out = append(out, id)
+			}
+		}
+		return out, nil
 	}
 	// Fallback scan.
 	var out []RowID
-	td.compact()
 	for _, id := range td.order {
-		r, ok := td.rows[id]
-		if !ok {
-			continue
-		}
-		match := true
-		for i, c := range cols {
-			if !r.Values[c].Equal(values[i]) {
-				match = false
-				break
-			}
-		}
-		if match {
+		if matchesLive(td.rows[id]) {
 			out = append(out, id)
 		}
 	}
@@ -344,7 +568,8 @@ func (db *Database) LookupEqual(table string, columns []string, values []Value) 
 // HasIndexOn reports whether an index covers exactly the named columns.
 // The data-driven strategies consult this to mimic the paper's
 // observation that Oracle indexes keys/foreign keys but not materialized
-// probe results.
+// probe results. Index structure is fixed at creation, so no latch is
+// needed.
 func (db *Database) HasIndexOn(table string, columns []string) bool {
 	td, err := db.tableData(table)
 	if err != nil {
@@ -425,8 +650,12 @@ func (td *tableData) checkLocalConstraints(values []Value) error {
 	return nil
 }
 
-// checkUniqueness enforces the primary key and UNIQUE columns.
-func (db *Database) checkUniqueness(td *tableData, values []Value) error {
+// checkUniqueness enforces the primary key and UNIQUE columns against
+// the writer's view. exclude skips one row id (the row being updated,
+// so it does not collide with itself). Index buckets may hold ids of
+// dead versions awaiting reclaim, so each candidate's live version is
+// re-verified against the new values.
+func (db *Database) checkUniqueness(td *tableData, values []Value, exclude RowID) error {
 	for _, ix := range td.indexes {
 		if !ix.unique {
 			continue
@@ -435,7 +664,24 @@ func (db *Database) checkUniqueness(td *tableData, values []Value) error {
 		if !ok {
 			continue
 		}
-		if len(ix.entries[key]) > 0 {
+		for id := range ix.entries[key] {
+			if id == exclude {
+				continue
+			}
+			v := td.rows[id]
+			if v == nil || v.end.Load() != liveSeq {
+				continue
+			}
+			match := true
+			for _, c := range ix.columns {
+				if !v.row.Values[c].Equal(values[c]) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
 			kind := ErrUnique
 			if ix == td.pkIndex {
 				kind = ErrPrimaryKey
@@ -466,7 +712,7 @@ func (db *Database) checkForeignKeys(td *tableData, values []Value) error {
 		if anyNull {
 			continue // SQL: NULL FK components opt out of the check
 		}
-		refIDs, err := db.LookupEqual(fk.RefTable, fk.RefColumns, vals)
+		refIDs, err := db.lookupEqualLocked(fk.RefTable, fk.RefColumns, vals)
 		if err != nil {
 			return err
 		}
@@ -482,6 +728,8 @@ func (db *Database) checkForeignKeys(td *tableData, values []Value) error {
 // CHECK, primary key / UNIQUE, and foreign key existence. On success it
 // returns the new row id.
 func (db *Database) Insert(table string, values map[string]Value) (RowID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	td, err := db.tableData(table)
 	if err != nil {
 		return 0, err
@@ -494,7 +742,7 @@ func (db *Database) Insert(table string, values map[string]Value) (RowID, error)
 	if err := td.checkLocalConstraints(row); err != nil {
 		return 0, err
 	}
-	if err := db.checkUniqueness(td, row); err != nil {
+	if err := db.checkUniqueness(td, row, 0); err != nil {
 		return 0, err
 	}
 	if err := db.checkForeignKeys(td, row); err != nil {
@@ -502,9 +750,12 @@ func (db *Database) Insert(table string, values map[string]Value) (RowID, error)
 	}
 	id := db.nextRowID
 	db.nextRowID++
-	r := &Row{ID: id, Values: row}
-	td.rows[id] = r
+	v := &rowVersion{row: Row{ID: id, Values: row}, begin: db.pendingSeq()}
+	v.end.Store(liveSeq)
+	td.rows[id] = v
 	td.order = append(td.order, id)
+	td.live++
+	db.versionsSinceReclaim++
 	for _, ix := range td.indexes {
 		ix.insert(id, row)
 	}
@@ -512,6 +763,7 @@ func (db *Database) Insert(table string, values map[string]Value) (RowID, error)
 	if db.activeTxn != nil {
 		db.activeTxn.recordInsert(table, id)
 	}
+	db.endStatementLocked()
 	return id, nil
 }
 
@@ -521,17 +773,32 @@ func (db *Database) Insert(table string, values map[string]Value) (RowID, error)
 // (rejecting if they are NOT NULL), RESTRICT rejects the delete.
 // It returns the number of rows deleted (including cascades).
 func (db *Database) Delete(table string, id RowID) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	atomic.AddInt64(&db.StatementsExecuted, 1)
-	return db.deleteRow(table, id)
+	// Advance the commit sequence when the statement succeeded OR when
+	// a partially-failed cascade already stamped versions (they are
+	// live-visible, so they must become snapshot-visible too, not sit
+	// pending until an unrelated later commit publishes them); a
+	// rejected statement that changed nothing must not inflate the
+	// committed sequence. Deleted-row counts miss SET NULL updates, so
+	// "stamped anything" is detected via the version counter — reclaim
+	// cannot reset it mid-statement (it only runs at statement end).
+	before := db.versionsSinceReclaim
+	n, err := db.deleteRowLocked(table, id)
+	if err == nil || db.versionsSinceReclaim != before {
+		db.endStatementLocked()
+	}
+	return n, err
 }
 
-func (db *Database) deleteRow(table string, id RowID) (int, error) {
+func (db *Database) deleteRowLocked(table string, id RowID) (int, error) {
 	td, err := db.tableData(table)
 	if err != nil {
 		return 0, err
 	}
-	r, ok := td.rows[id]
-	if !ok {
+	v, ok := td.rows[id]
+	if !ok || v.end.Load() != liveSeq {
 		return 0, nil // DELETE of a missing row is a no-op warning, not an error
 	}
 	deleted := 0
@@ -545,7 +812,7 @@ func (db *Database) deleteRow(table string, id RowID) (int, error) {
 			if !ok {
 				return deleted, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, table, rc)
 			}
-			refVals[i] = r.Values[ci]
+			refVals[i] = v.row.Values[ci]
 			if refVals[i].IsNull() {
 				skip = true
 			}
@@ -553,7 +820,7 @@ func (db *Database) deleteRow(table string, id RowID) (int, error) {
 		if skip {
 			continue
 		}
-		ids, err := db.LookupEqual(ref.Table.Name, ref.FK.Columns, refVals)
+		ids, err := db.lookupEqualLocked(ref.Table.Name, ref.FK.Columns, refVals)
 		if err != nil {
 			return deleted, err
 		}
@@ -566,7 +833,7 @@ func (db *Database) deleteRow(table string, id RowID) (int, error) {
 				fmt.Sprintf("%d referencing rows in %s", len(ids), ref.Table.Name))
 		case DeleteCascade:
 			for _, rid := range ids {
-				n, err := db.deleteRow(ref.Table.Name, rid)
+				n, err := db.deleteRowLocked(ref.Table.Name, rid)
 				deleted += n
 				if err != nil {
 					return deleted, err
@@ -578,50 +845,63 @@ func (db *Database) deleteRow(table string, id RowID) (int, error) {
 				nulls[c] = Null()
 			}
 			for _, rid := range ids {
-				if err := db.UpdateRow(ref.Table.Name, rid, nulls); err != nil {
+				if err := db.updateRowLocked(ref.Table.Name, rid, nulls); err != nil {
 					return deleted, err
 				}
 			}
 		}
 	}
 	// The row may have been cascade-deleted through a cycle; re-check.
-	r, ok = td.rows[id]
-	if !ok {
+	v, ok = td.rows[id]
+	if !ok || v.end.Load() != liveSeq {
 		return deleted, nil
 	}
-	for _, ix := range td.indexes {
-		ix.remove(id, r.Values)
-	}
-	delete(td.rows, id)
-	td.dirty = true
+	// MVCC delete: stamp the head dead at the pending sequence. Index
+	// entries and the version itself stay until no snapshot can see
+	// them; the reclaimer frees both.
+	v.end.Store(db.pendingSeq())
+	td.live--
+	db.versionsSinceReclaim++
 	deleted++
-	db.appendRedo('D', table, id, r.Values)
+	db.appendRedo('D', table, id, v.row.Values)
 	if db.activeTxn != nil {
-		db.activeTxn.recordDelete(table, r.clone())
+		db.activeTxn.recordDelete(table, id)
 	}
 	return deleted, nil
 }
 
-// UpdateRow modifies the named columns of a row in place, re-checking
-// NOT NULL, CHECK, uniqueness and foreign keys for the new values.
+// UpdateRow modifies the named columns of a row, re-checking NOT NULL,
+// CHECK, uniqueness and foreign keys for the new values. The previous
+// values survive as an older version in the row's chain until no
+// snapshot can see them.
 func (db *Database) UpdateRow(table string, id RowID, changes map[string]Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	err := db.updateRowLocked(table, id, changes)
+	if err == nil {
+		db.endStatementLocked()
+	}
+	return err
+}
+
+func (db *Database) updateRowLocked(table string, id RowID, changes map[string]Value) error {
 	td, err := db.tableData(table)
 	if err != nil {
 		return err
 	}
 	atomic.AddInt64(&db.StatementsExecuted, 1)
-	r, ok := td.rows[id]
-	if !ok {
+	v, ok := td.rows[id]
+	if !ok || v.end.Load() != liveSeq {
 		return fmt.Errorf("%w: %s rowid %d", ErrNoSuchRow, table, id)
 	}
-	newVals := make([]Value, len(r.Values))
-	copy(newVals, r.Values)
-	for name, v := range changes {
+	newVals := make([]Value, len(v.row.Values))
+	copy(newVals, v.row.Values)
+	for name, val := range changes {
 		idx, ok := td.def.ColumnIndex(name)
 		if !ok {
 			return fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, table, name)
 		}
-		coerced, err := v.CoerceTo(td.def.Columns[idx].Type)
+		coerced, err := val.CoerceTo(td.def.Columns[idx].Type)
 		if err != nil {
 			return constraintErr(ErrTypeMismatch, table, name, err.Error())
 		}
@@ -630,48 +910,67 @@ func (db *Database) UpdateRow(table string, id RowID, changes map[string]Value) 
 	if err := td.checkLocalConstraints(newVals); err != nil {
 		return err
 	}
-	// Uniqueness: temporarily remove the row from unique indexes so the
-	// row does not collide with itself.
-	for _, ix := range td.indexes {
-		ix.remove(id, r.Values)
-	}
-	if err := db.checkUniqueness(td, newVals); err != nil {
-		for _, ix := range td.indexes {
-			ix.insert(id, r.Values)
-		}
+	if err := db.checkUniqueness(td, newVals, id); err != nil {
 		return err
 	}
 	if err := db.checkForeignKeys(td, newVals); err != nil {
-		for _, ix := range td.indexes {
-			ix.insert(id, r.Values)
-		}
 		return err
 	}
-	old := r.clone()
-	r.Values = newVals
+	nv := &rowVersion{row: Row{ID: id, Values: newVals}, begin: db.pendingSeq()}
+	nv.end.Store(liveSeq)
+	nv.prev.Store(v)
+	v.end.Store(nv.begin)
+	td.rows[id] = nv
+	db.versionsSinceReclaim++
 	for _, ix := range td.indexes {
-		ix.insert(id, newVals)
+		ix.insert(id, newVals) // buckets are id-sets: unchanged keys dedupe
 	}
 	db.appendRedo('U', table, id, newVals)
 	if db.activeTxn != nil {
-		db.activeTxn.recordUpdate(table, old)
+		db.activeTxn.recordUpdate(table, id)
 	}
 	return nil
 }
 
-// ValuesByName returns a row's values keyed by column name.
+// removeVersionEntries drops a discarded version's index entries,
+// keeping any entry whose key is still produced by a version remaining
+// in the chain (kept, walked towards older). Used when rolling back an
+// uncommitted version (invisible to everyone, so eager removal is
+// safe) and by the reclaimer.
+func removeVersionEntries(td *tableData, id RowID, dropped *rowVersion, kept *rowVersion) {
+	for _, ix := range td.indexes {
+		key, ok := ix.keyFor(dropped.row.Values)
+		if !ok {
+			continue
+		}
+		shared := false
+		for k := kept; k != nil; k = k.prev.Load() {
+			if kk, ok2 := ix.keyFor(k.row.Values); ok2 && kk == key {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			ix.removeKey(key, id)
+		}
+	}
+}
+
+// ValuesByName returns a visible row's values keyed by column name.
 func (db *Database) ValuesByName(table string, id RowID) (map[string]Value, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	td, err := db.tableData(table)
 	if err != nil {
 		return nil, err
 	}
-	r, ok := td.rows[id]
-	if !ok {
+	v, ok := td.rows[id]
+	if !ok || v.end.Load() != liveSeq {
 		return nil, fmt.Errorf("%w: %s rowid %d", ErrNoSuchRow, table, id)
 	}
-	out := make(map[string]Value, len(r.Values))
+	out := make(map[string]Value, len(v.row.Values))
 	for i, c := range td.def.Columns {
-		out[c.Name] = r.Values[i]
+		out[c.Name] = v.row.Values[i]
 	}
 	return out, nil
 }

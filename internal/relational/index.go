@@ -61,6 +61,13 @@ func (ix *hashIndex) remove(id RowID, values []Value) {
 	if !ok {
 		return
 	}
+	ix.removeKey(key, id)
+}
+
+// removeKey drops one id from a bucket addressed by its encoded key;
+// the MVCC reclaimer uses it to clear entries of versions whose values
+// it has already re-encoded.
+func (ix *hashIndex) removeKey(key string, id RowID) {
 	if set := ix.entries[key]; set != nil {
 		delete(set, id)
 		if len(set) == 0 {
@@ -88,17 +95,6 @@ func (ix *hashIndex) lookup(vals []Value) []RowID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
-}
-
-// contains reports whether any row carries the given key values.
-func (ix *hashIndex) contains(vals []Value) bool {
-	for _, v := range vals {
-		if v.IsNull() {
-			return false
-		}
-	}
-	key := EncodeCompositeKey(vals)
-	return len(ix.entries[key]) > 0
 }
 
 // matchesColumns reports whether the index covers exactly the given

@@ -6,22 +6,30 @@ import "fmt"
 type undoKind int
 
 const (
-	undoInsert undoKind = iota // compensate by deleting the row
-	undoDelete                 // compensate by re-inserting the saved row
-	undoUpdate                 // compensate by restoring the saved values
+	undoInsert undoKind = iota // compensate by popping the inserted version
+	undoDelete                 // compensate by reviving the delete-stamped head
+	undoUpdate                 // compensate by popping the new version off the chain
 )
 
+// undoEntry records one compensating action. Under MVCC the pre-images
+// live in the row's version chain, so undo only needs to know which
+// chain to pop or revive — no saved row copies.
 type undoEntry struct {
 	kind  undoKind
 	table string
 	id    RowID
-	saved *Row // pre-image for delete/update
 }
 
 // Txn is an explicit transaction over a Database. The paper's Fig. 14
 // experiment depends on rollback being a real, cost-proportional undo of
 // every touched tuple (the "blind translation then rollback" baseline);
 // the undo log provides exactly that.
+//
+// Every version the transaction creates (or delete-stamps) carries the
+// pending commit sequence, which is invisible to snapshots until Commit
+// advances the database's commit sequence — a transaction's effects
+// become visible to snapshot readers atomically, or never (Rollback
+// pops the uncommitted versions off their chains).
 type Txn struct {
 	db   *Database
 	log  []undoEntry
@@ -31,6 +39,8 @@ type Txn struct {
 // Begin starts a transaction. Only one transaction may be active at a
 // time; nested Begin panics (the engine is single-writer by design).
 func (db *Database) Begin() *Txn {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.activeTxn != nil {
 		panic("relational: nested transactions are not supported")
 	}
@@ -43,21 +53,25 @@ func (t *Txn) recordInsert(table string, id RowID) {
 	t.log = append(t.log, undoEntry{kind: undoInsert, table: table, id: id})
 }
 
-func (t *Txn) recordDelete(table string, saved *Row) {
-	t.log = append(t.log, undoEntry{kind: undoDelete, table: table, id: saved.ID, saved: saved})
+func (t *Txn) recordDelete(table string, id RowID) {
+	t.log = append(t.log, undoEntry{kind: undoDelete, table: table, id: id})
 }
 
-func (t *Txn) recordUpdate(table string, old *Row) {
-	t.log = append(t.log, undoEntry{kind: undoUpdate, table: table, id: old.ID, saved: old})
+func (t *Txn) recordUpdate(table string, id RowID) {
+	t.log = append(t.log, undoEntry{kind: undoUpdate, table: table, id: id})
 }
 
 // OpCount returns the number of logged operations (touched tuples).
 func (t *Txn) OpCount() int { return len(t.log) }
 
-// Commit finishes the transaction, discarding the undo log and
-// flushing the write-ahead log once — the group-commit property: N
-// updates applied inside one transaction pay one flush, not N.
+// Commit finishes the transaction: the undo log is discarded, the
+// write-ahead log flushes once — the group-commit property: N updates
+// applied inside one transaction pay one flush, not N — and the commit
+// sequence advances, making every version the transaction created
+// visible to subsequent snapshots atomically.
 func (t *Txn) Commit() error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
 	if t.done {
 		return fmt.Errorf("relational: transaction already finished")
 	}
@@ -65,6 +79,8 @@ func (t *Txn) Commit() error {
 	t.db.activeTxn = nil
 	t.log = nil
 	t.db.flushRedo()
+	t.db.commitSeq.Add(1)
+	t.db.maybeReclaimLocked()
 	return nil
 }
 
@@ -76,13 +92,15 @@ func (t *Txn) Savepoint() int { return len(t.log) }
 // RollbackTo replays the undo log in reverse down to the given
 // savepoint, keeping the transaction open.
 func (t *Txn) RollbackTo(mark int) error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
 	if t.done {
 		return fmt.Errorf("relational: transaction already finished")
 	}
 	if mark < 0 || mark > len(t.log) {
 		return fmt.Errorf("relational: savepoint %d out of range (log has %d entries)", mark, len(t.log))
 	}
-	if err := t.undoFrom(mark); err != nil {
+	if err := t.undoFromLocked(mark); err != nil {
 		return err
 	}
 	t.log = t.log[:mark]
@@ -90,23 +108,27 @@ func (t *Txn) RollbackTo(mark int) error {
 }
 
 // Rollback replays the undo log in reverse, restoring the database to
-// its state at Begin. Restores bypass constraint checking (the
-// pre-images were valid by construction).
+// its state at Begin. The popped versions were never visible to any
+// snapshot (their stamps never committed), so readers cannot observe
+// the rollback in progress.
 func (t *Txn) Rollback() error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
 	if t.done {
 		return fmt.Errorf("relational: transaction already finished")
 	}
 	t.done = true
 	t.db.activeTxn = nil
-	if err := t.undoFrom(0); err != nil {
+	if err := t.undoFromLocked(0); err != nil {
 		return err
 	}
 	t.log = nil
 	return nil
 }
 
-// undoFrom compensates log entries [from, len) in reverse order.
-func (t *Txn) undoFrom(from int) error {
+// undoFromLocked compensates log entries [from, len) in reverse order.
+// Callers hold the database latch.
+func (t *Txn) undoFromLocked(from int) error {
 	for i := len(t.log) - 1; i >= from; i-- {
 		e := t.log[i]
 		td, err := t.db.tableData(e.table)
@@ -115,28 +137,33 @@ func (t *Txn) undoFrom(from int) error {
 		}
 		switch e.kind {
 		case undoInsert:
-			if r, ok := td.rows[e.id]; ok {
-				for _, ix := range td.indexes {
-					ix.remove(e.id, r.Values)
-				}
+			// Pop the inserted version. It was uncommitted, hence
+			// invisible to every snapshot, so its index entries go too.
+			// An insert's version never has a predecessor (row ids are
+			// never reused, and an in-txn update of the row is undone
+			// by its own later-logged entry before this one replays).
+			if v, ok := td.rows[e.id]; ok {
+				removeVersionEntries(td, e.id, v, nil)
 				delete(td.rows, e.id)
 				td.dirty = true
+				td.live--
 			}
 		case undoDelete:
-			td.rows[e.id] = e.saved
-			td.order = append(td.order, e.id)
-			for _, ix := range td.indexes {
-				ix.insert(e.id, e.saved.Values)
+			// Revive the delete-stamped head: the stamp never committed.
+			if v, ok := td.rows[e.id]; ok {
+				v.end.Store(liveSeq)
+				td.live++
 			}
 		case undoUpdate:
-			if r, ok := td.rows[e.id]; ok {
-				for _, ix := range td.indexes {
-					ix.remove(e.id, r.Values)
+			// Pop the uncommitted new version and revive its predecessor.
+			if v, ok := td.rows[e.id]; ok {
+				p := v.prev.Load()
+				if p == nil {
+					return fmt.Errorf("relational: undo update of %s rowid %d: no prior version", e.table, e.id)
 				}
-			}
-			td.rows[e.id] = e.saved
-			for _, ix := range td.indexes {
-				ix.insert(e.id, e.saved.Values)
+				removeVersionEntries(td, e.id, v, p)
+				p.end.Store(liveSeq)
+				td.rows[e.id] = p
 			}
 		}
 	}

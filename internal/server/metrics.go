@@ -37,6 +37,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ufilterd_redo_records_total", "Write-ahead log records appended.", "counter", map[string]float64{}},
 		{"ufilterd_redo_bytes_total", "Write-ahead log bytes appended.", "counter", map[string]float64{}},
 		{"ufilterd_redo_flushes_total", "Write-ahead log flushes (group commit amortizes these).", "counter", map[string]float64{}},
+		{"ufilterd_snapshots_active", "MVCC snapshots currently pinned.", "gauge", map[string]float64{}},
+		{"ufilterd_snapshots_opened_total", "MVCC snapshots ever pinned.", "counter", map[string]float64{}},
+		{"ufilterd_versions_reclaimed_total", "Row versions freed by the MVCC reclaimer.", "counter", map[string]float64{}},
+		{"ufilterd_version_reclaims_total", "MVCC reclaim passes (inline and background).", "counter", map[string]float64{}},
+		{"ufilterd_row_versions", "Row versions currently stored, including history.", "gauge", map[string]float64{}},
+		{"ufilterd_version_chain_depth_max", "Longest row version chain (1 = no history).", "gauge", map[string]float64{}},
+		{"ufilterd_rows_total", "Rows visible through a snapshot pinned for this scrape.", "gauge", map[string]float64{}},
+		{"ufilterd_commit_seq", "Last committed MVCC sequence number.", "gauge", map[string]float64{}},
 	}
 	for _, v := range s.Registry.Views() {
 		st := v.Stats()
@@ -61,6 +69,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			float64(st.Filter.Database.RedoRecords),
 			float64(st.Filter.Database.RedoBytes),
 			float64(st.Filter.Database.RedoFlushes),
+			float64(st.Versions.SnapshotsActive),
+			float64(st.Versions.SnapshotsOpened),
+			float64(st.Versions.VersionsReclaimed),
+			float64(st.Versions.Reclaims),
+			float64(st.Versions.Versions),
+			float64(st.Versions.MaxChainDepth),
+			float64(st.RowsTotal),
+			float64(st.Versions.CommitSeq),
 		}
 		for i := range metrics {
 			metrics[i].values[v.Name] = samples[i]

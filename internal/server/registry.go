@@ -169,6 +169,21 @@ func (v *View) CheckBatch(updates []string, workers int) []ufilter.BatchResult {
 	return out
 }
 
+// CheckBatchData pins one database snapshot for the whole batch and
+// runs the snapshot-isolated data check (Steps 1+2 plus read-only
+// Step 3 probes) on every update: the batch observes a single
+// point-in-time state and never waits behind an in-flight apply.
+func (v *View) CheckBatchData(updates []string, workers int) []ufilter.BatchResult {
+	v.checks.Add(int64(len(updates)))
+	out := v.Filter.CheckBatchData(updates, workers)
+	for _, br := range out {
+		if br.Err != nil {
+			v.checkErrors.Add(1)
+		}
+	}
+	return out
+}
+
 // Apply admits one full-pipeline update if a queue slot is free. ok is
 // false when the queue is saturated; the caller should shed the
 // request with the returned retry hint.
@@ -236,6 +251,13 @@ type ViewStats struct {
 	QueueDepth   int           `json:"queue_depth"`
 	Filter       ufilter.Stats `json:"filter"`
 	CacheHitRate float64       `json:"cache_hit_rate"`
+	// RowsTotal is the database size counted through a snapshot pinned
+	// for this stats request, so the number is a coherent point-in-time
+	// count even while an apply is mutating tables.
+	RowsTotal int `json:"rows_total"`
+	// Versions describes the MVCC version store: chain depths, pinned
+	// snapshots and reclaim progress.
+	Versions relational.VersionStats `json:"versions"`
 }
 
 // ApplyStats breaks down the full-pipeline traffic.
@@ -256,8 +278,13 @@ type QueueStats struct {
 }
 
 // Stats snapshots the view's counters, safe under concurrent traffic.
+// Row counts are read through a pinned snapshot, never from the live
+// tables an apply may be mutating.
 func (v *View) Stats() ViewStats {
 	fs := v.Filter.Stats()
+	snap := v.Filter.Exec.DB.Snapshot()
+	versions := snap.VersionStats() // one walk: shape + pinned row count
+	snap.Close()
 	return ViewStats{
 		View:        v.Name,
 		Dataset:     v.Dataset,
@@ -278,6 +305,8 @@ func (v *View) Stats() ViewStats {
 		QueueDepth:   len(v.queue),
 		Filter:       fs,
 		CacheHitRate: fs.Cache.HitRate(),
+		RowsTotal:    versions.VisibleRows,
+		Versions:     versions,
 	}
 }
 
@@ -390,6 +419,22 @@ func (r *Registry) Names() []string {
 	r.mu.RUnlock()
 	sort.Strings(out)
 	return out
+}
+
+// StartReclaimers runs a background MVCC version reclaimer on every
+// currently registered view's database and returns a stop function
+// (idempotent) that halts them all. The daemon calls it once at boot;
+// commit-piggybacked reclaim still covers views added later.
+func (r *Registry) StartReclaimers(interval time.Duration) (stop func()) {
+	var stops []func()
+	for _, v := range r.Views() {
+		stops = append(stops, v.Filter.Exec.DB.StartReclaimer(interval))
+	}
+	return func() {
+		for _, s := range stops {
+			s()
+		}
+	}
 }
 
 // Views lists the registered views in name order.

@@ -7,12 +7,19 @@
 // Schema-level checks (POST /views/{name}/check and /check-batch) read
 // only immutable ASGs plus the internally synchronized decision cache,
 // so they fan out freely across goroutines — one per request, exactly
-// as net/http provides. Full-pipeline applies
+// as net/http provides. A /check-batch request with "data": true
+// additionally pins ONE MVCC snapshot of the view's database for the
+// whole batch and runs Step 3's read-only probes against it: every
+// verdict reflects the same point-in-time state, and checks never wait
+// behind an in-flight apply (snapshot isolation in internal/relational
+// makes the read path lock-free). Full-pipeline applies
 // (POST /views/{name}/apply) are serialized per filter, so the server
 // fronts each view with a bounded admission queue: a request either
 // claims a running-or-waiting slot or is shed immediately with
 // 429 Too Many Requests and a Retry-After estimate, keeping check
-// latency flat while the apply pipeline is saturated.
+// latency flat while the apply pipeline is saturated. The statistics
+// handlers read row counts through a pinned snapshot too, never from
+// the live tables an apply is mutating.
 //
 // Endpoints:
 //
@@ -37,6 +44,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/ufilter"
 )
 
 // Server hosts the registry behind an http.Server with graceful
@@ -179,6 +188,11 @@ type checkRequest struct {
 type batchRequest struct {
 	Updates []string `json:"updates"`
 	Workers int      `json:"workers,omitempty"`
+	// Data extends the batch check with Step 3's read-only probes,
+	// evaluated against ONE database snapshot pinned for the whole
+	// request: every verdict reflects the same point-in-time state, and
+	// the request never waits behind an in-flight apply.
+	Data bool `json:"data,omitempty"`
 }
 
 func decodeBody(r *http.Request, v any) error {
@@ -214,7 +228,12 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request, v *Vie
 		writeError(w, http.StatusBadRequest, "updates must be non-empty")
 		return
 	}
-	results := v.CheckBatch(req.Updates, req.Workers)
+	var results []ufilter.BatchResult
+	if req.Data {
+		results = v.CheckBatchData(req.Updates, req.Workers)
+	} else {
+		results = v.CheckBatch(req.Updates, req.Workers)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 

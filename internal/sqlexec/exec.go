@@ -15,6 +15,15 @@ import (
 // through it.
 const rowidColumn = "rowid"
 
+// Reader is the read-only data surface a SELECT evaluates against:
+// the live *relational.Database or an immutable *relational.Snapshot.
+// Compilation (name resolution, join planning) always happens against
+// the executor's database — the schema and index structure are shared
+// — while execution resolves rows through the Reader, so one compiled
+// or prepared statement serves both latest reads and snapshot-pinned
+// reads.
+type Reader = relational.Reader
+
 // Executor evaluates SQL statements over a relational database plus a
 // namespace of materialized temporary tables (probe-query results kept
 // for reuse, per Section 6.1). Temporary tables have no indexes — the
@@ -99,15 +108,17 @@ func (e *Executor) Temp(name string) (*ResultSet, bool) {
 }
 
 // source abstracts a scannable relation: a base table or a materialized
-// temporary table.
+// temporary table. Row access goes through the Reader chosen at
+// execution time; rowCount serves join planning and reads the live
+// database.
 type source interface {
 	name() string
 	columnNames() []string
 	// scan visits each row as (rowid, values); rowid is 0 for temps.
-	scan(fn func(relational.RowID, []relational.Value) bool)
+	scan(rd Reader, fn func(relational.RowID, []relational.Value) bool)
 	// lookup returns matching rows via an index; ok=false when no index
 	// covers the columns (temps never have indexes).
-	lookup(cols []string, vals []relational.Value) (ids []relational.RowID, rows [][]relational.Value, ok bool)
+	lookup(rd Reader, cols []string, vals []relational.Value) (ids []relational.RowID, rows [][]relational.Value, ok bool)
 	rowCount() int
 }
 
@@ -120,25 +131,25 @@ func (s *baseSource) name() string { return s.def.Name }
 
 func (s *baseSource) columnNames() []string { return s.def.ColumnNames() }
 
-func (s *baseSource) scan(fn func(relational.RowID, []relational.Value) bool) {
-	s.e.DB.Scan(s.def.Name, func(r *relational.Row) bool {
+func (s *baseSource) scan(rd Reader, fn func(relational.RowID, []relational.Value) bool) {
+	rd.Scan(s.def.Name, func(r *relational.Row) bool {
 		s.e.addRowsScanned(1)
 		return fn(r.ID, r.Values)
 	})
 }
 
-func (s *baseSource) lookup(cols []string, vals []relational.Value) ([]relational.RowID, [][]relational.Value, bool) {
-	if !s.e.DB.HasIndexOn(s.def.Name, cols) {
+func (s *baseSource) lookup(rd Reader, cols []string, vals []relational.Value) ([]relational.RowID, [][]relational.Value, bool) {
+	if !rd.HasIndexOn(s.def.Name, cols) {
 		return nil, nil, false
 	}
-	ids, err := s.e.DB.LookupEqual(s.def.Name, cols, vals)
+	ids, err := rd.LookupEqual(s.def.Name, cols, vals)
 	if err != nil {
 		return nil, nil, false
 	}
 	s.e.addIndexProbes(1)
 	rows := make([][]relational.Value, len(ids))
 	for i, id := range ids {
-		r, err := s.e.DB.Get(s.def.Name, id)
+		r, err := rd.Get(s.def.Name, id)
 		if err != nil {
 			return nil, nil, false
 		}
@@ -168,7 +179,7 @@ func (s *tempSource) name() string { return s.nm }
 
 func (s *tempSource) columnNames() []string { return s.cols }
 
-func (s *tempSource) scan(fn func(relational.RowID, []relational.Value) bool) {
+func (s *tempSource) scan(_ Reader, fn func(relational.RowID, []relational.Value) bool) {
 	for _, row := range s.rs.Rows {
 		s.e.addRowsScanned(1)
 		if !fn(0, row) {
@@ -177,7 +188,7 @@ func (s *tempSource) scan(fn func(relational.RowID, []relational.Value) bool) {
 	}
 }
 
-func (s *tempSource) lookup([]string, []relational.Value) ([]relational.RowID, [][]relational.Value, bool) {
+func (s *tempSource) lookup(Reader, []string, []relational.Value) ([]relational.RowID, [][]relational.Value, bool) {
 	return nil, nil, false // temps are unindexed by design
 }
 
@@ -373,19 +384,29 @@ func (e *Executor) compileSelect(s *SelectStmt) (*compiledSelect, error) {
 	return cs, nil
 }
 
-// ExecSelect compiles and evaluates a select in one shot. Statements
-// containing parameter placeholders must go through Prepare/Bind.
+// ExecSelect compiles and evaluates a select in one shot against the
+// live database. Statements containing parameter placeholders must go
+// through Prepare/Bind.
 func (e *Executor) ExecSelect(s *SelectStmt) (*ResultSet, error) {
+	return e.ExecSelectOn(e.DB, s)
+}
+
+// ExecSelectOn compiles and evaluates a select in one shot against the
+// given Reader — the live database or a pinned snapshot. Compilation
+// (name resolution, join planning) uses the executor's schema and
+// statistics; row access goes through rd, so a snapshot-pinned caller
+// sees a single point-in-time state for the whole query.
+func (e *Executor) ExecSelectOn(rd Reader, s *SelectStmt) (*ResultSet, error) {
 	cs, err := e.compileSelect(s)
 	if err != nil {
 		return nil, err
 	}
-	return e.runSelect(cs, nil)
+	return e.runSelect(cs, rd, nil)
 }
 
-// runSelect evaluates a compiled select under a bound argument tuple
-// (nil for statements without parameters).
-func (e *Executor) runSelect(cs *compiledSelect, args []relational.Value) (*ResultSet, error) {
+// runSelect evaluates a compiled select against rd under a bound
+// argument tuple (nil for statements without parameters).
+func (e *Executor) runSelect(cs *compiledSelect, rd Reader, args []relational.Value) (*ResultSet, error) {
 	if len(args) < cs.nparams {
 		return nil, fmt.Errorf("sqlexec: select needs %d bind arguments, got %d (Bind the prepared statement first)", cs.nparams, len(args))
 	}
@@ -554,7 +575,7 @@ func (e *Executor) runSelect(cs *compiledSelect, args []relational.Value) (*Resu
 					continue
 				}
 				id := relational.RowID(np.p.Right.Lit.Int)
-				r, err := e.DB.Get(bs.def.Name, id)
+				r, err := rd.Get(bs.def.Name, id)
 				if err != nil {
 					return true // no such row: empty result for this branch
 				}
@@ -567,7 +588,7 @@ func (e *Executor) runSelect(cs *compiledSelect, args []relational.Value) (*Resu
 		// Index path: try progressively smaller column subsets so a
 		// composite predicate can still hit a single-column index.
 		if len(eqCols) > 0 && !s.NoIndex {
-			if ids, rows, ok := src.lookup(eqCols, eqVals); ok {
+			if ids, rows, ok := src.lookup(rd, eqCols, eqVals); ok {
 				for i := range ids {
 					if !tryRow(ids[i], rows[i]) {
 						return joinErr == nil
@@ -576,7 +597,7 @@ func (e *Executor) runSelect(cs *compiledSelect, args []relational.Value) (*Resu
 				return true
 			}
 			for i := range eqCols {
-				if ids, rows, ok := src.lookup(eqCols[i:i+1], eqVals[i:i+1]); ok {
+				if ids, rows, ok := src.lookup(rd, eqCols[i:i+1], eqVals[i:i+1]); ok {
 					for j := range ids {
 						if !tryRow(ids[j], rows[j]) {
 							return joinErr == nil
@@ -599,7 +620,7 @@ func (e *Executor) runSelect(cs *compiledSelect, args []relational.Value) (*Resu
 				continue
 			}
 			bs, isBase := src.(*baseSource)
-			if !isBase || !e.DB.HasIndexOn(bs.def.Name, []string{np.leftCol}) {
+			if !isBase || !rd.HasIndexOn(bs.def.Name, []string{np.leftCol}) {
 				continue
 			}
 			temp, ok := e.Temp(np.p.InTemp)
@@ -623,7 +644,7 @@ func (e *Executor) runSelect(cs *compiledSelect, args []relational.Value) (*Resu
 					continue
 				}
 				seen[k] = true
-				ids, rows, ok := src.lookup([]string{np.leftCol}, []relational.Value{v})
+				ids, rows, ok := src.lookup(rd, []string{np.leftCol}, []relational.Value{v})
 				if !ok {
 					continue
 				}
@@ -636,7 +657,7 @@ func (e *Executor) runSelect(cs *compiledSelect, args []relational.Value) (*Resu
 			return true
 		}
 		cont := true
-		src.scan(func(id relational.RowID, vals []relational.Value) bool {
+		src.scan(rd, func(id relational.RowID, vals []relational.Value) bool {
 			cont = tryRow(id, vals)
 			return cont && joinErr == nil
 		})

@@ -143,17 +143,25 @@ func (s *Stmt) Bind(args ...relational.Value) (Statement, error) {
 	}
 }
 
-// ExecSelect binds the arguments and evaluates the statement, which
-// must be a SELECT template, off its compiled form — no per-call name
-// resolution or join planning.
+// ExecSelect binds the arguments and evaluates the statement against
+// the live database. The statement must be a SELECT template; it runs
+// off its compiled form — no per-call name resolution or join planning.
 func (s *Stmt) ExecSelect(args ...relational.Value) (*ResultSet, error) {
+	return s.ExecSelectOn(s.e.DB, args...)
+}
+
+// ExecSelectOn is ExecSelect with row access routed through rd — the
+// live database or a pinned snapshot. One prepared statement may be
+// bound and executed concurrently against many readers; nothing in the
+// template or its compiled form is mutated.
+func (s *Stmt) ExecSelectOn(rd Reader, args ...relational.Value) (*ResultSet, error) {
 	if s.sel == nil {
 		return nil, fmt.Errorf("sqlexec: ExecSelect on a %T statement", s.tmpl)
 	}
 	if len(args) < s.nparams {
 		return nil, fmt.Errorf("sqlexec: statement needs %d bind arguments, got %d", s.nparams, len(args))
 	}
-	return s.e.runSelect(s.sel, args)
+	return s.e.runSelect(s.sel, rd, args)
 }
 
 // Exec binds the arguments and executes a DML template, returning the

@@ -118,9 +118,12 @@ func Resolve(u *xqparse.UpdateQuery, view *asg.ViewASG) (*ResolvedUpdate, error)
 // database. It embeds the plan.Executor that holds the marked ASGs,
 // the SQL executor and the plan cache; the historical API (Check,
 // CheckParsed, CheckBatch, Apply, ApplyParsed, BlindApply, CacheStats)
-// is the executor's, promoted. The concurrency contract is the
-// executor's: checks fan out freely, mutating calls are serialized
-// internally.
+// is the executor's, promoted — as are the snapshot-isolated data
+// checks (Snapshot, CheckData, CheckDataAt, CheckBatchData). The
+// concurrency contract is the executor's: checks fan out freely and
+// never wait on an in-flight apply (data checks pin an MVCC snapshot,
+// so each sees a single point-in-time view); mutating calls are
+// serialized internally on the narrow writer lock.
 type Filter struct {
 	*plan.Executor
 }
