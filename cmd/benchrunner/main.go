@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -25,11 +26,13 @@ func main() {
 	sizesFlag := flag.String("sizes", "50,100,150,200,250,300,350,400,450,500",
 		"comma-separated database sizes (MB) for Figs. 15-17")
 	iters := flag.Int("iters", 20, "operations per size for Figs. 15-17")
-	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan,mvcc")
+	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan,mvcc,write")
 	planIters := flag.Int("plan-iters", 2000, "iterations for the plan (compile-once/execute-many) benchmark")
 	planOut := flag.String("plan-out", "BENCH_plan.json", "file the plan benchmark's JSON is written to")
 	mvccIters := flag.Int("mvcc-iters", 2000, "checks per side for the MVCC checks-during-apply benchmark")
 	mvccOut := flag.String("mvcc-out", "BENCH_mvcc.json", "file the MVCC benchmark's JSON is written to")
+	writeIters := flag.Int("write-iters", 2000, "applies per point for the parallel-write-path benchmark")
+	writeOut := flag.String("write-out", "BENCH_write.json", "file the write benchmark's JSON is written to")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -70,6 +73,9 @@ func main() {
 	}
 	if run("mvcc") {
 		printMVCCBench(*mvccIters, *mvccOut)
+	}
+	if run("write") {
+		printWriteBench(*writeIters, *writeOut)
 	}
 }
 
@@ -215,6 +221,37 @@ func printMVCCBench(iters int, outPath string) {
 		mb.AppliesDuringBusy, mb.SnapshotsOpened, mb.VersionsReclaimed)
 	if outPath != "" {
 		data, err := json.MarshalIndent(mb, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+// printWriteBench runs the parallel-write-path benchmark — apply
+// throughput at 1/2/4/8 writer goroutines on conflict-free vs
+// high-conflict keyspaces — and records the series as JSON so CI
+// tracks whether independent updates actually commit concurrently.
+func printWriteBench(iters int, outPath string) {
+	header("Write — parallel apply path (MVCC conflicts + group commit)")
+	wb, err := experiments.RunWriteBench(iters, runtime.GOMAXPROCS(0))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %16s %16s %12s %12s %10s %10s\n",
+		"Writers", "free ops/s", "contended ops/s", "accepted", "409s", "conflicts", "retries")
+	for _, p := range wb.Points {
+		fmt.Printf("%-8d %16.0f %16.0f %12d %12d %10d %10d\n",
+			p.Writers, p.ConflictFreeOpsPerSec, p.HighConflictOpsPerSec,
+			p.Accepted, p.Conflict409, p.Conflicts, p.Retries)
+	}
+	fmt.Printf("conflict-free speedup at 8 writers: %.2fx (GOMAXPROCS=%d)\n",
+		wb.ConflictFreeSpeedup8x, wb.MaxProcs)
+	if outPath != "" {
+		data, err := json.MarshalIndent(wb, "", "  ")
 		if err != nil {
 			fatal(err)
 		}

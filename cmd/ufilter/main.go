@@ -10,13 +10,16 @@
 //	ufilter -dataset tpch -view vfail:region -update-text 'FOR $t IN ... UPDATE $t { DELETE $t }'
 //	echo 'FOR ...' | ufilter -dataset psd -apply
 //	cat updates.xq | ufilter -dataset book -batch -workers 8 -stats
+//	cat updates.xq | ufilter -dataset book -batch -data
 //	cat updates.xq | ufilter -dataset book -batch -json | jq .result.accepted
 //
 // Batch mode (-batch) reads any number of updates from stdin — each
 // terminated by a line containing only ";" — fans them across a worker
 // pool, and prints one verdict line per update plus, with -stats, the
 // decision-cache hit rate. Batch mode runs the schema-level checks
-// (Steps 1+2) only.
+// (Steps 1+2); with -data it additionally runs Step 3's read-only
+// probes against one database snapshot pinned for the whole batch, so
+// every verdict reflects the same point-in-time state.
 //
 // The -json flag switches both single and batch modes to one JSON
 // object per line, using the same stable encoding the ufilterd daemon
@@ -56,6 +59,7 @@ func main() {
 	marks := flag.Bool("marks", false, "print the STAR (UPoint|UContext) marks and exit")
 	mb := flag.Int("mb", 1, "tpch dataset size (nominal MB)")
 	batch := flag.Bool("batch", false, `check many updates from stdin (";" line separates updates)`)
+	batchData := flag.Bool("data", false, "with -batch: extend the schema checks with Step 3's read-only data probes against ONE pinned snapshot (parity with ufilterd's check-batch \"data\":true)")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "after a batch, print decision-cache statistics")
 	snapshotStats := flag.Bool("snapshot-stats", false, "after the run, print MVCC version-chain depth and reclaim counters (retention-leak debugging)")
@@ -83,12 +87,12 @@ func main() {
 
 	if *batch {
 		if *apply {
-			fail(fmt.Errorf("-batch runs the schema-level checks only and cannot be combined with -apply"))
+			fail(fmt.Errorf("-batch never executes translations and cannot be combined with -apply (use -data for the snapshot-pinned data check)"))
 		}
 		if *marks {
 			fail(fmt.Errorf("-batch reads updates from stdin and cannot be combined with -marks"))
 		}
-		code := runBatch(f, os.Stdin, *workers, *stats, *jsonOut)
+		code := runBatch(f, os.Stdin, *workers, *batchData, *stats, *jsonOut)
 		if *snapshotStats {
 			printSnapshotStats(f, *jsonOut)
 		}
@@ -270,10 +274,13 @@ func printResult(res *repro.Result, applied bool) {
 }
 
 // runBatch reads ";"-separated updates from r, checks them through the
-// worker pool, prints one line per update (JSON objects with -json) and
-// returns the process exit code (2 when any update was rejected or
-// failed to parse).
-func runBatch(f *repro.Filter, r io.Reader, workers int, stats, jsonOut bool) int {
+// worker pool — the schema-level Steps 1+2, or with data=true the
+// snapshot-pinned data check (Steps 1+2 plus Step 3's read-only probes
+// against ONE snapshot pinned for the whole batch, the CLI twin of
+// ufilterd's check-batch "data":true) — prints one line per update
+// (JSON objects with -json) and returns the process exit code (2 when
+// any update was rejected or failed to parse).
+func runBatch(f *repro.Filter, r io.Reader, workers int, data, stats, jsonOut bool) int {
 	updates, err := readBatch(r)
 	if err != nil {
 		fail(err)
@@ -281,8 +288,12 @@ func runBatch(f *repro.Filter, r io.Reader, workers int, stats, jsonOut bool) in
 	if len(updates) == 0 {
 		fail(fmt.Errorf("batch mode: no updates on stdin (separate updates with a line containing only %q)", ";"))
 	}
+	check := f.CheckBatch
+	if data {
+		check = f.CheckBatchData
+	}
 	exit := 0
-	for _, br := range f.CheckBatch(updates, workers) {
+	for _, br := range check(updates, workers) {
 		if jsonOut {
 			printJSON(br)
 		}

@@ -188,7 +188,7 @@ WHERE $book/title/text() = "Title %d"
 UPDATE $book { DELETE $book/review }`, i))
 	}
 
-	var checks, applies, shed, errs atomic.Int64
+	var checks, applies, shed, conflicted, errs atomic.Int64
 	deadline := time.Now().Add(duration)
 	client := &http.Client{Timeout: 30 * time.Second}
 	var wg sync.WaitGroup
@@ -211,6 +211,11 @@ UPDATE $book {
 							errs.Add(1)
 						case status == http.StatusTooManyRequests:
 							shed.Add(1)
+						case status == http.StatusConflict:
+							// Write-write conflict retries exhausted: a
+							// legitimate outcome under contended load, the
+							// client's cue to re-submit.
+							conflicted.Add(1)
 						case status == http.StatusOK:
 							applies.Add(1)
 						default:
@@ -253,7 +258,8 @@ UPDATE $book {
 	total := checks.Load() + applies.Load()
 	fmt.Printf("loadgen: %d clients, %s against view %q\n", clients, duration, viewName)
 	fmt.Printf("  checks:   %d (%.0f/s)\n", checks.Load(), float64(checks.Load())/secs)
-	fmt.Printf("  applies:  %d (%.0f/s), %d shed with 429\n", applies.Load(), float64(applies.Load())/secs, shed.Load())
+	fmt.Printf("  applies:  %d (%.0f/s), %d shed with 429, %d conflicted with 409\n",
+		applies.Load(), float64(applies.Load())/secs, shed.Load(), conflicted.Load())
 	fmt.Printf("  errors:   %d\n", errs.Load())
 	fmt.Printf("  total ok: %d (%.0f/s)\n", total, float64(total)/secs)
 	if statsErr == nil {

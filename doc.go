@@ -40,9 +40,19 @@
 // and ExecuteBatch group-commit N updates under one transaction and
 // one redo flush:
 //
+// Write-concurrency contract. Applies run in parallel: every
+// Apply/Execute/ApplyBatch opens its own transaction against the MVCC
+// engine, independent updates commit concurrently with their
+// write-ahead-log flushes coalesced by a group-commit scheduler, and
+// two updates that write the same rows resolve by first-updater-wins
+// — the loser retries automatically with capped backoff and surfaces
+// relational.ErrWriteConflict only when retries are exhausted (the
+// ufilterd gateway maps that to 409 Conflict). Each update is atomic:
+// all of its translated statements commit together or none do.
+//
 // Read-consistency contract. Checking never waits on executing: the
-// relational engine is multi-versioned (internal/relational), writers
-// serialize on a narrow writer lock, and every check runs lock-free.
+// relational engine is multi-versioned (internal/relational) and
+// every check runs lock-free.
 // Check/CheckBatch are schema-only. CheckData and CheckBatchData add
 // Step 3's read-only probes (update-context existence, shared-part
 // consistency) evaluated against a database snapshot pinned for the
@@ -63,7 +73,7 @@
 //
 // The filter is also served over the wire: internal/server and
 // cmd/ufilterd host a registry of named views behind an HTTP/JSON
-// gateway with bounded admission control in front of the serialized
+// gateway with a bounded concurrency limiter in front of the parallel
 // apply pipeline, live per-view statistics and Prometheus-style
 // metrics. Result and every verdict enum marshal to stable JSON (the
 // enum spellings are exactly their String forms), so the CLI's -json

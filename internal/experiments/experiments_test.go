@@ -112,3 +112,27 @@ func TestFig17Shape(t *testing.T) {
 		t.Fatalf("non-positive timings: %+v", r)
 	}
 }
+
+func TestWriteBenchShape(t *testing.T) {
+	wb, err := RunWriteBench(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wb.Points) != 4 {
+		t.Fatalf("points = %d, want 4 (1/2/4/8 writers)", len(wb.Points))
+	}
+	for _, p := range wb.Points {
+		if p.ConflictFreeOpsPerSec <= 0 || p.HighConflictOpsPerSec <= 0 {
+			t.Fatalf("writer point %d has zero throughput: %+v", p.Writers, p)
+		}
+		// Correctness invariant: every high-conflict apply either
+		// committed or surfaced a conflict; nothing was lost.
+		ops := int64(64 - 64%p.Writers)
+		if p.Accepted+p.Conflict409 != ops {
+			t.Fatalf("writers=%d: accepted %d + 409 %d != %d", p.Writers, p.Accepted, p.Conflict409, ops)
+		}
+	}
+	if wb.ConflictFreeSpeedup8x <= 0 {
+		t.Fatalf("speedup not recorded: %+v", wb)
+	}
+}

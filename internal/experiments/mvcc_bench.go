@@ -33,10 +33,10 @@ type MVCCBench struct {
 
 	// Snapshot-pinned data check (Steps 1+2 plus read-only Step 3
 	// probes against a pinned snapshot).
-	DataCheckIdleP50Ns int64 `json:"data_check_idle_p50_ns"`
-	DataCheckIdleP99Ns int64 `json:"data_check_idle_p99_ns"`
-	DataCheckBusyP50Ns int64 `json:"data_check_busy_p50_ns"`
-	DataCheckBusyP99Ns int64 `json:"data_check_busy_p99_ns"`
+	DataCheckIdleP50Ns int64   `json:"data_check_idle_p50_ns"`
+	DataCheckIdleP99Ns int64   `json:"data_check_idle_p99_ns"`
+	DataCheckBusyP50Ns int64   `json:"data_check_busy_p50_ns"`
+	DataCheckBusyP99Ns int64   `json:"data_check_busy_p99_ns"`
 	DataCheckP99Ratio  float64 `json:"data_check_p99_ratio"`
 
 	// AppliesDuringBusy counts updates the writer committed while the

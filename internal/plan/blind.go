@@ -22,10 +22,13 @@ type BlindResult struct {
 // (no STAR check), execute it, detect view side effects by comparing
 // the materialized view before and after (as SQL-Server does, per the
 // paper), and roll back when a side effect is found. It is deliberately
-// expensive — this is the baseline U-Filter avoids.
+// expensive — this is the baseline U-Filter avoids. Like every other
+// mutating entry point it runs in its own transaction (the before
+// image reads the transaction's pinned snapshot, the after image reads
+// the transaction's uncommitted writes); unlike Apply it does NOT
+// retry on write-write conflicts — the baseline measures one blind
+// attempt.
 func (e *Executor) BlindApply(updateText string) (*BlindResult, error) {
-	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
 	u, err := xqparse.ParseUpdate(updateText)
 	if err != nil {
 		return nil, err
@@ -34,19 +37,26 @@ func (e *Executor) BlindApply(updateText string) (*BlindResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := &viewengine.Engine{Exec: e.Exec}
+
+	ac := &applyCtx{txn: e.Exec.DB.Begin(), preds: r.UserPreds}
+	txn := ac.txn
+	// The engine reads through the transaction: the before image sees
+	// the snapshot pinned at Begin, the after image additionally sees
+	// the transaction's own uncommitted statements — exactly the diff
+	// the blind baseline needs.
+	eng := &viewengine.Engine{Exec: e.Exec, Rd: txn}
 	before, err := eng.Materialize(e.View.Query)
 	if err != nil {
+		txn.Rollback()
 		return nil, err
 	}
 	res := &BlindResult{ViewNodes: before.Count()}
 
-	txn := e.Exec.DB.Begin()
 	dummy := &Result{}
 	touched := 0
 	for i := range r.Ops {
 		ro := &r.Ops[i]
-		probe, tempName, reject, err := e.contextCheck(ro, r.UserPreds, nil, nil, dummy)
+		probe, tempName, reject, err := e.contextCheck(ac, ro, r.UserPreds, nil, nil, dummy)
 		if err != nil {
 			txn.Rollback()
 			return nil, err
@@ -57,7 +67,7 @@ func (e *Executor) BlindApply(updateText string) (*BlindResult, error) {
 		if reject != "" {
 			continue
 		}
-		tr, err := e.blindTranslate(ro, probe, tempName)
+		tr, err := e.blindTranslate(ac, ro, probe, tempName)
 		if err != nil {
 			txn.Rollback()
 			return nil, err
@@ -65,14 +75,14 @@ func (e *Executor) BlindApply(updateText string) (*BlindResult, error) {
 		for _, st := range tr.Statements {
 			switch s := st.(type) {
 			case *sqlexec.InsertStmt:
-				if _, err := e.Exec.ExecInsert(s); err == nil {
+				if _, err := e.Exec.ExecInsert(txn, s); err == nil {
 					touched++
 				}
 			case *sqlexec.DeleteStmt:
-				n, _ := e.Exec.ExecDelete(s)
+				n, _ := e.Exec.ExecDelete(txn, s)
 				touched += n
 			case *sqlexec.UpdateStmt:
-				n, _ := e.Exec.ExecUpdate(s)
+				n, _ := e.Exec.ExecUpdate(txn, s)
 				touched += n
 			}
 		}
@@ -103,7 +113,7 @@ func (e *Executor) BlindApply(updateText string) (*BlindResult, error) {
 // the safety net: unsafe deletes fall back to deleting the relation
 // that owns the element's direct content — exactly the naive
 // translation whose side effects the baseline then has to discover.
-func (e *Executor) blindTranslate(ro *ResolvedOp, probe *sqlexec.ResultSet, tempName string) (*opTranslation, error) {
+func (e *Executor) blindTranslate(ac *applyCtx, ro *ResolvedOp, probe *sqlexec.ResultSet, tempName string) (*opTranslation, error) {
 	if ro.Op.Kind == xqparse.OpDelete && ro.Target.Kind == asg.KindInternal && ro.Target.DeleteAnchor == "" {
 		// Pick the relation owning most of the element's direct leaves.
 		counts := map[string]int{}
@@ -126,17 +136,20 @@ func (e *Executor) blindTranslate(ro *ResolvedOp, probe *sqlexec.ResultSet, temp
 				best = ro.Target.UPBinding.Names()[0]
 			}
 		}
-		ro.Target.DeleteAnchor = best
-		defer func() { ro.Target.DeleteAnchor = "" }()
-		return e.translateDelete(ro, probe, tempName, nil)
+		// Carry the naive anchor in the per-apply context: the shared
+		// view-ASG node is read lock-free by concurrent applies and plan
+		// compilations, so it must never be mutated here.
+		ac.blindAnchor = best
+		defer func() { ac.blindAnchor = "" }()
+		return e.translateDelete(ac, ro, probe, tempName, nil)
 	}
 	switch ro.Op.Kind {
 	case xqparse.OpDelete:
-		return e.translateDelete(ro, probe, tempName, nil)
+		return e.translateDelete(ac, ro, probe, tempName, nil)
 	case xqparse.OpInsert:
 		return e.translateInsert(ro, probe)
 	default:
-		return e.translateReplace(ro, probe)
+		return e.translateReplace(ac, ro, probe)
 	}
 }
 

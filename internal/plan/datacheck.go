@@ -19,11 +19,11 @@ import (
 // counterpart in most engines' join-view support (the paper's first
 // shortcoming: "limited on supporting updates over Join-views"), so
 // they fall back to the hybrid path with a warning.
-func (e *Executor) executeInternal(ro *ResolvedOp, stmts []sqlexec.Statement, res *Result) (string, error) {
+func (e *Executor) executeInternal(ac *applyCtx, ro *ResolvedOp, stmts []sqlexec.Statement, res *Result) (string, error) {
 	if ro.Op.Kind != xqparse.OpInsert {
 		res.Warnings = append(res.Warnings,
 			"internal strategy: relational join-views do not support this operation; falling back to hybrid")
-		return e.executeHybrid(stmts, res)
+		return e.executeHybrid(ac, stmts, res)
 	}
 	jv, err := e.joinViewFor(ro.Target)
 	if err != nil {
@@ -50,12 +50,12 @@ func (e *Executor) executeInternal(ro *ResolvedOp, stmts []sqlexec.Statement, re
 				sel.Where = append(sel.Where, p)
 			}
 		}
-		for _, up := range e.pendingUserPreds {
+		for _, up := range ac.preds {
 			if keep.Has(up.Leaf.RelName) {
 				sel.Where = append(sel.Where, sqlexec.Cmp(up.Leaf.RelName, up.Leaf.ColName, up.Op, up.Lit))
 			}
 		}
-		rs, err := e.Exec.ExecSelect(sel)
+		rs, err := e.Exec.ExecSelectOn(ac.txn, sel)
 		if err != nil {
 			return "", err
 		}
@@ -102,7 +102,7 @@ func (e *Executor) executeInternal(ro *ResolvedOp, stmts []sqlexec.Statement, re
 		}
 		sql := &sqlexec.InsertStmt{Table: jv.Name, Values: full}
 		res.SQL = append(res.SQL, sql.String())
-		n, err := e.Exec.InsertIntoJoinView(jv, full)
+		n, err := e.Exec.InsertIntoJoinView(ac.txn, jv, full)
 		if err != nil {
 			if relational.IsConstraintViolation(err) {
 				return fmt.Sprintf("data conflict reported by the engine: %v", err), nil

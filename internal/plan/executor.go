@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/asg"
 	"repro/internal/relational"
@@ -89,19 +91,22 @@ type Result struct {
 // updates can be checked, compiled into UpdatePlans, and executed
 // against it.
 //
-// Concurrency: the executor is split into a lock-free read path and a
-// serialized write path. Check, CheckParsed, CheckBatch and Compile
-// read only the immutable ASGs and marks plus the internally
-// synchronized plan cache; CheckData, CheckDataAt and CheckBatchData
-// additionally run Step 3's read-only probes against a pinned database
-// snapshot — none of them ever take the writer lock, so checks run
-// fully concurrently with an in-flight apply and their latency is
-// independent of apply load. Apply, ApplyParsed, ApplyBatch, Execute,
-// ExecuteBatch and BlindApply mutate the database and the executor's
-// temporary-table namespace, so the executor serializes them on the
-// narrow writer lock (writeMu). The configuration fields (Strategy,
-// SkipSchemaChecks, DisableCache) must be set before the executor is
-// shared across goroutines.
+// Concurrency: the executor has a lock-free read path and a PARALLEL
+// write path. Check, CheckParsed, CheckBatch and Compile read only the
+// immutable ASGs and marks plus the internally synchronized plan
+// cache; CheckData, CheckDataAt and CheckBatchData additionally run
+// Step 3's read-only probes against a pinned database snapshot — so
+// check latency is independent of apply load. Apply, ApplyParsed,
+// ApplyBatch, Execute, ExecuteBatch and BlindApply each open their OWN
+// transaction against the MVCC engine: independent updates run their
+// probes, checks and translated statements fully concurrently, commits
+// coalesce into shared write-ahead-log flushes through the group-
+// commit scheduler, and two updates that touch the same rows resolve
+// by first-updater-wins — the loser retries automatically with capped
+// backoff and surfaces relational.ErrWriteConflict only when the
+// retries are exhausted (the ufilterd gateway maps that to 409). The
+// configuration fields (Strategy, SkipSchemaChecks, DisableCache) must
+// be set before the executor is shared across goroutines.
 type Executor struct {
 	View     *asg.ViewASG
 	Base     *asg.BaseASG
@@ -118,23 +123,45 @@ type Executor struct {
 	// through a fresh resolution. Benchmark and debugging use only.
 	DisableCache bool
 
-	// writeMu is the narrow writer lock: it serializes only the
-	// mutating pipeline (the translation shares tempSeq,
-	// pendingUserPreds, the executor's temporary tables and the
-	// database's single-transaction engine). The check paths never
-	// acquire it — snapshot-isolated reads in internal/relational make
-	// the read side lock-free.
-	writeMu sync.Mutex
+	// MaxWriteRetries caps how many times a conflicted apply is retried
+	// before ErrWriteConflict escapes to the caller; 0 selects
+	// defaultWriteRetries. Set before sharing the executor.
+	MaxWriteRetries int
 
 	// cache memoizes compiled UpdatePlans and schema-level verdicts per
 	// update template; see cache.go. Never nil for executors built by
 	// NewExecutor.
 	cache *Cache
 
-	tempSeq int
-	// pendingUserPreds carries the current update's predicates for the
-	// internal strategy's wide probe and translateDelete's fallback.
-	pendingUserPreds []UserPred
+	// gc coalesces concurrent commits into shared WAL flushes.
+	gc *groupCommitter
+
+	// tempSeq allocates names in the shared temporary-table namespace;
+	// atomic because concurrent applies materialize temps in parallel.
+	tempSeq atomic.Int64
+
+	txnRetries      atomic.Int64 // apply attempts re-run after a write conflict
+	conflictErrors  atomic.Int64 // applies that exhausted their retries
+	conflictApplies atomic.Int64 // applies that hit >=1 conflict (retried or not)
+}
+
+// applyCtx is the per-apply execution state threaded through the
+// mutating pipeline: the apply's own transaction (all probe reads and
+// translated statements go through it, so the update observes a stable
+// snapshot plus its own writes) and the update's bound predicates
+// (consumed by the internal strategy's wide probe and
+// translateDelete's fallback). One applyCtx never crosses goroutines;
+// making it explicit — instead of fields on the shared Executor — is
+// what lets applies run concurrently at all.
+type applyCtx struct {
+	txn   *relational.Txn
+	preds []UserPred
+	// blindAnchor is BlindApply's naive delete anchor for ops whose
+	// target has none (the unsafe deletes the checked pipeline
+	// rejects). It rides here instead of being written into the shared
+	// view ASG, which concurrent applies and plan compilations read
+	// lock-free. Empty outside the blind path.
+	blindAnchor string
 }
 
 // NewExecutor builds the runtime for a marked view over a database.
@@ -145,6 +172,65 @@ func NewExecutor(view *asg.ViewASG, base *asg.BaseASG, marks *Marks, db *relatio
 		Marks: marks,
 		Exec:  sqlexec.NewExecutor(db),
 		cache: NewCache(),
+		gc:    newGroupCommitter(db),
+	}
+}
+
+// defaultWriteRetries is the conflict-retry cap when MaxWriteRetries
+// is unset: enough attempts that transient claim races always resolve,
+// few enough that a persistently hot row fails fast to the caller.
+const defaultWriteRetries = 8
+
+func (e *Executor) maxWriteRetries() int {
+	if e.MaxWriteRetries > 0 {
+		return e.MaxWriteRetries
+	}
+	return defaultWriteRetries
+}
+
+// conflictBackoff sleeps before retry attempt n (0-based), doubling
+// from 50µs and capping at 2ms so a burst of conflicting writers
+// de-synchronizes without adding visible latency. The shift is
+// clamped (6 doublings already exceed the cap) so a high
+// MaxWriteRetries cannot overflow the duration into a busy loop.
+func conflictBackoff(n int) {
+	if n > 6 {
+		n = 6
+	}
+	d := 50 * time.Microsecond << uint(n)
+	if d > 2*time.Millisecond {
+		d = 2 * time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// WriteStats reports the parallel write path's health: how often
+// applies conflicted, retried and gave up, and how well the group-
+// commit scheduler coalesced flushes.
+type WriteStats struct {
+	// Retries counts apply attempts re-run after a write-write
+	// conflict.
+	Retries int64 `json:"retries"`
+	// ConflictedApplies counts applies that hit at least one conflict.
+	ConflictedApplies int64 `json:"conflicted_applies"`
+	// Exhausted counts applies that ran out of retries and surfaced
+	// ErrWriteConflict to the caller (ufilterd answers 409).
+	Exhausted int64 `json:"exhausted"`
+	// GroupCommits counts commit groups published by the scheduler.
+	GroupCommits int64 `json:"group_commits"`
+	// GroupedTxns counts transactions committed through the scheduler;
+	// GroupedTxns/GroupCommits is the mean flush-coalescing factor.
+	GroupedTxns int64 `json:"grouped_txns"`
+}
+
+// WriteStats snapshots the write-path counters; safe under traffic.
+func (e *Executor) WriteStats() WriteStats {
+	return WriteStats{
+		Retries:           e.txnRetries.Load(),
+		ConflictedApplies: e.conflictApplies.Load(),
+		Exhausted:         e.conflictErrors.Load(),
+		GroupCommits:      e.gc.groups.Load(),
+		GroupedTxns:       e.gc.txns.Load(),
 	}
 }
 
@@ -303,17 +389,17 @@ func (e *Executor) Apply(updateText string) (*Result, error) {
 	return e.ApplyParsed(u)
 }
 
-// ApplyParsed is Apply over a pre-parsed update. Applies are serialized
-// with each other (and with BlindApply/Execute): Step 3 and the
-// translation share the executor's temporary tables and the engine's
-// single-transaction machinery.
+// ApplyParsed is Apply over a pre-parsed update. Applies run
+// concurrently with each other (and with Execute/ApplyBatch): each
+// opens its own transaction, conflicting writes resolve by
+// first-updater-wins with automatic capped-backoff retries, and
+// commits share write-ahead-log flushes through the group-commit
+// scheduler.
 //
 // When the update's template has a compiled UpdatePlan in the cache,
 // execution reuses the plan's resolution, prepared probe statements and
 // precompiled insert artifacts instead of re-deriving them.
 func (e *Executor) ApplyParsed(u *xqparse.UpdateQuery) (*Result, error) {
-	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
 	if e.SkipSchemaChecks {
 		// Benchmark mode (Fig. 13's "Update" bar): execute the
 		// translation without the schema-level steps. Only safe for
@@ -344,31 +430,97 @@ func (e *Executor) ApplyParsed(u *xqparse.UpdateQuery) (*Result, error) {
 	return e.applyResolved(r, nil, r.UserPreds, res)
 }
 
-// applyResolved runs the data-driven pipeline for one update inside its
-// own transaction. planned is non-nil when a compiled UpdatePlan's
-// per-op artifacts (prepared probes, insert plans) are available; preds
-// are the update's bound user predicates. Callers must hold writeMu.
-func (e *Executor) applyResolved(r *ResolvedUpdate, planned []PlannedOp, preds []UserPred, res *Result) (*Result, error) {
-	res.Accepted = false
-	e.pendingUserPreds = preds
-	defer func() { e.pendingUserPreds = nil }()
+// resultMark checkpoints the mutable fields of a Result so a
+// conflict-retried attempt starts from the pre-attempt state instead
+// of double-appending probes and SQL.
+type resultMark struct {
+	accepted   bool
+	rejectedAt Step
+	outcome    Outcome
+	reason     string
+	nProbes    int
+	nSQL       int
+	nWarnings  int
+	rows       int
+}
 
-	txn := e.Exec.DB.Begin()
+func markResult(res *Result) resultMark {
+	return resultMark{
+		accepted:   res.Accepted,
+		rejectedAt: res.RejectedAt,
+		outcome:    res.Outcome,
+		reason:     res.Reason,
+		nProbes:    len(res.Probes),
+		nSQL:       len(res.SQL),
+		nWarnings:  len(res.Warnings),
+		rows:       res.RowsAffected,
+	}
+}
+
+func (m resultMark) restore(res *Result) {
+	res.Accepted = m.accepted
+	res.RejectedAt = m.rejectedAt
+	res.Outcome = m.outcome
+	res.Reason = m.reason
+	res.Probes = res.Probes[:m.nProbes]
+	res.SQL = res.SQL[:m.nSQL]
+	res.Warnings = res.Warnings[:m.nWarnings]
+	res.RowsAffected = m.rows
+}
+
+// applyResolved runs the data-driven pipeline for one update inside its
+// own transaction, retrying the whole attempt (fresh transaction,
+// fresh probes) with capped backoff when a write-write conflict is
+// detected — the paper's pipeline means most concurrent updates touch
+// disjoint rows, so retries are the rare case, not the common one.
+// planned is non-nil when a compiled UpdatePlan's per-op artifacts
+// (prepared probes, insert plans) are available; preds are the
+// update's bound user predicates.
+func (e *Executor) applyResolved(r *ResolvedUpdate, planned []PlannedOp, preds []UserPred, res *Result) (*Result, error) {
+	mark := markResult(res)
+	conflicted := false
+	for attempt := 0; ; attempt++ {
+		out, err := e.applyOnce(r, planned, preds, res)
+		if err == nil || !errors.Is(err, relational.ErrWriteConflict) {
+			if conflicted {
+				e.conflictApplies.Add(1)
+			}
+			return out, err
+		}
+		conflicted = true
+		if attempt+1 >= e.maxWriteRetries() {
+			e.conflictApplies.Add(1)
+			e.conflictErrors.Add(1)
+			return nil, fmt.Errorf("plan: apply lost %d write-conflict races: %w", attempt+1, err)
+		}
+		e.txnRetries.Add(1)
+		mark.restore(res)
+		conflictBackoff(attempt)
+	}
+}
+
+// applyOnce is one attempt: open a transaction, run the ops through
+// it, group-commit on success. A rejected update (or an error,
+// including a write conflict) rolls the transaction back and leaves
+// the database untouched.
+func (e *Executor) applyOnce(r *ResolvedUpdate, planned []PlannedOp, preds []UserPred, res *Result) (*Result, error) {
+	res.Accepted = false
+	ac := &applyCtx{txn: e.Exec.DB.Begin(), preds: preds}
 	committed := false
 	defer func() {
 		if !committed {
-			txn.Rollback()
+			ac.txn.Rollback()
 		}
 	}()
 
-	rejected, err := e.runOps(r, planned, preds, res)
+	rejected, err := e.runOps(ac, r, planned, preds, res)
 	if err != nil {
 		return nil, err
 	}
 	if rejected {
 		return res, nil
 	}
-	if err := txn.Commit(); err != nil {
+	if err := e.gc.commit(ac.txn); err != nil {
 		return nil, err
 	}
 	committed = true
@@ -377,11 +529,11 @@ func (e *Executor) applyResolved(r *ResolvedUpdate, planned []PlannedOp, preds [
 }
 
 // runOps executes every operation of a resolved update against the
-// open transaction: context probe, translation, shared checks and the
-// translated statements under the configured strategy. It reports
-// rejected=true (with res.RejectedAt/Reason set) when Step 1 or Step 3
-// rejects the update mid-flight.
-func (e *Executor) runOps(r *ResolvedUpdate, planned []PlannedOp, preds []UserPred, res *Result) (rejected bool, err error) {
+// apply's own transaction: context probe, translation, shared checks
+// and the translated statements under the configured strategy. It
+// reports rejected=true (with res.RejectedAt/Reason set) when Step 1
+// or Step 3 rejects the update mid-flight.
+func (e *Executor) runOps(ac *applyCtx, r *ResolvedUpdate, planned []PlannedOp, preds []UserPred, res *Result) (rejected bool, err error) {
 	var args []relational.Value
 	if planned != nil {
 		args = make([]relational.Value, len(preds))
@@ -395,7 +547,7 @@ func (e *Executor) runOps(r *ResolvedUpdate, planned []PlannedOp, preds []UserPr
 		if planned != nil && i < len(planned) {
 			po = &planned[i]
 		}
-		probe, tempName, reject, err := e.contextCheck(ro, preds, po, args, res)
+		probe, tempName, reject, err := e.contextCheck(ac, ro, preds, po, args, res)
 		if err != nil {
 			return false, err
 		}
@@ -411,7 +563,7 @@ func (e *Executor) runOps(r *ResolvedUpdate, planned []PlannedOp, preds []UserPr
 		var tr *opTranslation
 		switch ro.Op.Kind {
 		case xqparse.OpDelete:
-			tr, err = e.translateDelete(ro, probe, tempName, res)
+			tr, err = e.translateDelete(ac, ro, probe, tempName, res)
 		case xqparse.OpInsert:
 			if po != nil && po.insert != nil {
 				tr = po.insert.translate(probe)
@@ -419,7 +571,7 @@ func (e *Executor) runOps(r *ResolvedUpdate, planned []PlannedOp, preds []UserPr
 				tr, err = e.translateInsert(ro, probe)
 			}
 		case xqparse.OpReplace:
-			tr, err = e.translateReplacePlanned(ro, probe, po, res)
+			tr, err = e.translateReplacePlanned(ac, ro, probe, po, res)
 		}
 		if err != nil {
 			var ve *validationError
@@ -431,14 +583,14 @@ func (e *Executor) runOps(r *ResolvedUpdate, planned []PlannedOp, preds []UserPr
 			}
 			return false, err
 		}
-		if reject, err := e.runSharedChecks(tr.SharedChecks, res); err != nil {
+		if reject, err := e.runSharedChecksOn(ac.txn, tr.SharedChecks, res); err != nil {
 			return false, err
 		} else if reject != "" {
 			res.RejectedAt = StepData
 			res.Reason = reject
 			return true, nil
 		}
-		reject, err = e.executeStatements(ro, tr.Statements, res)
+		reject, err = e.executeStatements(ac, ro, tr.Statements, res)
 		if err != nil {
 			return false, err
 		}
@@ -454,19 +606,19 @@ func (e *Executor) runOps(r *ResolvedUpdate, planned []PlannedOp, preds []UserPr
 // translateReplacePlanned is translateReplace with the plan's
 // precompiled artifacts (coerced replacement value, insert plan)
 // substituted when available.
-func (e *Executor) translateReplacePlanned(ro *ResolvedOp, probe *sqlexec.ResultSet, po *PlannedOp, res *Result) (*opTranslation, error) {
+func (e *Executor) translateReplacePlanned(ac *applyCtx, ro *ResolvedOp, probe *sqlexec.ResultSet, po *PlannedOp, res *Result) (*opTranslation, error) {
 	if po == nil {
-		return e.translateReplace(ro, probe)
+		return e.translateReplace(ac, ro, probe)
 	}
 	t := ro.Target
 	switch t.Kind {
 	case asg.KindLeaf, asg.KindTag:
 		if po.replaceVal == nil {
-			return e.translateReplace(ro, probe)
+			return e.translateReplace(ac, ro, probe)
 		}
 		return translateLeafReplace(replaceLeafOf(t), *po.replaceVal, probe)
 	default:
-		del, err := e.translateDelete(ro, probe, "", res)
+		del, err := e.translateDelete(ac, ro, probe, "", res)
 		if err != nil {
 			return nil, err
 		}
@@ -497,7 +649,7 @@ func (e *Executor) translateReplacePlanned(ro *ResolvedOp, probe *sqlexec.Result
 // skip the materialization; runOps drops the temp once its op
 // finishes, keeping the executor's temp namespace bounded under
 // sustained traffic.
-func (e *Executor) contextCheck(ro *ResolvedOp, userPreds []UserPred, po *PlannedOp, args []relational.Value, res *Result) (*sqlexec.ResultSet, string, string, error) {
+func (e *Executor) contextCheck(ac *applyCtx, ro *ResolvedOp, userPreds []UserPred, po *PlannedOp, args []relational.Value, res *Result) (*sqlexec.ResultSet, string, string, error) {
 	c := ro.Context
 	var rs *sqlexec.ResultSet
 	var probeSQL string
@@ -506,7 +658,7 @@ func (e *Executor) contextCheck(ro *ResolvedOp, userPreds []UserPred, po *Planne
 	}
 	if po != nil && po.Probe != nil {
 		var err error
-		rs, err = po.Probe.ExecSelect(args...)
+		rs, err = po.Probe.ExecSelectOn(ac.txn, args...)
 		if err != nil {
 			return nil, "", "", err
 		}
@@ -520,7 +672,7 @@ func (e *Executor) contextCheck(ro *ResolvedOp, userPreds []UserPred, po *Planne
 			return nil, "", "", nil
 		}
 		var err error
-		rs, err = e.Exec.ExecSelect(sel)
+		rs, err = e.Exec.ExecSelectOn(ac.txn, sel)
 		if err != nil {
 			return nil, "", "", err
 		}
@@ -536,23 +688,18 @@ func (e *Executor) contextCheck(ro *ResolvedOp, userPreds []UserPred, po *Planne
 		// directly; no translated statement references the temp.
 		return rs, "", "", nil
 	}
-	e.tempSeq++
-	tempName := fmt.Sprintf("TAB_%s_%d", strings.ToLower(c.Name), e.tempSeq)
+	tempName := fmt.Sprintf("TAB_%s_%d", strings.ToLower(c.Name), e.tempSeq.Add(1))
 	e.Exec.Materialize(tempName, rs)
 	return rs, tempName, "", nil
 }
 
-// runSharedChecks verifies the CondSharedPartsExist probes: each shared
-// relation's row must already exist (otherwise the insert would surface
-// a new instance of another view node — a side effect) and must agree
-// with the fragment's values (duplication consistency).
-func (e *Executor) runSharedChecks(checks []SharedCheck, res *Result) (string, error) {
-	return e.runSharedChecksOn(e.Exec.DB, checks, res)
-}
-
-// runSharedChecksOn is runSharedChecks with the probes routed through a
-// Reader, so the snapshot-pinned check path verifies shared parts
-// against the same point-in-time state as its context probes.
+// runSharedChecksOn verifies the CondSharedPartsExist probes through a
+// Reader — the apply's transaction, or the snapshot-pinned check
+// path's snapshot — so shared parts are verified against the same
+// point-in-time state as the context probes: each shared relation's
+// row must already exist (otherwise the insert would surface a new
+// instance of another view node — a side effect) and must agree with
+// the fragment's values (duplication consistency).
 func (e *Executor) runSharedChecksOn(rd sqlexec.Reader, checks []SharedCheck, res *Result) (string, error) {
 	for _, chk := range checks {
 		sel := &sqlexec.SelectStmt{From: []string{chk.Rel}}
@@ -586,27 +733,29 @@ func (e *Executor) runSharedChecksOn(rd sqlexec.Reader, checks []SharedCheck, re
 // executeStatements runs the translated statements under the configured
 // update-point strategy. It returns a non-empty rejection reason when a
 // data conflict is detected.
-func (e *Executor) executeStatements(ro *ResolvedOp, stmts []sqlexec.Statement, res *Result) (string, error) {
+func (e *Executor) executeStatements(ac *applyCtx, ro *ResolvedOp, stmts []sqlexec.Statement, res *Result) (string, error) {
 	switch e.Strategy {
 	case StrategyInternal:
-		return e.executeInternal(ro, stmts, res)
+		return e.executeInternal(ac, ro, stmts, res)
 	case StrategyOutside:
-		return e.executeOutside(stmts, res)
+		return e.executeOutside(ac, stmts, res)
 	default:
-		return e.executeHybrid(stmts, res)
+		return e.executeHybrid(ac, stmts, res)
 	}
 }
 
 // executeHybrid feeds the statements straight to the engine and
 // interprets constraint errors as data conflicts and zero-row deletes
-// as warnings (Section 6.2.2, hybrid strategy).
-func (e *Executor) executeHybrid(stmts []sqlexec.Statement, res *Result) (string, error) {
+// as warnings (Section 6.2.2, hybrid strategy). Write-write conflicts
+// are NOT data conflicts: they propagate as errors so the apply's
+// retry loop re-runs the whole attempt against fresh state.
+func (e *Executor) executeHybrid(ac *applyCtx, stmts []sqlexec.Statement, res *Result) (string, error) {
 	for _, st := range stmts {
 		sql := st.String()
 		res.SQL = append(res.SQL, sql)
 		switch s := st.(type) {
 		case *sqlexec.InsertStmt:
-			if _, err := e.Exec.ExecInsertRendered(s, sql); err != nil {
+			if _, err := e.Exec.ExecInsertRendered(ac.txn, s, sql); err != nil {
 				if relational.IsConstraintViolation(err) {
 					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
 				}
@@ -614,7 +763,7 @@ func (e *Executor) executeHybrid(stmts []sqlexec.Statement, res *Result) (string
 			}
 			res.RowsAffected++
 		case *sqlexec.DeleteStmt:
-			n, err := e.Exec.ExecDeleteRendered(s, sql)
+			n, err := e.Exec.ExecDeleteRendered(ac.txn, s, sql)
 			if err != nil {
 				if relational.IsConstraintViolation(err) {
 					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
@@ -626,7 +775,7 @@ func (e *Executor) executeHybrid(stmts []sqlexec.Statement, res *Result) (string
 			}
 			res.RowsAffected += n
 		case *sqlexec.UpdateStmt:
-			n, err := e.Exec.ExecUpdateRendered(s, sql)
+			n, err := e.Exec.ExecUpdateRendered(ac.txn, s, sql)
 			if err != nil {
 				if relational.IsConstraintViolation(err) {
 					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
@@ -643,7 +792,7 @@ func (e *Executor) executeHybrid(stmts []sqlexec.Statement, res *Result) (string
 // (Section 6.2.2, outside strategy): inserts are preceded by a key
 // probe, deletes by an existence probe that suppresses the statement
 // when nothing matches (early failure detection).
-func (e *Executor) executeOutside(stmts []sqlexec.Statement, res *Result) (string, error) {
+func (e *Executor) executeOutside(ac *applyCtx, stmts []sqlexec.Statement, res *Result) (string, error) {
 	for _, st := range stmts {
 		switch s := st.(type) {
 		case *sqlexec.InsertStmt:
@@ -667,7 +816,7 @@ func (e *Executor) executeOutside(stmts []sqlexec.Statement, res *Result) (strin
 					probe.Where = append(probe.Where, sqlexec.Eq(s.Table, pk, v))
 				}
 				if complete {
-					rs, err := e.Exec.ExecSelect(probe)
+					rs, err := e.Exec.ExecSelectOn(ac.txn, probe)
 					if err != nil {
 						return "", err
 					}
@@ -678,7 +827,7 @@ func (e *Executor) executeOutside(stmts []sqlexec.Statement, res *Result) (strin
 				}
 			}
 			res.SQL = append(res.SQL, s.String())
-			if _, err := e.Exec.ExecInsert(s); err != nil {
+			if _, err := e.Exec.ExecInsert(ac.txn, s); err != nil {
 				if relational.IsConstraintViolation(err) {
 					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
 				}
@@ -692,7 +841,7 @@ func (e *Executor) executeOutside(stmts []sqlexec.Statement, res *Result) (strin
 				Where:   s.Where,
 				NoIndex: true,
 			}
-			rs, err := e.Exec.ExecSelect(probe)
+			rs, err := e.Exec.ExecSelectOn(ac.txn, probe)
 			if err != nil {
 				return "", err
 			}
@@ -706,7 +855,7 @@ func (e *Executor) executeOutside(stmts []sqlexec.Statement, res *Result) (strin
 			// translated statement (the outside strategy probes, then
 			// feeds the same update sequence to the engine).
 			res.SQL = append(res.SQL, s.String())
-			n, err := e.Exec.ExecDelete(s)
+			n, err := e.Exec.ExecDelete(ac.txn, s)
 			if err != nil {
 				if relational.IsConstraintViolation(err) {
 					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil
@@ -716,7 +865,7 @@ func (e *Executor) executeOutside(stmts []sqlexec.Statement, res *Result) (strin
 			res.RowsAffected += n
 		case *sqlexec.UpdateStmt:
 			res.SQL = append(res.SQL, s.String())
-			n, err := e.Exec.ExecUpdate(s)
+			n, err := e.Exec.ExecUpdate(ac.txn, s)
 			if err != nil {
 				if relational.IsConstraintViolation(err) {
 					return fmt.Sprintf("data conflict reported by the engine: %v", err), nil

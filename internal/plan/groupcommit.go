@@ -1,0 +1,83 @@
+package plan
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relational"
+)
+
+// groupCommitter coalesces concurrently arriving transaction commits
+// into shared write-ahead-log flushes: the first committer to arrive
+// becomes the leader, drains every transaction queued while the
+// previous flush was in progress, and publishes the whole batch
+// through relational.CommitGroup — N committers, one flushRedo. This
+// keeps the one-flush-per-batch win of the explicit ApplyBatch path
+// without requiring callers to queue behind a global writer lock:
+// independent applies run their probes, checks and translations fully
+// in parallel and only their commit records share a flush.
+//
+// The scheduler is deliberately leader-follower rather than a
+// background goroutine: with no committer active there is nothing to
+// wake, and the leader's own commit pays no hand-off latency.
+type groupCommitter struct {
+	db *relational.Database
+
+	mu      sync.Mutex
+	pending []commitWaiter
+	leading bool
+
+	groups atomic.Int64 // commit groups published by this scheduler
+	txns   atomic.Int64 // transactions committed through them
+}
+
+type commitWaiter struct {
+	txn *relational.Txn
+	ch  chan error
+}
+
+func newGroupCommitter(db *relational.Database) *groupCommitter {
+	return &groupCommitter{db: db}
+}
+
+// commit enqueues the transaction and blocks until a leader (possibly
+// this caller) has published it. The returned error is the commit's.
+func (g *groupCommitter) commit(txn *relational.Txn) error {
+	ch := make(chan error, 1)
+	g.mu.Lock()
+	g.pending = append(g.pending, commitWaiter{txn: txn, ch: ch})
+	lead := !g.leading
+	if lead {
+		g.leading = true
+	}
+	g.mu.Unlock()
+	if lead {
+		g.drain()
+	}
+	return <-ch
+}
+
+// drain publishes batches until the queue is empty, then steps down.
+func (g *groupCommitter) drain() {
+	for {
+		g.mu.Lock()
+		batch := g.pending
+		g.pending = nil
+		if len(batch) == 0 {
+			g.leading = false
+			g.mu.Unlock()
+			return
+		}
+		g.mu.Unlock()
+		txns := make([]*relational.Txn, len(batch))
+		for i, w := range batch {
+			txns[i] = w.txn
+		}
+		err := g.db.CommitGroup(txns...)
+		g.groups.Add(1)
+		g.txns.Add(int64(len(batch)))
+		for _, w := range batch {
+			w.ch <- err
+		}
+	}
+}

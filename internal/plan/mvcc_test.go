@@ -229,15 +229,15 @@ func TestCheckDataMidTransactionInvisibility(t *testing.T) {
 	// Open a transaction that cascade-deletes the probed book, but do
 	// not commit.
 	txn := db.Begin()
-	ids, err := db.LookupEqual("book", []string{"bookid"}, []relational.Value{relational.String_("98003")})
+	ids, err := txn.LookupEqual("book", []string{"bookid"}, []relational.Value{relational.String_("98003")})
 	if err != nil || len(ids) != 1 {
 		t.Fatalf("lookup book 98003: %v, %v", ids, err)
 	}
-	if _, err := db.Delete("book", ids[0]); err != nil {
+	if _, err := txn.Delete("book", ids[0]); err != nil {
 		t.Fatal(err)
 	}
-	// The update context is gone from the writer's view...
-	if n := len(db.ScanIDs("book")); n != 2 {
+	// The update context is gone from the writer's own view...
+	if n := len(txn.ScanIDs("book")); n != 2 {
 		t.Fatalf("writer sees %d books, want 2", n)
 	}
 	// ...but a data check still accepts: the uncommitted delete is

@@ -433,12 +433,11 @@ func (p *UpdatePlan) verdictArgs(args []relational.Value) (*Result, []UserPred, 
 // pipeline against the database: the bound schema verdict, then Step
 // 3's probes (through the plan's prepared statements), the translation
 // and the statement execution under the configured strategy, inside
-// one transaction. This is the execute-many half of
-// compile-once/execute-many: no parsing, no resolution, no STAR walk,
-// no probe construction.
+// its own transaction (conflicts retry with capped backoff, commits
+// share flushes through the group-commit scheduler). This is the
+// execute-many half of compile-once/execute-many: no parsing, no
+// resolution, no STAR walk, no probe construction.
 func (e *Executor) Execute(p *UpdatePlan, args []relational.Value) (*Result, error) {
-	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
 	res, preds, err := p.verdictArgs(args)
 	if err != nil {
 		return nil, err
@@ -458,14 +457,17 @@ type groupItem struct {
 	preds   []UserPred
 	err     error
 	skip    bool // verdict already rejected; never enters the txn
+	mark    resultMark
+	clashed bool // hit >= 1 write conflict (counted once per item)
 }
 
-// applyGroup executes the accepted items inside ONE transaction with a
+// applyGroup executes the runnable items inside ONE transaction with a
 // savepoint per item: a rejected or failed item rolls back to its own
-// savepoint without disturbing its siblings, and the single commit at
-// the end flushes the write-ahead log once for the whole group (the
-// group-commit property ApplyBatch and ExecuteBatch expose). Callers
-// must hold writeMu.
+// savepoint without disturbing its siblings, and the single
+// group-committed flush at the end covers the whole batch. An item
+// that loses a write-conflict race records ErrWriteConflict and rolls
+// back to its savepoint; applyGroupWithRetry re-runs just those items
+// in fresh rounds.
 func (e *Executor) applyGroup(items []*groupItem) {
 	anyRunnable := false
 	for _, it := range items {
@@ -499,15 +501,15 @@ func (e *Executor) applyGroup(items []*groupItem) {
 			}
 		}
 	}
+	anyAccepted := false
 	for _, it := range items {
 		if it == nil || it.skip || it.err != nil {
 			continue
 		}
 		mark := txn.Savepoint()
 		it.res.Accepted = false
-		e.pendingUserPreds = it.preds
-		rejected, err := e.runOps(it.r, it.planned, it.preds, it.res)
-		e.pendingUserPreds = nil
+		ac := &applyCtx{txn: txn, preds: it.preds}
+		rejected, err := e.runOps(ac, it.r, it.planned, it.preds, it.res)
 		switch {
 		case err != nil:
 			if rbErr := txn.RollbackTo(mark); rbErr != nil {
@@ -524,13 +526,68 @@ func (e *Executor) applyGroup(items []*groupItem) {
 			}
 		default:
 			it.res.Accepted = true
+			anyAccepted = true
 		}
 	}
-	if err := txn.Commit(); err != nil {
+	if !anyAccepted {
+		// Every item rolled back to its savepoint: nothing to publish.
+		// Skip the commit so an all-rejected (or all-conflicted retry)
+		// round does not flush the WAL and advance the commit sequence
+		// for zero committed work. The deferred rollback of the empty
+		// transaction is free.
+		return
+	}
+	if err := e.gc.commit(txn); err != nil {
 		failAll(err)
 		return
 	}
 	committed = true
+}
+
+// applyGroupWithRetry drives applyGroup rounds: the first round runs
+// every runnable item under one shared transaction; items that lost a
+// write-conflict race (their savepoints rolled back, siblings
+// committed) are re-run together in fresh rounds with capped backoff,
+// preserving per-update atomicity throughout — an item is either
+// committed whole by exactly one round or reported failed.
+func (e *Executor) applyGroupWithRetry(items []*groupItem) {
+	pending := make([]*groupItem, 0, len(items))
+	for _, it := range items {
+		if it != nil && !it.skip && it.err == nil {
+			it.mark = markResult(it.res)
+			pending = append(pending, it)
+		}
+	}
+	for attempt := 0; len(pending) > 0; attempt++ {
+		e.applyGroup(pending)
+		var conflicted []*groupItem
+		for _, it := range pending {
+			if it.err != nil && errors.Is(it.err, relational.ErrWriteConflict) {
+				if !it.clashed {
+					it.clashed = true
+					e.conflictApplies.Add(1)
+				}
+				conflicted = append(conflicted, it)
+			}
+		}
+		if len(conflicted) == 0 {
+			return
+		}
+		if attempt+1 >= e.maxWriteRetries() {
+			for _, it := range conflicted {
+				e.conflictErrors.Add(1)
+				it.err = fmt.Errorf("plan: batch item lost %d write-conflict races: %w", attempt+1, it.err)
+			}
+			return
+		}
+		for _, it := range conflicted {
+			e.txnRetries.Add(1)
+			it.err = nil
+			it.mark.restore(it.res)
+		}
+		conflictBackoff(attempt)
+		pending = conflicted
+	}
 }
 
 // ApplyBatch runs a slice of updates through the full pipeline under
@@ -539,14 +596,15 @@ func (e *Executor) applyGroup(items []*groupItem) {
 // per-update savepoints, and a single commit flushes the write-ahead
 // log once for the whole batch. Results arrive in input order; a
 // rejected or failed update leaves the database exactly as its
-// siblings' updates (and nothing else) left it.
+// siblings' updates (and nothing else) left it. Batches run
+// concurrently with other batches and single applies: an update that
+// loses a write-conflict race to a concurrent writer is retried in a
+// follow-up round without disturbing its committed siblings.
 func (e *Executor) ApplyBatch(updates []string) []BatchResult {
 	out := make([]BatchResult, len(updates))
 	if len(updates) == 0 {
 		return out
 	}
-	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
 	items := make([]*groupItem, len(updates))
 	for i, text := range updates {
 		out[i].Index = i
@@ -583,7 +641,7 @@ func (e *Executor) ApplyBatch(updates []string) []BatchResult {
 			it.r, it.preds = r, r.UserPreds
 		}
 	}
-	e.applyGroup(items)
+	e.applyGroupWithRetry(items)
 	for i, it := range items {
 		if it == nil {
 			continue
@@ -599,14 +657,13 @@ func (e *Executor) ApplyBatch(updates []string) []BatchResult {
 
 // ExecuteBatch is Execute over many literal tuples of one compiled
 // plan, under group commit: one transaction, one write-ahead-log
-// flush, N bound executions. Results arrive in tuple order.
+// flush, N bound executions, with conflicted tuples retried in
+// follow-up rounds. Results arrive in tuple order.
 func (e *Executor) ExecuteBatch(p *UpdatePlan, argsList [][]relational.Value) []BatchResult {
 	out := make([]BatchResult, len(argsList))
 	if len(argsList) == 0 {
 		return out
 	}
-	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
 	items := make([]*groupItem, len(argsList))
 	for i, args := range argsList {
 		out[i].Index = i
@@ -623,7 +680,7 @@ func (e *Executor) ExecuteBatch(p *UpdatePlan, argsList [][]relational.Value) []
 		}
 		it.r, it.planned, it.preds = p.Resolved, p.Ops, preds
 	}
-	e.applyGroup(items)
+	e.applyGroupWithRetry(items)
 	for i, it := range items {
 		if it == nil {
 			continue

@@ -277,8 +277,9 @@ type SharedCheck struct {
 
 // translateDelete generates the statements for a delete of target T
 // anchored at context C, given the materialized probe (nil when C is
-// the root). res records any auxiliary probe issued.
-func (e *Executor) translateDelete(ro *ResolvedOp, probe *sqlexec.ResultSet, tempName string, res *Result) (*opTranslation, error) {
+// the root). Auxiliary probes read through the apply's transaction;
+// res records any probe issued.
+func (e *Executor) translateDelete(ac *applyCtx, ro *ResolvedOp, probe *sqlexec.ResultSet, tempName string, res *Result) (*opTranslation, error) {
 	t := ro.Target
 	out := &opTranslation{}
 	switch t.Kind {
@@ -301,6 +302,9 @@ func (e *Executor) translateDelete(ro *ResolvedOp, probe *sqlexec.ResultSet, tem
 		return out, nil
 	case asg.KindInternal:
 		anchor := t.DeleteAnchor
+		if anchor == "" {
+			anchor = ac.blindAnchor // only the blind baseline supplies one
+		}
 		if anchor == "" {
 			return nil, fmt.Errorf("ufilter: node %s has no delete anchor (unsafe-delete should have been rejected)", t.Label())
 		}
@@ -366,11 +370,11 @@ func (e *Executor) translateDelete(ro *ResolvedOp, probe *sqlexec.ResultSet, tem
 			return out, nil
 		}
 		// Fallback: probe the target node's own instances.
-		sel := e.buildContextProbe(t, e.pendingUserPreds, asg.NewRelSet(anchor))
+		sel := e.buildContextProbe(t, ac.preds, asg.NewRelSet(anchor))
 		if sel == nil {
 			return nil, fmt.Errorf("ufilter: no probe derivable for delete of <%s>", t.Name)
 		}
-		rs, err := e.Exec.ExecSelect(sel)
+		rs, err := e.Exec.ExecSelectOn(ac.txn, sel)
 		if err != nil {
 			return nil, err
 		}
@@ -555,7 +559,7 @@ func (e *Executor) translateInsert(ro *ResolvedOp, probe *sqlexec.ResultSet) (*o
 
 // translateReplace translates a replace: for tag/leaf targets it is a
 // single-column UPDATE; internal targets decompose into delete+insert.
-func (e *Executor) translateReplace(ro *ResolvedOp, probe *sqlexec.ResultSet) (*opTranslation, error) {
+func (e *Executor) translateReplace(ac *applyCtx, ro *ResolvedOp, probe *sqlexec.ResultSet) (*opTranslation, error) {
 	t := ro.Target
 	switch t.Kind {
 	case asg.KindLeaf, asg.KindTag:
@@ -565,7 +569,7 @@ func (e *Executor) translateReplace(ro *ResolvedOp, probe *sqlexec.ResultSet) (*
 		}
 		return translateLeafReplace(replaceLeafOf(t), v, probe)
 	default:
-		del, err := e.translateDelete(ro, probe, "", nil)
+		del, err := e.translateDelete(ac, ro, probe, "", nil)
 		if err != nil {
 			return nil, err
 		}

@@ -23,36 +23,68 @@ func (r *Row) clone() *Row {
 }
 
 // liveSeq is the end stamp of a version that has not been superseded or
-// deleted: visible to the writer and to every snapshot taken after its
-// begin stamp.
+// deleted: visible to every snapshot taken after its begin stamp.
 const liveSeq = ^uint64(0)
 
+// txnBit distinguishes a transaction claim from a committed sequence in
+// a version's begin/end stamp: while a transaction is in flight, the
+// versions it creates carry begin = txnMark(id) and the versions it
+// supersedes or deletes carry end = txnMark(id). Commit's publish phase
+// replaces the marks with the real commit sequence; rollback restores
+// liveSeq or pops the version. liveSeq (all ones) is not a claim —
+// isTxnMark excludes it — and claims compare greater than every real
+// sequence, which is what keeps claimed-away versions visible to other
+// readers and claimed-new versions invisible, with no extra branches in
+// the visibility comparisons.
+const txnBit = uint64(1) << 63
+
+func txnMark(id uint64) uint64  { return id | txnBit }
+func isTxnMark(s uint64) bool   { return s != liveSeq && s&txnBit != 0 }
+func markOwner(s uint64) uint64 { return s &^ txnBit }
+
 // rowVersion is one entry of a row's version chain, newest first. The
-// row content and begin stamp are immutable after creation; end and
-// prev are atomics because the single writer stamps/truncates them
-// while snapshot readers traverse the chain lock-free.
+// row content is immutable after creation; begin, end and prev are
+// atomics because writers stamp them (claims at write time, sequences
+// at publish) while readers traverse the chain lock-free.
 //
 // Visibility: a snapshot pinned at commit sequence S sees the version
-// with begin <= S < end; the writer (and unpinned "latest" reads) see
-// the head iff end == liveSeq. A version deleted or superseded by an
-// in-flight transaction carries end = committed+1, which is invisible
-// to the writer's own reads and stays invisible to snapshots at or
-// below the pinned sequence — commit makes it all visible atomically
-// by advancing the database's commit sequence.
+// with begin <= S < end. A version created by an in-flight transaction
+// carries a begin claim (invisible to everyone but its owner); a
+// version superseded or deleted by an in-flight transaction carries an
+// end claim (still visible to everyone but its owner, because claims
+// compare greater than any pinned sequence). Commit makes a
+// transaction's versions visible atomically by replacing its claims
+// with the next commit sequence and then advancing the database's
+// commit sequence.
 type rowVersion struct {
-	row   Row    // immutable after creation
-	begin uint64 // commit seq at which this version becomes visible
+	row   Row // immutable after creation
+	begin atomic.Uint64
 	end   atomic.Uint64
 	prev  atomic.Pointer[rowVersion]
 }
 
-// visibleAt walks the chain from v and returns the version a snapshot
-// at seq sees, or nil. Chains are newest-first; once a version with
-// begin <= seq is passed, every older version ended at or before that
-// begin, so the walk can stop.
+// newVersion builds a live version with the given begin stamp.
+func newVersion(row Row, begin uint64) *rowVersion {
+	v := &rowVersion{row: row}
+	v.begin.Store(begin)
+	v.end.Store(liveSeq)
+	return v
+}
+
+// visibleAt walks the chain from v and returns the version a
+// committed-state reader at seq sees, or nil. Chains are newest-first;
+// once a committed version with begin <= seq is passed, every older
+// version ended at or before that begin, so the walk can stop.
+// Uncommitted begin claims are skipped (invisible to everyone but
+// their owner); uncommitted end claims compare greater than seq, so a
+// claimed-away version stays visible until its claimant commits.
 func (v *rowVersion) visibleAt(seq uint64) *rowVersion {
 	for ; v != nil; v = v.prev.Load() {
-		if v.begin <= seq {
+		b := v.begin.Load()
+		if isTxnMark(b) {
+			continue
+		}
+		if b <= seq {
 			if seq < v.end.Load() {
 				return v
 			}
@@ -79,7 +111,7 @@ type tableData struct {
 	order   []RowID               // insertion order, for deterministic scans
 	indexes []*hashIndex
 	pkIndex *hashIndex // nil when the table has no primary key
-	live    int        // heads with end == liveSeq (the writer's row count)
+	live    int        // heads a latest writer-side count sees (approximate under concurrency)
 	dirty   bool       // order slice needs compaction (rows were reclaimed)
 }
 
@@ -88,46 +120,64 @@ type tableData struct {
 //
 // # Concurrency
 //
-// The engine is single-writer, multi-reader with snapshot isolation.
-// Mutations (Insert, Delete, UpdateRow, Begin/Commit/Rollback, Reclaim)
-// must be serialized by the caller, as plan.Executor does for its apply
-// pipeline. Readers never block behind a writer's transaction: the
-// structural latch (mu) is held per row operation — the millisecond
-// equivalent of a page latch — never across a statement or transaction,
-// so a long batch apply interleaves with concurrent reads at row-op
-// granularity.
+// The engine is multi-writer, multi-reader with snapshot isolation and
+// first-updater-wins write-write conflict detection. Any number of
+// transactions may be open at once (Begin/Txn); each write claims its
+// row under the structural latch, conflicting claims fail fast with
+// ErrWriteConflict (no waiting, hence no deadlocks), and commits
+// publish under a separate short commit latch — so independent
+// transactions execute their probes, checks and row operations in
+// parallel and serialize only for the microseconds of stamping and the
+// shared write-ahead-log flush (which CommitGroup amortizes over
+// concurrently committing transactions).
+//
+// The structural latch (mu) protects the row maps, order slices and
+// index buckets. Writers hold it for one row operation; readers hold
+// it while collecting structure references and never across callbacks,
+// so reader and writer critical sections are both short and nested
+// acquisition cannot occur.
 //
 // Consistency is layered on top by versioning. db.Snapshot() pins an
-// immutable O(1) point-in-time view: every read through the snapshot
-// resolves row version chains at the pinned commit sequence, so a
-// snapshot reader observes either all or none of a transaction's
-// effects regardless of interleaving. Reads directly on the Database
-// are "latest" reads: individually safe, but read-uncommitted — they
-// see the writer's in-flight state (uncommitted inserts and updates
-// are visible, uncommitted deletes take effect immediately), which is
-// exactly what the writer's own probes inside a transaction need.
-// Concurrent observers that need committed-state isolation must pin a
-// snapshot.
+// immutable O(1) point-in-time view. Reads directly on the Database
+// are "latest committed" reads: they resolve version chains at the
+// current commit sequence, so uncommitted transaction state is never
+// visible through them. A transaction's own probes read through the
+// Txn (also a Reader), which overlays the transaction's writes on the
+// snapshot pinned at its Begin.
 //
-// Old versions are retained until no live snapshot can see them and are
-// then freed by Reclaim (piggybacked on commits and optionally run by a
-// background reclaimer, see StartReclaimer).
+// Old versions are retained until no live snapshot or transaction can
+// see them and are then freed by Reclaim (piggybacked on commits and
+// optionally run by a background reclaimer, see StartReclaimer).
 type Database struct {
 	schema    *Schema
 	tables    map[string]*tableData
 	nextRowID RowID
 
 	// mu is the structural latch protecting the row maps, order slices
-	// and index buckets. Writers hold it for one row operation; readers
-	// hold it while collecting structure references and never across
-	// callbacks, so reader and writer critical sections are both short
-	// and nested acquisition cannot occur.
+	// and index buckets. Held per row operation, never across a
+	// statement or transaction.
 	mu sync.RWMutex
 
-	// commitSeq is the last committed sequence number; snapshots pin it.
-	// The writer stamps new versions with commitSeq+1 and advances it at
-	// commit (or at statement end outside a transaction).
+	// commitMu serializes the publish phase of commits: assigning
+	// commit sequences, replacing claim stamps and flushing the
+	// write-ahead log. It is never held during a transaction's reads,
+	// probes or row operations — only for the stamping walk itself.
+	commitMu sync.Mutex
+
+	// commitSeq is the last committed sequence number; snapshots and
+	// transactions pin it. Commits advance it after all their version
+	// stamps are placed, which is what makes each commit atomic to
+	// concurrent snapshot readers.
 	commitSeq atomic.Uint64
+
+	// nextTxnID allocates transaction ids (claims embed them).
+	nextTxnID atomic.Uint64
+
+	// txnMu guards the active-transaction registry. The reclaim horizon
+	// is the minimum over registered read sequences, so registering a
+	// transaction and truncating version chains cannot interleave.
+	txnMu sync.Mutex
+	txns  map[*Txn]struct{}
 
 	// snapMu guards the live-snapshot registry. Reclaim computes the
 	// oldest pinned sequence under it, so registering a snapshot and
@@ -138,14 +188,15 @@ type Database struct {
 	snapshotsOpened   atomic.Int64
 	versionsReclaimed atomic.Int64
 	reclaims          atomic.Int64
+	txnsActive        atomic.Int64
+	txnsStarted       atomic.Int64
+	conflicts         atomic.Int64
+	groupCommits      atomic.Int64
+	groupedTxns       atomic.Int64
 
 	// versionsSinceReclaim counts versions created or killed since the
 	// last reclaim; commits piggyback a reclaim pass when it overflows.
-	// Writer-owned (mutated under mu).
-	versionsSinceReclaim int
-
-	// activeTxn, when non-nil, records undo entries for Rollback.
-	activeTxn *Txn
+	versionsSinceReclaim atomic.Int64
 
 	// StatementsExecuted counts DML statements since creation; the
 	// benchmark harness reads it to report probe/update counts. Updated
@@ -158,20 +209,24 @@ type Database struct {
 	// disk-backed engine would; reads never log. This asymmetry between
 	// DML and probe queries is what the outside strategy exploits
 	// (Fig. 17: a suppressed zero-row DELETE also skips its logging).
-	// redoOps and redoBytes are the cumulative record/byte counters,
-	// maintained atomically so statistics reads never race a writer
-	// (the buffer itself is written only under the single-writer rule).
+	// The buffer has its own latch (redoMu) because appenders hold the
+	// structural latch while committers flush under the commit latch —
+	// without its own guard the two would race. redoOps and redoBytes
+	// are the cumulative record/byte counters, maintained atomically so
+	// statistics reads never block.
+	redoMu      sync.Mutex
 	redo        []byte
 	redoOps     atomic.Int64
 	redoBytes   atomic.Int64
 	redoFlushes atomic.Int64
 }
 
-// Reader is the read-only surface shared by a live *Database and a
-// pinned *Snapshot. Layers that only consume data (the sqlexec SELECT
-// machinery, the plan layer's data-driven check probes, the server's
+// Reader is the read-only surface shared by a live *Database, a pinned
+// *Snapshot and an open *Txn. Layers that only consume data (the
+// sqlexec SELECT machinery, the plan layer's probes, the server's
 // statistics handlers) take a Reader so the same code path runs
-// against the latest state or against an immutable point-in-time view.
+// against the latest committed state, an immutable point-in-time view,
+// or a transaction's own overlay.
 type Reader interface {
 	// Schema returns the database schema.
 	Schema() *Schema
@@ -183,6 +238,8 @@ type Reader interface {
 	// LookupEqual returns the ids of visible rows whose named columns
 	// equal the given values.
 	LookupEqual(table string, columns []string, values []Value) ([]RowID, error)
+	// ValuesByName returns a visible row's values keyed by column name.
+	ValuesByName(table string, id RowID) (map[string]Value, error)
 	// HasIndexOn reports whether an index covers exactly the named
 	// columns.
 	HasIndexOn(table string, columns []string) bool
@@ -211,21 +268,28 @@ func (db *Database) RedoBytes() int64 { return db.redoBytes.Load() }
 func (db *Database) RedoRecords() int64 { return db.redoOps.Load() }
 
 // RedoFlushes atomically reads the number of write-ahead-log flushes:
-// one per transaction commit (the cost group commit amortizes over a
-// batch) plus buffer-overflow flushes.
+// one per commit group (the cost group commit amortizes over
+// concurrently committing transactions) plus buffer-overflow flushes.
 func (db *Database) RedoFlushes() int64 { return db.redoFlushes.Load() }
 
 // flushRedo models a log flush: the buffer is forced out (truncated
-// here) and the flush counter advances. Called on every transaction
-// commit and when the buffer overflows.
+// here) and the flush counter advances. Called once per commit group
+// and when the buffer overflows.
 func (db *Database) flushRedo() {
+	db.redoMu.Lock()
+	db.flushRedoLocked()
+	db.redoMu.Unlock()
+}
+
+// flushRedoLocked is flushRedo for callers already holding redoMu.
+func (db *Database) flushRedoLocked() {
 	db.redoFlushes.Add(1)
 	db.redo = db.redo[:0]
 }
 
 // DBStats is a point-in-time snapshot of the database's statistics
 // counters. Every field is read atomically (or under its own short
-// mutex), so a snapshot may be taken while another goroutine is
+// mutex), so a snapshot may be taken while other goroutines are
 // mutating the database.
 type DBStats struct {
 	// StatementsExecuted counts DML statements since creation.
@@ -234,7 +298,7 @@ type DBStats struct {
 	RedoRecords int64 `json:"redo_records"`
 	// RedoBytes counts cumulative write-ahead log bytes appended.
 	RedoBytes int64 `json:"redo_bytes"`
-	// RedoFlushes counts write-ahead log flushes (one per commit).
+	// RedoFlushes counts write-ahead log flushes (one per commit group).
 	RedoFlushes int64 `json:"redo_flushes"`
 	// SnapshotsActive is the number of currently pinned snapshots.
 	SnapshotsActive int64 `json:"snapshots_active"`
@@ -246,6 +310,20 @@ type DBStats struct {
 	Reclaims int64 `json:"reclaims"`
 	// CommitSeq is the last committed sequence number.
 	CommitSeq uint64 `json:"commit_seq"`
+	// TxnsActive is the number of transactions currently open.
+	TxnsActive int64 `json:"txns_active"`
+	// TxnsStarted counts transactions ever begun (including the
+	// implicit single-statement transactions of autocommit DML).
+	TxnsStarted int64 `json:"txns_started"`
+	// Conflicts counts write-write conflicts detected
+	// (first-updater-wins losers).
+	Conflicts int64 `json:"conflicts"`
+	// GroupCommits counts commit groups published (each paying one
+	// write-ahead-log flush).
+	GroupCommits int64 `json:"group_commits"`
+	// GroupedTxns counts transactions committed through those groups;
+	// GroupedTxns/GroupCommits is the mean commit-coalescing factor.
+	GroupedTxns int64 `json:"grouped_txns"`
 }
 
 // Stats snapshots the statistics counters atomically.
@@ -263,6 +341,11 @@ func (db *Database) Stats() DBStats {
 		VersionsReclaimed:  db.versionsReclaimed.Load(),
 		Reclaims:           db.reclaims.Load(),
 		CommitSeq:          db.commitSeq.Load(),
+		TxnsActive:         db.txnsActive.Load(),
+		TxnsStarted:        db.txnsStarted.Load(),
+		Conflicts:          db.conflicts.Load(),
+		GroupCommits:       db.groupCommits.Load(),
+		GroupedTxns:        db.groupedTxns.Load(),
 	}
 }
 
@@ -271,6 +354,7 @@ func (db *Database) Stats() DBStats {
 // (the part a real engine pays per statement) is preserved.
 func (db *Database) appendRedo(kind byte, table string, id RowID, values []Value) {
 	db.redoOps.Add(1)
+	db.redoMu.Lock()
 	n := len(db.redo)
 	db.redo = append(db.redo, kind)
 	db.redo = append(db.redo, table...)
@@ -285,8 +369,9 @@ func (db *Database) appendRedo(kind byte, table string, id RowID, values []Value
 	}
 	db.redoBytes.Add(int64(len(db.redo) - n))
 	if len(db.redo) > 1<<20 {
-		db.flushRedo() // buffer overflow forces a flush
+		db.flushRedoLocked() // buffer overflow forces a flush
 	}
+	db.redoMu.Unlock()
 }
 
 // LogStatement appends a statement-level WAL record, the bookkeeping a
@@ -294,15 +379,15 @@ func (db *Database) appendRedo(kind byte, table string, id RowID, values []Value
 // one that ends up matching zero rows. Probe queries never log; this is
 // the cost the outside strategy saves by suppressing empty deletes.
 func (db *Database) LogStatement(sql string) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.redoOps.Add(1)
 	db.redoBytes.Add(int64(1 + len(sql)))
+	db.redoMu.Lock()
 	db.redo = append(db.redo, 'S')
 	db.redo = append(db.redo, sql...)
 	if len(db.redo) > 1<<20 {
-		db.flushRedo()
+		db.flushRedoLocked()
 	}
+	db.redoMu.Unlock()
 }
 
 // NewDatabase creates an empty database for the schema, building hash
@@ -313,6 +398,7 @@ func NewDatabase(schema *Schema) *Database {
 		tables:    make(map[string]*tableData, len(schema.Tables())),
 		nextRowID: 1,
 		snaps:     make(map[*Snapshot]struct{}),
+		txns:      make(map[*Txn]struct{}),
 	}
 	for _, t := range schema.Tables() {
 		td := &tableData{def: t, rows: make(map[RowID]*rowVersion)}
@@ -370,22 +456,9 @@ func (db *Database) tableData(name string) (*tableData, error) {
 	return td, nil
 }
 
-// pendingSeq is the sequence the in-flight (or next auto-committed)
-// statement stamps its versions with.
-func (db *Database) pendingSeq() uint64 { return db.commitSeq.Load() + 1 }
-
-// endStatementLocked finishes an auto-committed statement: outside a
-// transaction every statement commits by itself, advancing the commit
-// sequence so snapshots taken afterwards see it. Callers hold mu.
-func (db *Database) endStatementLocked() {
-	if db.activeTxn == nil {
-		db.commitSeq.Add(1)
-		db.maybeReclaimLocked()
-	}
-}
-
-// RowCount returns the number of rows currently visible to a latest
-// read of the table (the writer's view).
+// RowCount returns the number of rows a latest writer-side count sees
+// (an O(1) approximation that includes uncommitted writes; precise
+// counts go through a Snapshot or Txn).
 func (db *Database) RowCount(table string) int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -408,34 +481,36 @@ func (db *Database) TotalRows() int {
 	return n
 }
 
-// Get returns a copy of the row with the given id.
+// Get returns a copy of the row with the given id, as of the latest
+// committed state. Visibility is resolved under the read latch: an
+// unregistered committed-state reader must not race the reclaimer
+// (an exclusive-latch writer), which may otherwise truncate the very
+// chain tail the resolution is about to walk.
 func (db *Database) Get(table string, id RowID) (*Row, error) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	td, err := db.tableData(table)
 	if err != nil {
+		db.mu.RUnlock()
 		return nil, err
 	}
-	v, ok := td.rows[id]
-	if !ok || v.end.Load() != liveSeq {
-		return nil, fmt.Errorf("%w: %s rowid %d", ErrNoSuchRow, table, id)
+	v := td.rows[id].visibleAt(db.commitSeq.Load())
+	db.mu.RUnlock()
+	if v != nil {
+		return v.row.clone(), nil
 	}
-	return v.row.clone(), nil
+	return nil, fmt.Errorf("%w: %s rowid %d", ErrNoSuchRow, table, id)
 }
 
-// ScanIDs returns the visible row ids of a table in insertion order.
+// ScanIDs returns the committed-visible row ids of a table in insertion
+// order.
 func (db *Database) ScanIDs(table string) []RowID {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	td, err := db.tableData(table)
+	vs, err := db.collectVisible(table)
 	if err != nil {
 		return nil
 	}
-	out := make([]RowID, 0, len(td.order))
-	for _, id := range td.order {
-		if v, ok := td.rows[id]; ok && v.end.Load() == liveSeq {
-			out = append(out, id)
-		}
+	out := make([]RowID, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, v.row.ID)
 	}
 	return out
 }
@@ -460,7 +535,7 @@ func (td *tableData) compactLocked() {
 // order under the read latch. Row content is immutable and the chain
 // links are atomics, so callers resolve visibility and run callbacks
 // after the latch is released — scans never hold a lock across user
-// code, which is what lets a reader interleave with a writer without
+// code, which is what lets a reader interleave with writers without
 // nested-latch deadlocks.
 func (db *Database) collectHeads(table string) ([]*rowVersion, *tableData, error) {
 	db.mu.RLock()
@@ -478,29 +553,40 @@ func (db *Database) collectHeads(table string) ([]*rowVersion, *tableData, error
 	return out, td, nil
 }
 
-// Scan visits every visible row of a table in insertion order. The
-// callback receives the stored row; it must not mutate it. Returning
-// false stops the scan. The latch is not held while the callback runs.
+// collectVisible gathers, under the read latch, the versions of a
+// table visible at the current commit sequence, in insertion order.
+// Resolving while the latch is held is what makes unregistered
+// committed-state reads safe against the reclaimer: Reclaim is an
+// exclusive-latch writer, so it cannot truncate a chain tail between
+// the head fetch and the visibility walk. The resolved versions'
+// content is immutable, so callers run callbacks after release.
+func (db *Database) collectVisible(table string) ([]*rowVersion, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	td, err := db.tableData(table)
+	if err != nil {
+		return nil, err
+	}
+	seq := db.commitSeq.Load()
+	out := make([]*rowVersion, 0, len(td.order))
+	for _, id := range td.order {
+		if v := td.rows[id].visibleAt(seq); v != nil {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Scan visits every committed-visible row of a table in insertion
+// order. The callback receives the stored row; it must not mutate it.
+// Returning false stops the scan. The latch is not held while the
+// callback runs.
 func (db *Database) Scan(table string, fn func(*Row) bool) error {
-	heads, td, err := db.collectHeads(table)
+	vs, err := db.collectVisible(table)
 	if err != nil {
 		return err
 	}
-	for _, v := range heads {
-		if v.end.Load() != liveSeq {
-			// The head we collected was stamped dead. Either the row is
-			// really gone (deleted — possibly by the in-flight writer,
-			// whose state latest reads must honor) or a concurrent
-			// writer superseded it after we collected; re-resolve the
-			// current head so an updated row is visited with its new
-			// values instead of silently vanishing from the scan.
-			db.mu.RLock()
-			v = td.rows[v.row.ID]
-			db.mu.RUnlock()
-			if v == nil || v.end.Load() != liveSeq {
-				continue
-			}
-		}
+	for _, v := range vs {
 		if !fn(&v.row) {
 			return nil
 		}
@@ -508,18 +594,26 @@ func (db *Database) Scan(table string, fn func(*Row) bool) error {
 	return nil
 }
 
-// LookupEqual returns the ids of visible rows whose named columns equal
-// the given values, using a hash index when one covers the columns and
-// falling back to a scan otherwise. The returned ids are deterministic.
+// LookupEqual returns the ids of committed-visible rows whose named
+// columns equal the given values, using a hash index when one covers
+// the columns and falling back to a scan otherwise. The returned ids
+// are deterministic.
 func (db *Database) LookupEqual(table string, columns []string, values []Value) ([]RowID, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.lookupEqualLocked(table, columns, values)
+	seq := db.commitSeq.Load() // under the latch: reclaim cannot outrun it
+	return db.lookupEqualVisLocked(table, columns, values, func(head *rowVersion) *rowVersion {
+		return head.visibleAt(seq)
+	})
 }
 
-// lookupEqualLocked is LookupEqual for callers already holding the
-// latch (the writer's constraint checks).
-func (db *Database) lookupEqualLocked(table string, columns []string, values []Value) ([]RowID, error) {
+// lookupEqualVisLocked is the shared lookup core: candidates come from
+// a covering index (or the order slice), each candidate's head is
+// resolved through the caller's visibility function, and the resolved
+// version's values are re-verified against the probe (index buckets may
+// hold entries for versions the caller cannot see). Callers hold at
+// least the read latch.
+func (db *Database) lookupEqualVisLocked(table string, columns []string, values []Value, resolve func(*rowVersion) *rowVersion) ([]RowID, error) {
 	td, err := db.tableData(table)
 	if err != nil {
 		return nil, err
@@ -532,8 +626,9 @@ func (db *Database) lookupEqualLocked(table string, columns []string, values []V
 		}
 		cols[i] = idx
 	}
-	matchesLive := func(v *rowVersion) bool {
-		if v == nil || v.end.Load() != liveSeq {
+	matches := func(head *rowVersion) bool {
+		v := resolve(head)
+		if v == nil {
 			return false
 		}
 		for i, c := range cols {
@@ -545,11 +640,9 @@ func (db *Database) lookupEqualLocked(table string, columns []string, values []V
 	}
 	if ix := td.findIndex(cols); ix != nil {
 		ordered := reorderForIndex(ix, cols, values)
-		// Index buckets may carry stale ids (versions awaiting reclaim);
-		// re-verify the live version's values against the probe.
 		var out []RowID
 		for _, id := range ix.lookup(ordered) {
-			if matchesLive(td.rows[id]) {
+			if head, ok := td.rows[id]; ok && matches(head) {
 				out = append(out, id)
 			}
 		}
@@ -558,7 +651,7 @@ func (db *Database) lookupEqualLocked(table string, columns []string, values []V
 	// Fallback scan.
 	var out []RowID
 	for _, id := range td.order {
-		if matchesLive(td.rows[id]) {
+		if head, ok := td.rows[id]; ok && matches(head) {
 			out = append(out, id)
 		}
 	}
@@ -650,12 +743,63 @@ func (td *tableData) checkLocalConstraints(values []Value) error {
 	return nil
 }
 
-// checkUniqueness enforces the primary key and UNIQUE columns against
-// the writer's view. exclude skips one row id (the row being updated,
-// so it does not collide with itself). Index buckets may hold ids of
-// dead versions awaiting reclaim, so each candidate's live version is
-// re-verified against the new values.
-func (db *Database) checkUniqueness(td *tableData, values []Value, exclude RowID) error {
+// writeConflict counts and wraps a first-updater-wins loss.
+func (db *Database) writeConflict(table string, detail string) error {
+	db.conflicts.Add(1)
+	return fmt.Errorf("%w: table %s: %s", ErrWriteConflict, table, detail)
+}
+
+// writeTarget resolves the version a write by t addresses: the row's
+// current head when it is writable by t. It returns ErrWriteConflict
+// when the head is claimed by another in-flight transaction or was
+// written by a transaction that committed after t's read sequence
+// (first-updater-wins), and (nil, nil) when the row is simply not a
+// live row from t's perspective (deleted before its snapshot, or
+// deleted by t itself). Callers hold the write latch.
+func (db *Database) writeTarget(t *Txn, table string, id RowID, head *rowVersion) (*rowVersion, error) {
+	if head == nil {
+		return nil, nil
+	}
+	b := head.begin.Load()
+	if isTxnMark(b) {
+		if markOwner(b) != t.id {
+			return nil, db.writeConflict(table, fmt.Sprintf("rowid %d is claimed by an in-flight transaction", id))
+		}
+		if isTxnMark(head.end.Load()) {
+			return nil, nil // t already deleted its own version
+		}
+		return head, nil
+	}
+	e := head.end.Load()
+	if isTxnMark(e) {
+		if markOwner(e) == t.id {
+			return nil, nil // t delete-stamped the committed version
+		}
+		return nil, db.writeConflict(table, fmt.Sprintf("rowid %d is claimed by an in-flight transaction", id))
+	}
+	if e != liveSeq {
+		if e > t.readSeq {
+			// Deleted by a transaction that committed after t began:
+			// conflict, so a retry re-probes against the new state
+			// instead of silently acting on a vanished row.
+			return nil, db.writeConflict(table, fmt.Sprintf("rowid %d was deleted by a newer committed transaction", id))
+		}
+		return nil, nil // committed-dead before t's snapshot
+	}
+	if b > t.readSeq {
+		return nil, db.writeConflict(table, fmt.Sprintf("rowid %d was modified by a newer committed transaction", id))
+	}
+	return head, nil
+}
+
+// checkUniqueness enforces the primary key and UNIQUE columns for a
+// write by t. exclude skips one row id (the row being updated, so it
+// does not collide with itself). A duplicate held by the committed
+// state or by t itself is a constraint violation; a duplicate held (or
+// being released) by another in-flight transaction is a write-write
+// conflict — the retry resolves against that transaction's outcome.
+// Callers hold the write latch.
+func (db *Database) checkUniqueness(t *Txn, td *tableData, values []Value, exclude RowID) error {
 	for _, ix := range td.indexes {
 		if !ix.unique {
 			continue
@@ -664,24 +808,7 @@ func (db *Database) checkUniqueness(td *tableData, values []Value, exclude RowID
 		if !ok {
 			continue
 		}
-		for id := range ix.entries[key] {
-			if id == exclude {
-				continue
-			}
-			v := td.rows[id]
-			if v == nil || v.end.Load() != liveSeq {
-				continue
-			}
-			match := true
-			for _, c := range ix.columns {
-				if !v.row.Values[c].Equal(values[c]) {
-					match = false
-					break
-				}
-			}
-			if !match {
-				continue
-			}
+		dupErr := func() error {
 			kind := ErrUnique
 			if ix == td.pkIndex {
 				kind = ErrPrimaryKey
@@ -692,13 +819,61 @@ func (db *Database) checkUniqueness(td *tableData, values []Value, exclude RowID
 			}
 			return constraintErr(kind, td.def.Name, strings.Join(names, ","), "duplicate key")
 		}
+		match := func(v *rowVersion) bool {
+			for _, c := range ix.columns {
+				if !v.row.Values[c].Equal(values[c]) {
+					return false
+				}
+			}
+			return true
+		}
+		for id := range ix.entries[key] {
+			if id == exclude {
+				continue
+			}
+			head := td.rows[id]
+			// Walk from the head to the newest committed version: the
+			// in-flight layer decides conflicts, the committed layer
+			// decides duplicates, and older history is irrelevant.
+			for v := head; v != nil; v = v.prev.Load() {
+				b := v.begin.Load()
+				e := v.end.Load()
+				if isTxnMark(b) {
+					if markOwner(b) == t.id {
+						if e == liveSeq && match(v) {
+							return dupErr() // t's own uncommitted duplicate
+						}
+						continue // superseded/deleted own version
+					}
+					if match(v) {
+						return db.writeConflict(td.def.Name,
+							fmt.Sprintf("duplicate key inserted by an in-flight transaction (rowid %d)", id))
+					}
+					continue
+				}
+				// Newest committed version: judge and stop walking.
+				if e == liveSeq {
+					if match(v) {
+						return dupErr()
+					}
+				} else if isTxnMark(e) && markOwner(e) != t.id && match(v) {
+					// Committed-live but claimed by another in-flight
+					// transaction (delete or key change): first-updater-wins.
+					return db.writeConflict(td.def.Name,
+						fmt.Sprintf("key held by rowid %d is being released by an in-flight transaction", id))
+				}
+				break
+			}
+		}
 	}
 	return nil
 }
 
-// checkForeignKeys enforces that every non-NULL FK value references an
-// existing row.
-func (db *Database) checkForeignKeys(td *tableData, values []Value) error {
+// checkForeignKeys enforces that every non-NULL FK value references a
+// row the writing transaction can see. (Like classic snapshot
+// isolation without FK locks, a concurrently committed delete of the
+// parent can produce write skew; ROADMAP records the deferral.)
+func (db *Database) checkForeignKeys(t *Txn, td *tableData, values []Value) error {
 	for _, fk := range td.def.ForeignKeys {
 		cols := mustColumnIndexes(td.def, fk.Columns)
 		vals := make([]Value, len(cols))
@@ -712,7 +887,7 @@ func (db *Database) checkForeignKeys(td *tableData, values []Value) error {
 		if anyNull {
 			continue // SQL: NULL FK components opt out of the check
 		}
-		refIDs, err := db.lookupEqualLocked(fk.RefTable, fk.RefColumns, vals)
+		refIDs, err := db.lookupEqualVisLocked(fk.RefTable, fk.RefColumns, vals, t.resolve)
 		if err != nil {
 			return err
 		}
@@ -724,10 +899,20 @@ func (db *Database) checkForeignKeys(td *tableData, values []Value) error {
 	return nil
 }
 
-// Insert adds a row. It enforces, in order: type coercion, NOT NULL,
-// CHECK, primary key / UNIQUE, and foreign key existence. On success it
-// returns the new row id.
+// Insert adds a row in an implicit single-statement transaction
+// (autocommit). See Txn.Insert for the transactional form.
 func (db *Database) Insert(table string, values map[string]Value) (RowID, error) {
+	t := db.Begin()
+	id, err := db.txnInsert(t, table, values)
+	if err != nil {
+		_ = t.Rollback()
+		return 0, err
+	}
+	return id, t.Commit()
+}
+
+// txnInsert is the insert core, writing through transaction t.
+func (db *Database) txnInsert(t *Txn, table string, values map[string]Value) (RowID, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	td, err := db.tableData(table)
@@ -742,63 +927,63 @@ func (db *Database) Insert(table string, values map[string]Value) (RowID, error)
 	if err := td.checkLocalConstraints(row); err != nil {
 		return 0, err
 	}
-	if err := db.checkUniqueness(td, row, 0); err != nil {
+	if err := db.checkUniqueness(t, td, row, 0); err != nil {
 		return 0, err
 	}
-	if err := db.checkForeignKeys(td, row); err != nil {
+	if err := db.checkForeignKeys(t, td, row); err != nil {
 		return 0, err
 	}
 	id := db.nextRowID
 	db.nextRowID++
-	v := &rowVersion{row: Row{ID: id, Values: row}, begin: db.pendingSeq()}
-	v.end.Store(liveSeq)
+	v := newVersion(Row{ID: id, Values: row}, txnMark(t.id))
 	td.rows[id] = v
 	td.order = append(td.order, id)
 	td.live++
-	db.versionsSinceReclaim++
+	db.versionsSinceReclaim.Add(1)
 	for _, ix := range td.indexes {
 		ix.insert(id, row)
 	}
 	db.appendRedo('I', table, id, row)
-	if db.activeTxn != nil {
-		db.activeTxn.recordInsert(table, id)
-	}
-	db.endStatementLocked()
+	t.recordInsert(table, id, v)
 	return id, nil
 }
 
-// Delete removes the row with the given id, applying the delete policy
+// Delete removes the row with the given id in an implicit
+// single-statement transaction (autocommit), applying the delete policy
 // of every foreign key referencing this table: CASCADE deletes the
 // referencing rows transitively, SET NULL nulls the referencing columns
-// (rejecting if they are NOT NULL), RESTRICT rejects the delete.
-// It returns the number of rows deleted (including cascades).
+// (rejecting if they are NOT NULL), RESTRICT rejects the delete. The
+// statement is atomic: a rejected cascade leaves nothing deleted. It
+// returns the number of rows deleted (including cascades). See
+// Txn.Delete for the transactional form.
 func (db *Database) Delete(table string, id RowID) (int, error) {
+	t := db.Begin()
+	n, err := db.txnDelete(t, table, id)
+	if err != nil {
+		_ = t.Rollback()
+		return 0, err
+	}
+	return n, t.Commit()
+}
+
+// txnDelete is the delete core, writing through transaction t.
+func (db *Database) txnDelete(t *Txn, table string, id RowID) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	atomic.AddInt64(&db.StatementsExecuted, 1)
-	// Advance the commit sequence when the statement succeeded OR when
-	// a partially-failed cascade already stamped versions (they are
-	// live-visible, so they must become snapshot-visible too, not sit
-	// pending until an unrelated later commit publishes them); a
-	// rejected statement that changed nothing must not inflate the
-	// committed sequence. Deleted-row counts miss SET NULL updates, so
-	// "stamped anything" is detected via the version counter — reclaim
-	// cannot reset it mid-statement (it only runs at statement end).
-	before := db.versionsSinceReclaim
-	n, err := db.deleteRowLocked(table, id)
-	if err == nil || db.versionsSinceReclaim != before {
-		db.endStatementLocked()
-	}
-	return n, err
+	return db.deleteRowLocked(t, table, id)
 }
 
-func (db *Database) deleteRowLocked(table string, id RowID) (int, error) {
+func (db *Database) deleteRowLocked(t *Txn, table string, id RowID) (int, error) {
 	td, err := db.tableData(table)
 	if err != nil {
 		return 0, err
 	}
-	v, ok := td.rows[id]
-	if !ok || v.end.Load() != liveSeq {
+	v, err := db.writeTarget(t, table, id, td.rows[id])
+	if err != nil {
+		return 0, err
+	}
+	if v == nil {
 		return 0, nil // DELETE of a missing row is a no-op warning, not an error
 	}
 	deleted := 0
@@ -820,7 +1005,7 @@ func (db *Database) deleteRowLocked(table string, id RowID) (int, error) {
 		if skip {
 			continue
 		}
-		ids, err := db.lookupEqualLocked(ref.Table.Name, ref.FK.Columns, refVals)
+		ids, err := db.lookupEqualVisLocked(ref.Table.Name, ref.FK.Columns, refVals, t.resolve)
 		if err != nil {
 			return deleted, err
 		}
@@ -833,7 +1018,7 @@ func (db *Database) deleteRowLocked(table string, id RowID) (int, error) {
 				fmt.Sprintf("%d referencing rows in %s", len(ids), ref.Table.Name))
 		case DeleteCascade:
 			for _, rid := range ids {
-				n, err := db.deleteRowLocked(ref.Table.Name, rid)
+				n, err := db.deleteRowLocked(t, ref.Table.Name, rid)
 				deleted += n
 				if err != nil {
 					return deleted, err
@@ -845,53 +1030,65 @@ func (db *Database) deleteRowLocked(table string, id RowID) (int, error) {
 				nulls[c] = Null()
 			}
 			for _, rid := range ids {
-				if err := db.updateRowLocked(ref.Table.Name, rid, nulls); err != nil {
+				if err := db.updateRowLocked(t, ref.Table.Name, rid, nulls); err != nil {
 					return deleted, err
 				}
 			}
 		}
 	}
 	// The row may have been cascade-deleted through a cycle; re-check.
-	v, ok = td.rows[id]
-	if !ok || v.end.Load() != liveSeq {
+	v, err = db.writeTarget(t, table, id, td.rows[id])
+	if err != nil {
+		return deleted, err
+	}
+	if v == nil {
 		return deleted, nil
 	}
-	// MVCC delete: stamp the head dead at the pending sequence. Index
-	// entries and the version itself stay until no snapshot can see
-	// them; the reclaimer frees both.
-	v.end.Store(db.pendingSeq())
+	// MVCC delete: claim the head with the transaction's end mark.
+	// Index entries and the version itself stay until no reader can see
+	// them; commit publishes the real sequence, the reclaimer frees
+	// both.
+	v.end.Store(txnMark(t.id))
 	td.live--
-	db.versionsSinceReclaim++
+	db.versionsSinceReclaim.Add(1)
 	deleted++
 	db.appendRedo('D', table, id, v.row.Values)
-	if db.activeTxn != nil {
-		db.activeTxn.recordDelete(table, id)
-	}
+	t.recordDelete(table, id, v)
 	return deleted, nil
 }
 
-// UpdateRow modifies the named columns of a row, re-checking NOT NULL,
+// UpdateRow modifies the named columns of a row in an implicit
+// single-statement transaction (autocommit), re-checking NOT NULL,
 // CHECK, uniqueness and foreign keys for the new values. The previous
 // values survive as an older version in the row's chain until no
-// snapshot can see them.
+// reader can see them. See Txn.UpdateRow for the transactional form.
 func (db *Database) UpdateRow(table string, id RowID, changes map[string]Value) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	err := db.updateRowLocked(table, id, changes)
-	if err == nil {
-		db.endStatementLocked()
+	t := db.Begin()
+	if err := db.txnUpdate(t, table, id, changes); err != nil {
+		_ = t.Rollback()
+		return err
 	}
-	return err
+	return t.Commit()
 }
 
-func (db *Database) updateRowLocked(table string, id RowID, changes map[string]Value) error {
+// txnUpdate is the update core, writing through transaction t.
+func (db *Database) txnUpdate(t *Txn, table string, id RowID, changes map[string]Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.updateRowLocked(t, table, id, changes)
+}
+
+func (db *Database) updateRowLocked(t *Txn, table string, id RowID, changes map[string]Value) error {
 	td, err := db.tableData(table)
 	if err != nil {
 		return err
 	}
 	atomic.AddInt64(&db.StatementsExecuted, 1)
-	v, ok := td.rows[id]
-	if !ok || v.end.Load() != liveSeq {
+	v, err := db.writeTarget(t, table, id, td.rows[id])
+	if err != nil {
+		return err
+	}
+	if v == nil {
 		return fmt.Errorf("%w: %s rowid %d", ErrNoSuchRow, table, id)
 	}
 	newVals := make([]Value, len(v.row.Values))
@@ -910,25 +1107,22 @@ func (db *Database) updateRowLocked(table string, id RowID, changes map[string]V
 	if err := td.checkLocalConstraints(newVals); err != nil {
 		return err
 	}
-	if err := db.checkUniqueness(td, newVals, id); err != nil {
+	if err := db.checkUniqueness(t, td, newVals, id); err != nil {
 		return err
 	}
-	if err := db.checkForeignKeys(td, newVals); err != nil {
+	if err := db.checkForeignKeys(t, td, newVals); err != nil {
 		return err
 	}
-	nv := &rowVersion{row: Row{ID: id, Values: newVals}, begin: db.pendingSeq()}
-	nv.end.Store(liveSeq)
+	nv := newVersion(Row{ID: id, Values: newVals}, txnMark(t.id))
 	nv.prev.Store(v)
-	v.end.Store(nv.begin)
+	v.end.Store(txnMark(t.id))
 	td.rows[id] = nv
-	db.versionsSinceReclaim++
+	db.versionsSinceReclaim.Add(1)
 	for _, ix := range td.indexes {
 		ix.insert(id, newVals) // buckets are id-sets: unchanged keys dedupe
 	}
 	db.appendRedo('U', table, id, newVals)
-	if db.activeTxn != nil {
-		db.activeTxn.recordUpdate(table, id)
-	}
+	t.recordUpdate(table, id, nv)
 	return nil
 }
 
@@ -956,23 +1150,28 @@ func removeVersionEntries(td *tableData, id RowID, dropped *rowVersion, kept *ro
 	}
 }
 
-// ValuesByName returns a visible row's values keyed by column name.
-func (db *Database) ValuesByName(table string, id RowID) (map[string]Value, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+// rowValues keys a fetched row's values by the table's column names;
+// the shared tail of every reader's ValuesByName.
+func (db *Database) rowValues(table string, r *Row) (map[string]Value, error) {
 	td, err := db.tableData(table)
 	if err != nil {
 		return nil, err
 	}
-	v, ok := td.rows[id]
-	if !ok || v.end.Load() != liveSeq {
-		return nil, fmt.Errorf("%w: %s rowid %d", ErrNoSuchRow, table, id)
-	}
-	out := make(map[string]Value, len(v.row.Values))
+	out := make(map[string]Value, len(r.Values))
 	for i, c := range td.def.Columns {
-		out[c.Name] = v.row.Values[i]
+		out[c.Name] = r.Values[i]
 	}
 	return out, nil
+}
+
+// ValuesByName returns a committed-visible row's values keyed by column
+// name.
+func (db *Database) ValuesByName(table string, id RowID) (map[string]Value, error) {
+	r, err := db.Get(table, id)
+	if err != nil {
+		return nil, err
+	}
+	return db.rowValues(table, r)
 }
 
 // SortedTableNames returns the table names sorted alphabetically (used

@@ -31,6 +31,13 @@ var (
 	// ErrTypeMismatch signals a value that cannot be coerced to the
 	// column type.
 	ErrTypeMismatch = errors.New("type mismatch")
+	// ErrWriteConflict signals a write-write conflict under
+	// first-updater-wins: the row a transaction tried to write was
+	// modified by a transaction that committed after this one's read
+	// sequence, or is claimed by another in-flight transaction. The
+	// losing transaction should roll back and retry; the plan layer
+	// does so with capped backoff.
+	ErrWriteConflict = errors.New("write-write conflict")
 )
 
 // ConstraintError wraps one of the sentinel errors with table/column

@@ -305,15 +305,15 @@ func TestTransactionRollbackRestoresEverything(t *testing.T) {
 	db := newBookDB(t)
 	before := db.TotalRows()
 	txn := db.Begin()
-	if _, err := db.Insert("publisher", map[string]Value{"pubid": String_("D01"), "pubname": String_("New Pub")}); err != nil {
+	if _, err := txn.Insert("publisher", map[string]Value{"pubid": String_("D01"), "pubname": String_("New Pub")}); err != nil {
 		t.Fatal(err)
 	}
-	ids, _ := db.LookupEqual("publisher", []string{"pubid"}, []Value{String_("A01")})
-	if _, err := db.Delete("publisher", ids[0]); err != nil {
+	ids, _ := txn.LookupEqual("publisher", []string{"pubid"}, []Value{String_("A01")})
+	if _, err := txn.Delete("publisher", ids[0]); err != nil {
 		t.Fatal(err)
 	}
-	bids, _ := db.LookupEqual("book", []string{"bookid"}, []Value{String_("98002")})
-	if err := db.UpdateRow("book", bids[0], map[string]Value{"price": Float_(1)}); err != nil {
+	bids, _ := txn.LookupEqual("book", []string{"bookid"}, []Value{String_("98002")})
+	if err := txn.UpdateRow("book", bids[0], map[string]Value{"price": Float_(1)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := txn.Rollback(); err != nil {
@@ -337,7 +337,7 @@ func TestTransactionRollbackRestoresEverything(t *testing.T) {
 func TestTransactionCommit(t *testing.T) {
 	db := newBookDB(t)
 	txn := db.Begin()
-	if _, err := db.Insert("publisher", map[string]Value{"pubid": String_("D01"), "pubname": String_("New Pub")}); err != nil {
+	if _, err := txn.Insert("publisher", map[string]Value{"pubid": String_("D01"), "pubname": String_("New Pub")}); err != nil {
 		t.Fatal(err)
 	}
 	if err := txn.Commit(); err != nil {
@@ -491,7 +491,7 @@ func TestQuickRollbackRestoresCardinality(t *testing.T) {
 		before := db.TotalRows()
 		txn := db.Begin()
 		for i := 0; i < int(n%16); i++ {
-			db.Insert("publisher", map[string]Value{
+			txn.Insert("publisher", map[string]Value{
 				"pubid":   String_("QP" + Int_(int64(i)).String()),
 				"pubname": String_("Quick Pub " + Int_(int64(i)).String()),
 			})

@@ -32,30 +32,35 @@ func TestSavepointRollbackTo(t *testing.T) {
 	db := savepointTestDB(t)
 	txn := db.Begin()
 
-	if _, err := db.Insert("item", map[string]Value{"id": Int_(10), "name": String_("dog")}); err != nil {
+	if _, err := txn.Insert("item", map[string]Value{"id": Int_(10), "name": String_("dog")}); err != nil {
 		t.Fatal(err)
 	}
 	mark := txn.Savepoint()
-	if _, err := db.Insert("item", map[string]Value{"id": Int_(11), "name": String_("eel")}); err != nil {
+	if _, err := txn.Insert("item", map[string]Value{"id": Int_(11), "name": String_("eel")}); err != nil {
 		t.Fatal(err)
 	}
-	ids, _ := db.LookupEqual("item", []string{"id"}, []Value{Int_(1)})
-	if err := db.UpdateRow("item", ids[0], map[string]Value{"name": String_("mutated")}); err != nil {
+	ids, _ := txn.LookupEqual("item", []string{"id"}, []Value{Int_(1)})
+	if err := txn.UpdateRow("item", ids[0], map[string]Value{"name": String_("mutated")}); err != nil {
 		t.Fatal(err)
 	}
 	if err := txn.RollbackTo(mark); err != nil {
 		t.Fatal(err)
 	}
 	// Post-savepoint work gone, pre-savepoint work intact, txn open.
-	if got, _ := db.LookupEqual("item", []string{"id"}, []Value{Int_(11)}); len(got) != 0 {
+	// The transaction's own reads see its surviving uncommitted work.
+	if got, _ := txn.LookupEqual("item", []string{"id"}, []Value{Int_(11)}); len(got) != 0 {
 		t.Error("row 11 survived RollbackTo")
 	}
-	vals, _ := db.ValuesByName("item", ids[0])
+	vals, _ := txn.ValuesByName("item", ids[0])
 	if vals["name"].Str != "ant" {
 		t.Errorf("update survived RollbackTo: %v", vals["name"])
 	}
-	if got, _ := db.LookupEqual("item", []string{"id"}, []Value{Int_(10)}); len(got) != 1 {
+	if got, _ := txn.LookupEqual("item", []string{"id"}, []Value{Int_(10)}); len(got) != 1 {
 		t.Error("pre-savepoint insert lost")
+	}
+	// Committed readers see none of it until Commit.
+	if got, _ := db.LookupEqual("item", []string{"id"}, []Value{Int_(10)}); len(got) != 0 {
+		t.Error("uncommitted insert visible to committed-state readers")
 	}
 	if err := txn.Commit(); err != nil {
 		t.Fatal(err)
@@ -77,7 +82,7 @@ func TestRedoFlushPerCommit(t *testing.T) {
 
 	txn := db.Begin()
 	for i := 20; i < 25; i++ {
-		if _, err := db.Insert("item", map[string]Value{"id": Int_(int64(i)), "name": String_("x")}); err != nil {
+		if _, err := txn.Insert("item", map[string]Value{"id": Int_(int64(i)), "name": String_("x")}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -90,7 +95,7 @@ func TestRedoFlushPerCommit(t *testing.T) {
 	// Five single-statement transactions: five flushes.
 	for i := 30; i < 35; i++ {
 		txn := db.Begin()
-		if _, err := db.Insert("item", map[string]Value{"id": Int_(int64(i)), "name": String_("y")}); err != nil {
+		if _, err := txn.Insert("item", map[string]Value{"id": Int_(int64(i)), "name": String_("y")}); err != nil {
 			t.Fatal(err)
 		}
 		if err := txn.Commit(); err != nil {
@@ -103,15 +108,28 @@ func TestRedoFlushPerCommit(t *testing.T) {
 	if db.Stats().RedoFlushes != db.RedoFlushes() {
 		t.Error("Stats().RedoFlushes disagrees with RedoFlushes()")
 	}
+	// A commit group publishing N transactions still flushes once.
+	t1, t2, t3 := db.Begin(), db.Begin(), db.Begin()
+	for i, tx := range []*Txn{t1, t2, t3} {
+		if _, err := tx.Insert("item", map[string]Value{"id": Int_(int64(40 + i)), "name": String_("g")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CommitGroup(t1, t2, t3); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.RedoFlushes() - base; got != 7 {
+		t.Errorf("flushes after a 3-txn commit group = %d, want 7", got)
+	}
 	// Rollback does not flush.
 	txn = db.Begin()
-	if _, err := db.Insert("item", map[string]Value{"id": Int_(99), "name": String_("z")}); err != nil {
+	if _, err := txn.Insert("item", map[string]Value{"id": Int_(99), "name": String_("z")}); err != nil {
 		t.Fatal(err)
 	}
 	if err := txn.Rollback(); err != nil {
 		t.Fatal(err)
 	}
-	if got := db.RedoFlushes() - base; got != 6 {
-		t.Errorf("rollback flushed: %d, want 6", got)
+	if got := db.RedoFlushes() - base; got != 7 {
+		t.Errorf("rollback flushed: %d, want 7", got)
 	}
 }

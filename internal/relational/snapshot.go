@@ -142,15 +142,7 @@ func (s *Snapshot) ValuesByName(table string, id RowID) (map[string]Value, error
 	if err != nil {
 		return nil, err
 	}
-	td, err := s.db.tableData(table)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string]Value, len(r.Values))
-	for i, c := range td.def.Columns {
-		out[c.Name] = r.Values[i]
-	}
-	return out, nil
+	return s.db.rowValues(table, r)
 }
 
 // LookupEqual returns the ids of rows visible at the snapshot whose
@@ -213,9 +205,12 @@ func (s *Snapshot) LookupEqual(table string, columns []string, values []Value) (
 }
 
 // oldestVisibleSeq is the reclaim horizon: the minimum over every
-// pinned snapshot's sequence and the current commit sequence. Versions
-// whose end stamp is at or below it are invisible to every present and
-// future reader.
+// pinned snapshot's sequence, every active transaction's read
+// sequence and the current commit sequence. Versions whose end stamp
+// is at or below it are invisible to every present and future reader.
+// (Claim stamps compare greater than any sequence, so versions touched
+// by in-flight transactions are never reclaimed regardless of the
+// horizon.)
 func (db *Database) oldestVisibleSeq() uint64 {
 	min := db.commitSeq.Load()
 	db.snapMu.Lock()
@@ -225,20 +220,19 @@ func (db *Database) oldestVisibleSeq() uint64 {
 		}
 	}
 	db.snapMu.Unlock()
+	db.txnMu.Lock()
+	for t := range db.txns {
+		if t.readSeq < min {
+			min = t.readSeq
+		}
+	}
+	db.txnMu.Unlock()
 	return min
 }
 
 // reclaimThreshold is how many versions may accumulate before a commit
-// piggybacks an inline reclaim pass.
+// piggybacks an inline reclaim pass (see CommitGroup).
 const reclaimThreshold = 4096
-
-// maybeReclaimLocked runs an inline reclaim when enough versions have
-// accumulated since the last pass. Callers hold the write latch.
-func (db *Database) maybeReclaimLocked() {
-	if db.versionsSinceReclaim >= reclaimThreshold {
-		db.reclaimLocked()
-	}
-}
 
 // Reclaim frees row versions that no pinned snapshot (and no future
 // reader) can see: dead version-chain tails are truncated, fully-dead
@@ -300,7 +294,7 @@ func (db *Database) reclaimLocked() int {
 		// set by undoInsert too, not only by removals above).
 		td.compactLocked()
 	}
-	db.versionsSinceReclaim = 0
+	db.versionsSinceReclaim.Store(0)
 	db.versionsReclaimed.Add(int64(freed))
 	db.reclaims.Add(1)
 	return freed

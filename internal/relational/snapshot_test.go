@@ -117,7 +117,7 @@ func TestSnapshotTransactionAtomicity(t *testing.T) {
 	defer pre.Close()
 
 	txn := db.Begin()
-	if err := db.UpdateRow("acct", ids[0], map[string]Value{"val": Int_(0)}); err != nil {
+	if err := txn.UpdateRow("acct", ids[0], map[string]Value{"val": Int_(0)}); err != nil {
 		t.Fatal(err)
 	}
 	// A snapshot pinned mid-transaction must not see the uncommitted
@@ -127,7 +127,12 @@ func TestSnapshotTransactionAtomicity(t *testing.T) {
 	if got := sumVals(t, mid); got != 20 {
 		t.Fatalf("mid-txn snapshot sum = %d, want 20 (uncommitted writes visible)", got)
 	}
-	if err := db.UpdateRow("acct", ids[1], map[string]Value{"val": Int_(20)}); err != nil {
+	// The transaction's own reads see its uncommitted half, overlaid on
+	// the snapshot it pinned at Begin.
+	if got := sumVals(t, txn); got != 10 {
+		t.Fatalf("txn's own sum = %d, want 10 (own writes invisible to the writer)", got)
+	}
+	if err := txn.UpdateRow("acct", ids[1], map[string]Value{"val": Int_(20)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := txn.Commit(); err != nil {
@@ -157,13 +162,13 @@ func TestRollbackRestoresVersionsAndIndexes(t *testing.T) {
 	db, ids := newAcctDB(t, 2)
 
 	txn := db.Begin()
-	if err := db.UpdateRow("acct", ids[0], map[string]Value{"id": Int_(100)}); err != nil {
+	if err := txn.UpdateRow("acct", ids[0], map[string]Value{"id": Int_(100)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Delete("acct", ids[1]); err != nil {
+	if _, err := txn.Delete("acct", ids[1]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Insert("acct", map[string]Value{"id": Int_(5), "val": Int_(50)}); err != nil {
+	if _, err := txn.Insert("acct", map[string]Value{"id": Int_(5), "val": Int_(50)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := txn.Rollback(); err != nil {
@@ -260,13 +265,13 @@ func TestReclaimHonorsOldestSnapshot(t *testing.T) {
 	}
 }
 
-// TestFailedCascadeStillCommitsItsStampedVersions: a Delete whose
-// referential actions partially ran before failing (SET NULL applied
-// on one child, then rejected by another child's NOT NULL) has stamped
-// versions that are live-visible; the statement must advance the
-// commit sequence so fresh snapshots agree with latest reads instead
-// of diverging until an unrelated later commit.
-func TestFailedCascadeStillCommitsItsStampedVersions(t *testing.T) {
+// TestFailedCascadeIsStatementAtomic: a Delete whose referential
+// actions partially ran before failing (SET NULL applied on one child,
+// then rejected by another child's NOT NULL) must leave no trace: the
+// autocommit statement runs in an implicit transaction that rolls the
+// partial cascade back, so latest reads and fresh snapshots agree on
+// the pre-statement state.
+func TestFailedCascadeIsStatementAtomic(t *testing.T) {
 	parent, err := NewTableDef("parent", []Column{
 		{Name: "id", Type: TypeInt},
 	}, []string{"id"}, nil)
@@ -322,6 +327,9 @@ func TestFailedCascadeStillCommitsItsStampedVersions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if live["pid"].IsNull() {
+		t.Fatal("partial SET NULL survived a rejected delete statement")
+	}
 	snap := db.Snapshot()
 	defer snap.Close()
 	pinned, err := snap.ValuesByName("childa", caID)
@@ -331,6 +339,9 @@ func TestFailedCascadeStillCommitsItsStampedVersions(t *testing.T) {
 	if live["pid"].IsNull() != pinned["pid"].IsNull() {
 		t.Fatalf("latest sees pid=%v but a fresh snapshot sees pid=%v — partial cascade left uncommitted live-visible versions",
 			live["pid"], pinned["pid"])
+	}
+	if got := db.RowCount("parent"); got != 1 {
+		t.Fatalf("parent rows after rejected delete = %d, want 1", got)
 	}
 }
 
@@ -365,16 +376,16 @@ func TestReclaimerVsReaderStress(t *testing.T) {
 				continue
 			}
 			txn := db.Begin()
-			fv, err := db.ValuesByName("acct", from)
+			fv, err := txn.ValuesByName("acct", from)
 			if err == nil {
-				err = db.UpdateRow("acct", from, map[string]Value{"val": Int_(fv["val"].Int - 1)})
+				err = txn.UpdateRow("acct", from, map[string]Value{"val": Int_(fv["val"].Int - 1)})
 			}
 			var tv map[string]Value
 			if err == nil {
-				tv, err = db.ValuesByName("acct", to)
+				tv, err = txn.ValuesByName("acct", to)
 			}
 			if err == nil {
-				err = db.UpdateRow("acct", to, map[string]Value{"val": Int_(tv["val"].Int + 1)})
+				err = txn.UpdateRow("acct", to, map[string]Value{"val": Int_(tv["val"].Int + 1)})
 			}
 			if err != nil {
 				txn.Rollback()
@@ -388,6 +399,34 @@ func TestReclaimerVsReaderStress(t *testing.T) {
 			}
 			if err != nil {
 				writerErr.Store(err)
+				return
+			}
+		}
+	}()
+
+	// A bare-Database reader (no snapshot pin, no txn): Scan resolves
+	// visibility under the read latch at one commit sequence, so even
+	// an unregistered reader must see a consistent committed state and
+	// can never lose a row to a concurrent reclaim truncating chains.
+	bareErrs := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			var sum int64
+			n := 0
+			db.Scan("acct", func(r *Row) bool {
+				sum += r.Values[1].Int
+				n++
+				return true
+			})
+			if sum != wantSum || n != rows {
+				bareErrs <- fmt.Errorf("bare Scan saw sum=%d rows=%d, want sum=%d rows=%d", sum, n, wantSum, rows)
 				return
 			}
 		}
@@ -441,6 +480,11 @@ func TestReclaimerVsReaderStress(t *testing.T) {
 		t.Fatalf("reader: %v", err)
 	default:
 	}
+	select {
+	case err := <-bareErrs:
+		t.Fatalf("bare reader: %v", err)
+	default:
+	}
 
 	// Once quiesced and unpinned, reclaim collapses every chain.
 	db.Reclaim()
@@ -452,4 +496,3 @@ func TestReclaimerVsReaderStress(t *testing.T) {
 		t.Fatalf("final sum = %d, want %d", got, wantSum)
 	}
 }
-

@@ -13,75 +13,208 @@ const (
 
 // undoEntry records one compensating action. Under MVCC the pre-images
 // live in the row's version chain, so undo only needs to know which
-// chain to pop or revive — no saved row copies.
+// chain to pop or revive — no saved row copies. The version pointer is
+// carried so commit's publish phase can replace the transaction's claim
+// stamps with the real commit sequence without any map lookups or
+// latches: the undo log doubles as the transaction's write-set.
 type undoEntry struct {
 	kind  undoKind
 	table string
 	id    RowID
+	v     *rowVersion // created (insert/update) or delete-stamped version
 }
 
-// Txn is an explicit transaction over a Database. The paper's Fig. 14
-// experiment depends on rollback being a real, cost-proportional undo of
-// every touched tuple (the "blind translation then rollback" baseline);
-// the undo log provides exactly that.
+// Txn is an explicit transaction over a Database. Any number of
+// transactions may be open against one Database at a time; each claims
+// the rows it writes by stamping versions with its transaction mark,
+// and a write that meets another transaction's claim — or a version
+// committed after this transaction's read sequence — fails immediately
+// with ErrWriteConflict (first-updater-wins, so conflicts never
+// deadlock and never wait).
 //
-// Every version the transaction creates (or delete-stamps) carries the
-// pending commit sequence, which is invisible to snapshots until Commit
-// advances the database's commit sequence — a transaction's effects
-// become visible to snapshot readers atomically, or never (Rollback
-// pops the uncommitted versions off their chains).
+// A transaction is also a Reader: its reads resolve row version chains
+// at its read sequence overlaid with its own uncommitted writes, so
+// probes inside the transaction observe a stable snapshot plus their
+// own effects. A Txn must not be shared by concurrent goroutines
+// (hand-off between goroutines — as the group-commit scheduler does —
+// is fine when synchronized).
+//
+// Commit is two-phase: the validation happened eagerly at every write
+// (the claim checks), so commit only publishes — under the database's
+// commit latch it replaces every claim stamp with the next commit
+// sequence, flushes the write-ahead log, and advances the commit
+// sequence, making the transaction's effects visible to snapshot
+// readers atomically, or never (Rollback pops the uncommitted versions
+// off their chains). CommitGroup publishes many transactions under one
+// latch acquisition and ONE log flush — the group-commit primitive the
+// plan layer's scheduler drives.
 type Txn struct {
-	db   *Database
-	log  []undoEntry
-	done bool
+	db      *Database
+	id      uint64 // stamps claims; txnMark(id) in begin/end fields
+	readSeq uint64 // commit sequence pinned at Begin
+	log     []undoEntry
+	done    bool
 }
 
-// Begin starts a transaction. Only one transaction may be active at a
-// time; nested Begin panics (the engine is single-writer by design).
+// Begin starts a transaction pinned at the current commit sequence.
 func (db *Database) Begin() *Txn {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.activeTxn != nil {
-		panic("relational: nested transactions are not supported")
-	}
-	t := &Txn{db: db}
-	db.activeTxn = t
+	t := &Txn{db: db, id: db.nextTxnID.Add(1)}
+	db.txnMu.Lock()
+	t.readSeq = db.commitSeq.Load()
+	db.txns[t] = struct{}{}
+	db.txnMu.Unlock()
+	db.txnsActive.Add(1)
+	db.txnsStarted.Add(1)
 	return t
 }
 
-func (t *Txn) recordInsert(table string, id RowID) {
-	t.log = append(t.log, undoEntry{kind: undoInsert, table: table, id: id})
+// forget removes the transaction from the active registry, releasing
+// its pin on the reclaim horizon.
+func (db *Database) forget(t *Txn) {
+	db.txnMu.Lock()
+	delete(db.txns, t)
+	db.txnMu.Unlock()
+	db.txnsActive.Add(-1)
 }
 
-func (t *Txn) recordDelete(table string, id RowID) {
-	t.log = append(t.log, undoEntry{kind: undoDelete, table: table, id: id})
+// ReadSeq returns the commit sequence the transaction reads at.
+func (t *Txn) ReadSeq() uint64 { return t.readSeq }
+
+func (t *Txn) recordInsert(table string, id RowID, v *rowVersion) {
+	t.log = append(t.log, undoEntry{kind: undoInsert, table: table, id: id, v: v})
 }
 
-func (t *Txn) recordUpdate(table string, id RowID) {
-	t.log = append(t.log, undoEntry{kind: undoUpdate, table: table, id: id})
+func (t *Txn) recordDelete(table string, id RowID, v *rowVersion) {
+	t.log = append(t.log, undoEntry{kind: undoDelete, table: table, id: id, v: v})
+}
+
+func (t *Txn) recordUpdate(table string, id RowID, v *rowVersion) {
+	t.log = append(t.log, undoEntry{kind: undoUpdate, table: table, id: id, v: v})
 }
 
 // OpCount returns the number of logged operations (touched tuples).
 func (t *Txn) OpCount() int { return len(t.log) }
 
-// Commit finishes the transaction: the undo log is discarded, the
-// write-ahead log flushes once — the group-commit property: N updates
-// applied inside one transaction pay one flush, not N — and the commit
-// sequence advances, making every version the transaction created
-// visible to subsequent snapshots atomically.
-func (t *Txn) Commit() error {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
+// Insert adds a row through the transaction. It enforces, in order:
+// type coercion, NOT NULL, CHECK, primary key / UNIQUE, and foreign key
+// existence. A duplicate key held by another in-flight transaction
+// surfaces as ErrWriteConflict rather than a constraint violation: the
+// retry resolves against the winner's outcome.
+func (t *Txn) Insert(table string, values map[string]Value) (RowID, error) {
 	if t.done {
-		return fmt.Errorf("relational: transaction already finished")
+		return 0, errTxnFinished()
 	}
-	t.done = true
-	t.db.activeTxn = nil
-	t.log = nil
-	t.db.flushRedo()
-	t.db.commitSeq.Add(1)
-	t.db.maybeReclaimLocked()
-	return nil
+	return t.db.txnInsert(t, table, values)
+}
+
+// Delete removes the row with the given id through the transaction,
+// applying referential delete policies (CASCADE/SET NULL/RESTRICT)
+// transitively. Deleting a row claimed by another in-flight
+// transaction, or modified by a transaction that committed after this
+// one's read sequence, fails with ErrWriteConflict.
+func (t *Txn) Delete(table string, id RowID) (int, error) {
+	if t.done {
+		return 0, errTxnFinished()
+	}
+	return t.db.txnDelete(t, table, id)
+}
+
+// UpdateRow modifies the named columns of a row through the
+// transaction, re-checking NOT NULL, CHECK, uniqueness and foreign
+// keys for the new values. Like Delete, a contended row fails with
+// ErrWriteConflict.
+func (t *Txn) UpdateRow(table string, id RowID, changes map[string]Value) error {
+	if t.done {
+		return errTxnFinished()
+	}
+	return t.db.txnUpdate(t, table, id, changes)
+}
+
+func errTxnFinished() error {
+	return fmt.Errorf("relational: transaction already finished")
+}
+
+// Commit finishes the transaction: the undo log becomes the publish
+// list, the write-ahead log flushes once, and the commit sequence
+// advances, making every version the transaction created visible to
+// subsequent snapshots atomically. Equivalent to
+// db.CommitGroup(t) — use CommitGroup directly to share the flush
+// across concurrently committing transactions.
+func (t *Txn) Commit() error {
+	return t.db.CommitGroup(t)
+}
+
+// CommitGroup publishes any number of transactions under one commit
+// latch acquisition and ONE write-ahead log flush — the group-commit
+// primitive: N concurrently arriving committers pay one flush, not N.
+// Each transaction's effects still become visible atomically (the
+// commit sequence advances once per transaction, after all stamps of
+// the group are placed), and each transaction is all-or-nothing.
+// A transaction that already finished contributes an error without
+// disturbing its group siblings.
+func (db *Database) CommitGroup(txns ...*Txn) error {
+	var firstErr error
+	live := make([]*Txn, 0, len(txns))
+	db.commitMu.Lock()
+	seq := db.commitSeq.Load()
+	for _, t := range txns {
+		if t == nil {
+			continue
+		}
+		if t.done {
+			if firstErr == nil {
+				firstErr = errTxnFinished()
+			}
+			continue
+		}
+		t.done = true
+		seq++
+		t.publish(seq)
+		live = append(live, t)
+	}
+	if len(live) > 0 {
+		db.flushRedo()
+		// Publishing all stamps BEFORE the single sequence advance is
+		// what makes each transaction atomic to snapshot readers: a
+		// snapshot pinned before the store sees none of the group's
+		// versions (their begins exceed its sequence), one pinned after
+		// sees every committed transaction whole.
+		db.commitSeq.Store(seq)
+		db.groupCommits.Add(1)
+		db.groupedTxns.Add(int64(len(live)))
+	}
+	db.commitMu.Unlock()
+	for _, t := range live {
+		t.log = nil
+		db.forget(t)
+	}
+	if len(live) > 0 && db.versionsSinceReclaim.Load() >= reclaimThreshold {
+		db.Reclaim()
+	}
+	return firstErr
+}
+
+// publish replaces every claim stamp the transaction placed with the
+// assigned commit sequence. It touches only atomics on versions the
+// transaction owns (no latches): concurrent readers observe either the
+// claim (invisible / still-visible-predecessor) or the final sequence,
+// both correct at their pinned sequence. Callers hold commitMu.
+func (t *Txn) publish(seq uint64) {
+	mark := txnMark(t.id)
+	for i := range t.log {
+		en := &t.log[i]
+		switch en.kind {
+		case undoInsert:
+			en.v.begin.CompareAndSwap(mark, seq)
+		case undoUpdate:
+			en.v.begin.CompareAndSwap(mark, seq)
+			if p := en.v.prev.Load(); p != nil {
+				p.end.CompareAndSwap(mark, seq)
+			}
+		case undoDelete:
+			en.v.end.CompareAndSwap(mark, seq)
+		}
+	}
 }
 
 // Savepoint marks the current position in the undo log. RollbackTo
@@ -95,7 +228,7 @@ func (t *Txn) RollbackTo(mark int) error {
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
 	if t.done {
-		return fmt.Errorf("relational: transaction already finished")
+		return errTxnFinished()
 	}
 	if mark < 0 || mark > len(t.log) {
 		return fmt.Errorf("relational: savepoint %d out of range (log has %d entries)", mark, len(t.log))
@@ -107,27 +240,30 @@ func (t *Txn) RollbackTo(mark int) error {
 	return nil
 }
 
-// Rollback replays the undo log in reverse, restoring the database to
-// its state at Begin. The popped versions were never visible to any
-// snapshot (their stamps never committed), so readers cannot observe
-// the rollback in progress.
+// Rollback replays the undo log in reverse, releasing every row claim
+// and restoring the database to its state at Begin. The popped
+// versions were never visible to any other reader (their stamps never
+// committed), so neither readers nor competing writers can observe the
+// rollback in progress — a competitor that lost a claim race to this
+// transaction simply succeeds on retry.
 func (t *Txn) Rollback() error {
 	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
 	if t.done {
-		return fmt.Errorf("relational: transaction already finished")
+		t.db.mu.Unlock()
+		return errTxnFinished()
 	}
 	t.done = true
-	t.db.activeTxn = nil
-	if err := t.undoFromLocked(0); err != nil {
-		return err
-	}
+	err := t.undoFromLocked(0)
 	t.log = nil
-	return nil
+	t.db.mu.Unlock()
+	t.db.forget(t)
+	return err
 }
 
 // undoFromLocked compensates log entries [from, len) in reverse order.
-// Callers hold the database latch.
+// Every touched version carries this transaction's claim stamp, so the
+// compensation cannot collide with other transactions' work. Callers
+// hold the database latch.
 func (t *Txn) undoFromLocked(from int) error {
 	for i := len(t.log) - 1; i >= from; i-- {
 		e := t.log[i]
@@ -138,34 +274,174 @@ func (t *Txn) undoFromLocked(from int) error {
 		switch e.kind {
 		case undoInsert:
 			// Pop the inserted version. It was uncommitted, hence
-			// invisible to every snapshot, so its index entries go too.
-			// An insert's version never has a predecessor (row ids are
-			// never reused, and an in-txn update of the row is undone
+			// invisible to every other reader, so its index entries go
+			// too. An insert's version never has a predecessor (row ids
+			// are never reused, and an in-txn update of the row is undone
 			// by its own later-logged entry before this one replays).
-			if v, ok := td.rows[e.id]; ok {
+			if v, ok := td.rows[e.id]; ok && v == e.v {
 				removeVersionEntries(td, e.id, v, nil)
 				delete(td.rows, e.id)
 				td.dirty = true
 				td.live--
 			}
 		case undoDelete:
-			// Revive the delete-stamped head: the stamp never committed.
-			if v, ok := td.rows[e.id]; ok {
-				v.end.Store(liveSeq)
-				td.live++
-			}
+			// Revive the delete-stamped version: the claim never
+			// committed.
+			e.v.end.Store(liveSeq)
+			td.live++
 		case undoUpdate:
 			// Pop the uncommitted new version and revive its predecessor.
-			if v, ok := td.rows[e.id]; ok {
-				p := v.prev.Load()
-				if p == nil {
-					return fmt.Errorf("relational: undo update of %s rowid %d: no prior version", e.table, e.id)
-				}
-				removeVersionEntries(td, e.id, v, p)
-				p.end.Store(liveSeq)
-				td.rows[e.id] = p
+			p := e.v.prev.Load()
+			if p == nil {
+				return fmt.Errorf("relational: undo update of %s rowid %d: no prior version", e.table, e.id)
 			}
+			removeVersionEntries(td, e.id, e.v, p)
+			p.end.Store(liveSeq)
+			td.rows[e.id] = p
 		}
 	}
 	return nil
+}
+
+// resolve walks a version chain and returns the version this
+// transaction sees: its own uncommitted writes first, then the version
+// visible at its read sequence. Chains are newest-first.
+func (t *Txn) resolve(v *rowVersion) *rowVersion {
+	for ; v != nil; v = v.prev.Load() {
+		b := v.begin.Load()
+		if isTxnMark(b) {
+			if markOwner(b) != t.id {
+				continue // another transaction's uncommitted version
+			}
+			if e := v.end.Load(); isTxnMark(e) {
+				return nil // we deleted our own version
+			}
+			return v
+		}
+		if b > t.readSeq {
+			continue // committed after our snapshot; older may be visible
+		}
+		e := v.end.Load()
+		if isTxnMark(e) {
+			if markOwner(e) == t.id {
+				return nil // we delete-stamped the committed version
+			}
+			return v // another txn's uncommitted claim: still visible to us
+		}
+		if e > t.readSeq { // includes liveSeq
+			return v
+		}
+		return nil
+	}
+	return nil
+}
+
+// The Reader implementation: a transaction's reads see its own writes
+// overlaid on the snapshot pinned at Begin.
+var _ Reader = (*Txn)(nil)
+
+// Schema returns the database schema.
+func (t *Txn) Schema() *Schema { return t.db.schema }
+
+// HasIndexOn reports whether an index covers exactly the named columns.
+func (t *Txn) HasIndexOn(table string, columns []string) bool {
+	return t.db.HasIndexOn(table, columns)
+}
+
+// Get returns a copy of the row as this transaction sees it.
+func (t *Txn) Get(table string, id RowID) (*Row, error) {
+	t.db.mu.RLock()
+	td, err := t.db.tableData(table)
+	if err != nil {
+		t.db.mu.RUnlock()
+		return nil, err
+	}
+	head := td.rows[id]
+	t.db.mu.RUnlock()
+	if v := t.resolve(head); v != nil {
+		return v.row.clone(), nil
+	}
+	return nil, fmt.Errorf("%w: %s rowid %d", ErrNoSuchRow, table, id)
+}
+
+// Scan visits every row the transaction sees in insertion order. The
+// callback must not mutate the row; returning false stops the scan. No
+// latch is held while the callback runs.
+func (t *Txn) Scan(table string, fn func(*Row) bool) error {
+	heads, _, err := t.db.collectHeads(table)
+	if err != nil {
+		return err
+	}
+	for _, head := range heads {
+		v := t.resolve(head)
+		if v == nil {
+			continue
+		}
+		if !fn(&v.row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanIDs returns the row ids the transaction sees in insertion order.
+func (t *Txn) ScanIDs(table string) []RowID {
+	heads, _, err := t.db.collectHeads(table)
+	if err != nil {
+		return nil
+	}
+	out := make([]RowID, 0, len(heads))
+	for _, head := range heads {
+		if v := t.resolve(head); v != nil {
+			out = append(out, v.row.ID)
+		}
+	}
+	return out
+}
+
+// LookupEqual returns the ids of rows the transaction sees whose named
+// columns equal the given values. Index buckets may hold entries for
+// versions other readers cannot see; each candidate's resolved version
+// is re-verified against the probe values.
+func (t *Txn) LookupEqual(table string, columns []string, values []Value) ([]RowID, error) {
+	t.db.mu.RLock()
+	out, err := t.db.lookupEqualVisLocked(table, columns, values, t.resolve)
+	t.db.mu.RUnlock()
+	return out, err
+}
+
+// ValuesByName returns a visible row's values keyed by column name, as
+// the transaction sees them.
+func (t *Txn) ValuesByName(table string, id RowID) (map[string]Value, error) {
+	r, err := t.Get(table, id)
+	if err != nil {
+		return nil, err
+	}
+	return t.db.rowValues(table, r)
+}
+
+// RowCount returns the number of rows the transaction sees in the
+// table. Unlike the live Database's O(1) counter this walks chains.
+func (t *Txn) RowCount(table string) int {
+	heads, _, err := t.db.collectHeads(table)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, head := range heads {
+		if t.resolve(head) != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalRows returns the number of rows across all tables the
+// transaction sees.
+func (t *Txn) TotalRows() int {
+	n := 0
+	for _, name := range t.db.SortedTableNames() {
+		n += t.RowCount(name)
+	}
+	return n
 }

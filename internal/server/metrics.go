@@ -23,9 +23,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ufilterd_applies_accepted_total", "Applies accepted and committed.", "counter", map[string]float64{}},
 		{"ufilterd_applies_rejected_total", "Applies rejected by the pipeline.", "counter", map[string]float64{}},
 		{"ufilterd_apply_batches_total", "Group-commit apply-batch calls.", "counter", map[string]float64{}},
-		{"ufilterd_apply_queue_shed_total", "Applies shed with 429 by admission control.", "counter", map[string]float64{}},
-		{"ufilterd_apply_queue_depth", "Apply admission queue capacity.", "gauge", map[string]float64{}},
+		{"ufilterd_apply_queue_shed_total", "Applies shed with 429 by the concurrency limiter.", "counter", map[string]float64{}},
+		{"ufilterd_apply_queue_depth", "Apply concurrency limiter capacity.", "gauge", map[string]float64{}},
 		{"ufilterd_apply_queue_in_flight", "Apply slots currently held.", "gauge", map[string]float64{}},
+		{"ufilterd_apply_conflict_409_total", "Applies answered 409 after exhausting conflict retries.", "counter", map[string]float64{}},
+		{"ufilterd_txn_conflicts_total", "Write-write conflicts detected by the engine (first-updater-wins losers).", "counter", map[string]float64{}},
+		{"ufilterd_txn_retries_total", "Apply attempts re-run after a write-write conflict.", "counter", map[string]float64{}},
+		{"ufilterd_txns_active", "Transactions currently open.", "gauge", map[string]float64{}},
+		{"ufilterd_txns_started_total", "Transactions ever begun (including autocommit statements).", "counter", map[string]float64{}},
+		{"ufilterd_group_commits_total", "Commit groups published (one WAL flush each).", "counter", map[string]float64{}},
+		{"ufilterd_grouped_txns_total", "Transactions committed through commit groups.", "counter", map[string]float64{}},
 		{"ufilterd_cache_hits_total", "Plan cache verdict hits.", "counter", map[string]float64{}},
 		{"ufilterd_cache_misses_total", "Plan cache verdict misses.", "counter", map[string]float64{}},
 		{"ufilterd_cache_hit_rate", "Plan cache verdict hit rate.", "gauge", map[string]float64{}},
@@ -58,6 +65,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			float64(st.Queue.Shed),
 			float64(st.Queue.Depth),
 			float64(st.Queue.InFlight),
+			float64(st.Applies.Conflicted),
+			float64(st.TxnConflictsTotal),
+			float64(st.TxnRetriesTotal),
+			float64(st.TxnsActive),
+			float64(st.Filter.Database.TxnsStarted),
+			float64(st.Filter.Write.GroupCommits),
+			float64(st.Filter.Write.GroupedTxns),
 			float64(st.Filter.Cache.Hits),
 			float64(st.Filter.Cache.Misses),
 			st.CacheHitRate,

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -17,10 +18,13 @@ import (
 	"repro/internal/ufilter"
 )
 
-// DefaultApplyQueueDepth bounds each view's apply admission queue when
-// the configuration does not choose one: the filter serializes applies
-// internally, so the depth is the number of requests allowed to be
-// running-or-waiting before the server starts shedding load with 429.
+// DefaultApplyQueueDepth bounds each view's apply concurrency limiter
+// when the configuration does not choose one. Since the parallel write
+// path, applies no longer queue behind one writer: every admitted
+// request executes concurrently in its own MVCC transaction, so the
+// depth is the number of applies allowed to be EXECUTING at once
+// before the server starts shedding load with 429 — a concurrency
+// limiter, not a wait queue.
 const DefaultApplyQueueDepth = 16
 
 // Config is the ufilterd configuration, loadable from a JSON file.
@@ -70,8 +74,8 @@ func LoadConfig(path string) (*Config, error) {
 }
 
 // View is one hosted filter: a compiled ufilter.Filter over its own
-// database, wrapped with admission control for the serialized apply
-// pipeline and per-view traffic counters.
+// database, wrapped with an apply concurrency limiter and per-view
+// traffic counters.
 type View struct {
 	Name     string
 	Filter   *ufilter.Filter
@@ -79,7 +83,8 @@ type View struct {
 	Strategy ufilter.Strategy
 
 	// queue holds the admission slots for Apply: capacity is the bound
-	// on requests running-or-waiting; a full queue sheds load (429).
+	// on applies executing concurrently (each in its own transaction);
+	// a full limiter sheds load (429).
 	queue chan struct{}
 
 	// applyNanos accumulates wall time spent inside Filter.Apply, used
@@ -93,6 +98,7 @@ type View struct {
 	appliesRejected atomic.Int64
 	appliesOverflow atomic.Int64
 	applyBatches    atomic.Int64
+	appliesConflict atomic.Int64 // applies answered 409 (retries exhausted)
 
 	// applyFn runs the full pipeline; defaults to Filter.Apply. Tests
 	// substitute a blocking function to exercise backpressure
@@ -123,12 +129,11 @@ func (v *View) tryAcquire() bool {
 func (v *View) release() { <-v.queue }
 
 // retryAfter estimates how long a shed request should wait before
-// retrying from the queue's live state: the serialized pipeline drains
-// one apply per observed mean latency, so the wait is the number of
-// requests currently running-or-waiting divided by that drain rate
-// (current depth × mean latency), rounded up to at least one second. A
-// half-empty queue therefore quotes a shorter retry than a full one,
-// instead of the old constant depth-based estimate.
+// retrying from the limiter's live state: admitted applies run
+// concurrently, so the expected drain time is the mean apply latency
+// scaled by how many slots are held per available lane (current depth
+// × mean latency ÷ capacity), rounded up to at least one second. A
+// half-empty limiter therefore quotes a shorter retry than a full one.
 func (v *View) retryAfter() time.Duration {
 	n := v.applies.Load()
 	if n == 0 {
@@ -139,7 +144,11 @@ func (v *View) retryAfter() time.Duration {
 	if depth == 0 {
 		depth = 1
 	}
-	est := mean * time.Duration(depth)
+	lanes := cap(v.queue)
+	if lanes == 0 {
+		lanes = 1
+	}
+	est := mean * time.Duration(depth) / time.Duration(lanes)
 	if est < time.Second {
 		return time.Second
 	}
@@ -184,9 +193,12 @@ func (v *View) CheckBatchData(updates []string, workers int) []ufilter.BatchResu
 	return out
 }
 
-// Apply admits one full-pipeline update if a queue slot is free. ok is
-// false when the queue is saturated; the caller should shed the
-// request with the returned retry hint.
+// Apply admits one full-pipeline update if a concurrency slot is
+// free; admitted applies execute in parallel, each in its own
+// transaction. ok is false when the limiter is saturated; the caller
+// should shed the request with the returned retry hint. An err
+// wrapping relational.ErrWriteConflict means the apply exhausted its
+// conflict retries (the handler answers 409).
 func (v *View) Apply(update string) (res *ufilter.Result, retry time.Duration, ok bool, err error) {
 	if !v.tryAcquire() {
 		v.appliesOverflow.Add(1)
@@ -199,6 +211,9 @@ func (v *View) Apply(update string) (res *ufilter.Result, retry time.Duration, o
 	v.applies.Add(1)
 	switch {
 	case err != nil:
+		if errors.Is(err, relational.ErrWriteConflict) {
+			v.appliesConflict.Add(1)
+		}
 	case res.Accepted:
 		v.appliesAccepted.Add(1)
 	default:
@@ -207,12 +222,12 @@ func (v *View) Apply(update string) (res *ufilter.Result, retry time.Duration, o
 	return res, 0, true, err
 }
 
-// ApplyBatch admits a whole batch under ONE queue slot — the batch
-// occupies the serialized pipeline once — and runs it through the
-// filter's group-commit path (one transaction, one redo flush for all
-// accepted updates). ok is false when the queue is saturated. The
-// per-update wall time feeds the same drain-rate estimate single
-// applies use.
+// ApplyBatch admits a whole batch under ONE concurrency slot — the
+// batch is one transaction-sized unit of work — and runs it through
+// the filter's group-commit path (one shared transaction, one redo
+// flush for all accepted updates; conflicted items retry in follow-up
+// rounds). ok is false when the limiter is saturated. The per-update
+// wall time feeds the same drain-rate estimate single applies use.
 func (v *View) ApplyBatch(updates []string) (results []ufilter.BatchResult, retry time.Duration, ok bool) {
 	if !v.tryAcquire() {
 		v.appliesOverflow.Add(1)
@@ -251,6 +266,13 @@ type ViewStats struct {
 	QueueDepth   int           `json:"queue_depth"`
 	Filter       ufilter.Stats `json:"filter"`
 	CacheHitRate float64       `json:"cache_hit_rate"`
+	// TxnConflictsTotal / TxnRetriesTotal / TxnsActive surface the
+	// parallel write path at the top level: write-write conflicts the
+	// engine detected, apply attempts re-run after a conflict, and
+	// transactions currently open against the view's database.
+	TxnConflictsTotal int64 `json:"txn_conflicts_total"`
+	TxnRetriesTotal   int64 `json:"txn_retries_total"`
+	TxnsActive        int64 `json:"txns_active"`
 	// RowsTotal is the database size counted through a snapshot pinned
 	// for this stats request, so the number is a coherent point-in-time
 	// count even while an apply is mutating tables.
@@ -268,6 +290,9 @@ type ApplyStats struct {
 	// Batches counts group-commit apply-batch calls (each covering
 	// many updates under one transaction and one redo flush).
 	Batches int64 `json:"batches"`
+	// Conflicted counts applies answered 409 Conflict (write-write
+	// conflict retries exhausted).
+	Conflicted int64 `json:"conflicted"`
 }
 
 // QueueStats reports the admission queue's shape and shed count.
@@ -292,11 +317,15 @@ func (v *View) Stats() ViewStats {
 		Checks:      v.checks.Load(),
 		CheckErrors: v.checkErrors.Load(),
 		Applies: ApplyStats{
-			Total:    v.applies.Load(),
-			Accepted: v.appliesAccepted.Load(),
-			Rejected: v.appliesRejected.Load(),
-			Batches:  v.applyBatches.Load(),
+			Total:      v.applies.Load(),
+			Accepted:   v.appliesAccepted.Load(),
+			Rejected:   v.appliesRejected.Load(),
+			Batches:    v.applyBatches.Load(),
+			Conflicted: v.appliesConflict.Load(),
 		},
+		TxnConflictsTotal: fs.Database.Conflicts,
+		TxnRetriesTotal:   fs.Write.Retries,
+		TxnsActive:        fs.Database.TxnsActive,
 		Queue: QueueStats{
 			Depth:    cap(v.queue),
 			InFlight: len(v.queue),

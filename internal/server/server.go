@@ -13,13 +13,18 @@
 // verdict reflects the same point-in-time state, and checks never wait
 // behind an in-flight apply (snapshot isolation in internal/relational
 // makes the read path lock-free). Full-pipeline applies
-// (POST /views/{name}/apply) are serialized per filter, so the server
-// fronts each view with a bounded admission queue: a request either
-// claims a running-or-waiting slot or is shed immediately with
-// 429 Too Many Requests and a Retry-After estimate, keeping check
-// latency flat while the apply pipeline is saturated. The statistics
-// handlers read row counts through a pinned snapshot too, never from
-// the live tables an apply is mutating.
+// (POST /views/{name}/apply) run CONCURRENTLY, each in its own MVCC
+// transaction: independent updates commit in parallel with their
+// write-ahead-log flushes coalesced by the group-commit scheduler,
+// and two updates contending for the same rows resolve by
+// first-updater-wins with automatic retries — a request that exhausts
+// its retries is answered 409 Conflict. The server fronts each view
+// with a bounded concurrency limiter: a request either claims an
+// execution slot or is shed immediately with 429 Too Many Requests
+// and a Retry-After estimate, keeping the database's transaction
+// population bounded under overload. The statistics handlers read row
+// counts through a pinned snapshot, never from the live tables an
+// apply is mutating.
 //
 // Endpoints:
 //
@@ -45,6 +50,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/relational"
 	"repro/internal/ufilter"
 )
 
@@ -255,6 +261,13 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request, v *View) {
 		return
 	}
 	if err != nil {
+		if errors.Is(err, relational.ErrWriteConflict) {
+			// The apply exhausted its first-updater-wins retries against
+			// concurrent writers; the client should re-submit.
+			writeError(w, http.StatusConflict,
+				"write-write conflict on view %q: %v", v.Name, err)
+			return
+		}
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}

@@ -32,9 +32,10 @@ type Reader = relational.Reader
 // Concurrency: the statistics counters are updated atomically and the
 // temporary-table namespace is internally locked, so read-only
 // ExecSelect calls may run concurrently. DML (ExecInsert/ExecDelete/
-// ExecUpdate) mutates the underlying database, which supports a single
-// writer — callers must serialize mutating statements (ufilter.Filter
-// does so for the Apply pipeline).
+// ExecUpdate) takes an explicit *relational.Txn handle: concurrent
+// callers each write through their own transaction, the engine detects
+// write-write conflicts (relational.ErrWriteConflict,
+// first-updater-wins), and a nil handle autocommits the statement.
 type Executor struct {
 	DB *relational.Database
 
@@ -759,37 +760,69 @@ func planJoinOrder(e *Executor, srcs map[string]source, order []string, preds []
 	return result
 }
 
-// ExecInsert executes a single-table insert, surfacing the engine's
-// constraint errors (the hybrid strategy's conflict signal).
-func (e *Executor) ExecInsert(s *InsertStmt) (relational.RowID, error) {
-	return e.ExecInsertRendered(s, s.String())
+// writeReader returns the Reader a DML statement's own row matching
+// reads through: the transaction's overlay when one is given (so the
+// statement sees the transaction's earlier writes), the latest
+// committed state otherwise.
+func (e *Executor) writeReader(t *relational.Txn) Reader {
+	if t != nil {
+		return t
+	}
+	return e.DB
+}
+
+// writer is the mutation surface shared by *relational.Txn and
+// *relational.Database (whose methods autocommit); writeDML picks the
+// target once so every DML entry point dispatches identically instead
+// of re-implementing the nil-txn branch.
+type writer interface {
+	Insert(table string, values map[string]relational.Value) (relational.RowID, error)
+	Delete(table string, id relational.RowID) (int, error)
+	UpdateRow(table string, id relational.RowID, changes map[string]relational.Value) error
+}
+
+func (e *Executor) writeDML(t *relational.Txn) writer {
+	if t != nil {
+		return t
+	}
+	return e.DB
+}
+
+// ExecInsert executes a single-table insert through transaction t (nil
+// autocommits), surfacing the engine's constraint errors (the hybrid
+// strategy's conflict signal) and relational.ErrWriteConflict when the
+// write loses a first-updater-wins race.
+func (e *Executor) ExecInsert(t *relational.Txn, s *InsertStmt) (relational.RowID, error) {
+	return e.ExecInsertRendered(t, s, s.String())
 }
 
 // ExecInsertRendered is ExecInsert with the statement's SQL text
 // already rendered — callers that also report the text (Result.SQL)
 // stringify once.
-func (e *Executor) ExecInsertRendered(s *InsertStmt, sql string) (relational.RowID, error) {
+func (e *Executor) ExecInsertRendered(t *relational.Txn, s *InsertStmt, sql string) (relational.RowID, error) {
 	e.DB.LogStatement(sql)
-	return e.DB.Insert(s.Table, s.Values)
+	return e.writeDML(t).Insert(s.Table, s.Values)
 }
 
-// ExecDelete executes a single-table delete, returning the number of
-// rows removed (0 is the engine's "zero tuples deleted" warning, not an
-// error — exactly the hybrid-strategy signal for statement U3).
-func (e *Executor) ExecDelete(s *DeleteStmt) (int, error) {
-	return e.ExecDeleteRendered(s, s.String())
+// ExecDelete executes a single-table delete through transaction t (nil
+// autocommits), returning the number of rows removed (0 is the
+// engine's "zero tuples deleted" warning, not an error — exactly the
+// hybrid-strategy signal for statement U3).
+func (e *Executor) ExecDelete(t *relational.Txn, s *DeleteStmt) (int, error) {
+	return e.ExecDeleteRendered(t, s, s.String())
 }
 
 // ExecDeleteRendered is ExecDelete with the SQL text pre-rendered.
-func (e *Executor) ExecDeleteRendered(s *DeleteStmt, sql string) (int, error) {
+func (e *Executor) ExecDeleteRendered(t *relational.Txn, s *DeleteStmt, sql string) (int, error) {
 	e.DB.LogStatement(sql)
-	ids, err := e.matchRows(s.Table, s.Where)
+	ids, err := e.matchRows(e.writeReader(t), s.Table, s.Where)
 	if err != nil {
 		return 0, err
 	}
+	w := e.writeDML(t)
 	total := 0
 	for _, id := range ids {
-		n, err := e.DB.Delete(s.Table, id)
+		n, err := w.Delete(s.Table, id)
 		total += n
 		if err != nil {
 			return total, err
@@ -798,33 +831,34 @@ func (e *Executor) ExecDeleteRendered(s *DeleteStmt, sql string) (int, error) {
 	return total, nil
 }
 
-// ExecUpdate executes a single-table update, returning the number of
-// rows modified.
-func (e *Executor) ExecUpdate(s *UpdateStmt) (int, error) {
-	return e.ExecUpdateRendered(s, s.String())
+// ExecUpdate executes a single-table update through transaction t (nil
+// autocommits), returning the number of rows modified.
+func (e *Executor) ExecUpdate(t *relational.Txn, s *UpdateStmt) (int, error) {
+	return e.ExecUpdateRendered(t, s, s.String())
 }
 
 // ExecUpdateRendered is ExecUpdate with the SQL text pre-rendered.
-func (e *Executor) ExecUpdateRendered(s *UpdateStmt, sql string) (int, error) {
+func (e *Executor) ExecUpdateRendered(t *relational.Txn, s *UpdateStmt, sql string) (int, error) {
 	e.DB.LogStatement(sql)
-	ids, err := e.matchRows(s.Table, s.Where)
+	ids, err := e.matchRows(e.writeReader(t), s.Table, s.Where)
 	if err != nil {
 		return 0, err
 	}
+	w := e.writeDML(t)
 	for _, id := range ids {
-		if err := e.DB.UpdateRow(s.Table, id, s.Set); err != nil {
+		if err := w.UpdateRow(s.Table, id, s.Set); err != nil {
 			return 0, err
 		}
 	}
 	return len(ids), nil
 }
 
-// matchRows evaluates a single-table WHERE clause and returns matching
-// row ids. The translated statements' dominant shape — one rowid
-// equality, as probeRowIDs emits — fetches the row directly instead of
-// spinning up the join machinery; everything else reuses the select
-// path with a rowid projection.
-func (e *Executor) matchRows(table string, where []Predicate) ([]relational.RowID, error) {
+// matchRows evaluates a single-table WHERE clause against rd and
+// returns matching row ids. The translated statements' dominant shape
+// — one rowid equality, as probeRowIDs emits — fetches the row
+// directly instead of spinning up the join machinery; everything else
+// reuses the select path with a rowid projection.
+func (e *Executor) matchRows(rd Reader, table string, where []Predicate) ([]relational.RowID, error) {
 	if len(where) == 1 {
 		p := where[0]
 		if p.InTemp == "" && p.Op == relational.OpEQ &&
@@ -832,7 +866,7 @@ func (e *Executor) matchRows(table string, where []Predicate) ([]relational.RowI
 			(p.Left.Col.Table == "" || strings.EqualFold(p.Left.Col.Table, table)) &&
 			!p.Right.IsColumn && !p.Right.IsParam && p.Right.Lit.Kind == relational.KindInt {
 			id := relational.RowID(p.Right.Lit.Int)
-			if _, err := e.DB.Get(table, id); err != nil {
+			if _, err := rd.Get(table, id); err != nil {
 				if errors.Is(err, relational.ErrNoSuchRow) {
 					return nil, nil // no such row: statement matches nothing
 				}
@@ -847,7 +881,7 @@ func (e *Executor) matchRows(table string, where []Predicate) ([]relational.RowI
 		From:    []string{table},
 		Where:   where,
 	}
-	rs, err := e.ExecSelect(sel)
+	rs, err := e.ExecSelectOn(rd, sel)
 	if err != nil {
 		return nil, err
 	}

@@ -255,7 +255,7 @@ func TestMaterializeAndInTemp(t *testing.T) {
 	e.Materialize("TAB_book", rs)
 
 	// The paper's U3: DELETE FROM review WHERE bookid IN (SELECT bookid FROM TAB_book).
-	n, err := e.ExecDelete(&DeleteStmt{
+	n, err := e.ExecDelete(nil, &DeleteStmt{
 		Table: "review",
 		Where: []Predicate{{
 			Left: ColOperand("review", "bookid"), InTemp: "TAB_book", InTempColumn: "bookid",
@@ -274,7 +274,7 @@ func TestMaterializeAndInTemp(t *testing.T) {
 
 func TestDeleteZeroTuplesWarning(t *testing.T) {
 	e := newExec(t)
-	n, err := e.ExecDelete(&DeleteStmt{
+	n, err := e.ExecDelete(nil, &DeleteStmt{
 		Table: "review",
 		Where: []Predicate{Eq("review", "bookid", relational.String_("98002"))},
 	})
@@ -286,7 +286,7 @@ func TestDeleteZeroTuplesWarning(t *testing.T) {
 func TestInsertConstraintErrorSurfaces(t *testing.T) {
 	e := newExec(t)
 	// The paper's U2: duplicate key insert rejected by the engine.
-	_, err := e.ExecInsert(&InsertStmt{Table: "book", Values: map[string]relational.Value{
+	_, err := e.ExecInsert(nil, &InsertStmt{Table: "book", Values: map[string]relational.Value{
 		"bookid": relational.String_("98001"), "title": relational.String_("Operating Systems"),
 		"pubid": relational.String_("A01"), "price": relational.Float_(20), "year": relational.Int_(1994),
 	}})
@@ -300,7 +300,7 @@ func TestInsertConstraintErrorSurfaces(t *testing.T) {
 
 func TestExecUpdate(t *testing.T) {
 	e := newExec(t)
-	n, err := e.ExecUpdate(&UpdateStmt{
+	n, err := e.ExecUpdate(nil, &UpdateStmt{
 		Table: "book",
 		Set:   map[string]relational.Value{"price": relational.Float_(39.99)},
 		Where: []Predicate{Eq("book", "bookid", relational.String_("98001"))},
@@ -384,7 +384,7 @@ func TestJoinViewInsertDecomposition(t *testing.T) {
 		},
 	}
 	// The paper's UV: full tuple for an insert of review 001 on 98003.
-	n, err := e.InsertIntoJoinView(view, map[string]relational.Value{
+	n, err := e.InsertIntoJoinView(nil, view, map[string]relational.Value{
 		"publisher.pubid":   relational.String_("A01"),
 		"publisher.pubname": relational.String_("McGraw-Hill Inc."),
 		"book.bookid":       relational.String_("98003"),
@@ -413,7 +413,7 @@ func TestJoinViewInsertInconsistentRejected(t *testing.T) {
 		Name: "V", Root: "publisher",
 		Steps: []JoinStep{{Table: "book", ParentTable: "publisher", ParentColumn: "pubid", Column: "pubid"}},
 	}
-	_, err := e.InsertIntoJoinView(view, map[string]relational.Value{
+	_, err := e.InsertIntoJoinView(nil, view, map[string]relational.Value{
 		"publisher.pubid":   relational.String_("A01"),
 		"publisher.pubname": relational.String_("Wrong Name"),
 		"book.bookid":       relational.String_("98009"),
@@ -435,7 +435,7 @@ func TestJoinViewDelete(t *testing.T) {
 			{Table: "review", ParentTable: "book", ParentColumn: "bookid", Column: "bookid"},
 		},
 	}
-	n, err := e.DeleteFromJoinView(view, map[string]relational.Value{
+	n, err := e.DeleteFromJoinView(nil, view, map[string]relational.Value{
 		"review.bookid":   relational.String_("98001"),
 		"review.reviewid": relational.String_("001"),
 	})

@@ -142,17 +142,19 @@ func (e *Executor) EvaluateJoinView(v *JoinViewDef) (*ResultSet, error) {
 	return out, nil
 }
 
-// InsertIntoJoinView inserts a complete view tuple, decomposing it per
-// base table in join order: for each table whose key part is present,
-// the engine probes for an existing row; when found, the tuple's values
-// for that table must agree with the stored row (else the insert is
-// rejected, Oracle-style); when missing, a new base row is inserted. The
-// return value counts base rows actually inserted.
+// InsertIntoJoinView inserts a complete view tuple through transaction
+// t (nil autocommits), decomposing it per base table in join order:
+// for each table whose key part is present, the engine probes for an
+// existing row; when found, the tuple's values for that table must
+// agree with the stored row (else the insert is rejected,
+// Oracle-style); when missing, a new base row is inserted. The return
+// value counts base rows actually inserted.
 //
 // This is deliberately the expensive path the paper measures in Fig. 15:
 // the caller must supply values for every attribute of every relation in
 // the view, which forces the wide upstream probe query.
-func (e *Executor) InsertIntoJoinView(v *JoinViewDef, values map[string]relational.Value) (int, error) {
+func (e *Executor) InsertIntoJoinView(t *relational.Txn, v *JoinViewDef, values map[string]relational.Value) (int, error) {
+	rd := e.writeReader(t)
 	schema := e.DB.Schema()
 	inserted := 0
 	for _, tname := range v.Tables() {
@@ -183,12 +185,12 @@ func (e *Executor) InsertIntoJoinView(v *JoinViewDef, values map[string]relation
 			pkVals = append(pkVals, val)
 		}
 		if pkComplete {
-			ids, err := e.DB.LookupEqual(tname, def.PrimaryKey, pkVals)
+			ids, err := rd.LookupEqual(tname, def.PrimaryKey, pkVals)
 			if err != nil {
 				return inserted, err
 			}
 			if len(ids) > 0 {
-				existing, err := e.DB.ValuesByName(tname, ids[0])
+				existing, err := rd.ValuesByName(tname, ids[0])
 				if err != nil {
 					return inserted, err
 				}
@@ -201,7 +203,7 @@ func (e *Executor) InsertIntoJoinView(v *JoinViewDef, values map[string]relation
 				continue // consistent duplicate: nothing to insert at this level
 			}
 		}
-		if _, err := e.DB.Insert(tname, part); err != nil {
+		if _, err := e.writeDML(t).Insert(tname, part); err != nil {
 			return inserted, err
 		}
 		inserted++
@@ -209,10 +211,12 @@ func (e *Executor) InsertIntoJoinView(v *JoinViewDef, values map[string]relation
 	return inserted, nil
 }
 
-// DeleteFromJoinView deletes the base rows of the deepest table whose
-// key columns are bound in the predicate map, the standard decomposition
-// for deletes through a left-join view. It returns rows deleted.
-func (e *Executor) DeleteFromJoinView(v *JoinViewDef, keyValues map[string]relational.Value) (int, error) {
+// DeleteFromJoinView deletes, through transaction t (nil autocommits),
+// the base rows of the deepest table whose key columns are bound in
+// the predicate map, the standard decomposition for deletes through a
+// left-join view. It returns rows deleted.
+func (e *Executor) DeleteFromJoinView(t *relational.Txn, v *JoinViewDef, keyValues map[string]relational.Value) (int, error) {
+	rd := e.writeReader(t)
 	tables := v.Tables()
 	for i := len(tables) - 1; i >= 0; i-- {
 		def, ok := e.DB.Schema().Table(tables[i])
@@ -234,13 +238,14 @@ func (e *Executor) DeleteFromJoinView(v *JoinViewDef, keyValues map[string]relat
 		if !complete {
 			continue
 		}
-		ids, err := e.DB.LookupEqual(tables[i], cols, vals)
+		ids, err := rd.LookupEqual(tables[i], cols, vals)
 		if err != nil {
 			return 0, err
 		}
+		w := e.writeDML(t)
 		total := 0
 		for _, id := range ids {
-			n, err := e.DB.Delete(tables[i], id)
+			n, err := w.Delete(tables[i], id)
 			total += n
 			if err != nil {
 				return total, err

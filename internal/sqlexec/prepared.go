@@ -164,23 +164,24 @@ func (s *Stmt) ExecSelectOn(rd Reader, args ...relational.Value) (*ResultSet, er
 	return s.e.runSelect(s.sel, rd, args)
 }
 
-// Exec binds the arguments and executes a DML template, returning the
-// number of rows affected.
-func (s *Stmt) Exec(args ...relational.Value) (int, error) {
+// Exec binds the arguments and executes a DML template through
+// transaction t (nil autocommits), returning the number of rows
+// affected.
+func (s *Stmt) Exec(t *relational.Txn, args ...relational.Value) (int, error) {
 	bound, err := s.Bind(args...)
 	if err != nil {
 		return 0, err
 	}
 	switch st := bound.(type) {
 	case *InsertStmt:
-		if _, err := s.e.ExecInsert(st); err != nil {
+		if _, err := s.e.ExecInsert(t, st); err != nil {
 			return 0, err
 		}
 		return 1, nil
 	case *DeleteStmt:
-		return s.e.ExecDelete(st)
+		return s.e.ExecDelete(t, st)
 	case *UpdateStmt:
-		return s.e.ExecUpdate(st)
+		return s.e.ExecUpdate(t, st)
 	default:
 		return 0, fmt.Errorf("sqlexec: Exec on a %T statement (use ExecSelect)", s.tmpl)
 	}

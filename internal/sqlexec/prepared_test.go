@@ -115,7 +115,7 @@ func TestPreparedDML(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := upd.Exec(relational.Int_(3))
+	n, err := upd.Exec(nil, relational.Int_(3))
 	if err != nil || n != 1 {
 		t.Fatalf("update exec: n=%d err=%v", n, err)
 	}
@@ -126,7 +126,7 @@ func TestPreparedDML(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err = del.Exec(relational.Int_(1))
+	n, err = del.Exec(nil, relational.Int_(1))
 	if err != nil || n != 1 {
 		t.Fatalf("delete exec: n=%d err=%v", n, err)
 	}

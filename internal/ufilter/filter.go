@@ -53,6 +53,9 @@ type (
 	BlindResult = plan.BlindResult
 	// CacheStats snapshots the plan cache's effectiveness counters.
 	CacheStats = plan.CacheStats
+	// WriteStats snapshots the parallel write path's conflict, retry
+	// and group-commit counters.
+	WriteStats = plan.WriteStats
 	// Marks carries the STAR marking of one view.
 	Marks = plan.Marks
 	// UserPred is a user-update predicate compiled against the view

@@ -6,23 +6,27 @@ import (
 )
 
 // Stats is a read-only snapshot of one filter's observable counters:
-// the decision cache's effectiveness, the executor's scan/probe work
-// and the underlying database's DML and write-ahead-log activity.
-// Every counter is read atomically, so a snapshot may be taken while
-// other goroutines are checking or applying updates; the fields are
+// the decision cache's effectiveness, the executor's scan/probe work,
+// the underlying database's DML and write-ahead-log activity, and the
+// parallel write path's conflict/retry/group-commit health. Every
+// counter is read atomically, so a snapshot may be taken while other
+// goroutines are checking or applying updates; the fields are
 // individually consistent (each is exact at its own read instant).
 type Stats struct {
 	Cache    CacheStats         `json:"cache"`
 	Executor sqlexec.ExecStats  `json:"executor"`
 	Database relational.DBStats `json:"database"`
+	Write    WriteStats         `json:"write"`
 }
 
-// Stats snapshots the filter's cache, executor and database counters.
-// Safe for concurrent use with Check, CheckBatch and Apply.
+// Stats snapshots the filter's cache, executor, database and
+// write-path counters. Safe for concurrent use with Check, CheckBatch
+// and Apply.
 func (f *Filter) Stats() Stats {
 	return Stats{
 		Cache:    f.CacheStats(),
 		Executor: f.Exec.Stats(),
 		Database: f.Exec.DB.Stats(),
+		Write:    f.WriteStats(),
 	}
 }

@@ -30,11 +30,26 @@ import (
 // Engine materializes views over a database.
 type Engine struct {
 	Exec *sqlexec.Executor
+	// Rd, when non-nil, routes every row read through the given Reader —
+	// a pinned snapshot for point-in-time materialization, or an open
+	// transaction so the materialized view reflects that transaction's
+	// uncommitted writes (the Fig. 14 blind baseline diffs the view
+	// inside its transaction before deciding to commit). Nil reads the
+	// latest committed state.
+	Rd sqlexec.Reader
 }
 
 // New wraps a database in a view engine.
 func New(db *relational.Database) *Engine {
 	return &Engine{Exec: sqlexec.NewExecutor(db)}
+}
+
+// reader resolves the engine's data source.
+func (e *Engine) reader() sqlexec.Reader {
+	if e.Rd != nil {
+		return e.Rd
+	}
+	return e.Exec.DB
 }
 
 // DefaultView produces the one-to-one relational-to-XML mapping of
@@ -44,7 +59,7 @@ func (e *Engine) DefaultView() *xmltree.Node {
 	root := xmltree.Elem("DB")
 	for _, def := range e.Exec.DB.Schema().Tables() {
 		tElem := xmltree.Elem(def.Name)
-		e.Exec.DB.Scan(def.Name, func(r *relational.Row) bool {
+		e.reader().Scan(def.Name, func(r *relational.Row) bool {
 			row := xmltree.Elem("row")
 			for i, c := range def.Columns {
 				if r.Values[i].IsNull() {
@@ -173,7 +188,7 @@ func (e *Engine) evalFLWR(f *xqparse.FLWR, outer env, parent *xmltree.Node) erro
 		where = append(where, sqlexec.Predicate{Left: left, Op: p.Op, Right: right})
 	}
 
-	rs, err := e.Exec.ExecSelect(&sqlexec.SelectStmt{From: from, Where: where})
+	rs, err := e.Exec.ExecSelectOn(e.reader(), &sqlexec.SelectStmt{From: from, Where: where})
 	if err != nil {
 		return err
 	}
