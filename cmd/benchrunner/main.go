@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -26,13 +27,15 @@ func main() {
 	sizesFlag := flag.String("sizes", "50,100,150,200,250,300,350,400,450,500",
 		"comma-separated database sizes (MB) for Figs. 15-17")
 	iters := flag.Int("iters", 20, "operations per size for Figs. 15-17")
-	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan,mvcc,write")
+	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan,mvcc,write,wal")
 	planIters := flag.Int("plan-iters", 2000, "iterations for the plan (compile-once/execute-many) benchmark")
 	planOut := flag.String("plan-out", "BENCH_plan.json", "file the plan benchmark's JSON is written to")
 	mvccIters := flag.Int("mvcc-iters", 2000, "checks per side for the MVCC checks-during-apply benchmark")
 	mvccOut := flag.String("mvcc-out", "BENCH_mvcc.json", "file the MVCC benchmark's JSON is written to")
 	writeIters := flag.Int("write-iters", 2000, "applies per point for the parallel-write-path benchmark")
 	writeOut := flag.String("write-out", "BENCH_write.json", "file the write benchmark's JSON is written to")
+	walIters := flag.Int("wal-iters", 1000, "applies per point for the durable-WAL benchmark")
+	walOut := flag.String("wal-out", "BENCH_wal.json", "file the WAL benchmark's JSON is written to")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -76,6 +79,9 @@ func main() {
 	}
 	if run("write") {
 		printWriteBench(*writeIters, *writeOut)
+	}
+	if run("wal") {
+		printWALBench(*walIters, *walOut)
 	}
 }
 
@@ -250,6 +256,37 @@ func printWriteBench(iters int, outPath string) {
 	}
 	fmt.Printf("conflict-free speedup at 8 writers: %.2fx (GOMAXPROCS=%d)\n",
 		wb.ConflictFreeSpeedup8x, wb.MaxProcs)
+	if outPath != "" {
+		data, err := json.MarshalIndent(wb, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+// printWALBench runs the durable-WAL benchmark — apply throughput with
+// the in-memory redo buffer vs a real fsync-per-group write-ahead log,
+// plus fsync coalescing and cold recovery time — and records the series
+// as JSON so CI tracks the durability tax across commits.
+func printWALBench(iters int, outPath string) {
+	header("WAL — durable fsync-per-group log vs in-memory redo buffer")
+	wb, err := experiments.RunWALBench(iters, runtime.GOMAXPROCS(0))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %14s %14s %10s %10s %12s\n",
+		"Writers", "mem ops/s", "wal ops/s", "overhead", "fsyncs", "txns/fsync")
+	for _, p := range wb.Points {
+		fmt.Printf("%-8d %14.0f %14.0f %9.2fx %10d %12.2f\n",
+			p.Writers, p.MemOpsPerSec, p.WALOpsPerSec, p.DurabilityOverhead,
+			p.Fsyncs, p.TxnsPerFsync)
+	}
+	fmt.Printf("cold recovery: %v for %d replayed txns + %d checkpoint rows\n",
+		time.Duration(wb.RecoveryNs), wb.RecoveryReplayedTxns, wb.RecoveryCheckpointRows)
 	if outPath != "" {
 		data, err := json.MarshalIndent(wb, "", "  ")
 		if err != nil {

@@ -8,6 +8,7 @@
 //
 //	ufilterd -addr :8080 -views book,tpch
 //	ufilterd -addr 127.0.0.1:0 -views book,tpch:vbush,psd -queue 8
+//	ufilterd -addr :8080 -views book -data-dir /var/lib/ufilterd
 //	ufilterd -config ufilterd.json
 //	ufilterd -loadgen -duration 3s -clients 16
 //	ufilterd -loadgen -target http://127.0.0.1:8080 -loadgen-view book
@@ -18,6 +19,12 @@
 // A -config JSON file (see server.Config) replaces -views entirely and
 // can size datasets, pick strategies and set per-view queue depths.
 // Additional views can be registered at runtime via POST /views.
+//
+// With -data-dir (or "data_dir" in the config file) every view keeps a
+// durable write-ahead log under <dir>/<view-name>: commits fsync before
+// acknowledging, a background checkpointer bounds the log, and a
+// restart over the same directory replays every acknowledged
+// transaction. Without it the daemon runs purely in memory, as before.
 //
 // Endpoints: GET /healthz, GET/POST /views, POST /views/{name}/check,
 // /check-batch, /apply, GET /views/{name}/stats, GET /metrics.
@@ -45,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/bookdb"
+	"repro/internal/relational"
 	"repro/internal/server"
 )
 
@@ -53,6 +61,7 @@ func main() {
 	configPath := flag.String("config", "", "JSON config file (server.Config); replaces -views")
 	views := flag.String("views", "book,tpch", "comma-separated dataset specs to host: book, psd, tpch, tpch:<variant>")
 	queue := flag.Int("queue", server.DefaultApplyQueueDepth, "default per-view apply admission queue depth")
+	dataDir := flag.String("data-dir", "", "directory for per-view write-ahead logs (empty runs in-memory)")
 	loadgen := flag.Bool("loadgen", false, "run the load generator instead of serving")
 	target := flag.String("target", "", "loadgen: base URL of a running ufilterd (empty boots one in-process)")
 	duration := flag.Duration("duration", 3*time.Second, "loadgen: how long to sustain traffic")
@@ -62,6 +71,15 @@ func main() {
 
 	cfg, err := loadConfig(*configPath, *views, *queue)
 	if err != nil {
+		fail(err)
+	}
+	if *dataDir != "" {
+		cfg.DataDir = *dataDir
+	}
+	// Fault drills: RELATIONAL_FAILPOINTS='wal.fsync.before=crash@3'
+	// arms engine failpoints for crash-recovery rehearsals (no-op when
+	// the variable is unset).
+	if err := relational.EnableFailpointsFromEnv(); err != nil {
 		fail(err)
 	}
 	if *loadgen {
@@ -104,6 +122,7 @@ func loadConfig(path, viewSpecs string, queueDepth int) (*server.Config, error) 
 func buildServer(cfg *server.Config) (*server.Server, error) {
 	reg := server.NewRegistry()
 	reg.DefaultQueueDepth = cfg.ApplyQueueDepth
+	reg.DataDir = cfg.DataDir
 	for _, vc := range cfg.Views {
 		if _, err := reg.Add(vc); err != nil {
 			return nil, err
@@ -122,6 +141,21 @@ func runServer(cfg *server.Config, addr string) error {
 	// snapshots come and go with check-batch and stats traffic.
 	stopReclaimers := srv.Registry.StartReclaimers(2 * time.Second)
 	defer stopReclaimers()
+	if cfg.DataDir != "" {
+		for _, v := range srv.Registry.Views() {
+			if r := v.Recovery; r != nil && (r.ReplayedTxns > 0 || r.CheckpointRows > 0) {
+				fmt.Printf("ufilterd: view %q recovered %d txns (+%d checkpoint rows) from %s\n",
+					v.Name, r.ReplayedTxns, r.CheckpointRows, cfg.DataDir)
+			}
+		}
+		stopCheckpointers := srv.Registry.StartCheckpointers(5 * time.Second)
+		defer stopCheckpointers()
+		defer func() {
+			if err := srv.Registry.CloseWALs(); err != nil {
+				fmt.Fprintln(os.Stderr, "ufilterd: wal close:", err)
+			}
+		}()
+	}
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return err

@@ -219,6 +219,14 @@ type Database struct {
 	redoOps     atomic.Int64
 	redoBytes   atomic.Int64
 	redoFlushes atomic.Int64
+
+	// wal is the durable write-ahead log, attached by OpenWAL; nil keeps
+	// the engine fully in-memory (the redo buffer above then only models
+	// flush cost). When set, CommitGroup appends one fsynced record per
+	// group before publishing, and walRecoveredTxns remembers how many
+	// committed transactions the attach-time recovery replayed.
+	wal              *WAL
+	walRecoveredTxns atomic.Int64
 }
 
 // Reader is the read-only surface shared by a live *Database, a pinned
@@ -287,6 +295,19 @@ func (db *Database) flushRedoLocked() {
 	db.redo = db.redo[:0]
 }
 
+// flushWAL makes a commit group durable: the model redo buffer flushes
+// (preserving the cost accounting the benchmarks read) and, when a
+// durable WAL is attached, the group's record is appended and fsynced.
+// Called under commitMu before any of the group's stamps publish; an
+// error here means NONE of the group's transactions may commit.
+func (db *Database) flushWAL(live []*Txn) error {
+	db.flushRedo()
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.appendGroup(live)
+}
+
 // DBStats is a point-in-time snapshot of the database's statistics
 // counters. Every field is read atomically (or under its own short
 // mutex), so a snapshot may be taken while other goroutines are
@@ -324,6 +345,21 @@ type DBStats struct {
 	// GroupedTxns counts transactions committed through those groups;
 	// GroupedTxns/GroupCommits is the mean commit-coalescing factor.
 	GroupedTxns int64 `json:"grouped_txns"`
+	// WALSegments is the number of live write-ahead log segment files
+	// (sealed-but-not-checkpointed plus the active one); zero without a
+	// durable WAL attached.
+	WALSegments int64 `json:"wal_segments"`
+	// WALBytes counts bytes appended to WAL segment files.
+	WALBytes int64 `json:"wal_bytes"`
+	// Fsyncs counts fsync calls the WAL issued (commit-group record
+	// syncs, segment seals and checkpoint installs). Fsyncs per
+	// GroupCommits under load shows group commit's coalescing.
+	Fsyncs int64 `json:"fsyncs_total"`
+	// Checkpoints counts durable checkpoints installed.
+	Checkpoints int64 `json:"checkpoints_total"`
+	// RecoveryReplayedTxns is how many committed transactions the last
+	// OpenWAL recovery replayed from segments (excluding checkpoint rows).
+	RecoveryReplayedTxns int64 `json:"recovery_replayed_txns"`
 }
 
 // Stats snapshots the statistics counters atomically.
@@ -331,7 +367,7 @@ func (db *Database) Stats() DBStats {
 	db.snapMu.Lock()
 	active := int64(len(db.snaps))
 	db.snapMu.Unlock()
-	return DBStats{
+	st := DBStats{
 		StatementsExecuted: db.StatementsExecutedTotal(),
 		RedoRecords:        db.redoOps.Load(),
 		RedoBytes:          db.redoBytes.Load(),
@@ -347,6 +383,14 @@ func (db *Database) Stats() DBStats {
 		GroupCommits:       db.groupCommits.Load(),
 		GroupedTxns:        db.groupedTxns.Load(),
 	}
+	if w := db.wal; w != nil {
+		st.WALSegments = w.Segments()
+		st.WALBytes = w.bytes.Load()
+		st.Fsyncs = w.fsyncs.Load()
+		st.Checkpoints = w.checkpoints.Load()
+		st.RecoveryReplayedTxns = db.walRecoveredTxns.Load()
+	}
+	return st
 }
 
 // appendRedo logs one record. The buffer is truncated periodically so
@@ -393,13 +437,21 @@ func (db *Database) LogStatement(sql string) {
 // NewDatabase creates an empty database for the schema, building hash
 // indexes for every primary key, UNIQUE column and foreign key.
 func NewDatabase(schema *Schema) *Database {
-	db := &Database{
+	return &Database{
 		schema:    schema,
-		tables:    make(map[string]*tableData, len(schema.Tables())),
+		tables:    buildTableStorage(schema),
 		nextRowID: 1,
 		snaps:     make(map[*Snapshot]struct{}),
 		txns:      make(map[*Txn]struct{}),
 	}
+}
+
+// buildTableStorage constructs empty per-table storage with hash
+// indexes for every primary key, UNIQUE column and foreign key. Shared
+// by NewDatabase and WAL recovery (which rebuilds storage from scratch
+// before replaying the checkpoint and log).
+func buildTableStorage(schema *Schema) map[string]*tableData {
+	tables := make(map[string]*tableData, len(schema.Tables()))
 	for _, t := range schema.Tables() {
 		td := &tableData{def: t, rows: make(map[RowID]*rowVersion)}
 		if len(t.PrimaryKey) > 0 {
@@ -419,9 +471,9 @@ func NewDatabase(schema *Schema) *Database {
 				td.indexes = append(td.indexes, newHashIndex(indexName(t.Name, fk.Columns), cols, false))
 			}
 		}
-		db.tables[strings.ToLower(t.Name)] = td
+		tables[strings.ToLower(t.Name)] = td
 	}
-	return db
+	return tables
 }
 
 func hasIndexOn(td *tableData, cols []int) bool {

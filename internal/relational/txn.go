@@ -52,6 +52,7 @@ type Txn struct {
 	db      *Database
 	id      uint64 // stamps claims; txnMark(id) in begin/end fields
 	readSeq uint64 // commit sequence pinned at Begin
+	seq     uint64 // commit sequence assigned by CommitGroup, pre-publish
 	log     []undoEntry
 	done    bool
 }
@@ -152,6 +153,14 @@ func (t *Txn) Commit() error {
 // the group are placed), and each transaction is all-or-nothing.
 // A transaction that already finished contributes an error without
 // disturbing its group siblings.
+//
+// With a durable WAL attached the group's record is appended and
+// fsynced BEFORE any stamp publishes — write-ahead discipline: nothing
+// becomes visible (let alone acknowledged) until it would survive a
+// crash. If the append or fsync fails, the entire group rolls back and
+// every member receives an error wrapping ErrWALFailed: a follower's
+// fate is the leader's flush, so the leader's I/O failure must reach
+// every follower rather than being swallowed.
 func (db *Database) CommitGroup(txns ...*Txn) error {
 	var firstErr error
 	live := make([]*Txn, 0, len(txns))
@@ -169,16 +178,37 @@ func (db *Database) CommitGroup(txns ...*Txn) error {
 		}
 		t.done = true
 		seq++
-		t.publish(seq)
+		t.seq = seq
 		live = append(live, t)
 	}
 	if len(live) > 0 {
-		db.flushRedo()
+		if err := db.flushWAL(live); err != nil {
+			// Nothing published yet: every version still carries its
+			// claim stamp, so the whole group can be undone exactly like
+			// a rollback. commitMu is held throughout, which keeps the
+			// failed group atomic against concurrent committers; taking
+			// db.mu inside commitMu is safe because no path acquires them
+			// in the opposite order.
+			db.mu.Lock()
+			for _, t := range live {
+				_ = t.undoFromLocked(0)
+				t.log = nil
+			}
+			db.mu.Unlock()
+			db.commitMu.Unlock()
+			for _, t := range live {
+				db.forget(t)
+			}
+			return fmt.Errorf("%w: %v", ErrWALFailed, err)
+		}
 		// Publishing all stamps BEFORE the single sequence advance is
 		// what makes each transaction atomic to snapshot readers: a
 		// snapshot pinned before the store sees none of the group's
 		// versions (their begins exceed its sequence), one pinned after
 		// sees every committed transaction whole.
+		for _, t := range live {
+			t.publish(t.seq)
+		}
 		db.commitSeq.Store(seq)
 		db.groupCommits.Add(1)
 		db.groupedTxns.Add(int64(len(live)))
@@ -188,8 +218,11 @@ func (db *Database) CommitGroup(txns ...*Txn) error {
 		t.log = nil
 		db.forget(t)
 	}
-	if len(live) > 0 && db.versionsSinceReclaim.Load() >= reclaimThreshold {
-		db.Reclaim()
+	if len(live) > 0 {
+		if db.versionsSinceReclaim.Load() >= reclaimThreshold {
+			db.Reclaim()
+		}
+		db.maybeCheckpoint()
 	}
 	return firstErr
 }

@@ -1,9 +1,26 @@
-// Package relational implements the in-memory relational database engine
-// that serves as the base data store underneath the XML views checked by
+// Package relational implements the relational database engine that
+// serves as the base data store underneath the XML views checked by
 // U-Filter. It provides typed values, schemas with the full constraint
 // vocabulary the paper relies on (primary keys, unique columns, NOT NULL,
 // CHECK predicates and foreign keys with CASCADE / SET NULL / RESTRICT
-// delete policies), hash indexes, and transactions with undo-log rollback.
+// delete policies), hash indexes, MVCC snapshot isolation, and
+// transactions with undo-log rollback.
+//
+// The engine runs in-memory by default. OpenWAL attaches a durable
+// write-ahead log, and with it the engine makes this durability
+// contract: a transaction whose Commit (or CommitGroup) returns nil has
+// been appended to the log and fsynced BEFORE it became visible to any
+// snapshot reader, so after a crash at any instant — process kill
+// included — reopening the directory restores exactly the committed
+// transactions: every acknowledged one, no torn one, all constraints
+// intact. When the log cannot be made durable (append or fsync
+// failure), the whole commit group rolls back unpublished and every
+// member returns an error wrapping ErrWALFailed. Checkpoints bound log
+// size and recovery time; recovery truncates torn tails and stops at
+// the first corrupt frame. The failpoint seam (failpoint.go) and the
+// internal/walcrash harness prove the contract by SIGKILLing a child
+// process at every fault site and diffing recovered state against a
+// shadow model.
 //
 // The engine substitutes for the Oracle 10g instance used in the paper's
 // evaluation; see DESIGN.md §2 for the substitution argument.

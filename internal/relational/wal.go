@@ -1,0 +1,1082 @@
+package relational
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The write-ahead log turns the engine's in-memory redo model into real
+// durability: commit groups are encoded into length+CRC32-framed
+// records, appended to an append-only segment file and fsynced ONCE per
+// group (the cost group commit exists to amortize) before any of the
+// group's version stamps become visible. A process that dies at any
+// instant — mid-write, between write and fsync, during rotation or
+// checkpointing — recovers at Open to exactly the set of transactions
+// whose commit record was durable: no lost acknowledged commits, no
+// torn partial applies, torn tails discarded.
+//
+// On-disk layout of a WAL directory:
+//
+//	wal-0000000001.seg   sealed segment (immutable once rotated away)
+//	wal-0000000002.seg   active segment (append-only)
+//	checkpoint.ck        latest durable checkpoint (atomic rename)
+//
+// Every record is framed as [len uint32][crc32 uint32][payload]; the
+// CRC covers the payload. Recovery reads segments in index order and
+// stops at the first frame that is short, oversized or fails its CRC —
+// everything before it is the committed prefix, everything at and after
+// it never had a durable commit acknowledged. A checkpoint is a full
+// row-image snapshot at a pinned commit sequence; segments whose
+// records all precede it are deleted, and recovery loads the checkpoint
+// then replays only records with newer sequences.
+
+// walSegmentPrefix/walSegmentSuffix name segment files; the embedded
+// index is monotonic and never reused.
+const (
+	walSegmentPrefix   = "wal-"
+	walSegmentSuffix   = ".seg"
+	walCheckpointName  = "checkpoint.ck"
+	walCheckpointTemp  = "checkpoint.tmp"
+	walFrameHeaderSize = 8
+	// walMaxRecordSize bounds a single record frame; anything larger in
+	// a file is treated as corruption (stops recovery at that point).
+	walMaxRecordSize = 1 << 28
+)
+
+// Record payload type tags.
+const (
+	walTagGroup      = 'G' // one commit group: N transactions' redo
+	walTagCheckpoint = 'K' // full row-image snapshot (checkpoint file)
+)
+
+// Row-operation tags inside a group record, matching the redo model's.
+const (
+	walOpInsert = 'I'
+	walOpUpdate = 'U'
+	walOpDelete = 'D'
+)
+
+// WALOptions tunes the write-ahead log. The zero value is production
+// defaults; tests shrink SegmentBytes to force rotation and set
+// CheckpointEverySegments to exercise checkpoint truncation under load.
+type WALOptions struct {
+	// SegmentBytes rotates the active segment once it exceeds this many
+	// bytes (default 4 MiB). Records are never split across segments.
+	SegmentBytes int64
+	// CheckpointEverySegments, when > 0, piggybacks a checkpoint on the
+	// first commit after that many segments have been sealed since the
+	// last checkpoint. Zero leaves checkpointing to explicit Checkpoint
+	// calls and the StartCheckpointer ticker.
+	CheckpointEverySegments int
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// RecoveryInfo reports what Open's replay found and restored.
+type RecoveryInfo struct {
+	// CheckpointSeq is the commit sequence of the loaded checkpoint
+	// (zero when the directory had none).
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// CheckpointRows counts rows restored from the checkpoint image.
+	CheckpointRows int `json:"checkpoint_rows"`
+	// ReplayedTxns counts committed transactions replayed from segment
+	// records with sequences past the checkpoint.
+	ReplayedTxns int64 `json:"replayed_txns"`
+	// ReplayedOps counts row operations those transactions reapplied.
+	ReplayedOps int64 `json:"replayed_ops"`
+	// Segments counts segment files scanned.
+	Segments int `json:"segments"`
+	// TornTail is true when the last segment ended in an incomplete or
+	// corrupt frame that recovery discarded.
+	TornTail bool `json:"torn_tail"`
+	// TruncatedBytes is how many trailing bytes the torn tail held.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// CommitSeq is the commit sequence after recovery.
+	CommitSeq uint64 `json:"commit_seq"`
+}
+
+// ErrWALClosed reports an append against a closed WAL (post-shutdown).
+var ErrWALClosed = errors.New("relational: write-ahead log is closed")
+
+// sealedSegment is a rotated-away segment awaiting checkpoint deletion.
+type sealedSegment struct {
+	index uint64
+	path  string
+}
+
+// WAL is the durable log attached to a Database by OpenWAL. Appends are
+// serialized by the database's commit latch (one group record per
+// CommitGroup); the small internal mutex only guards the sealed-segment
+// list, which checkpoints mutate outside that latch.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	f        *os.File // active segment, append-only
+	segIndex uint64   // active segment's index
+	segBytes int64    // bytes appended to the active segment
+	closed   bool     // set by Close; guarded by commitMu like f
+
+	mu     sync.Mutex
+	sealed []sealedSegment
+
+	ckptMu        sync.Mutex // serializes Checkpoint runs
+	checkpointSeq atomic.Uint64
+
+	appends      atomic.Int64
+	bytes        atomic.Int64
+	fsyncs       atomic.Int64
+	rotations    atomic.Int64
+	checkpoints  atomic.Int64
+	sealedSinceC atomic.Int64 // sealed segments since the last checkpoint
+}
+
+func segmentPath(dir string, index uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%010d%s", walSegmentPrefix, index, walSegmentSuffix))
+}
+
+func parseSegmentIndex(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, walSegmentPrefix) || !strings.HasSuffix(name, walSegmentSuffix) {
+		return 0, false
+	}
+	mid := name[len(walSegmentPrefix) : len(name)-len(walSegmentSuffix)]
+	var idx uint64
+	for _, r := range mid {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		idx = idx*10 + uint64(r-'0')
+	}
+	return idx, len(mid) > 0
+}
+
+// syncDir fsyncs a directory so entry creations/renames/removals are
+// durable, the half of crash safety rename alone does not give.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ---- value / record encoding ----------------------------------------
+
+// Value wire kinds. Unlike EncodeKey this encoding is lossless and
+// self-delimiting: floats keep their bits, strings their length.
+const (
+	walValNull  = 0
+	walValStr   = 1
+	walValInt   = 2
+	walValFloat = 3
+)
+
+func appendWALValue(b []byte, v Value) []byte {
+	switch v.Kind {
+	case KindNull:
+		return append(b, walValNull)
+	case KindString:
+		b = append(b, walValStr)
+		b = binary.AppendUvarint(b, uint64(len(v.Str)))
+		return append(b, v.Str...)
+	case KindInt:
+		b = append(b, walValInt)
+		return binary.AppendVarint(b, v.Int)
+	case KindFloat:
+		b = append(b, walValFloat)
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Float))
+	default:
+		return append(b, walValNull)
+	}
+}
+
+var errWALCorrupt = errors.New("relational: corrupt WAL record")
+
+func decodeWALValue(b []byte) (Value, []byte, error) {
+	if len(b) < 1 {
+		return Value{}, nil, errWALCorrupt
+	}
+	kind, b := b[0], b[1:]
+	switch kind {
+	case walValNull:
+		return Null(), b, nil
+	case walValStr:
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || n > uint64(len(b)-sz) {
+			return Value{}, nil, errWALCorrupt
+		}
+		b = b[sz:]
+		return String_(string(b[:n])), b[n:], nil
+	case walValInt:
+		i, sz := binary.Varint(b)
+		if sz <= 0 {
+			return Value{}, nil, errWALCorrupt
+		}
+		return Int_(i), b[sz:], nil
+	case walValFloat:
+		if len(b) < 8 {
+			return Value{}, nil, errWALCorrupt
+		}
+		return Float_(math.Float64frombits(binary.LittleEndian.Uint64(b))), b[8:], nil
+	default:
+		return Value{}, nil, errWALCorrupt
+	}
+}
+
+// walOp is one decoded row operation of a replayed transaction.
+type walOp struct {
+	kind   byte
+	table  string
+	id     RowID
+	values []Value // nil for deletes
+}
+
+// walTxn is one decoded committed transaction.
+type walTxn struct {
+	seq uint64
+	ops []walOp
+}
+
+// walTxnsOf views a commit group's live transactions as walTxns. Each
+// transaction contributes its undo log — which doubles as its write
+// set: the created version (insert/update) carries the after-image, a
+// delete needs only the row address — in execution order, so replay
+// reproduces intra-transaction sequencing (insert→update→delete of the
+// same row) exactly. The value slices alias the versions' rows (no
+// copies); encoding happens before anything can mutate them.
+func walTxnsOf(live []*Txn) []walTxn {
+	out := make([]walTxn, 0, len(live))
+	for _, t := range live {
+		wt := walTxn{seq: t.seq, ops: make([]walOp, 0, len(t.log))}
+		for i := range t.log {
+			en := &t.log[i]
+			op := walOp{table: en.table, id: en.id}
+			switch en.kind {
+			case undoInsert:
+				op.kind = walOpInsert
+			case undoUpdate:
+				op.kind = walOpUpdate
+			case undoDelete:
+				op.kind = walOpDelete
+			}
+			if en.kind != undoDelete {
+				op.values = en.v.row.Values
+			}
+			wt.ops = append(wt.ops, op)
+		}
+		out = append(out, wt)
+	}
+	return out
+}
+
+// encodeGroupPayload serializes one commit group record.
+func encodeGroupPayload(txns []walTxn) []byte {
+	b := make([]byte, 0, 256)
+	b = append(b, walTagGroup)
+	b = binary.AppendUvarint(b, uint64(len(txns)))
+	for _, t := range txns {
+		b = binary.AppendUvarint(b, t.seq)
+		b = binary.AppendUvarint(b, uint64(len(t.ops)))
+		for _, op := range t.ops {
+			b = append(b, op.kind)
+			b = binary.AppendUvarint(b, uint64(len(op.table)))
+			b = append(b, op.table...)
+			b = binary.AppendUvarint(b, uint64(op.id))
+			if op.kind == walOpDelete {
+				continue
+			}
+			b = binary.AppendUvarint(b, uint64(len(op.values)))
+			for _, v := range op.values {
+				b = appendWALValue(b, v)
+			}
+		}
+	}
+	return b
+}
+
+// decodeGroupPayload parses one group record payload. It is total:
+// arbitrary byte soup returns errWALCorrupt, never panics — the fuzzer
+// holds it to that.
+func decodeGroupPayload(b []byte) ([]walTxn, error) {
+	if len(b) < 1 || b[0] != walTagGroup {
+		return nil, errWALCorrupt
+	}
+	b = b[1:]
+	ntxns, sz := binary.Uvarint(b)
+	if sz <= 0 || ntxns > uint64(len(b)) {
+		return nil, errWALCorrupt
+	}
+	b = b[sz:]
+	txns := make([]walTxn, 0, ntxns)
+	for range ntxns {
+		seq, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, errWALCorrupt
+		}
+		b = b[sz:]
+		nops, sz := binary.Uvarint(b)
+		if sz <= 0 || nops > uint64(len(b)) {
+			return nil, errWALCorrupt
+		}
+		b = b[sz:]
+		t := walTxn{seq: seq, ops: make([]walOp, 0, nops)}
+		for range nops {
+			if len(b) < 1 {
+				return nil, errWALCorrupt
+			}
+			kind := b[0]
+			if kind != walOpInsert && kind != walOpUpdate && kind != walOpDelete {
+				return nil, errWALCorrupt
+			}
+			b = b[1:]
+			tlen, sz := binary.Uvarint(b)
+			if sz <= 0 || tlen > uint64(len(b)-sz) {
+				return nil, errWALCorrupt
+			}
+			b = b[sz:]
+			table := string(b[:tlen])
+			b = b[tlen:]
+			id, sz := binary.Uvarint(b)
+			if sz <= 0 {
+				return nil, errWALCorrupt
+			}
+			b = b[sz:]
+			op := walOp{kind: kind, table: table, id: RowID(id)}
+			if kind != walOpDelete {
+				ncols, sz := binary.Uvarint(b)
+				if sz <= 0 || ncols > uint64(len(b)) {
+					return nil, errWALCorrupt
+				}
+				b = b[sz:]
+				op.values = make([]Value, 0, ncols)
+				for range ncols {
+					var v Value
+					var err error
+					v, b, err = decodeWALValue(b)
+					if err != nil {
+						return nil, err
+					}
+					op.values = append(op.values, v)
+				}
+			}
+			t.ops = append(t.ops, op)
+		}
+		txns = append(txns, t)
+	}
+	if len(b) != 0 {
+		return nil, errWALCorrupt
+	}
+	return txns, nil
+}
+
+// frameRecord wraps a payload in the [len][crc][payload] frame.
+func frameRecord(payload []byte) []byte {
+	out := make([]byte, walFrameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[walFrameHeaderSize:], payload)
+	return out
+}
+
+// scanFrames walks a segment's bytes and returns the decoded group
+// records of every intact frame plus the offset where the valid prefix
+// ends. Any malformed frame — short header, oversized length, short
+// payload, CRC mismatch, undecodable payload — ends the scan there:
+// write-ahead discipline means nothing after the first bad frame was
+// ever acknowledged as committed.
+func scanFrames(data []byte) (txns []walTxn, validOffset int64) {
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < walFrameHeaderSize {
+			return txns, off
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if n > walMaxRecordSize || int64(n) > int64(len(rest)-walFrameHeaderSize) {
+			return txns, off
+		}
+		payload := rest[walFrameHeaderSize : walFrameHeaderSize+int64(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return txns, off
+		}
+		decoded, err := decodeGroupPayload(payload)
+		if err != nil {
+			return txns, off
+		}
+		txns = append(txns, decoded...)
+		off += walFrameHeaderSize + int64(n)
+	}
+}
+
+// ---- append path ------------------------------------------------------
+
+// appendGroup makes one commit group durable: rotate if the active
+// segment is full, write the framed record, fsync. Called with the
+// database's commit latch held; any error leaves the active segment
+// truncated back to its pre-append length so a failed group cannot
+// leave bytes a later recovery would misread as committed.
+func (w *WAL) appendGroup(live []*Txn) error {
+	if w.closed {
+		return ErrWALClosed
+	}
+	if w.segBytes >= w.opts.SegmentBytes {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	if err := evalFailpoint(FpWALAppendBefore); err != nil {
+		return err
+	}
+	frame := frameRecord(encodeGroupPayload(walTxnsOf(live)))
+	wrote := 0
+	if failpointFires(FpWALAppendPartial) {
+		// A torn write: half the frame reaches the file, then the fault
+		// fires (crash mode dies here, leaving the torn tail on disk for
+		// recovery to discard; error mode falls through to the truncate
+		// below).
+		n, werr := w.f.Write(frame[:len(frame)/2])
+		wrote += n
+		if err := fireFailpoint(FpWALAppendPartial); err != nil {
+			w.truncateActive(wrote)
+			return err
+		}
+		if werr != nil {
+			w.truncateActive(wrote)
+			return werr
+		}
+		frame = frame[len(frame)/2:]
+	}
+	n, err := w.f.Write(frame)
+	wrote += n
+	if err != nil {
+		w.truncateActive(wrote)
+		return err
+	}
+	if ferr := evalFailpoint(FpWALFsyncBefore); ferr != nil {
+		w.truncateActive(wrote)
+		return ferr
+	}
+	if err := w.f.Sync(); err != nil {
+		w.truncateActive(wrote)
+		return err
+	}
+	w.fsyncs.Add(1)
+	if err := evalFailpoint(FpWALFsyncAfter); err != nil {
+		// The group IS durable at this point; error mode still fails the
+		// commit, so the harness can prove recovery replays a durable-
+		// but-unacknowledged group without the in-memory state ever
+		// having published it. Crash mode never returns.
+		w.truncateActive(wrote)
+		return err
+	}
+	w.segBytes += int64(wrote)
+	w.appends.Add(1)
+	w.bytes.Add(int64(wrote))
+	return nil
+}
+
+// truncateActive drops the bytes a failed append wrote. Best-effort: if
+// the truncate itself fails the next recovery's CRC scan still stops at
+// the torn frame.
+func (w *WAL) truncateActive(wrote int) {
+	if wrote == 0 {
+		return
+	}
+	_ = w.f.Truncate(w.segBytes)
+	_, _ = w.f.Seek(w.segBytes, 0)
+}
+
+// rotate seals the active segment and opens the next. Called with the
+// commit latch held (from appendGroup or Checkpoint).
+func (w *WAL) rotate() error {
+	if err := evalFailpoint(FpWALRotateSeal); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.fsyncs.Add(1)
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.sealed = append(w.sealed, sealedSegment{index: w.segIndex, path: segmentPath(w.dir, w.segIndex)})
+	w.mu.Unlock()
+	w.sealedSinceC.Add(1)
+	if err := w.openSegment(w.segIndex + 1); err != nil {
+		return err
+	}
+	w.rotations.Add(1)
+	return evalFailpoint(FpWALRotateOpen)
+}
+
+// openSegment creates the segment file with the given index and makes
+// its directory entry durable.
+func (w *WAL) openSegment(index uint64) error {
+	f, err := os.OpenFile(segmentPath(w.dir, index), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.fsyncs.Add(1)
+	w.f = f
+	w.segIndex = index
+	w.segBytes = 0
+	return nil
+}
+
+// Segments returns the number of segment files currently live (sealed
+// but not yet checkpoint-truncated, plus the active one).
+func (w *WAL) Segments() int64 {
+	w.mu.Lock()
+	n := int64(len(w.sealed))
+	w.mu.Unlock()
+	if !w.closed {
+		n++
+	}
+	return n
+}
+
+// ---- Database integration --------------------------------------------
+
+// OpenWAL attaches a durable write-ahead log under dir to the database,
+// first recovering whatever a previous process left there. It must be
+// called before the database serves traffic.
+//
+// If dir holds an earlier checkpoint or segments, the database's
+// in-memory contents are REPLACED by the recovered state: checkpoint
+// rows load first, then committed transactions replay from the
+// segments in order, and a torn tail (incomplete or CRC-failing final
+// record) is discarded. Otherwise the database's current contents
+// (e.g. a freshly seeded dataset) are checkpointed as the initial
+// durable image. Either way, every subsequent CommitGroup appends one
+// fsynced record before its transactions become visible.
+func (db *Database) OpenWAL(dir string, opts WALOptions) (*RecoveryInfo, error) {
+	if db.wal != nil {
+		return nil, fmt.Errorf("relational: database already has a WAL (dir %s)", db.wal.dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &WAL{dir: dir, opts: opts.withDefaults()}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	haveCheckpoint := false
+	for _, e := range entries {
+		if e.Name() == walCheckpointName {
+			haveCheckpoint = true
+		}
+		if idx, ok := parseSegmentIndex(e.Name()); ok {
+			segs = append(segs, idx)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	info := &RecoveryInfo{Segments: len(segs)}
+	nextIndex := uint64(1)
+	if len(segs) > 0 {
+		nextIndex = segs[len(segs)-1] + 1
+	}
+	if haveCheckpoint || len(segs) > 0 {
+		if err := db.recoverFrom(w, dir, segs, haveCheckpoint, info); err != nil {
+			return nil, err
+		}
+		// Recovered segments stay on disk until the next checkpoint
+		// supersedes them; register them for that truncation.
+		for _, idx := range segs {
+			w.sealed = append(w.sealed, sealedSegment{index: idx, path: segmentPath(dir, idx)})
+		}
+		w.sealedSinceC.Store(int64(len(segs)))
+	}
+	if err := w.openSegment(nextIndex); err != nil {
+		return nil, err
+	}
+	db.wal = w
+	db.walRecoveredTxns.Store(info.ReplayedTxns)
+	if !haveCheckpoint && len(segs) == 0 {
+		// Fresh directory: the current (possibly pre-seeded) contents
+		// become the initial checkpoint, so recovery never needs to
+		// re-run dataset seeding.
+		if err := db.Checkpoint(); err != nil {
+			db.wal = nil
+			w.f.Close()
+			return nil, err
+		}
+	}
+	info.CommitSeq = db.commitSeq.Load()
+	return info, nil
+}
+
+// recoverFrom rebuilds the database from a checkpoint and segment
+// chain: wipe, load checkpoint, replay newer committed transactions,
+// discard the torn tail.
+func (db *Database) recoverFrom(w *WAL, dir string, segs []uint64, haveCheckpoint bool, info *RecoveryInfo) error {
+	db.resetStorage()
+	if haveCheckpoint {
+		seq, rows, err := db.loadCheckpoint(filepath.Join(dir, walCheckpointName))
+		if err != nil {
+			return fmt.Errorf("relational: checkpoint: %w", err)
+		}
+		w.checkpointSeq.Store(seq)
+		info.CheckpointSeq = seq
+		info.CheckpointRows = rows
+		db.commitSeq.Store(seq)
+	}
+	// Stale temp from a checkpoint interrupted before rename: discard.
+	_ = os.Remove(filepath.Join(dir, walCheckpointTemp))
+
+	ckptSeq := info.CheckpointSeq
+	stopped := false
+	for i, idx := range segs {
+		path := segmentPath(dir, idx)
+		if stopped {
+			// Past the first bad record nothing was ever acknowledged;
+			// remove later segments so a future recovery cannot replay
+			// beyond the same stopping point.
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		txns, valid := scanFrames(data)
+		for _, t := range txns {
+			if t.seq <= ckptSeq {
+				continue // already inside the checkpoint image
+			}
+			if err := db.replayTxn(t); err != nil {
+				return fmt.Errorf("relational: replay segment %d: %w", idx, err)
+			}
+			info.ReplayedTxns++
+			info.ReplayedOps += int64(len(t.ops))
+			if t.seq > db.commitSeq.Load() {
+				db.commitSeq.Store(t.seq)
+			}
+		}
+		if valid < int64(len(data)) {
+			info.TornTail = true
+			info.TruncatedBytes += int64(len(data)) - valid
+			if err := os.Truncate(path, valid); err != nil {
+				return err
+			}
+			stopped = true
+		} else if i < len(segs)-1 {
+			continue
+		}
+	}
+	if info.TornTail {
+		if err := syncDir(dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resetStorage drops every row and index entry, leaving schema-shaped
+// empty tables for recovery to fill. Only called before the database
+// serves traffic.
+func (db *Database) resetStorage() {
+	db.tables = buildTableStorage(db.schema)
+	db.nextRowID = 1
+	db.commitSeq.Store(0)
+}
+
+// replayTxn reapplies one committed transaction's row operations. The
+// data was fully constraint-checked when it first committed, so replay
+// maintains storage and indexes directly without re-validation.
+func (db *Database) replayTxn(t walTxn) error {
+	for _, op := range t.ops {
+		td, err := db.tableData(op.table)
+		if err != nil {
+			return err
+		}
+		switch op.kind {
+		case walOpInsert:
+			if _, exists := td.rows[op.id]; exists {
+				return fmt.Errorf("%w: duplicate insert of %s rowid %d", errWALCorrupt, op.table, op.id)
+			}
+			v := newVersion(Row{ID: op.id, Values: op.values}, t.seq)
+			td.rows[op.id] = v
+			td.order = append(td.order, op.id)
+			td.live++
+			for _, ix := range td.indexes {
+				ix.insert(op.id, op.values)
+			}
+			if op.id >= db.nextRowID {
+				db.nextRowID = op.id + 1
+			}
+		case walOpUpdate:
+			old, ok := td.rows[op.id]
+			if !ok {
+				return fmt.Errorf("%w: update of missing %s rowid %d", errWALCorrupt, op.table, op.id)
+			}
+			nv := newVersion(Row{ID: op.id, Values: op.values}, t.seq)
+			removeVersionEntries(td, op.id, old, nv)
+			td.rows[op.id] = nv
+			for _, ix := range td.indexes {
+				ix.insert(op.id, op.values)
+			}
+		case walOpDelete:
+			old, ok := td.rows[op.id]
+			if !ok {
+				return fmt.Errorf("%w: delete of missing %s rowid %d", errWALCorrupt, op.table, op.id)
+			}
+			removeVersionEntries(td, op.id, old, nil)
+			delete(td.rows, op.id)
+			td.dirty = true
+			td.live--
+		}
+	}
+	return nil
+}
+
+// loadCheckpoint reads a checkpoint file and installs its row images.
+func (db *Database) loadCheckpoint(path string) (seq uint64, rows int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(data) < walFrameHeaderSize {
+		return 0, 0, errWALCorrupt
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	crc := binary.LittleEndian.Uint32(data[4:8])
+	if n > walMaxRecordSize || int64(n) != int64(len(data)-walFrameHeaderSize) {
+		return 0, 0, errWALCorrupt
+	}
+	payload := data[walFrameHeaderSize:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return 0, 0, errWALCorrupt
+	}
+	return db.decodeCheckpointPayload(payload)
+}
+
+func (db *Database) decodeCheckpointPayload(b []byte) (seq uint64, rows int, err error) {
+	if len(b) < 1 || b[0] != walTagCheckpoint {
+		return 0, 0, errWALCorrupt
+	}
+	b = b[1:]
+	seq, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, 0, errWALCorrupt
+	}
+	b = b[sz:]
+	ntables, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, 0, errWALCorrupt
+	}
+	b = b[sz:]
+	for range ntables {
+		nlen, sz := binary.Uvarint(b)
+		if sz <= 0 || nlen > uint64(len(b)-sz) {
+			return 0, 0, errWALCorrupt
+		}
+		b = b[sz:]
+		name := string(b[:nlen])
+		b = b[nlen:]
+		td, terr := db.tableData(name)
+		if terr != nil {
+			return 0, 0, terr
+		}
+		nrows, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return 0, 0, errWALCorrupt
+		}
+		b = b[sz:]
+		for range nrows {
+			id, sz := binary.Uvarint(b)
+			if sz <= 0 {
+				return 0, 0, errWALCorrupt
+			}
+			b = b[sz:]
+			ncols, sz := binary.Uvarint(b)
+			if sz <= 0 || ncols > uint64(len(b)) {
+				return 0, 0, errWALCorrupt
+			}
+			b = b[sz:]
+			vals := make([]Value, 0, ncols)
+			for range ncols {
+				var v Value
+				v, b, err = decodeWALValue(b)
+				if err != nil {
+					return 0, 0, err
+				}
+				vals = append(vals, v)
+			}
+			rid := RowID(id)
+			v := newVersion(Row{ID: rid, Values: vals}, seq)
+			td.rows[rid] = v
+			td.order = append(td.order, rid)
+			td.live++
+			for _, ix := range td.indexes {
+				ix.insert(rid, vals)
+			}
+			if rid >= db.nextRowID {
+				db.nextRowID = rid + 1
+			}
+			rows++
+		}
+	}
+	if len(b) != 0 {
+		return 0, 0, errWALCorrupt
+	}
+	return seq, rows, nil
+}
+
+// Checkpoint snapshots the committed state into a durable checkpoint
+// file and truncates the segments it supersedes. Commits are blocked
+// only for the sequence pin and segment rotation (microseconds); the
+// row-image serialization runs against the pinned MVCC snapshot while
+// traffic proceeds. Crash-safe at every step: the image is written to a
+// temp file, fsynced, atomically renamed, and only then are the
+// superseded segments deleted — recovery handles a death between any
+// two of those steps (stale temp discarded, old checkpoint + full
+// segment chain replayed, or new checkpoint + skip-by-sequence).
+func (db *Database) Checkpoint() error {
+	w := db.wal
+	if w == nil {
+		return nil
+	}
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+
+	db.commitMu.Lock()
+	if w.closed {
+		db.commitMu.Unlock()
+		return ErrWALClosed
+	}
+	seq := db.commitSeq.Load()
+	snap := db.Snapshot()
+	err := w.rotate() // sealed segments now all precede seq
+	db.commitMu.Unlock()
+	if err != nil {
+		snap.Close()
+		return fmt.Errorf("relational: checkpoint rotate: %w", err)
+	}
+	w.mu.Lock()
+	supersede := make([]sealedSegment, len(w.sealed))
+	copy(supersede, w.sealed)
+	w.mu.Unlock()
+
+	payload, err := db.encodeCheckpointPayload(snap, seq)
+	snap.Close()
+	if err != nil {
+		return err
+	}
+	if err := w.installCheckpoint(payload, seq, supersede); err != nil {
+		return err
+	}
+	return nil
+}
+
+// encodeCheckpointPayload serializes every row visible at the snapshot.
+func (db *Database) encodeCheckpointPayload(snap *Snapshot, seq uint64) ([]byte, error) {
+	b := make([]byte, 0, 1<<16)
+	b = append(b, walTagCheckpoint)
+	b = binary.AppendUvarint(b, seq)
+	names := db.SortedTableNames()
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	for _, name := range names {
+		b = binary.AppendUvarint(b, uint64(len(name)))
+		b = append(b, name...)
+		// Count first so the row count prefixes the rows.
+		count := uint64(0)
+		if err := snap.Scan(name, func(*Row) bool { count++; return true }); err != nil {
+			return nil, err
+		}
+		b = binary.AppendUvarint(b, count)
+		var scanErr error
+		if err := snap.Scan(name, func(r *Row) bool {
+			b = binary.AppendUvarint(b, uint64(r.ID))
+			b = binary.AppendUvarint(b, uint64(len(r.Values)))
+			for _, v := range r.Values {
+				b = appendWALValue(b, v)
+			}
+			return true
+		}); err != nil {
+			scanErr = err
+		}
+		if scanErr != nil {
+			return nil, scanErr
+		}
+	}
+	return b, nil
+}
+
+// installCheckpoint writes the image durably (temp, fsync, rename,
+// dir-fsync) and deletes the superseded segments.
+func (w *WAL) installCheckpoint(payload []byte, seq uint64, supersede []sealedSegment) error {
+	tmpPath := filepath.Join(w.dir, walCheckpointTemp)
+	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	cleanup := func(e error) error {
+		f.Close()
+		_ = os.Remove(tmpPath)
+		return e
+	}
+	frame := frameRecord(payload)
+	if _, err := f.Write(frame[:len(frame)/2]); err != nil {
+		return cleanup(err)
+	}
+	if err := evalFailpoint(FpCheckpointWrite); err != nil {
+		return cleanup(err)
+	}
+	if _, err := f.Write(frame[len(frame)/2:]); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	w.fsyncs.Add(1)
+	if err := f.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := evalFailpoint(FpCheckpointRename); err != nil {
+		_ = os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, filepath.Join(w.dir, walCheckpointName)); err != nil {
+		_ = os.Remove(tmpPath)
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		return err
+	}
+	w.fsyncs.Add(1)
+	w.checkpointSeq.Store(seq)
+	w.checkpoints.Add(1)
+	w.sealedSinceC.Store(0)
+	if err := evalFailpoint(FpCheckpointTruncate); err != nil {
+		return err
+	}
+	for _, s := range supersede {
+		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if err := syncDir(w.dir); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	remaining := w.sealed[:0]
+	superseded := make(map[uint64]bool, len(supersede))
+	for _, s := range supersede {
+		superseded[s.index] = true
+	}
+	for _, s := range w.sealed {
+		if !superseded[s.index] {
+			remaining = append(remaining, s)
+		}
+	}
+	w.sealed = remaining
+	w.mu.Unlock()
+	return nil
+}
+
+// maybeCheckpoint runs a checkpoint when enough segments have sealed
+// since the last one (CommitGroup piggybacks it, like Reclaim).
+func (db *Database) maybeCheckpoint() {
+	w := db.wal
+	if w == nil || w.opts.CheckpointEverySegments <= 0 {
+		return
+	}
+	if w.sealedSinceC.Load() >= int64(w.opts.CheckpointEverySegments) {
+		_ = db.Checkpoint()
+	}
+}
+
+// StartCheckpointer checkpoints on the given interval in a background
+// goroutine until the returned stop function is called (idempotent).
+// Intervals with no commits skip the pass, so an idle database costs
+// nothing. Long-running hosts (the ufilterd daemon) use it to bound
+// recovery replay time; CheckpointEverySegments bounds it by volume
+// instead.
+func (db *Database) StartCheckpointer(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var lastAppends int64
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				w := db.wal
+				if w == nil {
+					continue
+				}
+				if n := w.appends.Load(); n != lastAppends {
+					lastAppends = n
+					_ = db.Checkpoint()
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// CloseWAL seals the write-ahead log for shutdown: final fsync, close.
+// Further commits fail with ErrWALFailed (wrapping ErrWALClosed); reads
+// keep working. Idempotent.
+func (db *Database) CloseWAL() error {
+	w := db.wal
+	if w == nil {
+		return nil
+	}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	w.fsyncs.Add(1)
+	return w.f.Close()
+}
+
+// WALDir returns the attached log's directory ("" without a WAL).
+func (db *Database) WALDir() string {
+	if db.wal == nil {
+		return ""
+	}
+	return db.wal.dir
+}

@@ -44,6 +44,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ufilterd_redo_records_total", "Write-ahead log records appended.", "counter", map[string]float64{}},
 		{"ufilterd_redo_bytes_total", "Write-ahead log bytes appended.", "counter", map[string]float64{}},
 		{"ufilterd_redo_flushes_total", "Write-ahead log flushes (group commit amortizes these).", "counter", map[string]float64{}},
+		{"ufilterd_wal_segments", "Durable WAL segment files currently live (0 without -data-dir).", "gauge", map[string]float64{}},
+		{"ufilterd_wal_bytes_total", "Bytes appended to durable WAL segments.", "counter", map[string]float64{}},
+		{"ufilterd_wal_fsyncs_total", "fsync calls issued by the durable WAL (one per commit group).", "counter", map[string]float64{}},
+		{"ufilterd_wal_checkpoints_total", "Durable WAL checkpoints installed.", "counter", map[string]float64{}},
+		{"ufilterd_wal_recovery_replayed_txns", "Committed transactions replayed from the WAL at startup.", "gauge", map[string]float64{}},
 		{"ufilterd_snapshots_active", "MVCC snapshots currently pinned.", "gauge", map[string]float64{}},
 		{"ufilterd_snapshots_opened_total", "MVCC snapshots ever pinned.", "counter", map[string]float64{}},
 		{"ufilterd_versions_reclaimed_total", "Row versions freed by the MVCC reclaimer.", "counter", map[string]float64{}},
@@ -83,6 +88,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			float64(st.Filter.Database.RedoRecords),
 			float64(st.Filter.Database.RedoBytes),
 			float64(st.Filter.Database.RedoFlushes),
+			float64(st.Filter.Database.WALSegments),
+			float64(st.Filter.Database.WALBytes),
+			float64(st.Filter.Database.Fsyncs),
+			float64(st.Filter.Database.Checkpoints),
+			float64(st.Filter.Database.RecoveryReplayedTxns),
 			float64(st.Versions.SnapshotsActive),
 			float64(st.Versions.SnapshotsOpened),
 			float64(st.Versions.VersionsReclaimed),

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -34,6 +35,10 @@ type Config struct {
 	// ApplyQueueDepth is the default per-view apply queue bound;
 	// DefaultApplyQueueDepth when zero.
 	ApplyQueueDepth int `json:"apply_queue_depth,omitempty"`
+	// DataDir, when non-empty, makes every view durable: each gets a
+	// write-ahead log under DataDir/<view-name>, recovered at startup.
+	// Empty keeps the daemon fully in-memory (the default).
+	DataDir string `json:"data_dir,omitempty"`
 }
 
 // ViewConfig describes one named view to host: a built-in dataset plus
@@ -81,6 +86,10 @@ type View struct {
 	Filter   *ufilter.Filter
 	Dataset  string
 	Strategy ufilter.Strategy
+
+	// Recovery reports what WAL replay restored at startup; nil when the
+	// registry runs in-memory (no DataDir).
+	Recovery *relational.RecoveryInfo
 
 	// queue holds the admission slots for Apply: capacity is the bound
 	// on applies executing concurrently (each in its own transaction);
@@ -346,6 +355,17 @@ type Registry struct {
 	// before serving traffic (it is read without synchronization).
 	DefaultQueueDepth int
 
+	// DataDir, when non-empty, gives every added view a durable
+	// write-ahead log under DataDir/<view-name>: Add recovers whatever a
+	// previous process left there (seeding the dataset only on first
+	// boot) and subsequent applies survive kill -9. Set it before the
+	// first Add (read without synchronization).
+	DataDir string
+
+	// WALOptions tunes the per-view logs when DataDir is set; the zero
+	// value uses production defaults.
+	WALOptions relational.WALOptions
+
 	mu    sync.RWMutex
 	views map[string]*View
 }
@@ -395,6 +415,16 @@ func (r *Registry) Add(vc ViewConfig) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
+	var recovery *relational.RecoveryInfo
+	if r.DataDir != "" {
+		// Durable mode: recovery replaces the freshly seeded dataset with
+		// whatever previous runs committed (first boot checkpoints the
+		// seed, so later boots replay on top of it, not instead of it).
+		recovery, err = db.OpenWAL(filepath.Join(r.DataDir, name), r.WALOptions)
+		if err != nil {
+			return nil, fmt.Errorf("view %s: %w", name, err)
+		}
+	}
 	query := vc.Query
 	if strings.TrimSpace(query) == "" {
 		query = builtinQuery
@@ -416,6 +446,7 @@ func (r *Registry) Add(vc ViewConfig) (*View, error) {
 		Filter:   f,
 		Dataset:  strings.ToLower(vc.Dataset),
 		Strategy: strategy,
+		Recovery: recovery,
 		queue:    make(chan struct{}, depth),
 	}
 	v.applyFn = f.Apply
@@ -464,6 +495,36 @@ func (r *Registry) StartReclaimers(interval time.Duration) (stop func()) {
 			s()
 		}
 	}
+}
+
+// StartCheckpointers runs a background WAL checkpointer on every
+// currently registered durable view's database and returns a stop
+// function (idempotent). No-op goroutine-free for in-memory views.
+func (r *Registry) StartCheckpointers(interval time.Duration) (stop func()) {
+	var stops []func()
+	for _, v := range r.Views() {
+		if v.Recovery != nil {
+			stops = append(stops, v.Filter.Exec.DB.StartCheckpointer(interval))
+		}
+	}
+	return func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+}
+
+// CloseWALs seals every durable view's write-ahead log for shutdown
+// (final fsync; later commits fail, reads keep serving). The first
+// error is returned, but every log is closed regardless.
+func (r *Registry) CloseWALs() error {
+	var firstErr error
+	for _, v := range r.Views() {
+		if err := v.Filter.Exec.DB.CloseWAL(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Views lists the registered views in name order.

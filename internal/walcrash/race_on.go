@@ -1,0 +1,7 @@
+//go:build race
+
+package walcrash
+
+// raceEnabled gates the crash matrix down to its reduced form when the
+// race detector is on (child re-execs are ~10x slower under -race).
+const raceEnabled = true
