@@ -27,7 +27,7 @@ func main() {
 	sizesFlag := flag.String("sizes", "50,100,150,200,250,300,350,400,450,500",
 		"comma-separated database sizes (MB) for Figs. 15-17")
 	iters := flag.Int("iters", 20, "operations per size for Figs. 15-17")
-	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan,mvcc,write,wal")
+	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan,mvcc,write,wal,obs")
 	planIters := flag.Int("plan-iters", 2000, "iterations for the plan (compile-once/execute-many) benchmark")
 	planOut := flag.String("plan-out", "BENCH_plan.json", "file the plan benchmark's JSON is written to")
 	mvccIters := flag.Int("mvcc-iters", 2000, "checks per side for the MVCC checks-during-apply benchmark")
@@ -36,6 +36,8 @@ func main() {
 	writeOut := flag.String("write-out", "BENCH_write.json", "file the write benchmark's JSON is written to")
 	walIters := flag.Int("wal-iters", 1000, "applies per point for the durable-WAL benchmark")
 	walOut := flag.String("wal-out", "BENCH_wal.json", "file the WAL benchmark's JSON is written to")
+	obsIters := flag.Int("obs-iters", 5000, "operations per workload for the observability-overhead benchmark")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "file the observability benchmark's JSON is written to")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -82,6 +84,9 @@ func main() {
 	}
 	if run("wal") {
 		printWALBench(*walIters, *walOut)
+	}
+	if run("obs") {
+		printObsBench(*obsIters, *obsOut)
 	}
 }
 
@@ -289,6 +294,34 @@ func printWALBench(iters int, outPath string) {
 		time.Duration(wb.RecoveryNs), wb.RecoveryReplayedTxns, wb.RecoveryCheckpointRows)
 	if outPath != "" {
 		data, err := json.MarshalIndent(wb, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+// printObsBench runs the observability-overhead benchmark — the full
+// per-request instrumentation path (trace + spans + histogram +
+// slow-ring offer) against a DetachObs'd baseline on check-only,
+// apply-only and mixed 7:1 workloads — and records the table as JSON
+// so CI gates the instrumentation tax (mixed must stay under ~5%).
+func printObsBench(iters int, outPath string) {
+	header("Obs — instrumentation overhead (trace + histograms + slow ring vs detached)")
+	ob, err := experiments.RunObsBench(iters)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-10s %14s %14s %10s\n", "Workload", "base ops/s", "obs ops/s", "overhead")
+	for _, p := range ob.Points {
+		fmt.Printf("%-10s %14.0f %14.0f %9.1f%%\n",
+			p.Workload, p.BaseOpsPerSec, p.ObsOpsPerSec, p.OverheadPct)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(ob, "", "  ")
 		if err != nil {
 			fatal(err)
 		}

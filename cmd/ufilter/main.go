@@ -34,15 +34,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	repro "repro"
 	"repro/internal/bookdb"
+	"repro/internal/obs"
 	"repro/internal/relational"
 	"repro/internal/server"
 )
@@ -63,6 +66,7 @@ func main() {
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "after a batch, print decision-cache statistics")
 	snapshotStats := flag.Bool("snapshot-stats", false, "after the run, print MVCC version-chain depth and reclaim counters (retention-leak debugging)")
+	timing := flag.Bool("timing", false, "after a single check/apply, print the per-stage latency breakdown (parse, compile, STAR, probes, translate, execute, commit)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON (one object per update) — the same encoding ufilterd serves")
 	flag.Parse()
 
@@ -125,7 +129,23 @@ func main() {
 	}
 
 	var res *repro.Result
-	if *apply {
+	var tr *obs.Trace
+	if *timing {
+		// Thread a trace through the pipeline so every stage records a
+		// span; untimed runs pass a bare context and pay nothing.
+		op := "check"
+		if *apply {
+			op = "apply"
+		}
+		tr = obs.StartTrace(op)
+		ctx := obs.WithTrace(context.Background(), tr)
+		if *apply {
+			res, err = f.ApplyContext(ctx, update)
+		} else {
+			res, err = f.CheckContext(ctx, update)
+		}
+		tr.Finish()
+	} else if *apply {
 		res, err = f.Apply(update)
 	} else {
 		res, err = f.Check(update)
@@ -138,11 +158,40 @@ func main() {
 	} else {
 		printResult(res, *apply)
 	}
+	if tr != nil {
+		printTiming(tr.Summary(), *jsonOut)
+	}
 	if *snapshotStats {
 		printSnapshotStats(f, *jsonOut)
 	}
 	if !res.Accepted {
 		os.Exit(2)
+	}
+}
+
+// printTiming renders the per-stage span breakdown of a timed run: one
+// line per pipeline stage with its offset from the request start, its
+// duration, and its share of the end-to-end latency.
+func printTiming(ts obs.TraceSummary, jsonOut bool) {
+	if jsonOut {
+		printJSON(map[string]any{"timing": ts})
+		return
+	}
+	total := time.Duration(ts.TotalNs)
+	fmt.Printf("timing:    %s total %s\n", ts.Op, total)
+	var accounted int64
+	for _, s := range ts.Spans {
+		pct := 0.0
+		if ts.TotalNs > 0 {
+			pct = 100 * float64(s.DurNs) / float64(ts.TotalNs)
+		}
+		fmt.Printf("  %-16s +%-12s %-12s %5.1f%%\n",
+			s.Stage, time.Duration(s.StartNs), time.Duration(s.DurNs), pct)
+		accounted += s.DurNs
+	}
+	if rest := ts.TotalNs - accounted; rest > 0 && ts.TotalNs > 0 {
+		fmt.Printf("  %-16s %-13s %-12s %5.1f%%\n",
+			"(untracked)", "", time.Duration(rest), 100*float64(rest)/float64(ts.TotalNs))
 	}
 }
 

@@ -27,7 +27,15 @@
 // transaction. Without it the daemon runs purely in memory, as before.
 //
 // Endpoints: GET /healthz, GET/POST /views, POST /views/{name}/check,
-// /check-batch, /apply, GET /views/{name}/stats, GET /metrics.
+// /check-batch, /apply, GET /views/{name}/stats, /views/{name}/slow,
+// GET /metrics.
+//
+// Observability: -pprof-addr mounts net/http/pprof on a second
+// listener (e.g. -pprof-addr 127.0.0.1:6060 →
+// /debug/pprof/profile?seconds=1); operational output is structured
+// log/slog records (text by default, JSON with -log-json); /metrics
+// includes latency histogram families and /views/{name}/slow serves
+// the slowest recent request traces with per-stage span breakdowns.
 //
 // The -loadgen mode demonstrates sustained concurrent traffic: it
 // boots an in-process server (or targets -target), fans -clients
@@ -42,7 +50,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -67,7 +77,22 @@ func main() {
 	duration := flag.Duration("duration", 3*time.Second, "loadgen: how long to sustain traffic")
 	clients := flag.Int("clients", 16, "loadgen: concurrent client goroutines")
 	loadgenView := flag.String("loadgen-view", "book", "loadgen: view name to drive")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (empty disables profiling)")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	flag.Parse()
+
+	log := newLogger(*logJSON)
+	slog.SetDefault(log)
+	if *pprofAddr != "" {
+		// pprof gets its own listener so profiling never shares the
+		// service port (or its admission behavior) with live traffic.
+		go func() {
+			log.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Error("pprof server failed", "err", err)
+			}
+		}()
+	}
 
 	cfg, err := loadConfig(*configPath, *views, *queue)
 	if err != nil {
@@ -88,9 +113,18 @@ func main() {
 		}
 		return
 	}
-	if err := runServer(cfg, *addr); err != nil {
+	if err := runServer(cfg, *addr, log); err != nil {
 		fail(err)
 	}
+}
+
+// newLogger builds the daemon's structured logger: text for humans,
+// JSON for log pipelines.
+func newLogger(jsonOut bool) *slog.Logger {
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
 // loadConfig builds the server configuration from -config, or from the
@@ -132,11 +166,12 @@ func buildServer(cfg *server.Config) (*server.Server, error) {
 }
 
 // runServer serves until SIGINT/SIGTERM, then drains gracefully.
-func runServer(cfg *server.Config, addr string) error {
+func runServer(cfg *server.Config, addr string, log *slog.Logger) error {
 	srv, err := buildServer(cfg)
 	if err != nil {
 		return err
 	}
+	srv.Log = log
 	// Background MVCC reclaimers keep version chains shallow while
 	// snapshots come and go with check-batch and stats traffic.
 	stopReclaimers := srv.Registry.StartReclaimers(2 * time.Second)
@@ -144,15 +179,16 @@ func runServer(cfg *server.Config, addr string) error {
 	if cfg.DataDir != "" {
 		for _, v := range srv.Registry.Views() {
 			if r := v.Recovery; r != nil && (r.ReplayedTxns > 0 || r.CheckpointRows > 0) {
-				fmt.Printf("ufilterd: view %q recovered %d txns (+%d checkpoint rows) from %s\n",
-					v.Name, r.ReplayedTxns, r.CheckpointRows, cfg.DataDir)
+				log.Info("wal recovery complete", "view", v.Name,
+					"replayed_txns", r.ReplayedTxns,
+					"checkpoint_rows", r.CheckpointRows, "dir", cfg.DataDir)
 			}
 		}
 		stopCheckpointers := srv.Registry.StartCheckpointers(5 * time.Second)
 		defer stopCheckpointers()
 		defer func() {
 			if err := srv.Registry.CloseWALs(); err != nil {
-				fmt.Fprintln(os.Stderr, "ufilterd: wal close:", err)
+				log.Error("wal close failed", "err", err)
 			}
 		}()
 	}
@@ -160,7 +196,7 @@ func runServer(cfg *server.Config, addr string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ufilterd: listening on %s (views: %s)\n", bound, strings.Join(srv.Registry.Names(), ", "))
+	log.Info("listening", "addr", bound, "views", strings.Join(srv.Registry.Names(), ", "))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -171,7 +207,7 @@ func runServer(cfg *server.Config, addr string) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Println("ufilterd: shutting down")
+	log.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+func TestObsBenchShape(t *testing.T) {
+	ob, err := RunObsBench(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ob.Points) != 3 {
+		t.Fatalf("points = %d, want 3 (check/apply/mixed)", len(ob.Points))
+	}
+	for i, want := range []string{"check", "apply", "mixed"} {
+		p := ob.Points[i]
+		if p.Workload != want {
+			t.Fatalf("point %d workload = %q, want %q", i, p.Workload, want)
+		}
+		if p.BaseOpsPerSec <= 0 || p.ObsOpsPerSec <= 0 {
+			t.Fatalf("%s point has zero throughput: %+v", p.Workload, p)
+		}
+	}
+}

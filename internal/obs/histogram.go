@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Unit tells consumers (quantile readers, the Prometheus writer) what a
+// histogram's raw int64 samples mean.
+type Unit int
+
+const (
+	// UnitSeconds marks samples recorded in nanoseconds and exported in
+	// seconds (the Prometheus convention for latency histograms).
+	UnitSeconds Unit = iota
+	// UnitCount marks dimensionless samples (batch sizes, retry counts)
+	// exported as-is.
+	UnitCount
+)
+
+// Histogram is a lock-free fixed-bucket histogram with power-of-two
+// (log-scaled) bucket bounds: bucket i holds samples in
+// (2^(minExp+i-1), 2^(minExp+i)], bucket 0 additionally absorbs
+// everything at or below 2^minExp, and the last bucket is the +Inf
+// overflow. Recording is one atomic add on the bucket counter plus one
+// on the running sum, so hot paths (every request, every fsync) record
+// without contending on a mutex.
+//
+// A nil *Histogram is valid: Record and RecordDuration no-op and
+// Snapshot returns an empty snapshot, so instrumentation points stay
+// zero-cost when the collector is detached.
+type Histogram struct {
+	minExp int
+	unit   Unit
+	counts []atomic.Uint64
+	sum    atomic.Int64
+}
+
+// Bucket layouts. Durations get 1.024µs..~68.7s finite buckets (2^10ns
+// to 2^36ns) — below the first bound nothing is actionable, above the
+// last it is an outage and lands in +Inf. Counts get 1..65536.
+const (
+	durMinExp  = 10
+	durBuckets = 28 // 27 finite bounds + overflow
+	cntMinExp  = 0
+	cntBuckets = 18 // finite bounds 1..2^16 + overflow
+)
+
+// NewHistogram builds a histogram with the given first-bucket exponent
+// and total bucket count (the last bucket is the +Inf overflow).
+func NewHistogram(minExp, buckets int, unit Unit) *Histogram {
+	if buckets < 2 {
+		buckets = 2
+	}
+	return &Histogram{minExp: minExp, unit: unit, counts: make([]atomic.Uint64, buckets)}
+}
+
+// NewDurationHistogram builds the standard latency histogram: samples
+// in nanoseconds, buckets from ~1µs to ~69s, exported in seconds.
+func NewDurationHistogram() *Histogram { return NewHistogram(durMinExp, durBuckets, UnitSeconds) }
+
+// NewCountHistogram builds the standard size/count histogram with
+// buckets from 1 to 65536.
+func NewCountHistogram() *Histogram { return NewHistogram(cntMinExp, cntBuckets, UnitCount) }
+
+// Record adds one sample. Non-positive samples land in the first
+// bucket and do not disturb the sum.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[h.bucketIndex(v)].Add(1)
+	if v > 0 {
+		h.sum.Add(v)
+	}
+}
+
+// RecordDuration records a duration sample in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(d.Nanoseconds()) }
+
+// bucketIndex maps a sample to its bucket: the smallest k with
+// v <= 2^k, shifted by minExp and clamped into range (the top bucket is
+// the overflow).
+func (h *Histogram) bucketIndex(v int64) int {
+	if v <= 1 {
+		v = 1
+	}
+	k := bits.Len64(uint64(v) - 1) // smallest k with v <= 2^k
+	idx := k - h.minExp
+	if idx < 0 {
+		return 0
+	}
+	if idx >= len(h.counts) {
+		return len(h.counts) - 1
+	}
+	return idx
+}
+
+// Snapshot is an immutable copy of a histogram's state, mergeable with
+// snapshots of identically shaped histograms. Count is derived from the
+// bucket counters (not kept separately), so the Prometheus invariant
+// count == cumulative(+Inf bucket) holds exactly in every snapshot.
+type Snapshot struct {
+	MinExp int      `json:"min_exp"`
+	Unit   Unit     `json:"unit"`
+	Counts []uint64 `json:"counts"`
+	Sum    int64    `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+// Snapshot copies the live counters. Safe under concurrent Record; the
+// buckets are read one atomic load at a time, so a snapshot taken
+// mid-burst may be off by in-flight samples but is never torn within a
+// bucket. A nil histogram yields the empty snapshot.
+func (h *Histogram) Snapshot() Snapshot {
+	if h == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{MinExp: h.minExp, Unit: h.unit, Counts: make([]uint64, len(h.counts)), Sum: h.sum.Load()}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Merge adds another snapshot's samples into this one. Merging into an
+// empty snapshot adopts the other's shape; otherwise the shapes
+// (first-bucket exponent, bucket count, unit) must match.
+func (s *Snapshot) Merge(o Snapshot) error {
+	if len(o.Counts) == 0 {
+		return nil
+	}
+	if len(s.Counts) == 0 {
+		s.MinExp, s.Unit = o.MinExp, o.Unit
+		s.Counts = make([]uint64, len(o.Counts))
+	}
+	if s.MinExp != o.MinExp || len(s.Counts) != len(o.Counts) || s.Unit != o.Unit {
+		return fmt.Errorf("obs: merging incompatible histograms (minExp %d/%d, buckets %d/%d, unit %d/%d)",
+			s.MinExp, o.MinExp, len(s.Counts), len(o.Counts), s.Unit, o.Unit)
+	}
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+	s.Sum += o.Sum
+	s.Count += o.Count
+	return nil
+}
+
+// upperBound returns bucket i's inclusive upper bound in raw units
+// (+Inf for the overflow bucket).
+func (s Snapshot) upperBound(i int) float64 {
+	if i >= len(s.Counts)-1 {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, s.MinExp+i)
+}
+
+// lowerBound returns bucket i's exclusive lower bound in raw units.
+func (s Snapshot) lowerBound(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	return math.Ldexp(1, s.MinExp+i-1)
+}
+
+// Quantile estimates the q-quantile (0..1) in raw units (nanoseconds
+// for duration histograms) by linear interpolation within the bucket
+// the target rank falls in — the standard Prometheus histogram_quantile
+// estimate. Samples in the overflow bucket report its lower bound.
+// Zero when the snapshot is empty.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lb, ub := s.lowerBound(i), s.upperBound(i)
+			if math.IsInf(ub, 1) {
+				return lb
+			}
+			return lb + (ub-lb)*(target-cum)/float64(c)
+		}
+		cum = next
+	}
+	return s.lowerBound(len(s.Counts) - 1)
+}
+
+// P50, P90 and P99 are the quantiles the satellite endpoints read.
+func (s Snapshot) P50() float64 { return s.Quantile(0.50) }
+func (s Snapshot) P90() float64 { return s.Quantile(0.90) }
+func (s Snapshot) P99() float64 { return s.Quantile(0.99) }
+
+// WritePromHeader writes one histogram family's HELP/TYPE preamble.
+func WritePromHeader(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+}
+
+// WriteProm renders one labeled series of a histogram family in the
+// Prometheus text exposition format: cumulative <name>_bucket lines
+// (le in the family's export unit — seconds for durations), then
+// <name>_sum and <name>_count. labels is the rendered label pairs
+// without braces (`view="book"`), possibly empty. An empty snapshot
+// still writes a valid zero histogram (+Inf bucket, sum, count).
+func WriteProm(w io.Writer, name, labels string, s Snapshot) {
+	scale := 1.0
+	if s.Unit == UnitSeconds {
+		scale = 1e-9
+	}
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i := range s.Counts {
+		cum += s.Counts[i]
+		le := "+Inf"
+		if ub := s.upperBound(i); !math.IsInf(ub, 1) {
+			le = strconv.FormatFloat(ub*scale, 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, cum)
+	}
+	if len(s.Counts) == 0 {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} 0\n", name, labels, sep)
+	}
+	braces := ""
+	if labels != "" {
+		braces = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, braces, strconv.FormatFloat(float64(s.Sum)*scale, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, braces, s.Count)
+}

@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the bucket edge semantics: bucket i's upper
+// bound 2^(minExp+i) is INCLUSIVE, one past it starts the next bucket,
+// and out-of-range samples clamp to the first / overflow bucket.
+func TestBucketBoundaries(t *testing.T) {
+	h := NewHistogram(10, 4, UnitSeconds) // bounds: 1024, 2048, 4096, +Inf
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {1023, 0}, {1024, 0},
+		{1025, 1}, {2048, 1},
+		{2049, 2}, {4096, 2},
+		{4097, 3}, {1 << 40, 3},
+	}
+	for _, c := range cases {
+		if got := h.bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	for _, c := range cases {
+		h.Record(c.v)
+	}
+	s := h.Snapshot()
+	wantCounts := []uint64{5, 2, 2, 2}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d count = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 11 {
+		t.Errorf("Count = %d, want 11", s.Count)
+	}
+}
+
+// TestConcurrentRecord hammers one histogram from many goroutines (the
+// -race gate proves the recording path is synchronization-correct) and
+// checks no sample is lost.
+func TestConcurrentRecord(t *testing.T) {
+	h := NewDurationHistogram()
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(1000 + g*1000))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("Count = %d, want %d", s.Count, goroutines*per)
+	}
+	var wantSum int64
+	for g := 0; g < goroutines; g++ {
+		wantSum += int64(1000+g*1000) * per
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("Sum = %d, want %d", s.Sum, wantSum)
+	}
+}
+
+func TestNilHistogram(t *testing.T) {
+	var h *Histogram
+	h.Record(5)
+	h.RecordDuration(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 0 || len(s.Counts) != 0 {
+		t.Fatalf("nil histogram snapshot not empty: %+v", s)
+	}
+	if q := s.Quantile(0.9); q != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", q)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewHistogram(0, 4, UnitCount)
+	b := NewHistogram(0, 4, UnitCount)
+	for _, v := range []int64{1, 2, 3} {
+		a.Record(v)
+	}
+	for _, v := range []int64{4, 100} {
+		b.Record(v)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	var merged Snapshot
+	if err := merged.Merge(sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count != sa.Count+sb.Count {
+		t.Errorf("merged Count = %d, want %d", merged.Count, sa.Count+sb.Count)
+	}
+	if merged.Sum != sa.Sum+sb.Sum {
+		t.Errorf("merged Sum = %d, want %d", merged.Sum, sa.Sum+sb.Sum)
+	}
+	for i := range merged.Counts {
+		if merged.Counts[i] != sa.Counts[i]+sb.Counts[i] {
+			t.Errorf("bucket %d = %d, want %d", i, merged.Counts[i], sa.Counts[i]+sb.Counts[i])
+		}
+	}
+	// Shape mismatch must be refused, not silently mangled.
+	other := NewHistogram(5, 4, UnitCount).Snapshot()
+	if err := merged.Merge(other); err == nil {
+		t.Error("merging a different minExp succeeded, want error")
+	}
+	seconds := NewHistogram(0, 4, UnitSeconds).Snapshot()
+	if err := merged.Merge(seconds); err == nil {
+		t.Error("merging a different unit succeeded, want error")
+	}
+}
+
+// TestQuantile checks the interpolated estimates land inside the bucket
+// that holds the target rank.
+func TestQuantile(t *testing.T) {
+	h := NewDurationHistogram()
+	// 90 fast samples (~1µs bucket) and 10 slow ones (~1ms bucket).
+	for i := 0; i < 90; i++ {
+		h.Record(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(1_000_000)
+	}
+	s := h.Snapshot()
+	if p50 := s.P50(); p50 <= 0 || p50 > 1024 {
+		t.Errorf("p50 = %v, want in (0, 1024]", p50)
+	}
+	// Rank 90 is exactly the last fast sample; rank 99 is a slow one.
+	if p99 := s.P99(); p99 <= 524288 || p99 > 1048576 {
+		t.Errorf("p99 = %v, want in (2^19, 2^20]", p99)
+	}
+	// Everything in the overflow bucket reports its lower bound.
+	o := NewHistogram(0, 2, UnitCount)
+	o.Record(1 << 30)
+	if q := o.Snapshot().Quantile(0.99); q != 1 {
+		t.Errorf("overflow quantile = %v, want lower bound 1", q)
+	}
+}
+
+// TestPromGolden locks the Prometheus text rendering, comparing the
+// exact expected lines for a small fixed histogram.
+func TestPromGolden(t *testing.T) {
+	h := NewHistogram(0, 3, UnitCount) // bounds 1, 2, +Inf
+	for _, v := range []int64{1, 2, 5} {
+		h.Record(v)
+	}
+	var b strings.Builder
+	WritePromHeader(&b, "x", "test histogram.")
+	WriteProm(&b, "x", `view="t"`, h.Snapshot())
+	want := strings.Join([]string{
+		"# HELP x test histogram.",
+		"# TYPE x histogram",
+		`x_bucket{view="t",le="1"} 1`,
+		`x_bucket{view="t",le="2"} 2`,
+		`x_bucket{view="t",le="+Inf"} 3`,
+		`x_sum{view="t"} 8`,
+		`x_count{view="t"} 3`,
+		"",
+	}, "\n")
+	if b.String() != want {
+		t.Fatalf("prom rendering mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestPromParses renders a realistic duration histogram and re-parses
+// it line by line, checking the invariants a Prometheus scraper relies
+// on: strictly increasing le bounds, monotonically non-decreasing
+// cumulative counts, +Inf bucket equal to _count, plausible _sum.
+func TestPromParses(t *testing.T) {
+	h := NewDurationHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Record(int64(500 * (i + 1)))
+	}
+	var b strings.Builder
+	WriteProm(&b, "lat_seconds", `view="book"`, h.Snapshot())
+
+	var lastLE float64 = -1
+	var lastCum, infCum uint64
+	var sum float64
+	var count uint64
+	var buckets int
+	sawInf := false
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("unparseable line %q", line)
+		}
+		switch {
+		case strings.HasPrefix(name, "lat_seconds_bucket{"):
+			buckets++
+			leStart := strings.Index(name, `le="`)
+			if leStart < 0 {
+				t.Fatalf("bucket line without le: %q", line)
+			}
+			le := name[leStart+len(`le="`) : len(name)-len(`"}`)]
+			cum, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket count %q: %v", value, err)
+			}
+			if cum < lastCum {
+				t.Fatalf("cumulative count decreased at %q (%d < %d)", line, cum, lastCum)
+			}
+			lastCum = cum
+			if le == "+Inf" {
+				sawInf, infCum = true, cum
+				continue
+			}
+			f, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("le %q: %v", le, err)
+			}
+			if f <= lastLE {
+				t.Fatalf("le bounds not increasing: %v after %v", f, lastLE)
+			}
+			lastLE = f
+		case strings.HasPrefix(name, "lat_seconds_sum"):
+			f, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				t.Fatalf("sum %q: %v", value, err)
+			}
+			sum = f
+		case strings.HasPrefix(name, "lat_seconds_count"):
+			c, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Fatalf("count %q: %v", value, err)
+			}
+			count = c
+		default:
+			t.Fatalf("unexpected line %q", line)
+		}
+	}
+	if !sawInf {
+		t.Fatal("no +Inf bucket")
+	}
+	if infCum != count {
+		t.Fatalf("+Inf cumulative %d != count %d", infCum, count)
+	}
+	if count != 1000 {
+		t.Fatalf("count = %d, want 1000", count)
+	}
+	wantSum := float64(0)
+	for i := 0; i < 1000; i++ {
+		wantSum += 500 * float64(i+1) * 1e-9
+	}
+	if math.Abs(sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want ~%v", sum, wantSum)
+	}
+	if buckets != durBuckets {
+		t.Fatalf("bucket lines = %d, want %d", buckets, durBuckets)
+	}
+}
+
+// TestPromEmpty: an empty (or nil-histogram) snapshot still renders a
+// valid zero histogram so scrapes never see a malformed family.
+func TestPromEmpty(t *testing.T) {
+	var h *Histogram
+	var b strings.Builder
+	WriteProm(&b, "empty", `view="v"`, h.Snapshot())
+	want := fmt.Sprintf("empty_bucket{view=\"v\",le=\"+Inf\"} 0\nempty_sum{view=\"v\"} 0\nempty_count{view=\"v\"} 0\n")
+	if b.String() != want {
+		t.Fatalf("empty rendering:\ngot %q\nwant %q", b.String(), want)
+	}
+}

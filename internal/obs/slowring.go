@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// slowRingWindow is how many offers an entry survives before it is
+// considered stale: the ring serves "the slowest RECENT traces", so
+// under sustained traffic an old outlier ages out instead of pinning a
+// slot forever while the workload changes underneath it.
+const slowRingWindow = 4096
+
+// SlowRing keeps the N slowest recent traces offered to it. An offer
+// replaces the current minimum when it is slower (or any entry older
+// than the recency window, regardless of speed), so the ring converges
+// on the worst recent requests without unbounded memory. A nil
+// *SlowRing ignores offers, keeping collection optional.
+type SlowRing struct {
+	mu      sync.Mutex
+	capN    int
+	seq     uint64
+	entries []slowEntry
+}
+
+type slowEntry struct {
+	ts  TraceSummary
+	seq uint64
+}
+
+// NewSlowRing builds a ring holding at most n traces (minimum 1).
+func NewSlowRing(n int) *SlowRing {
+	if n < 1 {
+		n = 1
+	}
+	return &SlowRing{capN: n}
+}
+
+// Offer considers one finished trace for the ring. Traces without a
+// finished total are ignored.
+func (r *SlowRing) Offer(ts TraceSummary) {
+	if r == nil || ts.TotalNs <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	if len(r.entries) < r.capN {
+		r.entries = append(r.entries, slowEntry{ts: ts, seq: r.seq})
+		return
+	}
+	// Prefer evicting a stale entry; otherwise evict the fastest, and
+	// only when the newcomer is slower than it.
+	victim := -1
+	for i := range r.entries {
+		if r.seq-r.entries[i].seq > slowRingWindow {
+			if victim < 0 || r.entries[i].seq < r.entries[victim].seq {
+				victim = i
+			}
+		}
+	}
+	if victim < 0 {
+		min := 0
+		for i := 1; i < len(r.entries); i++ {
+			if r.entries[i].ts.TotalNs < r.entries[min].ts.TotalNs {
+				min = i
+			}
+		}
+		if ts.TotalNs <= r.entries[min].ts.TotalNs {
+			return
+		}
+		victim = min
+	}
+	r.entries[victim] = slowEntry{ts: ts, seq: r.seq}
+}
+
+// Snapshot returns the ring's traces sorted slowest-first.
+func (r *SlowRing) Snapshot() []TraceSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]TraceSummary, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.ts
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalNs > out[j].TotalNs })
+	return out
+}

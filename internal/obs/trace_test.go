@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := StartTrace("apply")
+	end := tr.StartSpan("bind")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.Add("fsync", 2*time.Millisecond)
+	tr.Finish()
+	ts := tr.Summary()
+	if ts.Op != "apply" {
+		t.Fatalf("op = %q", ts.Op)
+	}
+	if ts.TotalNs <= 0 {
+		t.Fatalf("TotalNs = %d, want > 0", ts.TotalNs)
+	}
+	if len(ts.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(ts.Spans))
+	}
+	if ts.Spans[0].Stage != "bind" || ts.Spans[1].Stage != "fsync" {
+		t.Fatalf("stages = %v", ts.Spans)
+	}
+	var spanSum int64
+	for _, s := range ts.Spans {
+		if s.StartNs < 0 || s.DurNs <= 0 {
+			t.Fatalf("bad span %+v", s)
+		}
+		spanSum += s.DurNs
+	}
+	// The externally measured fsync span (2ms) overlaps real elapsed
+	// time, so the sum can exceed wall-clock; each individual span must
+	// still start inside the trace.
+	for _, s := range ts.Spans {
+		if s.StartNs > ts.TotalNs {
+			t.Fatalf("span %q starts after trace end", s.Stage)
+		}
+	}
+}
+
+func TestNilTrace(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("x")()
+	tr.Add("y", time.Second)
+	tr.Finish()
+	if ts := tr.Summary(); ts.Op != "" || len(ts.Spans) != 0 {
+		t.Fatalf("nil trace summary = %+v", ts)
+	}
+	ctx := WithTrace(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Fatal("nil trace attached to context")
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) != nil")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := StartTrace("check")
+	ctx := WithTrace(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %p, want %p", got, tr)
+	}
+}
+
+func mkts(op string, totalNs int64) TraceSummary {
+	return TraceSummary{Op: op, TotalNs: totalNs}
+}
+
+// TestSlowRingEviction pins the slowest-N semantics: once full, a
+// newcomer only enters by being strictly slower than the current
+// minimum, which it replaces.
+func TestSlowRingEviction(t *testing.T) {
+	r := NewSlowRing(2)
+	r.Offer(mkts("a", 5))
+	r.Offer(mkts("b", 3))
+	r.Offer(mkts("c", 9)) // evicts b (min=3)
+	got := r.Snapshot()
+	if len(got) != 2 || got[0].TotalNs != 9 || got[1].TotalNs != 5 {
+		t.Fatalf("after c: %+v", got)
+	}
+	r.Offer(mkts("d", 1)) // faster than min=5: ignored
+	got = r.Snapshot()
+	if len(got) != 2 || got[0].TotalNs != 9 || got[1].TotalNs != 5 {
+		t.Fatalf("after d: %+v", got)
+	}
+	r.Offer(mkts("e", 7)) // evicts a (min=5)
+	got = r.Snapshot()
+	if len(got) != 2 || got[0].TotalNs != 9 || got[1].TotalNs != 7 {
+		t.Fatalf("after e: %+v", got)
+	}
+	r.Offer(mkts("zero", 0)) // unfinished traces ignored
+	if got = r.Snapshot(); len(got) != 2 {
+		t.Fatalf("zero-total trace entered the ring: %+v", got)
+	}
+}
+
+// TestSlowRingRecency: an old outlier ages out after slowRingWindow
+// offers even though every newcomer is faster.
+func TestSlowRingRecency(t *testing.T) {
+	r := NewSlowRing(1)
+	r.Offer(mkts("outlier", 1_000_000))
+	for i := 0; i < slowRingWindow+1; i++ {
+		r.Offer(mkts("fast", 10))
+	}
+	got := r.Snapshot()
+	if len(got) != 1 || got[0].TotalNs != 10 {
+		t.Fatalf("stale outlier still pinned: %+v", got)
+	}
+}
+
+func TestSlowRingNil(t *testing.T) {
+	var r *SlowRing
+	r.Offer(mkts("x", 5))
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil ring snapshot = %+v", got)
+	}
+}

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/asg"
+	"repro/internal/obs"
 	"repro/internal/relational"
 	"repro/internal/sqlexec"
 	"repro/internal/xqparse"
@@ -128,6 +130,12 @@ type Executor struct {
 	// defaultWriteRetries. Set before sharing the executor.
 	MaxWriteRetries int
 
+	// Obs receives the engine-internal latency/size distributions
+	// (compile time, retries per apply, commit wait, group size); see
+	// obs.go. Attached by NewExecutor; DetachObs removes it for
+	// uninstrumented benchmarking. Nil-safe at every recording site.
+	Obs *ObsHists
+
 	// cache memoizes compiled UpdatePlans and schema-level verdicts per
 	// update template; see cache.go. Never nil for executors built by
 	// NewExecutor.
@@ -156,6 +164,9 @@ type Executor struct {
 type applyCtx struct {
 	txn   *relational.Txn
 	preds []UserPred
+	// trace is the request's span recorder (nil when untraced); runOps
+	// and the group committer record stage timings into it.
+	trace *obs.Trace
 	// blindAnchor is BlindApply's naive delete anchor for ops whose
 	// target has none (the unsafe deletes the checked pipeline
 	// rejects). It rides here instead of being written into the shared
@@ -166,13 +177,15 @@ type applyCtx struct {
 
 // NewExecutor builds the runtime for a marked view over a database.
 func NewExecutor(view *asg.ViewASG, base *asg.BaseASG, marks *Marks, db *relational.Database) *Executor {
+	hists := newObsHists()
 	return &Executor{
 		View:  view,
 		Base:  base,
 		Marks: marks,
 		Exec:  sqlexec.NewExecutor(db),
+		Obs:   hists,
 		cache: NewCache(),
-		gc:    newGroupCommitter(db),
+		gc:    newGroupCommitter(db, hists),
 	}
 }
 
@@ -257,38 +270,57 @@ func (e *Executor) CacheStats() CacheStats {
 // cannot depend on the literals, a cheap re-validation of the bound
 // literals otherwise).
 func (e *Executor) Check(updateText string) (*Result, error) {
+	return e.CheckContext(context.Background(), updateText)
+}
+
+// CheckContext is Check with a request context. When the context
+// carries an obs.Trace (see obs.WithTrace), the cache lookup, parse,
+// bind and compile stages record spans into it; otherwise the trace
+// plumbing is a nil no-op.
+func (e *Executor) CheckContext(ctx context.Context, updateText string) (*Result, error) {
+	tr := obs.FromContext(ctx)
 	if e.cache != nil && !e.DisableCache {
-		if res, ok := e.cache.lookupText(updateText); ok {
+		end := tr.StartSpan("cache_lookup")
+		res, ok := e.cache.lookupText(updateText)
+		end()
+		if ok {
 			return res, nil
 		}
 	}
+	endParse := tr.StartSpan("parse")
 	u, err := xqparse.ParseUpdate(updateText)
+	endParse()
 	if err != nil {
 		return nil, err
 	}
-	return e.checkCached(u, updateText)
+	return e.checkCached(u, updateText, tr)
 }
 
 // CheckParsed is Check over a pre-parsed update.
 func (e *Executor) CheckParsed(u *xqparse.UpdateQuery) (*Result, error) {
-	return e.checkCached(u, "")
+	return e.checkCached(u, "", nil)
 }
 
 // checkCached consults the template tier of the plan cache before
 // compiling, and stores fresh plans/verdicts with their
 // literal-sensitivity classification. text, when non-empty, also feeds
 // the parse-skipping text tier.
-func (e *Executor) checkCached(u *xqparse.UpdateQuery, text string) (*Result, error) {
+func (e *Executor) checkCached(u *xqparse.UpdateQuery, text string, tr *obs.Trace) (*Result, error) {
 	if e.cache == nil || e.DisableCache {
+		endCompile := tr.StartSpan("compile")
 		p, err := e.compile(u, false)
+		endCompile()
 		if err != nil {
 			return nil, err
 		}
 		return p.Verdict, nil
 	}
+	endLookup := tr.StartSpan("cache_lookup")
 	tkey := fingerprint(u)
 	lkey := literalKey(u)
-	if res, ok := e.cache.lookupTemplate(tkey, lkey, u); ok {
+	res, ok := e.cache.lookupTemplate(tkey, lkey, u)
+	endLookup()
+	if ok {
 		if text != "" {
 			e.cache.storeText(text, u, res)
 		}
@@ -299,11 +331,15 @@ func (e *Executor) checkCached(u *xqparse.UpdateQuery, text string) (*Result, er
 	// verdict by binding the literals against the plan instead of
 	// re-running resolution and STAR.
 	if p := e.cache.plan(tkey); p != nil && p.Resolved != nil {
+		endBind := tr.StartSpan("bind")
 		res := p.verdictParsed(u)
+		endBind()
 		e.cache.store(text, tkey, lkey, u, nil, res, true)
 		return res.cloneShallow(u), nil
 	}
+	endCompile := tr.StartSpan("compile")
 	p, err := e.compile(u, true)
+	endCompile()
 	if err != nil {
 		return nil, err
 	}
@@ -382,11 +418,21 @@ func (e *Executor) CheckBatch(updates []string, workers int) []BatchResult {
 // finally executes the translated statements. A rejected update leaves
 // the database untouched.
 func (e *Executor) Apply(updateText string) (*Result, error) {
+	return e.ApplyContext(context.Background(), updateText)
+}
+
+// ApplyContext is Apply with a request context; an attached obs.Trace
+// receives per-stage spans (parse, cache lookup, bind, context checks,
+// translate, execute, conflict backoff, commit publish, WAL fsync).
+func (e *Executor) ApplyContext(ctx context.Context, updateText string) (*Result, error) {
+	tr := obs.FromContext(ctx)
+	endParse := tr.StartSpan("parse")
 	u, err := xqparse.ParseUpdate(updateText)
+	endParse()
 	if err != nil {
 		return nil, err
 	}
-	return e.ApplyParsed(u)
+	return e.applyParsedTraced(u, tr)
 }
 
 // ApplyParsed is Apply over a pre-parsed update. Applies run
@@ -400,6 +446,10 @@ func (e *Executor) Apply(updateText string) (*Result, error) {
 // execution reuses the plan's resolution, prepared probe statements and
 // precompiled insert artifacts instead of re-deriving them.
 func (e *Executor) ApplyParsed(u *xqparse.UpdateQuery) (*Result, error) {
+	return e.applyParsedTraced(u, nil)
+}
+
+func (e *Executor) applyParsedTraced(u *xqparse.UpdateQuery, tr *obs.Trace) (*Result, error) {
 	if e.SkipSchemaChecks {
 		// Benchmark mode (Fig. 13's "Update" bar): execute the
 		// translation without the schema-level steps. Only safe for
@@ -409,17 +459,20 @@ func (e *Executor) ApplyParsed(u *xqparse.UpdateQuery) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.applyResolved(r, nil, r.UserPreds, res)
+		return e.applyResolved(r, nil, r.UserPreds, res, tr)
 	}
-	res, err := e.CheckParsed(u)
+	res, err := e.checkCached(u, "", tr)
 	if err != nil || !res.Accepted {
 		return res, err
 	}
 	if !e.DisableCache && e.cache != nil {
 		if p := e.cache.plan(fingerprint(u)); p != nil && p.Resolved != nil {
-			if preds, inv := p.bindParsed(u); inv == nil {
+			endBind := tr.StartSpan("bind")
+			preds, inv := p.bindParsed(u)
+			endBind()
+			if inv == nil {
 				e.cache.planApplies.Add(1)
-				return e.applyResolved(p.Resolved, p.Ops, preds, res)
+				return e.applyResolved(p.Resolved, p.Ops, preds, res, tr)
 			}
 		}
 	}
@@ -427,7 +480,7 @@ func (e *Executor) ApplyParsed(u *xqparse.UpdateQuery) (*Result, error) {
 	if err != nil {
 		return nil, err // cannot happen: CheckParsed resolved already
 	}
-	return e.applyResolved(r, nil, r.UserPreds, res)
+	return e.applyResolved(r, nil, r.UserPreds, res, tr)
 }
 
 // resultMark checkpoints the mutable fields of a Result so a
@@ -476,14 +529,17 @@ func (m resultMark) restore(res *Result) {
 // planned is non-nil when a compiled UpdatePlan's per-op artifacts
 // (prepared probes, insert plans) are available; preds are the
 // update's bound user predicates.
-func (e *Executor) applyResolved(r *ResolvedUpdate, planned []PlannedOp, preds []UserPred, res *Result) (*Result, error) {
+func (e *Executor) applyResolved(r *ResolvedUpdate, planned []PlannedOp, preds []UserPred, res *Result, tr *obs.Trace) (*Result, error) {
 	mark := markResult(res)
 	conflicted := false
 	for attempt := 0; ; attempt++ {
-		out, err := e.applyOnce(r, planned, preds, res)
+		out, err := e.applyOnce(r, planned, preds, res, tr)
 		if err == nil || !errors.Is(err, relational.ErrWriteConflict) {
 			if conflicted {
 				e.conflictApplies.Add(1)
+			}
+			if h := e.Obs; h != nil {
+				h.Retries.Record(int64(attempt))
 			}
 			return out, err
 		}
@@ -491,11 +547,16 @@ func (e *Executor) applyResolved(r *ResolvedUpdate, planned []PlannedOp, preds [
 		if attempt+1 >= e.maxWriteRetries() {
 			e.conflictApplies.Add(1)
 			e.conflictErrors.Add(1)
+			if h := e.Obs; h != nil {
+				h.Retries.Record(int64(attempt))
+			}
 			return nil, fmt.Errorf("plan: apply lost %d write-conflict races: %w", attempt+1, err)
 		}
 		e.txnRetries.Add(1)
 		mark.restore(res)
+		endBackoff := tr.StartSpan("conflict_backoff")
 		conflictBackoff(attempt)
+		endBackoff()
 	}
 }
 
@@ -503,9 +564,9 @@ func (e *Executor) applyResolved(r *ResolvedUpdate, planned []PlannedOp, preds [
 // it, group-commit on success. A rejected update (or an error,
 // including a write conflict) rolls the transaction back and leaves
 // the database untouched.
-func (e *Executor) applyOnce(r *ResolvedUpdate, planned []PlannedOp, preds []UserPred, res *Result) (*Result, error) {
+func (e *Executor) applyOnce(r *ResolvedUpdate, planned []PlannedOp, preds []UserPred, res *Result, tr *obs.Trace) (*Result, error) {
 	res.Accepted = false
-	ac := &applyCtx{txn: e.Exec.DB.Begin(), preds: preds}
+	ac := &applyCtx{txn: e.Exec.DB.Begin(), preds: preds, trace: tr}
 	committed := false
 	defer func() {
 		if !committed {
@@ -520,7 +581,7 @@ func (e *Executor) applyOnce(r *ResolvedUpdate, planned []PlannedOp, preds []Use
 	if rejected {
 		return res, nil
 	}
-	if err := e.gc.commit(ac.txn); err != nil {
+	if err := e.gc.commit(ac.txn, ac.trace); err != nil {
 		return nil, err
 	}
 	committed = true
@@ -547,7 +608,9 @@ func (e *Executor) runOps(ac *applyCtx, r *ResolvedUpdate, planned []PlannedOp, 
 		if planned != nil && i < len(planned) {
 			po = &planned[i]
 		}
+		endCtx := ac.trace.StartSpan("context_check")
 		probe, tempName, reject, err := e.contextCheck(ac, ro, preds, po, args, res)
+		endCtx()
 		if err != nil {
 			return false, err
 		}
@@ -561,6 +624,7 @@ func (e *Executor) runOps(ac *applyCtx, r *ResolvedUpdate, planned []PlannedOp, 
 			return true, nil
 		}
 		var tr *opTranslation
+		endTranslate := ac.trace.StartSpan("translate")
 		switch ro.Op.Kind {
 		case xqparse.OpDelete:
 			tr, err = e.translateDelete(ac, ro, probe, tempName, res)
@@ -573,6 +637,7 @@ func (e *Executor) runOps(ac *applyCtx, r *ResolvedUpdate, planned []PlannedOp, 
 		case xqparse.OpReplace:
 			tr, err = e.translateReplacePlanned(ac, ro, probe, po, res)
 		}
+		endTranslate()
 		if err != nil {
 			var ve *validationError
 			if errors.As(err, &ve) {
@@ -583,14 +648,18 @@ func (e *Executor) runOps(ac *applyCtx, r *ResolvedUpdate, planned []PlannedOp, 
 			}
 			return false, err
 		}
+		endExec := ac.trace.StartSpan("execute")
 		if reject, err := e.runSharedChecksOn(ac.txn, tr.SharedChecks, res); err != nil {
+			endExec()
 			return false, err
 		} else if reject != "" {
+			endExec()
 			res.RejectedAt = StepData
 			res.Reason = reject
 			return true, nil
 		}
 		reject, err = e.executeStatements(ac, ro, tr.Statements, res)
+		endExec()
 		if err != nil {
 			return false, err
 		}

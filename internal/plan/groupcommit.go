@@ -3,7 +3,9 @@ package plan
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/relational"
 )
 
@@ -23,6 +25,11 @@ import (
 type groupCommitter struct {
 	db *relational.Database
 
+	// hists, when non-nil, receives the CommitWait and GroupSize
+	// distributions (shared with the owning Executor's Obs field, and
+	// nilled together with it by DetachObs).
+	hists *ObsHists
+
 	mu      sync.Mutex
 	pending []commitWaiter
 	leading bool
@@ -31,19 +38,35 @@ type groupCommitter struct {
 	txns   atomic.Int64 // transactions committed through them
 }
 
-type commitWaiter struct {
-	txn *relational.Txn
-	ch  chan error
+// commitDone is the leader's acknowledgment to one waiter: the group's
+// commit error plus how long the group's WAL fsync took (0 without a
+// WAL), so the waiter can attribute its own wait between queueing/
+// publish work and the disk flush.
+type commitDone struct {
+	err     error
+	fsyncNs int64
 }
 
-func newGroupCommitter(db *relational.Database) *groupCommitter {
-	return &groupCommitter{db: db}
+type commitWaiter struct {
+	txn *relational.Txn
+	ch  chan commitDone
+}
+
+func newGroupCommitter(db *relational.Database, hists *ObsHists) *groupCommitter {
+	return &groupCommitter{db: db, hists: hists}
 }
 
 // commit enqueues the transaction and blocks until a leader (possibly
 // this caller) has published it. The returned error is the commit's.
-func (g *groupCommitter) commit(txn *relational.Txn) error {
-	ch := make(chan error, 1)
+// tr, when non-nil, receives "commit_publish" (wait minus fsync) and
+// "wal_fsync" spans; the commit-wait histogram records the full
+// enqueue→acknowledgment wait.
+func (g *groupCommitter) commit(txn *relational.Txn, tr *obs.Trace) error {
+	var enqueued time.Time
+	if g.hists != nil || tr != nil {
+		enqueued = time.Now()
+	}
+	ch := make(chan commitDone, 1)
 	g.mu.Lock()
 	g.pending = append(g.pending, commitWaiter{txn: txn, ch: ch})
 	lead := !g.leading
@@ -54,7 +77,24 @@ func (g *groupCommitter) commit(txn *relational.Txn) error {
 	if lead {
 		g.drain()
 	}
-	return <-ch
+	done := <-ch
+	if !enqueued.IsZero() {
+		wait := time.Since(enqueued).Nanoseconds()
+		if g.hists != nil {
+			g.hists.CommitWait.Record(wait)
+		}
+		if tr != nil {
+			publish := wait - done.fsyncNs
+			if publish < 0 {
+				publish = 0
+			}
+			tr.Add("commit_publish", time.Duration(publish))
+			if done.fsyncNs > 0 {
+				tr.Add("wal_fsync", time.Duration(done.fsyncNs))
+			}
+		}
+	}
+	return done.err
 }
 
 // drain publishes batches until the queue is empty, then steps down.
@@ -74,10 +114,20 @@ func (g *groupCommitter) drain() {
 			txns[i] = w.txn
 		}
 		err := g.db.CommitGroup(txns...)
+		// The last fsync the database recorded is this group's: drain
+		// runs one group at a time per committer and CommitGroup flushes
+		// under the database's commit latch.
+		var fsyncNs int64
+		if err == nil {
+			fsyncNs = g.db.LastFsyncNanos()
+		}
 		g.groups.Add(1)
 		g.txns.Add(int64(len(batch)))
+		if g.hists != nil {
+			g.hists.GroupSize.Record(int64(len(batch)))
+		}
 		for _, w := range batch {
-			w.ch <- err
+			w.ch <- commitDone{err: err, fsyncNs: fsyncNs}
 		}
 	}
 }

@@ -1,0 +1,62 @@
+package plan
+
+import (
+	"repro/internal/obs"
+)
+
+// ObsHists bundles the engine-internal distributions an Executor
+// records when observability is attached (the default): plan compile
+// latency, conflict retries per apply, commit wait and group-commit
+// batch size. The per-request end-to-end latency histograms live one
+// layer up, in the server, which owns the request boundary.
+//
+// A nil *ObsHists (after DetachObs) records nothing and skips even the
+// clock reads, which is what the obs benchmark's uninstrumented
+// baseline measures against.
+type ObsHists struct {
+	// Compile records the duration of full plan compilations
+	// (resolve + STAR + artifact preparation) — cache misses only, so
+	// the distribution shows what each new template costs.
+	Compile *obs.Histogram
+	// Retries records, per finished apply, how many times it was re-run
+	// after a write-write conflict (bucket 0 = conflict-free).
+	Retries *obs.Histogram
+	// CommitWait records each committed transaction's wait from
+	// group-commit enqueue to published acknowledgment, fsync included.
+	CommitWait *obs.Histogram
+	// GroupSize records transactions per published commit group — the
+	// fsync-coalescing factor as a distribution rather than a mean.
+	GroupSize *obs.Histogram
+}
+
+// newObsHists builds the standard attached set.
+func newObsHists() *ObsHists {
+	return &ObsHists{
+		Compile:    obs.NewDurationHistogram(),
+		Retries:    obs.NewCountHistogram(),
+		CommitWait: obs.NewDurationHistogram(),
+		GroupSize:  obs.NewCountHistogram(),
+	}
+}
+
+// DetachObs removes the executor's engine-internal histograms so the
+// hot paths skip their clock reads entirely. Benchmark use only (the
+// RunObsBench baseline); set-up time only, not safe under traffic.
+func (e *Executor) DetachObs() {
+	e.Obs = nil
+	if e.gc != nil {
+		e.gc.hists = nil
+	}
+}
+
+// AttachObs installs a fresh engine-internal histogram set after a
+// DetachObs. Benchmark use only (RunObsBench toggles instrumentation
+// on one pipeline to isolate its cost); not safe under traffic.
+func (e *Executor) AttachObs() {
+	if e.Obs == nil {
+		e.Obs = newObsHists()
+	}
+	if e.gc != nil {
+		e.gc.hists = e.Obs
+	}
+}

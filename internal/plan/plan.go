@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/asg"
 	"repro/internal/relational"
@@ -120,6 +121,10 @@ func (e *Executor) CompileText(updateText string) (*UpdatePlan, error) {
 // compile is Compile with the expensive execution artifacts (prepared
 // probes, insert plans) optional: the check-only path skips them.
 func (e *Executor) compile(u *xqparse.UpdateQuery, withArtifacts bool) (*UpdatePlan, error) {
+	if h := e.Obs; h != nil {
+		start := time.Now()
+		defer func() { h.Compile.RecordDuration(time.Since(start)) }()
+	}
 	p := &UpdatePlan{Key: fingerprint(u), Template: u}
 	r, err := Resolve(u, e.View)
 	if err != nil {
@@ -445,7 +450,7 @@ func (e *Executor) Execute(p *UpdatePlan, args []relational.Value) (*Result, err
 	if !res.Accepted {
 		return res, nil
 	}
-	return e.applyResolved(p.Resolved, p.Ops, preds, res)
+	return e.applyResolved(p.Resolved, p.Ops, preds, res, nil)
 }
 
 // groupItem is one update of a group-commit batch, carried through
@@ -537,7 +542,7 @@ func (e *Executor) applyGroup(items []*groupItem) {
 		// transaction is free.
 		return
 	}
-	if err := e.gc.commit(txn); err != nil {
+	if err := e.gc.commit(txn, nil); err != nil {
 		failAll(err)
 		return
 	}

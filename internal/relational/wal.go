@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The write-ahead log turns the engine's in-memory redo model into real
@@ -144,6 +146,12 @@ type WAL struct {
 	rotations    atomic.Int64
 	checkpoints  atomic.Int64
 	sealedSinceC atomic.Int64 // sealed segments since the last checkpoint
+
+	// fsyncHist records each commit-path fsync's duration; lastFsyncNs
+	// holds the most recent one so the group-commit leader can split a
+	// waiter's commit wait into publish time vs fsync time.
+	fsyncHist   *obs.Histogram
+	lastFsyncNs atomic.Int64
 }
 
 func segmentPath(dir string, index uint64) string {
@@ -476,10 +484,14 @@ func (w *WAL) appendGroup(live []*Txn) error {
 		w.truncateActive(wrote)
 		return ferr
 	}
+	syncStart := time.Now()
 	if err := w.f.Sync(); err != nil {
 		w.truncateActive(wrote)
 		return err
 	}
+	fsyncNs := time.Since(syncStart).Nanoseconds()
+	w.fsyncHist.Record(fsyncNs)
+	w.lastFsyncNs.Store(fsyncNs)
 	w.fsyncs.Add(1)
 	if err := evalFailpoint(FpWALFsyncAfter); err != nil {
 		// The group IS durable at this point; error mode still fails the
@@ -581,7 +593,7 @@ func (db *Database) OpenWAL(dir string, opts WALOptions) (*RecoveryInfo, error) 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	w := &WAL{dir: dir, opts: opts.withDefaults()}
+	w := &WAL{dir: dir, opts: opts.withDefaults(), fsyncHist: obs.NewDurationHistogram()}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -1079,4 +1091,24 @@ func (db *Database) WALDir() string {
 		return ""
 	}
 	return db.wal.dir
+}
+
+// FsyncHistogram snapshots the WAL fsync duration distribution (empty
+// when no WAL is attached).
+func (db *Database) FsyncHistogram() obs.Snapshot {
+	if db.wal == nil {
+		return obs.Snapshot{}
+	}
+	return db.wal.fsyncHist.Snapshot()
+}
+
+// LastFsyncNanos returns the duration of the most recent commit-path
+// WAL fsync, or 0 without a WAL. The group-commit leader reads it right
+// after CommitGroup returns to attribute fsync time within the commit
+// wait it observed.
+func (db *Database) LastFsyncNanos() int64 {
+	if db.wal == nil {
+		return 0
+	}
+	return db.wal.lastFsyncNs.Load()
 }

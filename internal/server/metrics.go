@@ -5,6 +5,9 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/ufilter"
 )
 
 // handleMetrics renders every view's counters as Prometheus-style
@@ -117,7 +120,67 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintf(&b, "%s{view=%q} %g\n", m.name, l, m.values[l])
 		}
 	}
+	s.writeHistograms(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeHistograms renders the latency/size histogram families in the
+// Prometheus histogram exposition format (cumulative _bucket lines,
+// _sum, _count). Request latency carries a per-endpoint label; the
+// engine-internal families are per view only.
+func (s *Server) writeHistograms(b *strings.Builder) {
+	views := s.Registry.Views()
+
+	obs.WritePromHeader(b, "ufilterd_request_duration_seconds", "End-to-end request latency per endpoint.")
+	for _, v := range views {
+		endpoints := []struct {
+			name string
+			h    *obs.Histogram
+		}{
+			{"check", v.checkHist},
+			{"check-batch", v.checkBatchHist},
+			{"apply", v.applyHist},
+			{"apply-batch", v.applyBatchHist},
+		}
+		for _, ep := range endpoints {
+			labels := fmt.Sprintf("view=%q,endpoint=%q", v.Name, ep.name)
+			obs.WriteProm(b, "ufilterd_request_duration_seconds", labels, ep.h.Snapshot())
+		}
+	}
+
+	engine := []struct {
+		name, help string
+		snap       func(v *View) obs.Snapshot
+	}{
+		{"ufilterd_apply_latency_seconds", "End-to-end single-apply latency (the Retry-After p90 source).",
+			func(v *View) obs.Snapshot { return v.applyHist.Snapshot() }},
+		{"ufilterd_plan_compile_seconds", "Full plan compilation time (cache misses: resolve + STAR + artifacts).",
+			func(v *View) obs.Snapshot { return planHist(v).Compile.Snapshot() }},
+		{"ufilterd_txn_retries_per_apply", "Conflict-retry attempts per finished apply (bucket 0 = conflict-free).",
+			func(v *View) obs.Snapshot { return planHist(v).Retries.Snapshot() }},
+		{"ufilterd_commit_wait_seconds", "Wait from group-commit enqueue to published acknowledgment, fsync included.",
+			func(v *View) obs.Snapshot { return planHist(v).CommitWait.Snapshot() }},
+		{"ufilterd_group_commit_txns", "Transactions coalesced per published commit group.",
+			func(v *View) obs.Snapshot { return planHist(v).GroupSize.Snapshot() }},
+		{"ufilterd_wal_fsync_seconds", "Durable WAL fsync duration per commit group (empty without -data-dir).",
+			func(v *View) obs.Snapshot { return v.Filter.Exec.DB.FsyncHistogram() }},
+	}
+	for _, h := range engine {
+		obs.WritePromHeader(b, h.name, h.help)
+		for _, v := range views {
+			obs.WriteProm(b, h.name, fmt.Sprintf("view=%q", v.Name), h.snap(v))
+		}
+	}
+}
+
+// planHist fetches the view executor's engine-internal histogram set,
+// substituting an empty one if observability was detached (the nil
+// histograms inside snapshot to valid empty snapshots).
+func planHist(v *View) *ufilter.ObsHists {
+	if h := v.Filter.Obs; h != nil {
+		return h
+	}
+	return &ufilter.ObsHists{}
 }

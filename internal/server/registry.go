@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/bookdb"
+	"repro/internal/obs"
 	"repro/internal/psd"
 	"repro/internal/relational"
 	"repro/internal/tpch"
@@ -27,6 +29,10 @@ import (
 // before the server starts shedding load with 429 — a concurrency
 // limiter, not a wait queue.
 const DefaultApplyQueueDepth = 16
+
+// slowRingDepth is how many of the slowest recent traces each view
+// retains for GET /views/{name}/slow.
+const slowRingDepth = 32
 
 // Config is the ufilterd configuration, loadable from a JSON file.
 type Config struct {
@@ -96,9 +102,20 @@ type View struct {
 	// a full limiter sheds load (429).
 	queue chan struct{}
 
-	// applyNanos accumulates wall time spent inside Filter.Apply, used
-	// to estimate Retry-After under backpressure.
-	applyNanos atomic.Int64
+	// Per-endpoint end-to-end latency histograms (log-scaled buckets,
+	// exported as Prometheus histogram families by /metrics). applyHist
+	// also feeds the Retry-After p90 estimate under backpressure.
+	checkHist      *obs.Histogram
+	checkBatchHist *obs.Histogram
+	applyHist      *obs.Histogram
+	applyBatchHist *obs.Histogram
+
+	// slow retains the slowest recent request traces, served at
+	// GET /views/{name}/slow; the sequence counters drive the 1-in-N
+	// span-trace sampling of single checks and applies (sampleTrace).
+	slow          *obs.SlowRing
+	checkTraceSeq atomic.Uint64
+	applyTraceSeq atomic.Uint64
 
 	checks          atomic.Int64
 	checkErrors     atomic.Int64
@@ -109,10 +126,11 @@ type View struct {
 	applyBatches    atomic.Int64
 	appliesConflict atomic.Int64 // applies answered 409 (retries exhausted)
 
-	// applyFn runs the full pipeline; defaults to Filter.Apply. Tests
-	// substitute a blocking function to exercise backpressure
+	// applyFn runs the full pipeline; defaults to Filter.ApplyContext
+	// (the context carries the request's trace, when one is attached).
+	// Tests substitute a blocking function to exercise backpressure
 	// deterministically.
-	applyFn func(string) (*ufilter.Result, error)
+	applyFn func(context.Context, string) (*ufilter.Result, error)
 	// applyBatchFn runs the group-commit batch pipeline; defaults to
 	// Filter.ApplyBatch.
 	applyBatchFn func([]string) []ufilter.BatchResult
@@ -139,16 +157,20 @@ func (v *View) release() { <-v.queue }
 
 // retryAfter estimates how long a shed request should wait before
 // retrying from the limiter's live state: admitted applies run
-// concurrently, so the expected drain time is the mean apply latency
+// concurrently, so the expected drain time is the p90 apply latency
 // scaled by how many slots are held per available lane (current depth
-// × mean latency ÷ capacity), rounded up to at least one second. A
-// half-empty limiter therefore quotes a shorter retry than a full one.
+// × p90 ÷ capacity), rounded up to at least one second. The p90 comes
+// from the apply-latency histogram rather than a running mean: under
+// conflict retries apply latency is bimodal (fast no-conflict commits
+// plus a slow backoff-and-retry tail), and the mean sits between the
+// modes — below what a shed request will actually wait behind. A
+// half-empty limiter still quotes a shorter retry than a full one.
 func (v *View) retryAfter() time.Duration {
-	n := v.applies.Load()
-	if n == 0 {
+	s := v.applyHist.Snapshot()
+	if s.Count == 0 {
 		return time.Second
 	}
-	mean := time.Duration(v.applyNanos.Load() / n)
+	p90 := time.Duration(s.P90())
 	depth := len(v.queue)
 	if depth == 0 {
 		depth = 1
@@ -157,28 +179,48 @@ func (v *View) retryAfter() time.Duration {
 	if lanes == 0 {
 		lanes = 1
 	}
-	est := mean * time.Duration(depth) / time.Duration(lanes)
+	est := p90 * time.Duration(depth) / time.Duration(lanes)
 	if est < time.Second {
 		return time.Second
 	}
 	return est.Round(time.Second)
 }
 
+// OfferSlow submits a finished request trace to the view's slow ring.
+func (v *View) OfferSlow(ts obs.TraceSummary) { v.slow.Offer(ts) }
+
+// sampleTrace decides whether an untraced-by-request operation should
+// record a span trace this time: true on the first call and every n-th
+// after, so the slow ring sees fresh traces under sustained traffic
+// while the fast path stays histogram-only.
+func (v *View) sampleTrace(seq *atomic.Uint64, n uint64) bool { return seq.Add(1)%n == 1 }
+
+// SlowTraces returns the slowest recent traces, slowest first.
+func (v *View) SlowTraces() []obs.TraceSummary { return v.slow.Snapshot() }
+
 // Check classifies one update through the schema-level steps and bumps
-// the view's counters.
-func (v *View) Check(update string) (*ufilter.Result, error) {
+// the view's counters; a trace on the context records the stage spans.
+func (v *View) Check(ctx context.Context, update string) (*ufilter.Result, error) {
 	v.checks.Add(1)
-	res, err := v.Filter.Check(update)
+	start := time.Now()
+	res, err := v.Filter.CheckContext(ctx, update)
+	v.checkHist.RecordDuration(time.Since(start))
 	if err != nil {
 		v.checkErrors.Add(1)
 	}
 	return res, err
 }
 
-// CheckBatch fans a batch across the filter's worker pool.
-func (v *View) CheckBatch(updates []string, workers int) []ufilter.BatchResult {
+// CheckBatch fans a batch across the filter's worker pool. The batch
+// runs under one "execute" span — the filter-level fan-out does not
+// thread per-item contexts, so the trace shows the batch as a unit.
+func (v *View) CheckBatch(ctx context.Context, updates []string, workers int) []ufilter.BatchResult {
 	v.checks.Add(int64(len(updates)))
+	endRun := obs.FromContext(ctx).StartSpan("execute")
+	start := time.Now()
 	out := v.Filter.CheckBatch(updates, workers)
+	endRun()
+	v.checkBatchHist.RecordDuration(time.Since(start))
 	for _, br := range out {
 		if br.Err != nil {
 			v.checkErrors.Add(1)
@@ -191,9 +233,13 @@ func (v *View) CheckBatch(updates []string, workers int) []ufilter.BatchResult {
 // runs the snapshot-isolated data check (Steps 1+2 plus read-only
 // Step 3 probes) on every update: the batch observes a single
 // point-in-time state and never waits behind an in-flight apply.
-func (v *View) CheckBatchData(updates []string, workers int) []ufilter.BatchResult {
+func (v *View) CheckBatchData(ctx context.Context, updates []string, workers int) []ufilter.BatchResult {
 	v.checks.Add(int64(len(updates)))
+	endRun := obs.FromContext(ctx).StartSpan("execute")
+	start := time.Now()
 	out := v.Filter.CheckBatchData(updates, workers)
+	endRun()
+	v.checkBatchHist.RecordDuration(time.Since(start))
 	for _, br := range out {
 		if br.Err != nil {
 			v.checkErrors.Add(1)
@@ -208,15 +254,18 @@ func (v *View) CheckBatchData(updates []string, workers int) []ufilter.BatchResu
 // should shed the request with the returned retry hint. An err
 // wrapping relational.ErrWriteConflict means the apply exhausted its
 // conflict retries (the handler answers 409).
-func (v *View) Apply(update string) (res *ufilter.Result, retry time.Duration, ok bool, err error) {
-	if !v.tryAcquire() {
+func (v *View) Apply(ctx context.Context, update string) (res *ufilter.Result, retry time.Duration, ok bool, err error) {
+	endAdmit := obs.FromContext(ctx).StartSpan("admission")
+	admitted := v.tryAcquire()
+	endAdmit()
+	if !admitted {
 		v.appliesOverflow.Add(1)
 		return nil, v.retryAfter(), false, nil
 	}
 	defer v.release()
 	start := time.Now()
-	res, err = v.applyFn(update)
-	v.applyNanos.Add(time.Since(start).Nanoseconds())
+	res, err = v.applyFn(ctx, update)
+	v.applyHist.RecordDuration(time.Since(start))
 	v.applies.Add(1)
 	switch {
 	case err != nil:
@@ -237,15 +286,20 @@ func (v *View) Apply(update string) (res *ufilter.Result, retry time.Duration, o
 // flush for all accepted updates; conflicted items retry in follow-up
 // rounds). ok is false when the limiter is saturated. The per-update
 // wall time feeds the same drain-rate estimate single applies use.
-func (v *View) ApplyBatch(updates []string) (results []ufilter.BatchResult, retry time.Duration, ok bool) {
-	if !v.tryAcquire() {
+func (v *View) ApplyBatch(ctx context.Context, updates []string) (results []ufilter.BatchResult, retry time.Duration, ok bool) {
+	endAdmit := obs.FromContext(ctx).StartSpan("admission")
+	admitted := v.tryAcquire()
+	endAdmit()
+	if !admitted {
 		v.appliesOverflow.Add(1)
 		return nil, v.retryAfter(), false
 	}
 	defer v.release()
+	endRun := obs.FromContext(ctx).StartSpan("execute")
 	start := time.Now()
 	results = v.applyBatchFn(updates)
-	v.applyNanos.Add(time.Since(start).Nanoseconds())
+	endRun()
+	v.applyBatchHist.RecordDuration(time.Since(start))
 	v.applies.Add(int64(len(updates)))
 	v.applyBatches.Add(1)
 	for _, br := range results {
@@ -282,6 +336,11 @@ type ViewStats struct {
 	TxnConflictsTotal int64 `json:"txn_conflicts_total"`
 	TxnRetriesTotal   int64 `json:"txn_retries_total"`
 	TxnsActive        int64 `json:"txns_active"`
+	// CheckLatency / ApplyLatency summarize the per-endpoint end-to-end
+	// latency histograms (quantiles estimated from the log-scaled
+	// buckets; the full distributions are on /metrics).
+	CheckLatency LatencyStats `json:"check_latency"`
+	ApplyLatency LatencyStats `json:"apply_latency"`
 	// RowsTotal is the database size counted through a snapshot pinned
 	// for this stats request, so the number is a coherent point-in-time
 	// count even while an apply is mutating tables.
@@ -309,6 +368,23 @@ type QueueStats struct {
 	Depth    int   `json:"depth"`
 	InFlight int   `json:"in_flight"`
 	Shed     int64 `json:"shed"`
+}
+
+// LatencyStats is the wire summary of one latency histogram.
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+func latencyStats(s obs.Snapshot) LatencyStats {
+	return LatencyStats{
+		Count: s.Count,
+		P50Ms: s.P50() / 1e6,
+		P90Ms: s.P90() / 1e6,
+		P99Ms: s.P99() / 1e6,
+	}
 }
 
 // Stats snapshots the view's counters, safe under concurrent traffic.
@@ -343,6 +419,8 @@ func (v *View) Stats() ViewStats {
 		QueueDepth:   len(v.queue),
 		Filter:       fs,
 		CacheHitRate: fs.Cache.HitRate(),
+		CheckLatency: latencyStats(v.checkHist.Snapshot()),
+		ApplyLatency: latencyStats(v.applyHist.Snapshot()),
 		RowsTotal:    versions.VisibleRows,
 		Versions:     versions,
 	}
@@ -442,14 +520,19 @@ func (r *Registry) Add(vc ViewConfig) (*View, error) {
 		depth = DefaultApplyQueueDepth
 	}
 	v := &View{
-		Name:     name,
-		Filter:   f,
-		Dataset:  strings.ToLower(vc.Dataset),
-		Strategy: strategy,
-		Recovery: recovery,
-		queue:    make(chan struct{}, depth),
+		Name:           name,
+		Filter:         f,
+		Dataset:        strings.ToLower(vc.Dataset),
+		Strategy:       strategy,
+		Recovery:       recovery,
+		queue:          make(chan struct{}, depth),
+		checkHist:      obs.NewDurationHistogram(),
+		checkBatchHist: obs.NewDurationHistogram(),
+		applyHist:      obs.NewDurationHistogram(),
+		applyBatchHist: obs.NewDurationHistogram(),
+		slow:           obs.NewSlowRing(slowRingDepth),
 	}
-	v.applyFn = f.Apply
+	v.applyFn = f.ApplyContext
 	v.applyBatchFn = f.ApplyBatch
 
 	r.mu.Lock()

@@ -37,7 +37,16 @@
 //	POST /views/{name}/apply-batch   group-commit batch apply (one txn,
 //	                                 one redo flush for the whole batch)
 //	GET  /views/{name}/stats         ViewStats JSON
+//	GET  /views/{name}/slow          slowest recent request traces
 //	GET  /metrics                    Prometheus-style text, all views
+//
+// Observability: every check/apply request runs under an obs.Trace
+// recording per-stage spans (admission, cache lookup, bind, context
+// checks, translate, execute, commit publish, WAL fsync); the slowest
+// land in the per-view ring behind /slow, and a request carrying
+// "X-UFilter-Trace: 1" gets its own stage breakdown back in the JSON
+// response. /metrics adds per-endpoint latency histogram families to
+// the counters.
 package server
 
 import (
@@ -45,11 +54,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/relational"
 	"repro/internal/ufilter"
 )
@@ -58,6 +69,11 @@ import (
 // shutdown.
 type Server struct {
 	Registry *Registry
+
+	// Log receives the server's structured operational records (view
+	// registrations, shed/conflicted/errored applies); slog.Default()
+	// when nil.
+	Log *slog.Logger
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -87,6 +103,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /views/{name}/apply", s.withView(s.handleApply))
 	mux.HandleFunc("POST /views/{name}/apply-batch", s.withView(s.handleApplyBatch))
 	mux.HandleFunc("GET /views/{name}/stats", s.withView(s.handleStats))
+	mux.HandleFunc("GET /views/{name}/slow", s.withView(s.handleSlow))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -137,6 +154,42 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// logger returns the configured structured logger or the default one.
+func (s *Server) logger() *slog.Logger {
+	if s.Log != nil {
+		return s.Log
+	}
+	return slog.Default()
+}
+
+// traceHeader is the opt-in request header whose value "1" returns the
+// request's stage breakdown in the JSON response.
+const traceHeader = "X-UFilter-Trace"
+
+// startTrace begins the request's span recorder for the batch
+// endpoints, which are always traced — a batch is a macroscopic
+// operation and the recorder's handful of spans is noise against it.
+// The breakdown is only returned to clients that opted in.
+func startTrace(r *http.Request, op string) (*obs.Trace, context.Context, bool) {
+	tr := obs.StartTrace(op)
+	return tr, obs.WithTrace(r.Context(), tr), r.Header.Get(traceHeader) == "1"
+}
+
+// Single check and apply requests sample their span traces instead of
+// recording one for every request: a plan-cached check runs in a few
+// hundred nanoseconds and an apply's spans still cost a dozen clock
+// reads, so always-on tracing would tax the hot path for breakdowns
+// nobody reads. 1-in-N sampling (the first request and every N-th
+// after, per endpoint class) keeps the slow ring fed with recent
+// outliers, and a header opt-in always traces. The latency histograms
+// record EVERY request regardless of sampling — only span collection
+// is sampled. Applies sample denser than checks because each one is
+// ~1000x more work, making the relative cost negligible.
+const (
+	checkTraceSampleEvery = 64
+	applyTraceSampleEvery = 8
+)
+
 // withView resolves the {name} path value to a registered view.
 func (s *Server) withView(fn func(http.ResponseWriter, *http.Request, *View)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -179,9 +232,12 @@ func (s *Server) handleCreateView(w http.ResponseWriter, r *http.Request) {
 	}
 	v, err := s.Registry.Add(vc)
 	if err != nil {
+		s.logger().Warn("view registration failed", "view", vc.Name, "err", err)
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	s.logger().Info("view registered", "view", v.Name, "dataset", v.Dataset,
+		"strategy", v.Strategy.String(), "queue_depth", v.QueueCapacity())
 	writeJSON(w, http.StatusCreated, viewInfo{Name: v.Name, Dataset: v.Dataset, Strategy: v.Strategy.String(), QueueDepth: v.QueueCapacity()})
 }
 
@@ -216,9 +272,23 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request, v *View) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := v.Check(req.Update)
+	wantTrace := r.Header.Get(traceHeader) == "1"
+	var tr *obs.Trace
+	ctx := r.Context()
+	if wantTrace || v.sampleTrace(&v.checkTraceSeq, checkTraceSampleEvery) {
+		tr = obs.StartTrace("check")
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	res, err := v.Check(ctx, req.Update)
+	tr.Finish()
+	v.OfferSlow(tr.Summary()) // nil trace → zero summary → ignored
 	if err != nil {
+		s.logger().Warn("check failed", "view", v.Name, "err", err)
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if wantTrace {
+		writeJSON(w, http.StatusOK, map[string]any{"result": res, "trace": tr.Summary()})
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -234,13 +304,20 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request, v *Vie
 		writeError(w, http.StatusBadRequest, "updates must be non-empty")
 		return
 	}
+	tr, ctx, wantTrace := startTrace(r, "check-batch")
 	var results []ufilter.BatchResult
 	if req.Data {
-		results = v.CheckBatchData(req.Updates, req.Workers)
+		results = v.CheckBatchData(ctx, req.Updates, req.Workers)
 	} else {
-		results = v.CheckBatch(req.Updates, req.Workers)
+		results = v.CheckBatch(ctx, req.Updates, req.Workers)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+	tr.Finish()
+	v.OfferSlow(tr.Summary())
+	body := map[string]any{"results": results}
+	if wantTrace {
+		body["trace"] = tr.Summary()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request, v *View) {
@@ -249,26 +326,44 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request, v *View) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, retry, ok, err := v.Apply(req.Update)
+	reqStart := time.Now()
+	wantTrace := r.Header.Get(traceHeader) == "1"
+	var tr *obs.Trace
+	ctx := r.Context()
+	if wantTrace || v.sampleTrace(&v.applyTraceSeq, applyTraceSampleEvery) {
+		tr = obs.StartTrace("apply")
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	res, retry, ok, err := v.Apply(ctx, req.Update)
+	tr.Finish()
 	if !ok {
 		secs := int(retry / time.Second)
 		if secs < 1 {
 			secs = 1
 		}
+		s.logger().Warn("apply shed", "view", v.Name, "retry_after_s", secs, "queue_depth", v.QueueCapacity())
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusTooManyRequests,
 			"apply queue for view %q is full (depth %d); retry after %ds", v.Name, v.QueueCapacity(), secs)
 		return
 	}
+	v.OfferSlow(tr.Summary()) // nil trace → zero summary → ignored
 	if err != nil {
 		if errors.Is(err, relational.ErrWriteConflict) {
 			// The apply exhausted its first-updater-wins retries against
 			// concurrent writers; the client should re-submit.
+			s.logger().Warn("apply conflicted", "view", v.Name, "err", err,
+				"latency_ms", float64(time.Since(reqStart))/float64(time.Millisecond))
 			writeError(w, http.StatusConflict,
 				"write-write conflict on view %q: %v", v.Name, err)
 			return
 		}
+		s.logger().Warn("apply failed", "view", v.Name, "err", err)
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if wantTrace {
+		writeJSON(w, http.StatusOK, map[string]any{"result": res, "trace": tr.Summary()})
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -288,30 +383,45 @@ func (s *Server) handleApplyBatch(w http.ResponseWriter, r *http.Request, v *Vie
 		writeError(w, http.StatusBadRequest, "updates must be non-empty")
 		return
 	}
-	results, retry, ok := v.ApplyBatch(req.Updates)
+	tr, ctx, wantTrace := startTrace(r, "apply-batch")
+	results, retry, ok := v.ApplyBatch(ctx, req.Updates)
+	tr.Finish()
 	if !ok {
 		secs := int(retry / time.Second)
 		if secs < 1 {
 			secs = 1
 		}
+		s.logger().Warn("apply-batch shed", "view", v.Name, "retry_after_s", secs, "batch", len(req.Updates))
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusTooManyRequests,
 			"apply queue for view %q is full (depth %d); retry after %ds", v.Name, v.QueueCapacity(), secs)
 		return
 	}
+	v.OfferSlow(tr.Summary())
 	accepted := 0
 	for _, br := range results {
 		if br.Err == nil && br.Result != nil && br.Result.Accepted {
 			accepted++
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"results":  results,
 		"accepted": accepted,
 		"rejected": len(results) - accepted,
-	})
+	}
+	if wantTrace {
+		body["trace"] = tr.Summary()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, v *View) {
 	writeJSON(w, http.StatusOK, v.Stats())
+}
+
+// handleSlow serves the view's slowest recent request traces, slowest
+// first, with per-stage span breakdowns.
+func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request, v *View) {
+	traces := v.SlowTraces()
+	writeJSON(w, http.StatusOK, map[string]any{"view": v.Name, "count": len(traces), "slow": traces})
 }

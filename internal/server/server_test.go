@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -327,7 +328,7 @@ func TestApplyBackpressure(t *testing.T) {
 	}
 	block := make(chan struct{})
 	started := make(chan struct{}, 8)
-	v.applyFn = func(string) (*ufilter.Result, error) {
+	v.applyFn = func(context.Context, string) (*ufilter.Result, error) {
 		started <- struct{}{}
 		<-block
 		return &ufilter.Result{Accepted: true}, nil
