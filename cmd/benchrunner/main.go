@@ -27,7 +27,7 @@ func main() {
 	sizesFlag := flag.String("sizes", "50,100,150,200,250,300,350,400,450,500",
 		"comma-separated database sizes (MB) for Figs. 15-17")
 	iters := flag.Int("iters", 20, "operations per size for Figs. 15-17")
-	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan,mvcc,write,wal,obs")
+	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan,mvcc,write,wal,obs,shard")
 	planIters := flag.Int("plan-iters", 2000, "iterations for the plan (compile-once/execute-many) benchmark")
 	planOut := flag.String("plan-out", "BENCH_plan.json", "file the plan benchmark's JSON is written to")
 	mvccIters := flag.Int("mvcc-iters", 2000, "checks per side for the MVCC checks-during-apply benchmark")
@@ -38,6 +38,8 @@ func main() {
 	walOut := flag.String("wal-out", "BENCH_wal.json", "file the WAL benchmark's JSON is written to")
 	obsIters := flag.Int("obs-iters", 5000, "operations per workload for the observability-overhead benchmark")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "file the observability benchmark's JSON is written to")
+	shardIters := flag.Int("shard-iters", 800, "durable applies per point for the intra-view sharding benchmark")
+	shardOut := flag.String("shard-out", "BENCH_shard.json", "file the sharding benchmark's JSON is written to")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -87,6 +89,9 @@ func main() {
 	}
 	if run("obs") {
 		printObsBench(*obsIters, *obsOut)
+	}
+	if run("shard") {
+		printShardBench(*shardIters, *shardOut)
 	}
 }
 
@@ -322,6 +327,39 @@ func printObsBench(iters int, outPath string) {
 	}
 	if outPath != "" {
 		data, err := json.MarshalIndent(ob, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+// printShardBench runs the intra-view sharding benchmark — durable
+// apply throughput at 1/2/4/8 hash-partitioned shards on disjoint and
+// cross-shard workloads — and records the series as JSON so CI tracks
+// the fsync-overlap speedup (>= 2x at 8 shards) and the shards=1
+// parity with the unsharded engine.
+func printShardBench(iters int, outPath string) {
+	header("Shard — hash-partitioned stores, per-shard WAL fsync overlap")
+	sb, err := experiments.RunShardBench(iters, runtime.GOMAXPROCS(0))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %16s %12s %16s\n", "Shards", "disjoint ops/s", "ns/op", "fsync overlap")
+	for _, p := range sb.Disjoint {
+		fmt.Printf("%-8d %16.0f %12d %15.2fx\n", p.Shards, p.OpsPerSec, p.NsOp, p.FsyncParallelism)
+	}
+	fmt.Printf("%-8s %16s %12s %16s\n", "Shards", "cross ops/s", "ns/op", "2pc commits")
+	for _, p := range sb.Cross {
+		fmt.Printf("%-8d %16.0f %12d %16d\n", p.Shards, p.OpsPerSec, p.NsOp, p.CrossCommits)
+	}
+	fmt.Printf("unsharded baseline: %.0f ops/s; parity at 1 shard: %.2fx; speedup at 8 shards: %.2fx (GOMAXPROCS=%d)\n",
+		sb.Baseline, sb.ParityAt1, sb.SpeedupAt8, sb.MaxProcs)
+	if outPath != "" {
+		data, err := json.MarshalIndent(sb, "", "  ")
 		if err != nil {
 			fatal(err)
 		}

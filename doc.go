@@ -19,6 +19,8 @@
 //   - internal/ufilter    — the U-Filter pipeline (the paper's core)
 //   - internal/tpch, internal/bookdb, internal/psd,
 //     internal/w3cusecases — datasets and workloads
+//   - internal/shard      — intra-view sharding: hash-partitioned row
+//     storage across N engine shards with scatter-gather probes
 //   - internal/experiments — the harness regenerating every table and
 //     figure of the paper's evaluation
 //
@@ -70,6 +72,20 @@
 //	batch := f.ApplyBatch(updateTexts)  // group commit
 //	stats := f.CacheStats() // hit/miss/plan counters, HitRate()
 //	snap := f.Stats()       // cache + executor + database counters
+//
+// Sharding contract. A view may hash-partition its base-table rows
+// across N independent engine shards (internal/shard; ufilterd
+// -shards, per-view "shards" in the server config; N=1 is bit-for-bit
+// the unsharded path). Root rows route by primary-key hash and child
+// rows co-locate with their FK parents, so FK checks and delete
+// cascades stay shard-local; uniqueness the partitioning cannot
+// localize is enforced by scatter probes. Reads see a consistent
+// vector of shard snapshots pinned atomically, applies confined to one
+// shard commit through that shard's own group-commit+WAL pipeline
+// (fsyncs of different shards overlap), and applies spanning shards
+// commit via an ordered two-phase claim/publish through a coordinator
+// log whose single fsync is the decide point — crash recovery replays
+// a cross-shard transaction on every shard or on none.
 //
 // The filter is also served over the wire: internal/server and
 // cmd/ufilterd host a registry of named views behind an HTTP/JSON
@@ -169,6 +185,6 @@ func ParseStrategy(name string) (Strategy, error) {
 
 // NewFilter parses a view query, builds and STAR-marks its Annotated
 // Schema Graphs over the database, and returns a ready filter.
-func NewFilter(viewQuery string, db *relational.Database) (*Filter, error) {
+func NewFilter(viewQuery string, db relational.Engine) (*Filter, error) {
 	return ufilter.New(viewQuery, db)
 }

@@ -38,7 +38,7 @@ func (e *Executor) BlindApply(updateText string) (*BlindResult, error) {
 		return nil, err
 	}
 
-	ac := &applyCtx{txn: e.Exec.DB.Begin(), preds: r.UserPreds}
+	ac := &applyCtx{txn: e.Exec.DB.BeginTxn(), preds: r.UserPreds}
 	txn := ac.txn
 	// The engine reads through the transaction: the before image sees
 	// the snapshot pinned at Begin, the after image additionally sees

@@ -25,8 +25,11 @@ import (
 
 // Snapshot pins an immutable point-in-time view of the executor's
 // database. Close it when done so the version reclaimer can advance.
-func (e *Executor) Snapshot() *relational.Snapshot {
-	return e.Exec.DB.Snapshot()
+// Over a shard group the snapshot is a consistent vector: every shard
+// is pinned under a latch that excludes cross-shard commits, so a
+// cross-shard transaction is visible on all its shards or none.
+func (e *Executor) Snapshot() relational.Snap {
+	return e.Exec.DB.OpenSnapshot()
 }
 
 // CheckData runs Steps 1+2 and the read-only data probes of Step 3

@@ -34,10 +34,10 @@ UPDATE $book { INSERT <review><reviewid>%s</reviewid><comment>cw</comment></revi
 // claimBookRow opens a raw transaction that claims the probed book's
 // row (an uncommitted price update), returning the transaction so the
 // test controls when the claim is released.
-func claimBookRow(t *testing.T, e *Executor, bookid string) *relational.Txn {
+func claimBookRow(t *testing.T, e *Executor, bookid string) relational.WriteTxn {
 	t.Helper()
 	db := e.Exec.DB
-	txn := db.Begin()
+	txn := db.BeginTxn()
 	ids, err := txn.LookupEqual("book", []string{"bookid"}, []relational.Value{relational.String_(bookid)})
 	if err != nil || len(ids) != 1 {
 		t.Fatalf("lookup book %s: %v, %v", bookid, ids, err)
@@ -81,7 +81,7 @@ func TestConcurrentDisjointAppliesAllCommit(t *testing.T) {
 	if err, _ := firstErr.Load().(error); err != nil {
 		t.Fatal(err)
 	}
-	snap := e.Exec.DB.Snapshot()
+	snap := e.Exec.DB.OpenSnapshot()
 	defer snap.Close()
 	ids, err := snap.LookupEqual("book", []string{"title"}, []relational.Value{relational.String_("Data on the Web")})
 	if err != nil || len(ids) != 1 {
@@ -217,7 +217,7 @@ func TestConflictingBatchAtomicity(t *testing.T) {
 	// While the conflicted item is spinning, its sibling is already
 	// committed and the claimed row still shows the committed seed
 	// state to fresh snapshots.
-	snap := e.Exec.DB.Snapshot()
+	snap := e.Exec.DB.OpenSnapshot()
 	rids, _ := snap.LookupEqual("review", []string{"reviewid"}, []relational.Value{relational.String_("batch-1")})
 	if len(rids) != 1 {
 		snap.Close()
@@ -293,7 +293,7 @@ UPDATE $book {
 
 	deadline := time.Now().Add(300 * time.Millisecond)
 	for time.Now().Before(deadline) {
-		snap := e.Exec.DB.Snapshot()
+		snap := e.Exec.DB.OpenSnapshot()
 		n := 0
 		snap.Scan("review", func(r *relational.Row) bool {
 			if r.Values[0].Str == "98003" { // bookid column

@@ -162,7 +162,7 @@ type Executor struct {
 // making it explicit — instead of fields on the shared Executor — is
 // what lets applies run concurrently at all.
 type applyCtx struct {
-	txn   *relational.Txn
+	txn   relational.WriteTxn
 	preds []UserPred
 	// trace is the request's span recorder (nil when untraced); runOps
 	// and the group committer record stage timings into it.
@@ -176,7 +176,7 @@ type applyCtx struct {
 }
 
 // NewExecutor builds the runtime for a marked view over a database.
-func NewExecutor(view *asg.ViewASG, base *asg.BaseASG, marks *Marks, db *relational.Database) *Executor {
+func NewExecutor(view *asg.ViewASG, base *asg.BaseASG, marks *Marks, db relational.Engine) *Executor {
 	hists := newObsHists()
 	return &Executor{
 		View:  view,
@@ -566,7 +566,7 @@ func (e *Executor) applyResolved(r *ResolvedUpdate, planned []PlannedOp, preds [
 // the database untouched.
 func (e *Executor) applyOnce(r *ResolvedUpdate, planned []PlannedOp, preds []UserPred, res *Result, tr *obs.Trace) (*Result, error) {
 	res.Accepted = false
-	ac := &applyCtx{txn: e.Exec.DB.Begin(), preds: preds, trace: tr}
+	ac := &applyCtx{txn: e.Exec.DB.BeginTxn(), preds: preds, trace: tr}
 	committed := false
 	defer func() {
 		if !committed {

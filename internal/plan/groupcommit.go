@@ -13,7 +13,10 @@ import (
 // into shared write-ahead-log flushes: the first committer to arrive
 // becomes the leader, drains every transaction queued while the
 // previous flush was in progress, and publishes the whole batch
-// through relational.CommitGroup — N committers, one flushRedo. This
+// through Engine.CommitShared — N committers, one flushRedo per
+// engine pipeline (a shard group fans a batch out to per-shard commit
+// groups whose fsyncs run in parallel, which is why the error comes
+// back per member rather than per batch). This
 // keeps the one-flush-per-batch win of the explicit ApplyBatch path
 // without requiring callers to queue behind a global writer lock:
 // independent applies run their probes, checks and translations fully
@@ -23,7 +26,7 @@ import (
 // background goroutine: with no committer active there is nothing to
 // wake, and the leader's own commit pays no hand-off latency.
 type groupCommitter struct {
-	db *relational.Database
+	db relational.Engine
 
 	// hists, when non-nil, receives the CommitWait and GroupSize
 	// distributions (shared with the owning Executor's Obs field, and
@@ -48,11 +51,11 @@ type commitDone struct {
 }
 
 type commitWaiter struct {
-	txn *relational.Txn
+	txn relational.WriteTxn
 	ch  chan commitDone
 }
 
-func newGroupCommitter(db *relational.Database, hists *ObsHists) *groupCommitter {
+func newGroupCommitter(db relational.Engine, hists *ObsHists) *groupCommitter {
 	return &groupCommitter{db: db, hists: hists}
 }
 
@@ -61,7 +64,7 @@ func newGroupCommitter(db *relational.Database, hists *ObsHists) *groupCommitter
 // tr, when non-nil, receives "commit_publish" (wait minus fsync) and
 // "wal_fsync" spans; the commit-wait histogram records the full
 // enqueue→acknowledgment wait.
-func (g *groupCommitter) commit(txn *relational.Txn, tr *obs.Trace) error {
+func (g *groupCommitter) commit(txn relational.WriteTxn, tr *obs.Trace) error {
 	var enqueued time.Time
 	if g.hists != nil || tr != nil {
 		enqueued = time.Now()
@@ -109,25 +112,29 @@ func (g *groupCommitter) drain() {
 			return
 		}
 		g.mu.Unlock()
-		txns := make([]*relational.Txn, len(batch))
+		txns := make([]relational.WriteTxn, len(batch))
 		for i, w := range batch {
 			txns[i] = w.txn
 		}
-		err := g.db.CommitGroup(txns...)
-		// The last fsync the database recorded is this group's: drain
-		// runs one group at a time per committer and CommitGroup flushes
-		// under the database's commit latch.
+		errs := g.db.CommitShared(txns)
+		// The last fsync the engine recorded is this group's: drain runs
+		// one group at a time per committer and CommitShared flushes
+		// under the engine's commit latches (for a shard group, the max
+		// across the shards the batch touched).
 		var fsyncNs int64
-		if err == nil {
-			fsyncNs = g.db.LastFsyncNanos()
+		for _, err := range errs {
+			if err == nil {
+				fsyncNs = g.db.LastFsyncNanos()
+				break
+			}
 		}
 		g.groups.Add(1)
 		g.txns.Add(int64(len(batch)))
 		if g.hists != nil {
 			g.hists.GroupSize.Record(int64(len(batch)))
 		}
-		for _, w := range batch {
-			w.ch <- commitDone{err: err, fsyncNs: fsyncNs}
+		for i, w := range batch {
+			w.ch <- commitDone{err: errs[i], fsyncNs: fsyncNs}
 		}
 	}
 }

@@ -225,7 +225,7 @@ UPDATE $root {
 // be invisible to a concurrent data check.
 func TestCheckDataMidTransactionInvisibility(t *testing.T) {
 	e := newBookExec(t)
-	db := e.Exec.DB
+	db := e.Exec.DB.(*relational.Database)
 	// Open a transaction that cascade-deletes the probed book, but do
 	// not commit.
 	txn := db.Begin()

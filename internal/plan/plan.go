@@ -483,7 +483,7 @@ func (e *Executor) applyGroup(items []*groupItem) {
 	if !anyRunnable {
 		return
 	}
-	txn := e.Exec.DB.Begin()
+	txn := e.Exec.DB.BeginTxn()
 	committed := false
 	defer func() {
 		if !committed {

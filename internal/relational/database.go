@@ -152,6 +152,11 @@ type Database struct {
 	schema    *Schema
 	tables    map[string]*tableData
 	nextRowID RowID
+	// rowIDStride spaces allocated row ids (default 1). A shard group
+	// gives shard i the progression i+1, i+1+N, i+1+2N, ... so ids are
+	// globally unique and a row's shard is recoverable from its id
+	// (see SetRowIDAlloc).
+	rowIDStride RowID
 
 	// mu is the structural latch protecting the row maps, order slices
 	// and index buckets. Held per row operation, never across a
@@ -300,12 +305,12 @@ func (db *Database) flushRedoLocked() {
 // durable WAL is attached, the group's record is appended and fsynced.
 // Called under commitMu before any of the group's stamps publish; an
 // error here means NONE of the group's transactions may commit.
-func (db *Database) flushWAL(live []*Txn) error {
+func (db *Database) flushWAL(xid uint64, live []*Txn) error {
 	db.flushRedo()
 	if db.wal == nil {
 		return nil
 	}
-	return db.wal.appendGroup(live)
+	return db.wal.appendGroup(xid, live)
 }
 
 // DBStats is a point-in-time snapshot of the database's statistics
@@ -438,12 +443,41 @@ func (db *Database) LogStatement(sql string) {
 // indexes for every primary key, UNIQUE column and foreign key.
 func NewDatabase(schema *Schema) *Database {
 	return &Database{
-		schema:    schema,
-		tables:    buildTableStorage(schema),
-		nextRowID: 1,
-		snaps:     make(map[*Snapshot]struct{}),
-		txns:      make(map[*Txn]struct{}),
+		schema:      schema,
+		tables:      buildTableStorage(schema),
+		nextRowID:   1,
+		rowIDStride: 1,
+		snaps:       make(map[*Snapshot]struct{}),
+		txns:        make(map[*Txn]struct{}),
 	}
+}
+
+// SetRowIDAlloc partitions row-id allocation: subsequent inserts draw
+// ids from the arithmetic progression first, first+stride, first+2N, …
+// A shard group calls it with (i+1, N) on shard i so ids are globally
+// unique across shards and (id-1) mod N recovers a row's shard — the
+// point-lookup fast path. Safe to call again after WAL recovery (which
+// resets the id counter from replayed rows): the counter advances to
+// the smallest progression member not below its current value, so ids
+// are never reused.
+func (db *Database) SetRowIDAlloc(first, stride RowID) {
+	if stride < 1 {
+		stride = 1
+	}
+	if first < 1 {
+		first = 1
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.rowIDStride = stride
+	next := db.nextRowID
+	if next < first {
+		next = first
+	}
+	if rem := (next - first) % stride; rem != 0 {
+		next += stride - rem
+	}
+	db.nextRowID = next
 }
 
 // buildTableStorage constructs empty per-table storage with hash
@@ -986,7 +1020,7 @@ func (db *Database) txnInsert(t *Txn, table string, values map[string]Value) (Ro
 		return 0, err
 	}
 	id := db.nextRowID
-	db.nextRowID++
+	db.nextRowID += db.rowIDStride
 	v := newVersion(Row{ID: id, Values: row}, txnMark(t.id))
 	td.rows[id] = v
 	td.order = append(td.order, id)

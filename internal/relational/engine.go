@@ -1,0 +1,138 @@
+package relational
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// WriteTxn is the transactional write surface the upper layers (sqlexec
+// DML, the plan layer's apply pipeline) drive. *Txn implements it for a
+// single database; internal/shard implements it as a vector of per-shard
+// sub-transactions so the same apply code commits across shards.
+type WriteTxn interface {
+	Reader
+	// Insert adds a row through the transaction.
+	Insert(table string, values map[string]Value) (RowID, error)
+	// Delete removes a row (with referential actions) through the
+	// transaction, returning the number of rows deleted.
+	Delete(table string, id RowID) (int, error)
+	// UpdateRow modifies the named columns of a row.
+	UpdateRow(table string, id RowID, changes map[string]Value) error
+	// Savepoint marks the current position in the undo log; RollbackTo
+	// undoes everything logged after the mark, keeping the transaction
+	// open.
+	Savepoint() int
+	RollbackTo(mark int) error
+	// Rollback undoes everything; Commit publishes atomically.
+	Rollback() error
+	Commit() error
+	// OpCount returns the number of logged row operations.
+	OpCount() int
+}
+
+// Snap is a pinned point-in-time read view. *Snapshot implements it for
+// a single database; internal/shard pins one snapshot per shard under a
+// latch that excludes cross-shard commits, so the vector is consistent.
+type Snap interface {
+	Reader
+	// Close releases the snapshot's pin on old row versions.
+	Close()
+	// Seq identifies the pinned commit sequence (for a sharded snapshot,
+	// the sum of the per-shard sequences — a monotone logical clock).
+	Seq() uint64
+	// VersionStats reports version-chain statistics at the snapshot.
+	VersionStats() VersionStats
+}
+
+// ShardStat is one shard's statistics rollup. An unsharded Database
+// reports itself as shard 0 of 1.
+type ShardStat struct {
+	// Shard is the shard index (0-based).
+	Shard int `json:"shard"`
+	DBStats
+	// Rows counts the shard's visible rows across all tables.
+	Rows int `json:"rows_total"`
+}
+
+// Engine is the storage surface the executor stack is written against:
+// everything a *Database offers that the sqlexec/plan/server layers
+// consume, so a hash-partitioned shard group (internal/shard) can stand
+// in for a single database. Methods whose concrete receivers return
+// concrete types (Begin, Snapshot) appear here under distinct names
+// (BeginTxn, OpenSnapshot) returning the interface forms.
+type Engine interface {
+	Reader
+	// Autocommit DML (implicit single-statement transactions).
+	Insert(table string, values map[string]Value) (RowID, error)
+	Delete(table string, id RowID) (int, error)
+	UpdateRow(table string, id RowID, changes map[string]Value) error
+	// BeginTxn starts a write transaction.
+	BeginTxn() WriteTxn
+	// OpenSnapshot pins a consistent point-in-time read view.
+	OpenSnapshot() Snap
+	// CommitShared publishes a batch of transactions that arrived at the
+	// group-commit scheduler together, coalescing log flushes where the
+	// engine can. It returns one error slot per member (nil = committed);
+	// members may succeed and fail independently when they land on
+	// different shards.
+	CommitShared(txns []WriteTxn) []error
+	// LogStatement appends a statement-level redo record.
+	LogStatement(sql string)
+	// Statistics and maintenance.
+	Stats() DBStats
+	VersionStats() VersionStats
+	StatementsExecutedTotal() int64
+	RedoRecords() int64
+	RedoBytes() int64
+	RedoFlushes() int64
+	LastFsyncNanos() int64
+	FsyncHistogram() obs.Snapshot
+	Reclaim() int
+	StartReclaimer(interval time.Duration) (stop func())
+	StartCheckpointer(interval time.Duration) (stop func())
+	CloseWAL() error
+	WALDir() string
+	// ShardCount reports the number of independent storage shards (1 for
+	// a plain Database); ShardStats returns one rollup per shard.
+	ShardCount() int
+	ShardStats() []ShardStat
+}
+
+// BeginTxn starts a transaction, typed as the WriteTxn interface.
+func (db *Database) BeginTxn() WriteTxn { return db.Begin() }
+
+// OpenSnapshot pins a snapshot, typed as the Snap interface.
+func (db *Database) OpenSnapshot() Snap { return db.Snapshot() }
+
+// CommitShared publishes the batch under one commit latch acquisition
+// and one WAL flush (CommitGroup); every member shares the group's
+// fate, so the single error is broadcast to all slots.
+func (db *Database) CommitShared(txns []WriteTxn) []error {
+	live := make([]*Txn, len(txns))
+	for i, t := range txns {
+		if t != nil {
+			live[i] = t.(*Txn)
+		}
+	}
+	err := db.CommitGroup(live...)
+	out := make([]error, len(txns))
+	for i := range out {
+		out[i] = err
+	}
+	return out
+}
+
+// ShardCount reports 1: a plain Database is its own single shard.
+func (db *Database) ShardCount() int { return 1 }
+
+// ShardStats reports the database as shard 0 of 1.
+func (db *Database) ShardStats() []ShardStat {
+	return []ShardStat{{Shard: 0, DBStats: db.Stats(), Rows: db.TotalRows()}}
+}
+
+var (
+	_ Engine   = (*Database)(nil)
+	_ WriteTxn = (*Txn)(nil)
+	_ Snap     = (*Snapshot)(nil)
+)

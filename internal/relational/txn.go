@@ -162,6 +162,40 @@ func (t *Txn) Commit() error {
 // fate is the leader's flush, so the leader's I/O failure must reach
 // every follower rather than being swallowed.
 func (db *Database) CommitGroup(txns ...*Txn) error {
+	pg, err := db.PrepareGroup(0, txns)
+	if err != nil {
+		return err
+	}
+	return pg.Publish()
+}
+
+// PreparedGroup is a commit group whose write-ahead-log record is
+// durable but whose stamps have not published: the database's commit
+// latch is HELD between PrepareGroup and Publish/Abort, so nothing else
+// can commit (or observe a half-committed sequence) in between. It is
+// the per-shard half of a cross-shard two-phase commit: the coordinator
+// prepares every touched shard, records the transaction id durably,
+// then publishes everywhere (see internal/shard).
+type PreparedGroup struct {
+	db       *Database
+	live     []*Txn
+	seq      uint64 // last sequence assigned to the group
+	xid      uint64
+	firstErr error // already-finished members, surfaced at Publish
+	done     bool
+}
+
+// PrepareGroup assigns commit sequences to the group and makes its WAL
+// record durable under the commit latch, WITHOUT publishing: on success
+// the latch stays held until Publish or Abort. The xid tags the record
+// for cross-shard atomicity — recovery replays an xid-tagged group only
+// when the coordinator's log marks the xid committed; xid 0 means a
+// plain single-shard group, always replayed (CommitGroup's path).
+//
+// A WAL append or fsync failure undoes the whole group, releases the
+// latch and returns an error wrapping ErrWALFailed, exactly like a
+// CommitGroup flush failure.
+func (db *Database) PrepareGroup(xid uint64, txns []*Txn) (*PreparedGroup, error) {
 	var firstErr error
 	live := make([]*Txn, 0, len(txns))
 	db.commitMu.Lock()
@@ -182,7 +216,7 @@ func (db *Database) CommitGroup(txns ...*Txn) error {
 		live = append(live, t)
 	}
 	if len(live) > 0 {
-		if err := db.flushWAL(live); err != nil {
+		if err := db.flushWAL(xid, live); err != nil {
 			// Nothing published yet: every version still carries its
 			// claim stamp, so the whole group can be undone exactly like
 			// a rollback. commitMu is held throughout, which keeps the
@@ -199,32 +233,75 @@ func (db *Database) CommitGroup(txns ...*Txn) error {
 			for _, t := range live {
 				db.forget(t)
 			}
-			return fmt.Errorf("%w: %v", ErrWALFailed, err)
+			return nil, fmt.Errorf("%w: %v", ErrWALFailed, err)
 		}
+	}
+	return &PreparedGroup{db: db, live: live, seq: seq, xid: xid, firstErr: firstErr}, nil
+}
+
+// Publish places every stamp and advances the commit sequence, making
+// the prepared group visible atomically, then releases the commit
+// latch.
+func (pg *PreparedGroup) Publish() error {
+	if pg.done {
+		return errTxnFinished()
+	}
+	pg.done = true
+	db := pg.db
+	if len(pg.live) > 0 {
 		// Publishing all stamps BEFORE the single sequence advance is
 		// what makes each transaction atomic to snapshot readers: a
 		// snapshot pinned before the store sees none of the group's
 		// versions (their begins exceed its sequence), one pinned after
 		// sees every committed transaction whole.
-		for _, t := range live {
+		for _, t := range pg.live {
 			t.publish(t.seq)
 		}
-		db.commitSeq.Store(seq)
+		db.commitSeq.Store(pg.seq)
 		db.groupCommits.Add(1)
-		db.groupedTxns.Add(int64(len(live)))
+		db.groupedTxns.Add(int64(len(pg.live)))
 	}
 	db.commitMu.Unlock()
-	for _, t := range live {
+	for _, t := range pg.live {
 		t.log = nil
 		db.forget(t)
 	}
-	if len(live) > 0 {
+	if len(pg.live) > 0 {
 		if db.versionsSinceReclaim.Load() >= reclaimThreshold {
 			db.Reclaim()
 		}
 		db.maybeCheckpoint()
 	}
-	return firstErr
+	return pg.firstErr
+}
+
+// Abort undoes a prepared group and releases the commit latch. The
+// group's WAL record stays on disk, but its xid never reaches the
+// coordinator's log, so recovery discards it — which is why Abort is
+// only valid for xid-tagged groups (a plain xid-0 record would be
+// replayed). The commit sequence does not advance: the reserved
+// sequences are reissued to the next group, and recovery's replay
+// filter keeps the aborted record from ever claiming them.
+func (pg *PreparedGroup) Abort() error {
+	if pg.done {
+		return errTxnFinished()
+	}
+	if pg.xid == 0 {
+		return fmt.Errorf("relational: cannot abort a prepared group without a transaction id (its record would replay)")
+	}
+	pg.done = true
+	db := pg.db
+	db.mu.Lock()
+	for _, t := range pg.live {
+		_ = t.undoFromLocked(0)
+		t.log = nil
+	}
+	db.mu.Unlock()
+	db.commitMu.Unlock()
+	for _, t := range pg.live {
+		db.forget(t)
+	}
+	return nil
 }
 
 // publish replaces every claim stamp the transaction placed with the

@@ -58,6 +58,7 @@ const (
 // Record payload type tags.
 const (
 	walTagGroup      = 'G' // one commit group: N transactions' redo
+	walTagXidGroup   = 'X' // commit group tagged with a cross-shard xid
 	walTagCheckpoint = 'K' // full row-image snapshot (checkpoint file)
 )
 
@@ -80,6 +81,13 @@ type WALOptions struct {
 	// last checkpoint. Zero leaves checkpointing to explicit Checkpoint
 	// calls and the StartCheckpointer ticker.
 	CheckpointEverySegments int
+	// XidCommitted, when set, filters xid-tagged group records during
+	// recovery: a record prepared under a cross-shard transaction id is
+	// replayed only if this reports the xid committed (i.e. the
+	// coordinator's log holds it). Records with xid 0 — every
+	// single-shard commit — always replay. When nil, xid-tagged records
+	// replay unconditionally.
+	XidCommitted func(xid uint64) bool
 }
 
 func (o WALOptions) withDefaults() WALOptions {
@@ -110,6 +118,13 @@ type RecoveryInfo struct {
 	TruncatedBytes int64 `json:"truncated_bytes"`
 	// CommitSeq is the commit sequence after recovery.
 	CommitSeq uint64 `json:"commit_seq"`
+	// MaxXid is the largest cross-shard transaction id seen in any
+	// scanned group record, replayed or filtered; a shard-group
+	// coordinator resumes xid allocation above it.
+	MaxXid uint64 `json:"max_xid,omitempty"`
+	// FilteredTxns counts xid-tagged transactions the XidCommitted
+	// filter discarded (prepared but never committed cross-shard).
+	FilteredTxns int64 `json:"filtered_txns,omitempty"`
 }
 
 // ErrWALClosed reports an append against a closed WAL (post-shutdown).
@@ -258,9 +273,11 @@ type walOp struct {
 	values []Value // nil for deletes
 }
 
-// walTxn is one decoded committed transaction.
+// walTxn is one decoded committed transaction. xid is non-zero only for
+// groups prepared under a cross-shard two-phase commit.
 type walTxn struct {
 	seq uint64
+	xid uint64
 	ops []walOp
 }
 
@@ -296,10 +313,18 @@ func walTxnsOf(live []*Txn) []walTxn {
 	return out
 }
 
-// encodeGroupPayload serializes one commit group record.
-func encodeGroupPayload(txns []walTxn) []byte {
+// encodeGroupPayload serializes one commit group record. xid 0 keeps
+// the original 'G' format byte-for-byte; a cross-shard xid switches the
+// tag to 'X' and prefixes the xid, so logs written before sharding
+// existed still decode.
+func encodeGroupPayload(xid uint64, txns []walTxn) []byte {
 	b := make([]byte, 0, 256)
-	b = append(b, walTagGroup)
+	if xid == 0 {
+		b = append(b, walTagGroup)
+	} else {
+		b = append(b, walTagXidGroup)
+		b = binary.AppendUvarint(b, xid)
+	}
 	b = binary.AppendUvarint(b, uint64(len(txns)))
 	for _, t := range txns {
 		b = binary.AppendUvarint(b, t.seq)
@@ -325,10 +350,20 @@ func encodeGroupPayload(txns []walTxn) []byte {
 // arbitrary byte soup returns errWALCorrupt, never panics — the fuzzer
 // holds it to that.
 func decodeGroupPayload(b []byte) ([]walTxn, error) {
-	if len(b) < 1 || b[0] != walTagGroup {
+	if len(b) < 1 || (b[0] != walTagGroup && b[0] != walTagXidGroup) {
 		return nil, errWALCorrupt
 	}
+	tag := b[0]
 	b = b[1:]
+	xid := uint64(0)
+	if tag == walTagXidGroup {
+		var sz int
+		xid, sz = binary.Uvarint(b)
+		if sz <= 0 || xid == 0 {
+			return nil, errWALCorrupt
+		}
+		b = b[sz:]
+	}
 	ntxns, sz := binary.Uvarint(b)
 	if sz <= 0 || ntxns > uint64(len(b)) {
 		return nil, errWALCorrupt
@@ -346,7 +381,7 @@ func decodeGroupPayload(b []byte) ([]walTxn, error) {
 			return nil, errWALCorrupt
 		}
 		b = b[sz:]
-		t := walTxn{seq: seq, ops: make([]walOp, 0, nops)}
+		t := walTxn{seq: seq, xid: xid, ops: make([]walOp, 0, nops)}
 		for range nops {
 			if len(b) < 1 {
 				return nil, errWALCorrupt
@@ -443,7 +478,7 @@ func scanFrames(data []byte) (txns []walTxn, validOffset int64) {
 // database's commit latch held; any error leaves the active segment
 // truncated back to its pre-append length so a failed group cannot
 // leave bytes a later recovery would misread as committed.
-func (w *WAL) appendGroup(live []*Txn) error {
+func (w *WAL) appendGroup(xid uint64, live []*Txn) error {
 	if w.closed {
 		return ErrWALClosed
 	}
@@ -455,7 +490,7 @@ func (w *WAL) appendGroup(live []*Txn) error {
 	if err := evalFailpoint(FpWALAppendBefore); err != nil {
 		return err
 	}
-	frame := frameRecord(encodeGroupPayload(walTxnsOf(live)))
+	frame := frameRecord(encodeGroupPayload(xid, walTxnsOf(live)))
 	wrote := 0
 	if failpointFires(FpWALAppendPartial) {
 		// A torn write: half the frame reaches the file, then the fault
@@ -682,8 +717,18 @@ func (db *Database) recoverFrom(w *WAL, dir string, segs []uint64, haveCheckpoin
 		}
 		txns, valid := scanFrames(data)
 		for _, t := range txns {
+			if t.xid > info.MaxXid {
+				info.MaxXid = t.xid
+			}
 			if t.seq <= ckptSeq {
 				continue // already inside the checkpoint image
+			}
+			if t.xid != 0 && w.opts.XidCommitted != nil && !w.opts.XidCommitted(t.xid) {
+				// Prepared under a cross-shard transaction the coordinator
+				// never recorded as committed: every shard discards it, so
+				// no shard exposes a torn half of the transaction.
+				info.FilteredTxns++
+				continue
 			}
 			if err := db.replayTxn(t); err != nil {
 				return fmt.Errorf("relational: replay segment %d: %w", idx, err)

@@ -485,7 +485,7 @@ func TestWALGroupPayloadRoundTrip(t *testing.T) {
 		}},
 		{seq: 9, ops: nil},
 	}
-	got, err := decodeGroupPayload(encodeGroupPayload(txns))
+	got, err := decodeGroupPayload(encodeGroupPayload(0, txns))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -517,20 +517,28 @@ func TestWALGroupPayloadRoundTrip(t *testing.T) {
 func FuzzWALRecordDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{walTagGroup})
-	f.Add(encodeGroupPayload(nil))
-	f.Add(encodeGroupPayload([]walTxn{{seq: 1, ops: []walOp{
+	f.Add([]byte{walTagXidGroup})
+	f.Add(encodeGroupPayload(0, nil))
+	f.Add(encodeGroupPayload(0, []walTxn{{seq: 1, ops: []walOp{
 		{kind: walOpInsert, table: "parent", id: 1, values: []Value{Int_(1), String_("a")}},
 		{kind: walOpDelete, table: "parent", id: 1},
 	}}}))
-	f.Add(encodeGroupPayload([]walTxn{{seq: 1 << 40, ops: []walOp{
+	f.Add(encodeGroupPayload(0, []walTxn{{seq: 1 << 40, ops: []walOp{
 		{kind: walOpUpdate, table: "x", id: 1 << 33, values: []Value{Float_(-1.5), Null()}},
+	}}}))
+	f.Add(encodeGroupPayload(42, []walTxn{{seq: 5, xid: 42, ops: []walOp{
+		{kind: walOpInsert, table: "parent", id: 2, values: []Value{Int_(2), Null()}},
 	}}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		txns, err := decodeGroupPayload(data)
 		if err != nil {
 			return
 		}
-		re := encodeGroupPayload(txns)
+		xid := uint64(0)
+		if len(txns) > 0 {
+			xid = txns[0].xid
+		}
+		re := encodeGroupPayload(xid, txns)
 		again, err := decodeGroupPayload(re)
 		if err != nil {
 			t.Fatalf("re-encoded payload failed to decode: %v", err)

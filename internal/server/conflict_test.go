@@ -33,7 +33,7 @@ func TestApplyWriteConflictAnswers409(t *testing.T) {
 
 	// Claim the probed book's row with a raw transaction.
 	db := v.Filter.Exec.DB
-	claim := db.Begin()
+	claim := db.BeginTxn()
 	ids, err := claim.LookupEqual("book", []string{"bookid"}, []relational.Value{relational.String_("98003")})
 	if err != nil || len(ids) != 1 {
 		t.Fatalf("lookup: %v %v", ids, err)
@@ -125,7 +125,7 @@ func TestConcurrentConflictingAppliesNo5xx(t *testing.T) {
 	// Hold a claim just long enough to guarantee at least one conflict
 	// even when GOMAXPROCS=1 serializes the HTTP handlers.
 	db := v.Filter.Exec.DB
-	claim := db.Begin()
+	claim := db.BeginTxn()
 	ids, _ := claim.LookupEqual("book", []string{"bookid"}, []relational.Value{relational.String_("98003")})
 	if err := claim.UpdateRow("book", ids[0], map[string]relational.Value{"price": relational.Float_(1)}); err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/relational"
 	"repro/internal/ufilter"
 )
 
@@ -60,6 +61,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ufilterd_version_chain_depth_max", "Longest row version chain (1 = no history).", "gauge", map[string]float64{}},
 		{"ufilterd_rows_total", "Rows visible through a snapshot pinned for this scrape.", "gauge", map[string]float64{}},
 		{"ufilterd_commit_seq", "Last committed MVCC sequence number.", "gauge", map[string]float64{}},
+		{"ufilterd_shards", "Storage shards backing the view (1 = unsharded).", "gauge", map[string]float64{}},
+	}
+	var shardStats []struct {
+		view  string
+		stats []relational.ShardStat
 	}
 	for _, v := range s.Registry.Views() {
 		st := v.Stats()
@@ -104,9 +110,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			float64(st.Versions.MaxChainDepth),
 			float64(st.RowsTotal),
 			float64(st.Versions.CommitSeq),
+			float64(st.Shards),
 		}
 		for i := range metrics {
 			metrics[i].values[v.Name] = samples[i]
+		}
+		if len(st.ShardStats) > 0 {
+			shardStats = append(shardStats, struct {
+				view  string
+				stats []relational.ShardStat
+			}{v.Name, st.ShardStats})
 		}
 	}
 	for _, m := range metrics {
@@ -120,10 +133,46 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintf(&b, "%s{view=%q} %g\n", m.name, l, m.values[l])
 		}
 	}
+	writeShardMetrics(&b, shardStats)
 	s.writeHistograms(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeShardMetrics renders the per-shard series for sharded views as
+// its own block ({view,shard}-labelled), decoupled from the
+// order-sensitive samples array of the main table.
+func writeShardMetrics(b *strings.Builder, perView []struct {
+	view  string
+	stats []relational.ShardStat
+}) {
+	if len(perView) == 0 {
+		return
+	}
+	families := []struct {
+		name, help, kind string
+		sample           func(relational.ShardStat) float64
+	}{
+		{"ufilterd_shard_rows_total", "Visible rows stored on the shard.", "gauge",
+			func(s relational.ShardStat) float64 { return float64(s.Rows) }},
+		{"ufilterd_shard_txn_conflicts_total", "Write-write conflicts detected on the shard.", "counter",
+			func(s relational.ShardStat) float64 { return float64(s.Conflicts) }},
+		{"ufilterd_shard_wal_fsyncs_total", "WAL fsyncs issued by the shard (parallel across shards).", "counter",
+			func(s relational.ShardStat) float64 { return float64(s.Fsyncs) }},
+		{"ufilterd_shard_group_commits_total", "Commit groups published on the shard.", "counter",
+			func(s relational.ShardStat) float64 { return float64(s.GroupCommits) }},
+		{"ufilterd_shard_commit_seq", "Shard-local committed sequence number.", "gauge",
+			func(s relational.ShardStat) float64 { return float64(s.CommitSeq) }},
+	}
+	for _, f := range families {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, pv := range perView {
+			for _, ss := range pv.stats {
+				fmt.Fprintf(b, "%s{view=%q,shard=\"%d\"} %g\n", f.name, pv.view, ss.Shard, f.sample(ss))
+			}
+		}
+	}
 }
 
 // writeHistograms renders the latency/size histogram families in the

@@ -149,8 +149,8 @@ func TestMetricsHistogramFamilies(t *testing.T) {
 		sum     *float64
 		count   *uint64
 	}
-	families := map[string]bool{}        // histogram family name -> seen TYPE line
-	byKey := map[string]*series{}        // family + labels (le stripped) -> series
+	families := map[string]bool{} // histogram family name -> seen TYPE line
+	byKey := map[string]*series{} // family + labels (le stripped) -> series
 	keyOf := func(name, labelPart string) string {
 		var kept []string
 		for _, kv := range strings.Split(labelPart, ",") {

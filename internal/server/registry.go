@@ -17,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/psd"
 	"repro/internal/relational"
+	"repro/internal/shard"
 	"repro/internal/tpch"
 	"repro/internal/ufilter"
 )
@@ -45,6 +46,11 @@ type Config struct {
 	// write-ahead log under DataDir/<view-name>, recovered at startup.
 	// Empty keeps the daemon fully in-memory (the default).
 	DataDir string `json:"data_dir,omitempty"`
+	// Shards is the default per-view shard count: views with Shards > 1
+	// hash-partition their base tables across that many independent
+	// storage shards (parallel commit latches and WAL fsyncs). Zero or
+	// one keeps the single-database path.
+	Shards int `json:"shards,omitempty"`
 }
 
 // ViewConfig describes one named view to host: a built-in dataset plus
@@ -69,6 +75,8 @@ type ViewConfig struct {
 	Strategy string `json:"strategy,omitempty"`
 	// QueueDepth overrides the server-wide apply queue bound.
 	QueueDepth int `json:"queue_depth,omitempty"`
+	// Shards overrides the server-wide shard count for this view.
+	Shards int `json:"shards,omitempty"`
 }
 
 // LoadConfig reads a JSON Config from a file.
@@ -94,8 +102,17 @@ type View struct {
 	Strategy ufilter.Strategy
 
 	// Recovery reports what WAL replay restored at startup; nil when the
-	// registry runs in-memory (no DataDir).
+	// registry runs in-memory (no DataDir) or the view is sharded
+	// (ShardRecovery carries the per-shard reports instead).
 	Recovery *relational.RecoveryInfo
+
+	// ShardRecovery reports per-shard WAL replay for a durable sharded
+	// view; nil otherwise.
+	ShardRecovery *shard.Recovery
+
+	// durable is true when the view's engine logs to disk (DataDir set),
+	// sharded or not.
+	durable bool
 
 	// queue holds the admission slots for Apply: capacity is the bound
 	// on applies executing concurrently (each in its own transaction);
@@ -126,6 +143,14 @@ type View struct {
 	applyBatches    atomic.Int64
 	appliesConflict atomic.Int64 // applies answered 409 (retries exhausted)
 
+	// Conflict-rate sampling for the Retry-After estimate: the engine's
+	// cumulative conflict counter is sampled at shed time and the
+	// per-second rate scales the backoff (conflictFactor).
+	confMu   sync.Mutex
+	confAt   time.Time
+	confLast int64
+	confRate float64
+
 	// applyFn runs the full pipeline; defaults to Filter.ApplyContext
 	// (the context carries the request's trace, when one is attached).
 	// Tests substitute a blocking function to exercise backpressure
@@ -155,6 +180,19 @@ func (v *View) tryAcquire() bool {
 
 func (v *View) release() { <-v.queue }
 
+// defaultApplyLatency seeds the Retry-After estimate before the
+// apply-latency histogram has any samples: a freshly booted (or
+// freshly registered) view that sheds on its very first burst has no
+// observed p90 yet, so the estimate assumes each held slot costs this
+// much. Deliberately pessimistic for a warm cache (real p90s are
+// single-digit ms) — a cold shed means the pipeline is still compiling
+// plans, which is exactly when clients should back off harder.
+const defaultApplyLatency = 50 * time.Millisecond
+
+// conflictRateSampleMin is the minimum spacing between conflict-rate
+// samples; shed bursts between samples reuse the last rate.
+const conflictRateSampleMin = 250 * time.Millisecond
+
 // retryAfter estimates how long a shed request should wait before
 // retrying from the limiter's live state: admitted applies run
 // concurrently, so the expected drain time is the p90 apply latency
@@ -165,12 +203,13 @@ func (v *View) release() { <-v.queue }
 // plus a slow backoff-and-retry tail), and the mean sits between the
 // modes — below what a shed request will actually wait behind. A
 // half-empty limiter still quotes a shorter retry than a full one.
+//
+// Two refinements on the raw formula: an empty histogram (cold start)
+// falls back to queue-depth × defaultApplyLatency instead of a
+// meaningless degenerate estimate, and the result is scaled by the
+// recent write-conflict rate (conflictFactor) so backoff stretches
+// when retries are churning the same contended rows.
 func (v *View) retryAfter() time.Duration {
-	s := v.applyHist.Snapshot()
-	if s.Count == 0 {
-		return time.Second
-	}
-	p90 := time.Duration(s.P90())
 	depth := len(v.queue)
 	if depth == 0 {
 		depth = 1
@@ -179,11 +218,44 @@ func (v *View) retryAfter() time.Duration {
 	if lanes == 0 {
 		lanes = 1
 	}
-	est := p90 * time.Duration(depth) / time.Duration(lanes)
+	var est time.Duration
+	if s := v.applyHist.Snapshot(); s.Count == 0 {
+		est = defaultApplyLatency * time.Duration(depth)
+	} else {
+		est = time.Duration(s.P90()) * time.Duration(depth) / time.Duration(lanes)
+	}
+	est = time.Duration(float64(est) * v.conflictFactor())
 	if est < time.Second {
 		return time.Second
 	}
 	return est.Round(time.Second)
+}
+
+// conflictFactor is the conflict-aware admission term: the engine's
+// txn_conflicts_total counter is sampled (at most once per
+// conflictRateSampleMin) and the per-second delta rate scales the
+// Retry-After estimate — 1x when conflict-free, +1x per 10 conflicts/s,
+// capped at 4x. Shed responses under conflict churn thus quote longer
+// waits than sheds under clean overload, without a feedback loop: the
+// factor reads one atomic counter, it never touches the apply path.
+func (v *View) conflictFactor() float64 {
+	cur := v.Filter.Exec.DB.Stats().Conflicts
+	now := time.Now()
+	v.confMu.Lock()
+	defer v.confMu.Unlock()
+	if v.confAt.IsZero() {
+		v.confAt, v.confLast = now, cur
+		return 1
+	}
+	if dt := now.Sub(v.confAt); dt >= conflictRateSampleMin {
+		v.confRate = float64(cur-v.confLast) / dt.Seconds()
+		v.confAt, v.confLast = now, cur
+	}
+	f := 1 + v.confRate/10
+	if f > 4 {
+		f = 4
+	}
+	return f
 }
 
 // OfferSlow submits a finished request trace to the view's slow ring.
@@ -345,6 +417,11 @@ type ViewStats struct {
 	// for this stats request, so the number is a coherent point-in-time
 	// count even while an apply is mutating tables.
 	RowsTotal int `json:"rows_total"`
+	// Shards is the view's storage shard count (1 = unsharded).
+	Shards int `json:"shards"`
+	// ShardStats carries the per-shard statistics rollups for sharded
+	// views (omitted when Shards is 1).
+	ShardStats []relational.ShardStat `json:"shard_stats,omitempty"`
 	// Versions describes the MVCC version store: chain depths, pinned
 	// snapshots and reclaim progress.
 	Versions relational.VersionStats `json:"versions"`
@@ -392,9 +469,14 @@ func latencyStats(s obs.Snapshot) LatencyStats {
 // tables an apply may be mutating.
 func (v *View) Stats() ViewStats {
 	fs := v.Filter.Stats()
-	snap := v.Filter.Exec.DB.Snapshot()
+	eng := v.Filter.Exec.DB
+	snap := eng.OpenSnapshot()
 	versions := snap.VersionStats() // one walk: shape + pinned row count
 	snap.Close()
+	var shardStats []relational.ShardStat
+	if eng.ShardCount() > 1 {
+		shardStats = eng.ShardStats()
+	}
 	return ViewStats{
 		View:        v.Name,
 		Dataset:     v.Dataset,
@@ -422,6 +504,8 @@ func (v *View) Stats() ViewStats {
 		CheckLatency: latencyStats(v.checkHist.Snapshot()),
 		ApplyLatency: latencyStats(v.applyHist.Snapshot()),
 		RowsTotal:    versions.VisibleRows,
+		Shards:       eng.ShardCount(),
+		ShardStats:   shardStats,
 		Versions:     versions,
 	}
 }
@@ -439,6 +523,11 @@ type Registry struct {
 	// boot) and subsequent applies survive kill -9. Set it before the
 	// first Add (read without synchronization).
 	DataDir string
+
+	// DefaultShards is the shard count for views whose config does not
+	// set one; <= 1 keeps the single-database path. Set it before the
+	// first Add (read without synchronization).
+	DefaultShards int
 
 	// WALOptions tunes the per-view logs when DataDir is set; the zero
 	// value uses production defaults.
@@ -493,8 +582,37 @@ func (r *Registry) Add(vc ViewConfig) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	var recovery *relational.RecoveryInfo
-	if r.DataDir != "" {
+	shards := vc.Shards
+	if shards <= 0 {
+		shards = r.DefaultShards
+	}
+	if shards <= 1 {
+		shards = 1
+	}
+	var (
+		eng           relational.Engine = db
+		recovery      *relational.RecoveryInfo
+		shardRecovery *shard.Recovery
+	)
+	switch {
+	case shards > 1:
+		// Sharded view: the base tables hash-partition across
+		// independent storage shards; in durable mode each shard logs
+		// under DataDir/<view-name>/shard-<i> plus a coordinator log for
+		// cross-shard commits.
+		opts := shard.Options{WAL: r.WALOptions}
+		if r.DataDir != "" {
+			opts.Dir = filepath.Join(r.DataDir, name)
+		}
+		sdb, srec, err := shard.New(db, shards, opts)
+		if err != nil {
+			return nil, fmt.Errorf("view %s: %w", name, err)
+		}
+		eng = sdb
+		if r.DataDir != "" {
+			shardRecovery = srec
+		}
+	case r.DataDir != "":
 		// Durable mode: recovery replaces the freshly seeded dataset with
 		// whatever previous runs committed (first boot checkpoints the
 		// seed, so later boots replay on top of it, not instead of it).
@@ -507,7 +625,7 @@ func (r *Registry) Add(vc ViewConfig) (*View, error) {
 	if strings.TrimSpace(query) == "" {
 		query = builtinQuery
 	}
-	f, err := ufilter.New(query, db)
+	f, err := ufilter.New(query, eng)
 	if err != nil {
 		return nil, fmt.Errorf("view %s: %w", name, err)
 	}
@@ -525,6 +643,8 @@ func (r *Registry) Add(vc ViewConfig) (*View, error) {
 		Dataset:        strings.ToLower(vc.Dataset),
 		Strategy:       strategy,
 		Recovery:       recovery,
+		ShardRecovery:  shardRecovery,
+		durable:        r.DataDir != "",
 		queue:          make(chan struct{}, depth),
 		checkHist:      obs.NewDurationHistogram(),
 		checkBatchHist: obs.NewDurationHistogram(),
@@ -586,7 +706,7 @@ func (r *Registry) StartReclaimers(interval time.Duration) (stop func()) {
 func (r *Registry) StartCheckpointers(interval time.Duration) (stop func()) {
 	var stops []func()
 	for _, v := range r.Views() {
-		if v.Recovery != nil {
+		if v.durable {
 			stops = append(stops, v.Filter.Exec.DB.StartCheckpointer(interval))
 		}
 	}

@@ -1,0 +1,764 @@
+// Package shard hash-partitions one view's base-table rows across N
+// independent relational databases so that the per-shard commit
+// latches, redo pipelines and WAL fsyncs run in parallel while the
+// executor stack above keeps seeing a single relational.Engine.
+//
+// The partitioning is row-level and FK-closure-aware:
+//
+//   - A root table (no foreign keys) routes each row by an FNV-64a hash
+//     of its primary-key values, so all rows with the same key land on
+//     the same shard and the engine's local PRIMARY KEY check remains
+//     authoritative for hash-routed keys.
+//   - A child table routes each row to the shard holding its referenced
+//     parent (looked up through the inserting transaction, so a parent
+//     inserted earlier in the same transaction is found). Children
+//     therefore co-locate transitively with their root ancestor, which
+//     keeps FOREIGN KEY existence checks and CASCADE/SET NULL fan-out
+//     shard-local for single-FK chains — the shape of every dataset this
+//     repo ships (publisher←book←review, region←nation←…←lineitem,
+//     organism←protein←citation). A table with several foreign keys
+//     co-locates along its first FK only; rows whose other parents live
+//     elsewhere still verify correctly because uniqueness is probed
+//     cross-shard, but their FK checks rely on the first-FK shard.
+//   - A child whose FK values are NULL (or whose parent is missing)
+//     falls back to the primary-key hash; the shard-local FK check then
+//     accepts the NULL per SQL semantics or rejects the dangling
+//     reference with the canonical error.
+//
+// Constraints that a single shard cannot see — a duplicate key whose
+// twin lives on another shard — are closed by scatter probes at
+// Insert/UpdateRow time (see Txn). Reads scatter-gather: point lookups
+// by row id route to exactly one shard (ids are striped id ≡ shard+1
+// (mod N) via SetRowIDAlloc), scans and key lookups merge per-shard
+// results in ascending row-id order.
+//
+// Consistency across shards comes from one latch, DB.xmu: transactions
+// and snapshots begin under the read side, cross-shard commits publish
+// under the write side, so a reader pins a vector of per-shard views in
+// which every cross-shard transaction is visible on all its shards or
+// none. Durability for cross-shard commits is an ordered two-phase
+// protocol over the per-shard WALs plus a tiny coordinator log; see
+// commit.go.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/relational"
+)
+
+// Options configures a shard group.
+type Options struct {
+	// Dir is the group's root directory: shard i logs under
+	// Dir/shard-<i> and the cross-shard coordinator log is Dir/xlog.
+	// Empty runs the whole group in memory (no WALs, no recovery).
+	Dir string
+	// WAL configures each shard's write-ahead log. The XidCommitted
+	// field is owned by the group (it points at the coordinator log's
+	// committed-xid set) and must be left nil by callers.
+	WAL relational.WALOptions
+}
+
+// DB is a shard group: N relational databases behind one Engine.
+type DB struct {
+	schema *relational.Schema
+	shards []*relational.Database
+	rds    []relational.Reader // shards, pre-typed for the merge helpers
+	n      int
+	dir    string
+	routes map[string]*tableRoute
+
+	// pkMoved flips (permanently) when an UpdateRow changes a root
+	// table's primary key: the moved row no longer lives on its hash
+	// shard, so the insert-time shortcut that skips cross-shard PK
+	// probes for hash-routed roots is disabled from then on.
+	pkMoved atomic.Bool
+
+	// xmu orders cross-shard commits against vector pins: BeginTxn and
+	// OpenSnapshot hold the read side while pinning all N shards,
+	// commitCross holds the write side from prepare through publish, so
+	// no reader ever observes a cross-shard transaction on a strict
+	// subset of its shards.
+	xmu sync.RWMutex
+
+	nextXid      atomic.Uint64
+	xlog         *xlog
+	crossCommits atomic.Int64
+	crossAborts  atomic.Int64
+}
+
+// Recovery aggregates what opening the group's logs found.
+type Recovery struct {
+	// Shards holds each shard's WAL recovery report, indexed by shard.
+	Shards []relational.RecoveryInfo `json:"shards"`
+	// CommittedXids counts cross-shard transaction ids the coordinator
+	// log held (prepared records missing from it were filtered).
+	CommittedXids int `json:"committed_xids"`
+	// FilteredTxns sums the per-shard prepared-but-uncommitted records
+	// recovery discarded.
+	FilteredTxns int64 `json:"filtered_txns"`
+}
+
+// tableRoute is the per-table routing metadata derived from the schema.
+type tableRoute struct {
+	td *relational.TableDef
+	pk []string
+	// fk is the co-location edge: the table's first foreign key, nil
+	// for root tables.
+	fk *relational.ForeignKey
+	// uniques are the column sets whose uniqueness spans shards and so
+	// must be scatter-probed: the primary key (when present, always
+	// first) and each UNIQUE column.
+	uniques [][]string
+}
+
+// New builds a shard group over the seed database's schema and rows.
+// Rows are copied shard-by-shard in ascending row-id order (parents
+// precede children, since the engine's FK check forces parent ids below
+// child ids), then the per-shard WALs and the coordinator log are
+// opened: an empty Dir checkpoints the seeded contents, a non-empty one
+// discards the seed copy and recovers the logged state instead, exactly
+// like relational.OpenWAL does for a single database. n < 1 is clamped
+// to 1; a group of 1 delegates everything to its only shard and is
+// byte-for-byte equivalent to an unsharded database.
+func New(seed *relational.Database, n int, opts Options) (*DB, *Recovery, error) {
+	if n < 1 {
+		n = 1
+	}
+	if opts.WAL.XidCommitted != nil {
+		return nil, nil, fmt.Errorf("shard: Options.WAL.XidCommitted is owned by the group")
+	}
+	schema := seed.Schema()
+	db := &DB{
+		schema: schema,
+		shards: make([]*relational.Database, n),
+		rds:    make([]relational.Reader, n),
+		n:      n,
+		dir:    opts.Dir,
+		routes: buildRoutes(schema),
+	}
+	for i := range db.shards {
+		s := relational.NewDatabase(schema)
+		s.SetRowIDAlloc(relational.RowID(i+1), relational.RowID(n))
+		db.shards[i] = s
+		db.rds[i] = s
+	}
+	if err := db.seedFrom(seed); err != nil {
+		return nil, nil, err
+	}
+	rec := &Recovery{Shards: make([]relational.RecoveryInfo, n)}
+	var maxXid uint64
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("shard: %w", err)
+		}
+		x, committed, xmax, err := openXlog(xlogPath(opts.Dir))
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: coordinator log: %w", err)
+		}
+		db.xlog = x
+		rec.CommittedXids = len(committed)
+		maxXid = xmax
+		walOpts := opts.WAL
+		walOpts.XidCommitted = func(xid uint64) bool { return committed[xid] }
+		for i, s := range db.shards {
+			info, err := s.OpenWAL(shardDir(opts.Dir, i), walOpts)
+			if err != nil {
+				db.closePartial(i)
+				return nil, nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			rec.Shards[i] = *info
+			rec.FilteredTxns += info.FilteredTxns
+			if info.MaxXid > maxXid {
+				maxXid = info.MaxXid
+			}
+			// Recovery replays whatever ids the log held; realign the
+			// allocator so fresh ids resume on this shard's stripe.
+			s.SetRowIDAlloc(relational.RowID(i+1), relational.RowID(n))
+		}
+	}
+	db.nextXid.Store(maxXid)
+	return db, rec, nil
+}
+
+func shardDir(dir string, i int) string { return dir + "/shard-" + itoa(i) }
+func xlogPath(dir string) string        { return dir + "/xlog" }
+func itoa(i int) string                 { return fmt.Sprintf("%d", i) }
+
+// closePartial closes the WALs of shards [0, upto) after a failed open.
+func (db *DB) closePartial(upto int) {
+	for j := 0; j < upto; j++ {
+		_ = db.shards[j].CloseWAL()
+	}
+	if db.xlog != nil {
+		_ = db.xlog.close()
+	}
+}
+
+// seedFrom copies the seed's rows into the group, routing each row and
+// inserting in ascending global row-id order so parents are present
+// before the children that reference them.
+func (db *DB) seedFrom(seed *relational.Database) error {
+	type seedRow struct {
+		id     relational.RowID
+		table  string
+		values map[string]relational.Value
+	}
+	var rows []seedRow
+	for _, name := range db.schema.TableNames() {
+		td, _ := db.schema.Table(name)
+		err := seed.Scan(name, func(r *relational.Row) bool {
+			vals := make(map[string]relational.Value, len(td.Columns))
+			for i, c := range td.Columns {
+				if i < len(r.Values) {
+					vals[c.Name] = r.Values[i]
+				}
+			}
+			rows = append(rows, seedRow{id: r.ID, table: name, values: vals})
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	for _, r := range rows {
+		s := db.routeInsert(func() []relational.Reader { return db.rds }, r.table, r.values)
+		if _, err := db.shards[s].Insert(r.table, r.values); err != nil {
+			return fmt.Errorf("shard %d: seeding %s row %d: %w", s, r.table, r.id, err)
+		}
+	}
+	return nil
+}
+
+// buildRoutes derives each table's routing metadata from the schema.
+func buildRoutes(schema *relational.Schema) map[string]*tableRoute {
+	routes := make(map[string]*tableRoute)
+	for _, td := range schema.Tables() {
+		rt := &tableRoute{td: td, pk: td.PrimaryKey}
+		if len(td.ForeignKeys) > 0 {
+			rt.fk = &td.ForeignKeys[0]
+		}
+		if len(td.PrimaryKey) > 0 {
+			rt.uniques = append(rt.uniques, td.PrimaryKey)
+		}
+		for _, c := range td.Columns {
+			if c.Unique {
+				rt.uniques = append(rt.uniques, []string{c.Name})
+			}
+		}
+		routes[td.Name] = rt
+	}
+	return routes
+}
+
+// shardOf routes a point operation: ids are striped id ≡ shard+1 (mod
+// n) by SetRowIDAlloc, so the residue identifies the owning shard.
+func (db *DB) shardOf(id relational.RowID) int {
+	if db.n == 1 || id < 1 {
+		return 0
+	}
+	return int((int64(id) - 1) % int64(db.n))
+}
+
+// routeInsert picks the home shard for a new row: the referenced
+// parent's shard for child tables (probed through rds, which are the
+// inserting transaction's sub-views so in-transaction parents are
+// seen), the primary-key hash otherwise. Unroutable rows (unknown
+// table, NULL or missing key components, missing parent) fall back
+// deterministically — the target shard's own constraint checks then
+// produce the canonical error.
+func (db *DB) routeInsert(rds func() []relational.Reader, table string, values map[string]relational.Value) int {
+	if db.n == 1 {
+		return 0
+	}
+	rt := db.routes[table]
+	if rt == nil {
+		return 0
+	}
+	if rt.fk != nil {
+		if vals, ok := keyVals(rt.td, rt.fk.Columns, values); ok {
+			for j, rd := range rds() {
+				if ids, err := rd.LookupEqual(rt.fk.RefTable, rt.fk.RefColumns, vals); err == nil && len(ids) > 0 {
+					return j
+				}
+			}
+		}
+	}
+	if len(rt.pk) > 0 {
+		if vals, ok := keyVals(rt.td, rt.pk, values); ok {
+			return int(hashVals(vals) % uint64(db.n))
+		}
+	}
+	return 0
+}
+
+// keyVals extracts and type-coerces the named columns from a value map.
+// ok is false when any component is missing or NULL — such keys do not
+// participate in routing or cross-shard probes (NULLs never collide,
+// and missing components fail locally anyway).
+func keyVals(td *relational.TableDef, cols []string, values map[string]relational.Value) ([]relational.Value, bool) {
+	out := make([]relational.Value, len(cols))
+	for i, c := range cols {
+		v, ok := values[c]
+		if !ok || v.IsNull() {
+			return nil, false
+		}
+		if ci, ok := td.ColumnIndex(c); ok {
+			if cv, err := v.CoerceTo(td.Columns[ci].Type); err == nil {
+				v = cv
+			}
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+// hashVals is FNV-64a over the key's EncodeKey forms, NUL-separated.
+func hashVals(vals []relational.Value) uint64 {
+	h := fnv.New64a()
+	for _, v := range vals {
+		h.Write([]byte(v.EncodeKey()))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// checkCrossUnique closes the uniqueness gap partitioning opens: the
+// home shard's own checks only see its rows, so every unique column set
+// is probed on the other shards through rds (the transaction's
+// sub-views, so uncommitted duplicates in the same transaction are
+// caught too). exclude skips the row being updated; changed, when
+// non-nil, restricts probing to sets an update actually touched. The
+// primary key of a root table is skipped while the hash co-location
+// invariant holds (see DB.pkMoved). Two transactions concurrently
+// inserting the same key onto different shards can both pass the probe
+// — the same write-skew window the engine's snapshot-isolation FK
+// checks already document — and is accepted as this layer's isolation
+// level.
+func (db *DB) checkCrossUnique(rds func() []relational.Reader, home int, table string, values map[string]relational.Value, exclude relational.RowID, changed map[string]bool) error {
+	if db.n == 1 {
+		return nil
+	}
+	rt := db.routes[table]
+	if rt == nil {
+		return nil
+	}
+	for si, set := range rt.uniques {
+		if changed != nil && !intersects(set, changed) {
+			continue
+		}
+		isPK := si == 0 && len(rt.pk) > 0 // PK is always uniques[0] when present
+		if isPK && rt.fk == nil && !db.pkMoved.Load() {
+			continue // hash routing already co-locates duplicates
+		}
+		vals, ok := keyVals(rt.td, set, values)
+		if !ok {
+			continue
+		}
+		for j, rd := range rds() {
+			if j == home {
+				continue
+			}
+			ids, err := rd.LookupEqual(table, set, vals)
+			if err != nil {
+				continue
+			}
+			for _, id := range ids {
+				if id == exclude {
+					continue
+				}
+				kind := relational.ErrUnique
+				if isPK {
+					kind = relational.ErrPrimaryKey
+				}
+				return fmt.Errorf("%w: %s(%s) duplicates row %d on shard %d",
+					kind, table, joinCols(set), id, j)
+			}
+		}
+	}
+	return nil
+}
+
+func intersects(cols []string, changed map[string]bool) bool {
+	for _, c := range cols {
+		if changed[c] {
+			return true
+		}
+	}
+	return false
+}
+
+func joinCols(cols []string) string {
+	s := ""
+	for i, c := range cols {
+		if i > 0 {
+			s += ", "
+		}
+		s += c
+	}
+	return s
+}
+
+// ---- Reader: scatter-gather over the committed shards. Latest reads
+// are per-shard read-committed (no vector pin), matching the documented
+// degradation of reading the live database instead of a snapshot.
+
+func (db *DB) Schema() *relational.Schema { return db.schema }
+
+func (db *DB) Get(table string, id relational.RowID) (*relational.Row, error) {
+	return db.shards[db.shardOf(id)].Get(table, id)
+}
+
+func (db *DB) ValuesByName(table string, id relational.RowID) (map[string]relational.Value, error) {
+	return db.shards[db.shardOf(id)].ValuesByName(table, id)
+}
+
+func (db *DB) Scan(table string, fn func(*relational.Row) bool) error {
+	return scanMerged(db.rds, table, fn)
+}
+
+func (db *DB) LookupEqual(table string, columns []string, values []relational.Value) ([]relational.RowID, error) {
+	return lookupMerged(db.rds, table, columns, values)
+}
+
+func (db *DB) HasIndexOn(table string, columns []string) bool {
+	return db.shards[0].HasIndexOn(table, columns)
+}
+
+func (db *DB) RowCount(table string) int {
+	n := 0
+	for _, s := range db.shards {
+		n += s.RowCount(table)
+	}
+	return n
+}
+
+func (db *DB) TotalRows() int {
+	n := 0
+	for _, s := range db.shards {
+		n += s.TotalRows()
+	}
+	return n
+}
+
+// scanMerged visits every shard's rows merged in ascending row-id
+// order (each shard scans in insertion order, which is ascending id).
+// Retaining the *Row pointers across the sub-scans is safe: version
+// payloads are immutable once published.
+func scanMerged(rds []relational.Reader, table string, fn func(*relational.Row) bool) error {
+	if len(rds) == 1 {
+		return rds[0].Scan(table, fn)
+	}
+	rows := make([][]*relational.Row, len(rds))
+	for i, rd := range rds {
+		err := rd.Scan(table, func(r *relational.Row) bool {
+			rows[i] = append(rows[i], r)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	idx := make([]int, len(rds))
+	for {
+		best := -1
+		for i := range rows {
+			if idx[i] >= len(rows[i]) {
+				continue
+			}
+			if best < 0 || rows[i][idx[i]].ID < rows[best][idx[best]].ID {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		if !fn(rows[best][idx[best]]) {
+			return nil
+		}
+		idx[best]++
+	}
+}
+
+// lookupMerged concatenates per-shard index lookups, sorted by id for a
+// deterministic order.
+func lookupMerged(rds []relational.Reader, table string, columns []string, values []relational.Value) ([]relational.RowID, error) {
+	if len(rds) == 1 {
+		return rds[0].LookupEqual(table, columns, values)
+	}
+	var out []relational.RowID
+	for _, rd := range rds {
+		ids, err := rd.LookupEqual(table, columns, values)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ids...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// ---- Engine: autocommit DML, lifecycle, statistics and maintenance.
+
+func (db *DB) Insert(table string, values map[string]relational.Value) (relational.RowID, error) {
+	t := db.BeginTxn()
+	id, err := t.Insert(table, values)
+	if err != nil {
+		_ = t.Rollback()
+		return 0, err
+	}
+	if err := t.Commit(); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+func (db *DB) Delete(table string, id relational.RowID) (int, error) {
+	t := db.BeginTxn()
+	n, err := t.Delete(table, id)
+	if err != nil {
+		_ = t.Rollback()
+		return 0, err
+	}
+	if err := t.Commit(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func (db *DB) UpdateRow(table string, id relational.RowID, changes map[string]relational.Value) error {
+	t := db.BeginTxn()
+	if err := t.UpdateRow(table, id, changes); err != nil {
+		_ = t.Rollback()
+		return err
+	}
+	return t.Commit()
+}
+
+// BeginTxn starts a cross-shard write transaction. Sub-transactions
+// are acquired lazily as shards are first touched (each under the
+// vector latch's read side), so a transaction confined to one shard —
+// the common case once writers partition — begins exactly one engine
+// transaction; see Txn for the resulting read-view contract.
+func (db *DB) BeginTxn() relational.WriteTxn {
+	if db.n == 1 {
+		return db.shards[0].BeginTxn()
+	}
+	return &Txn{db: db, subs: make([]*relational.Txn, db.n), rds: make([]relational.Reader, db.n)}
+}
+
+// OpenSnapshot pins one snapshot per shard under the vector latch: a
+// cross-shard transaction is visible on all its shards or on none.
+func (db *DB) OpenSnapshot() relational.Snap {
+	if db.n == 1 {
+		return db.shards[0].OpenSnapshot()
+	}
+	db.xmu.RLock()
+	defer db.xmu.RUnlock()
+	v := &SnapVec{subs: make([]*relational.Snapshot, db.n), rds: make([]relational.Reader, db.n)}
+	for i, s := range db.shards {
+		sn := s.Snapshot()
+		v.subs[i] = sn
+		v.rds[i] = sn
+	}
+	return v
+}
+
+// LogStatement routes statement-level redo to shard 0 (statements are
+// group-level annotations, not row state; one copy suffices).
+func (db *DB) LogStatement(sql string) { db.shards[0].LogStatement(sql) }
+
+// Stats aggregates the per-shard rollups: counters sum; CommitSeq is
+// the sum of per-shard sequences — the same monotone logical clock
+// SnapVec.Seq reports.
+func (db *DB) Stats() relational.DBStats {
+	var agg relational.DBStats
+	for _, s := range db.shards {
+		st := s.Stats()
+		agg.StatementsExecuted += st.StatementsExecuted
+		agg.RedoRecords += st.RedoRecords
+		agg.RedoBytes += st.RedoBytes
+		agg.RedoFlushes += st.RedoFlushes
+		agg.SnapshotsActive += st.SnapshotsActive
+		agg.SnapshotsOpened += st.SnapshotsOpened
+		agg.VersionsReclaimed += st.VersionsReclaimed
+		agg.Reclaims += st.Reclaims
+		agg.CommitSeq += st.CommitSeq
+		agg.TxnsActive += st.TxnsActive
+		agg.TxnsStarted += st.TxnsStarted
+		agg.Conflicts += st.Conflicts
+		agg.GroupCommits += st.GroupCommits
+		agg.GroupedTxns += st.GroupedTxns
+		agg.WALSegments += st.WALSegments
+		agg.WALBytes += st.WALBytes
+		agg.Fsyncs += st.Fsyncs
+		agg.Checkpoints += st.Checkpoints
+		agg.RecoveryReplayedTxns += st.RecoveryReplayedTxns
+	}
+	return agg
+}
+
+func (db *DB) VersionStats() relational.VersionStats {
+	var agg relational.VersionStats
+	for _, s := range db.shards {
+		vs := s.VersionStats()
+		agg.LiveRows += vs.LiveRows
+		agg.VisibleRows += vs.VisibleRows
+		agg.Versions += vs.Versions
+		if vs.MaxChainDepth > agg.MaxChainDepth {
+			agg.MaxChainDepth = vs.MaxChainDepth
+		}
+		agg.SnapshotsActive += vs.SnapshotsActive
+		agg.SnapshotsOpened += vs.SnapshotsOpened
+		agg.VersionsReclaimed += vs.VersionsReclaimed
+		agg.Reclaims += vs.Reclaims
+		agg.CommitSeq += vs.CommitSeq
+	}
+	return agg
+}
+
+func (db *DB) StatementsExecutedTotal() int64 {
+	var n int64
+	for _, s := range db.shards {
+		n += s.StatementsExecutedTotal()
+	}
+	return n
+}
+
+func (db *DB) RedoRecords() int64 {
+	var n int64
+	for _, s := range db.shards {
+		n += s.RedoRecords()
+	}
+	return n
+}
+
+func (db *DB) RedoBytes() int64 {
+	var n int64
+	for _, s := range db.shards {
+		n += s.RedoBytes()
+	}
+	return n
+}
+
+func (db *DB) RedoFlushes() int64 {
+	var n int64
+	for _, s := range db.shards {
+		n += s.RedoFlushes()
+	}
+	return n
+}
+
+// LastFsyncNanos reports the slowest of the shards' last fsyncs: for a
+// batch fanned out across shards, the max is the flush latency the
+// group's committers actually waited on.
+func (db *DB) LastFsyncNanos() int64 {
+	var max int64
+	for _, s := range db.shards {
+		if v := s.LastFsyncNanos(); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// FsyncHistogram merges the per-shard fsync distributions bucket-wise
+// (all shards share one histogram geometry).
+func (db *DB) FsyncHistogram() obs.Snapshot {
+	var agg obs.Snapshot
+	for _, s := range db.shards {
+		sn := s.FsyncHistogram()
+		if len(sn.Counts) == 0 {
+			continue
+		}
+		if len(agg.Counts) == 0 {
+			counts := make([]uint64, len(sn.Counts))
+			copy(counts, sn.Counts)
+			agg = obs.Snapshot{MinExp: sn.MinExp, Unit: sn.Unit, Counts: counts, Sum: sn.Sum, Count: sn.Count}
+			continue
+		}
+		for i := range sn.Counts {
+			if i < len(agg.Counts) {
+				agg.Counts[i] += sn.Counts[i]
+			}
+		}
+		agg.Sum += sn.Sum
+		agg.Count += sn.Count
+	}
+	return agg
+}
+
+func (db *DB) Reclaim() int {
+	n := 0
+	for _, s := range db.shards {
+		n += s.Reclaim()
+	}
+	return n
+}
+
+func (db *DB) StartReclaimer(interval time.Duration) (stop func()) {
+	return db.startAll(interval, (*relational.Database).StartReclaimer)
+}
+
+func (db *DB) StartCheckpointer(interval time.Duration) (stop func()) {
+	return db.startAll(interval, (*relational.Database).StartCheckpointer)
+}
+
+func (db *DB) startAll(interval time.Duration, start func(*relational.Database, time.Duration) func()) func() {
+	stops := make([]func(), len(db.shards))
+	for i, s := range db.shards {
+		stops[i] = start(s, interval)
+	}
+	return func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+}
+
+// CloseWAL closes every shard's WAL and the coordinator log.
+func (db *DB) CloseWAL() error {
+	var first error
+	for _, s := range db.shards {
+		if err := s.CloseWAL(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if db.xlog != nil {
+		if err := db.xlog.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WALDir returns the group's root directory (empty in memory).
+func (db *DB) WALDir() string { return db.dir }
+
+// ShardCount reports the group's width.
+func (db *DB) ShardCount() int { return db.n }
+
+// ShardStats returns one statistics rollup per shard.
+func (db *DB) ShardStats() []relational.ShardStat {
+	out := make([]relational.ShardStat, db.n)
+	for i, s := range db.shards {
+		out[i] = relational.ShardStat{Shard: i, DBStats: s.Stats(), Rows: s.TotalRows()}
+	}
+	return out
+}
+
+// CrossCommits counts published cross-shard transactions.
+func (db *DB) CrossCommits() int64 { return db.crossCommits.Load() }
+
+// CrossAborts counts cross-shard transactions aborted during 2PC.
+func (db *DB) CrossAborts() int64 { return db.crossAborts.Load() }
+
+var _ relational.Engine = (*DB)(nil)

@@ -1,0 +1,436 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/bookdb"
+	"repro/internal/relational"
+)
+
+func newGroup(t *testing.T, n int, opts Options) (*DB, *Recovery) {
+	t.Helper()
+	seed, err := bookdb.NewDatabase(relational.DeleteCascade)
+	if err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	db, rec, err := New(seed, n, opts)
+	if err != nil {
+		t.Fatalf("New(n=%d): %v", n, err)
+	}
+	return db, rec
+}
+
+// dump renders every visible row of every table as "table|id|v1,v2,..".
+func dump(t *testing.T, rd relational.Reader) []string {
+	t.Helper()
+	var out []string
+	for _, name := range rd.Schema().TableNames() {
+		err := rd.Scan(name, func(r *relational.Row) bool {
+			line := fmt.Sprintf("%s|%d|", name, r.ID)
+			for _, v := range r.Values {
+				line += v.EncodeKey() + ","
+			}
+			out = append(out, line)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("scan %s: %v", name, err)
+		}
+	}
+	return out
+}
+
+// pubOnShard finds a publisher id (with the given prefix) whose PK hash
+// routes to the wanted shard.
+func pubOnShard(db *DB, want int, prefix string) string {
+	for i := 0; ; i++ {
+		id := fmt.Sprintf("%s%04d", prefix, i)
+		if int(hashVals([]relational.Value{relational.String_(id)})%uint64(db.n)) == want {
+			return id
+		}
+	}
+}
+
+func insertPub(t *testing.T, w relational.WriteTxn, pubid, pubname string) {
+	t.Helper()
+	if _, err := w.Insert("publisher", map[string]relational.Value{
+		"pubid": relational.String_(pubid), "pubname": relational.String_(pubname),
+	}); err != nil {
+		t.Fatalf("insert publisher %s: %v", pubid, err)
+	}
+}
+
+func insertBook(w relational.WriteTxn, bookid, pubid string) error {
+	_, err := w.Insert("book", map[string]relational.Value{
+		"bookid": relational.String_(bookid), "title": relational.String_("t-" + bookid),
+		"pubid": relational.String_(pubid), "price": relational.Float_(10),
+		"year": relational.Int_(2000),
+	})
+	return err
+}
+
+// TestShardsOneParity drives the same write sequence through a
+// 1-shard group and a plain database and requires byte-for-byte equal
+// dumps, row ids included: shards=1 must be indistinguishable from the
+// unsharded path.
+func TestShardsOneParity(t *testing.T) {
+	plain, err := bookdb.NewDatabase(relational.DeleteCascade)
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	group, _ := newGroup(t, 1, Options{})
+	run := func(eng relational.Engine) {
+		t.Helper()
+		if _, err := eng.Insert("publisher", map[string]relational.Value{
+			"pubid": relational.String_("Z01"), "pubname": relational.String_("Parity Press"),
+		}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		txn := eng.BeginTxn()
+		if err := insertBook(txn, "99001", "Z01"); err != nil {
+			t.Fatalf("book: %v", err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		ids, err := eng.LookupEqual("book", []string{"bookid"}, []relational.Value{relational.String_("98001")})
+		if err != nil || len(ids) != 1 {
+			t.Fatalf("lookup: %v %v", ids, err)
+		}
+		if err := eng.UpdateRow("book", ids[0], map[string]relational.Value{
+			"price": relational.Float_(39.99),
+		}); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+		if _, err := eng.Delete("book", ids[0]); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+	}
+	run(plain)
+	run(group)
+	got, want := dump(t, group), dump(t, plain)
+	if len(got) != len(want) {
+		t.Fatalf("row counts differ: sharded %d vs plain %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dump line %d differs:\nsharded: %s\nplain:   %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRoutingCoLocatesAndStripes checks the two routing invariants: a
+// child row lives on its parent's shard (transitively), and every row
+// id's residue identifies its shard.
+func TestRoutingCoLocatesAndStripes(t *testing.T) {
+	db, _ := newGroup(t, 4, Options{})
+	// Grow the dataset so every shard sees traffic.
+	for i := 0; i < 8; i++ {
+		pub := fmt.Sprintf("P%02d", i)
+		if _, err := db.Insert("publisher", map[string]relational.Value{
+			"pubid": relational.String_(pub), "pubname": relational.String_("House " + pub),
+		}); err != nil {
+			t.Fatalf("publisher: %v", err)
+		}
+		txn := db.BeginTxn()
+		if err := insertBook(txn, fmt.Sprintf("90%03d", i), pub); err != nil {
+			t.Fatalf("book: %v", err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+	}
+	shardOfKey := func(table, col, key string) int {
+		ids, err := db.LookupEqual(table, []string{col}, []relational.Value{relational.String_(key)})
+		if err != nil || len(ids) != 1 {
+			t.Fatalf("lookup %s=%s: ids=%v err=%v", table, key, ids, err)
+		}
+		return db.shardOf(ids[0])
+	}
+	// Each shard must own its rows id-residue-wise.
+	for i, s := range db.shards {
+		for _, table := range db.schema.TableNames() {
+			s.Scan(table, func(r *relational.Row) bool {
+				if db.shardOf(r.ID) != i {
+					t.Errorf("%s row %d stored on shard %d but residue says %d", table, r.ID, i, db.shardOf(r.ID))
+				}
+				return true
+			})
+		}
+	}
+	// Children co-locate with parents.
+	db.Scan("book", func(r *relational.Row) bool {
+		vals, _ := db.ValuesByName("book", r.ID)
+		if pub := vals["pubid"]; !pub.IsNull() {
+			if ps := shardOfKey("publisher", "pubid", pub.Str); ps != db.shardOf(r.ID) {
+				t.Errorf("book %d on shard %d, its publisher on shard %d", r.ID, db.shardOf(r.ID), ps)
+			}
+		}
+		return true
+	})
+	db.Scan("review", func(r *relational.Row) bool {
+		vals, _ := db.ValuesByName("review", r.ID)
+		if bs := shardOfKey("book", "bookid", vals["bookid"].Str); bs != db.shardOf(r.ID) {
+			t.Errorf("review %d on shard %d, its book on shard %d", r.ID, db.shardOf(r.ID), bs)
+		}
+		return true
+	})
+}
+
+// TestCrossShardUniqueness inserts duplicate keys whose twins live on
+// other shards: the scatter probe must reject them with the canonical
+// constraint errors even though the home shard's local check passes.
+func TestCrossShardUniqueness(t *testing.T) {
+	db, _ := newGroup(t, 4, Options{})
+	// Two publishers pinned to different shards.
+	p0, p1 := pubOnShard(db, 0, "U"), pubOnShard(db, 1, "U")
+	txn := db.BeginTxn()
+	insertPub(t, txn, p0, "Unique House A")
+	insertPub(t, txn, p1, "Unique House B")
+	if err := insertBook(txn, "70001", p0); err != nil {
+		t.Fatalf("first book: %v", err)
+	}
+	// Same bookid under a parent on another shard: local PK check
+	// cannot see the twin, the cross-shard probe must.
+	if err := insertBook(txn, "70001", p1); !errors.Is(err, relational.ErrPrimaryKey) {
+		t.Fatalf("duplicate bookid across shards: got %v, want ErrPrimaryKey", err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	// UNIQUE column duplicated across shards (publisher is hash-routed,
+	// so equal pubnames under different pubids land on different shards).
+	q0, q1 := pubOnShard(db, 2, "Q"), pubOnShard(db, 3, "Q")
+	insertPub(t, db.BeginTxnT(t), q0, "Same Name Press")
+	w := db.BeginTxn()
+	if _, err := w.Insert("publisher", map[string]relational.Value{
+		"pubid": relational.String_(q1), "pubname": relational.String_("Same Name Press"),
+	}); !errors.Is(err, relational.ErrUnique) {
+		t.Fatalf("duplicate pubname across shards: got %v, want ErrUnique", err)
+	}
+	w.Rollback()
+}
+
+// BeginTxnT begins and auto-commits via t.Cleanup-free helper: commit
+// immediately after the caller's single insert (test convenience).
+func (db *DB) BeginTxnT(t *testing.T) relational.WriteTxn {
+	t.Helper()
+	return &autoCommitTxn{t: t, WriteTxn: db.BeginTxn()}
+}
+
+type autoCommitTxn struct {
+	t *testing.T
+	relational.WriteTxn
+}
+
+func (a *autoCommitTxn) Insert(table string, values map[string]relational.Value) (relational.RowID, error) {
+	id, err := a.WriteTxn.Insert(table, values)
+	if err != nil {
+		return id, err
+	}
+	return id, a.WriteTxn.Commit()
+}
+
+// TestCrossShardFKAndCascade: a dangling child is rejected wherever it
+// lands, and deleting a parent cascades through co-located children.
+func TestCrossShardFKAndCascade(t *testing.T) {
+	db, _ := newGroup(t, 4, Options{})
+	txn := db.BeginTxn()
+	if err := insertBook(txn, "60001", "NOPE"); !errors.Is(err, relational.ErrForeignKey) {
+		t.Fatalf("dangling FK: got %v, want ErrForeignKey", err)
+	}
+	txn.Rollback()
+	// Cascade: delete publisher A01 → its books and their reviews go.
+	ids, err := db.LookupEqual("publisher", []string{"pubid"}, []relational.Value{relational.String_("A01")})
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("find A01: %v %v", ids, err)
+	}
+	before := db.RowCount("book") + db.RowCount("review")
+	n, err := db.Delete("publisher", ids[0])
+	if err != nil {
+		t.Fatalf("cascade delete: %v", err)
+	}
+	if n < 3 { // publisher + 2 books + 2 reviews under A01
+		t.Fatalf("cascade removed %d rows, want >= 3", n)
+	}
+	after := db.RowCount("book") + db.RowCount("review")
+	if after >= before {
+		t.Fatalf("cascade did not shrink book+review rows: %d -> %d", before, after)
+	}
+	books, _ := db.LookupEqual("book", []string{"pubid"}, []relational.Value{relational.String_("A01")})
+	if len(books) != 0 {
+		t.Fatalf("books of A01 survived cascade: %v", books)
+	}
+}
+
+// TestSnapshotVectorConsistency runs cross-shard pair inserts against
+// concurrent snapshot readers: every snapshot must see both halves of
+// a pair or neither — a half-visible cross-shard commit is a torn
+// vector. Run with -race.
+func TestSnapshotVectorConsistency(t *testing.T) {
+	db, _ := newGroup(t, 2, Options{})
+	const pairs = 40
+	a := make([]string, pairs)
+	b := make([]string, pairs)
+	for i := range a {
+		a[i] = pubOnShard(db, 0, fmt.Sprintf("A%d-", i))
+		b[i] = pubOnShard(db, 1, fmt.Sprintf("B%d-", i))
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := db.OpenSnapshot()
+				for i := range a {
+					ia, _ := snap.LookupEqual("publisher", []string{"pubid"}, []relational.Value{relational.String_(a[i])})
+					ib, _ := snap.LookupEqual("publisher", []string{"pubid"}, []relational.Value{relational.String_(b[i])})
+					if (len(ia) == 1) != (len(ib) == 1) {
+						t.Errorf("torn vector: pair %d half-visible (a=%d b=%d)", i, len(ia), len(ib))
+					}
+				}
+				snap.Close()
+			}
+		}()
+	}
+	for i := range a {
+		txn := db.BeginTxn()
+		insertPub(t, txn, a[i], "PairA "+a[i])
+		insertPub(t, txn, b[i], "PairB "+b[i])
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+	}
+	close(stop)
+	readers.Wait()
+	if got := db.CrossCommits(); got != pairs {
+		t.Fatalf("cross-shard commits: got %d, want %d", got, pairs)
+	}
+}
+
+// TestTwoPhaseRecovery exercises the decide point: a cross-shard commit
+// whose xid reached the coordinator log recovers on every shard; one
+// whose xid is missing (the log is truncated, as after a crash between
+// prepare and decide) is filtered on every shard — never a torn prefix.
+func TestTwoPhaseRecovery(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*DB, *Recovery) {
+		return newGroupDir(t, 2, dir)
+	}
+	db, _ := open()
+	p0, p1 := pubOnShard(db, 0, "R"), pubOnShard(db, 1, "R")
+	txn := db.BeginTxn()
+	insertPub(t, txn, p0, "Recovered A")
+	insertPub(t, txn, p1, "Recovered B")
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("cross commit: %v", err)
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Committed xid present in the coordinator log: both halves recover.
+	db2, rec := open()
+	for _, pub := range []string{p0, p1} {
+		ids, err := db2.LookupEqual("publisher", []string{"pubid"}, []relational.Value{relational.String_(pub)})
+		if err != nil || len(ids) != 1 {
+			t.Fatalf("committed pair lost after recovery: %s ids=%v err=%v", pub, ids, err)
+		}
+	}
+	if rec.CommittedXids != 1 {
+		t.Fatalf("coordinator log xids: got %d, want 1", rec.CommittedXids)
+	}
+	if err := db2.CloseWAL(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Crash between prepare and decide: the shards hold xid-tagged
+	// records but the coordinator log lost the xid. Truncating the log
+	// simulates exactly that state; recovery must filter both halves.
+	if err := os.Truncate(filepath.Join(dir, "xlog"), 0); err != nil {
+		t.Fatalf("truncate xlog: %v", err)
+	}
+	db3, rec3 := open()
+	defer db3.CloseWAL()
+	for _, pub := range []string{p0, p1} {
+		ids, err := db3.LookupEqual("publisher", []string{"pubid"}, []relational.Value{relational.String_(pub)})
+		if err != nil || len(ids) != 0 {
+			t.Fatalf("undecided pair half-recovered: %s ids=%v err=%v", pub, ids, err)
+		}
+	}
+	if rec3.FilteredTxns != 2 {
+		t.Fatalf("filtered prepared records: got %d, want 2 (one per shard)", rec3.FilteredTxns)
+	}
+	// The filtered xid must not be reissued: MaxXid from the shard WALs
+	// keeps the allocator above it.
+	if got := db3.nextXid.Load(); got < 1 {
+		t.Fatalf("xid allocator fell back below filtered xid: %d", got)
+	}
+	// And the group still accepts new cross-shard commits afterwards.
+	txn = db3.BeginTxn()
+	insertPub(t, txn, pubOnShard(db3, 0, "S"), "Post A")
+	insertPub(t, txn, pubOnShard(db3, 1, "S"), "Post B")
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("post-recovery cross commit: %v", err)
+	}
+}
+
+func newGroupDir(t *testing.T, n int, dir string) (*DB, *Recovery) {
+	t.Helper()
+	seed, err := bookdb.NewDatabase(relational.DeleteCascade)
+	if err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	db, rec, err := New(seed, n, Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return db, rec
+}
+
+// TestCrashRestartParity commits a mix of single- and cross-shard
+// transactions, reopens the group from disk, and requires the recovered
+// contents to equal the pre-crash contents exactly.
+func TestCrashRestartParity(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := newGroupDir(t, 4, dir)
+	for i := 0; i < 6; i++ {
+		pub := fmt.Sprintf("C%02d", i)
+		if _, err := db.Insert("publisher", map[string]relational.Value{
+			"pubid": relational.String_(pub), "pubname": relational.String_("Crash " + pub),
+		}); err != nil {
+			t.Fatalf("publisher: %v", err)
+		}
+	}
+	txn := db.BeginTxn()
+	insertPub(t, txn, pubOnShard(db, 1, "X"), "Cross A")
+	insertPub(t, txn, pubOnShard(db, 2, "X"), "Cross B")
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("cross: %v", err)
+	}
+	want := dump(t, db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	db2, _ := newGroupDir(t, 4, dir)
+	defer db2.CloseWAL()
+	got := dump(t, db2)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recovered line %d differs:\ngot:  %s\nwant: %s", i, got[i], want[i])
+		}
+	}
+}

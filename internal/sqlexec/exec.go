@@ -32,12 +32,16 @@ type Reader = relational.Reader
 // Concurrency: the statistics counters are updated atomically and the
 // temporary-table namespace is internally locked, so read-only
 // ExecSelect calls may run concurrently. DML (ExecInsert/ExecDelete/
-// ExecUpdate) takes an explicit *relational.Txn handle: concurrent
+// ExecUpdate) takes an explicit relational.WriteTxn handle: concurrent
 // callers each write through their own transaction, the engine detects
 // write-write conflicts (relational.ErrWriteConflict,
 // first-updater-wins), and a nil handle autocommits the statement.
+//
+// The executor is written against the relational.Engine seam, so the
+// same SQL machinery runs over a single *relational.Database or a
+// hash-partitioned shard group (internal/shard) transparently.
 type Executor struct {
-	DB *relational.Database
+	DB relational.Engine
 
 	tempMu sync.RWMutex
 	temps  map[string]*ResultSet
@@ -50,8 +54,9 @@ type Executor struct {
 	IndexProbes int64
 }
 
-// NewExecutor wraps a database.
-func NewExecutor(db *relational.Database) *Executor {
+// NewExecutor wraps a storage engine (a *relational.Database or a
+// shard group).
+func NewExecutor(db relational.Engine) *Executor {
 	return &Executor{DB: db, temps: make(map[string]*ResultSet)}
 }
 
@@ -764,7 +769,7 @@ func planJoinOrder(e *Executor, srcs map[string]source, order []string, preds []
 // reads through: the transaction's overlay when one is given (so the
 // statement sees the transaction's earlier writes), the latest
 // committed state otherwise.
-func (e *Executor) writeReader(t *relational.Txn) Reader {
+func (e *Executor) writeReader(t relational.WriteTxn) Reader {
 	if t != nil {
 		return t
 	}
@@ -781,7 +786,7 @@ type writer interface {
 	UpdateRow(table string, id relational.RowID, changes map[string]relational.Value) error
 }
 
-func (e *Executor) writeDML(t *relational.Txn) writer {
+func (e *Executor) writeDML(t relational.WriteTxn) writer {
 	if t != nil {
 		return t
 	}
@@ -792,14 +797,14 @@ func (e *Executor) writeDML(t *relational.Txn) writer {
 // autocommits), surfacing the engine's constraint errors (the hybrid
 // strategy's conflict signal) and relational.ErrWriteConflict when the
 // write loses a first-updater-wins race.
-func (e *Executor) ExecInsert(t *relational.Txn, s *InsertStmt) (relational.RowID, error) {
+func (e *Executor) ExecInsert(t relational.WriteTxn, s *InsertStmt) (relational.RowID, error) {
 	return e.ExecInsertRendered(t, s, s.String())
 }
 
 // ExecInsertRendered is ExecInsert with the statement's SQL text
 // already rendered — callers that also report the text (Result.SQL)
 // stringify once.
-func (e *Executor) ExecInsertRendered(t *relational.Txn, s *InsertStmt, sql string) (relational.RowID, error) {
+func (e *Executor) ExecInsertRendered(t relational.WriteTxn, s *InsertStmt, sql string) (relational.RowID, error) {
 	e.DB.LogStatement(sql)
 	return e.writeDML(t).Insert(s.Table, s.Values)
 }
@@ -808,12 +813,12 @@ func (e *Executor) ExecInsertRendered(t *relational.Txn, s *InsertStmt, sql stri
 // autocommits), returning the number of rows removed (0 is the
 // engine's "zero tuples deleted" warning, not an error — exactly the
 // hybrid-strategy signal for statement U3).
-func (e *Executor) ExecDelete(t *relational.Txn, s *DeleteStmt) (int, error) {
+func (e *Executor) ExecDelete(t relational.WriteTxn, s *DeleteStmt) (int, error) {
 	return e.ExecDeleteRendered(t, s, s.String())
 }
 
 // ExecDeleteRendered is ExecDelete with the SQL text pre-rendered.
-func (e *Executor) ExecDeleteRendered(t *relational.Txn, s *DeleteStmt, sql string) (int, error) {
+func (e *Executor) ExecDeleteRendered(t relational.WriteTxn, s *DeleteStmt, sql string) (int, error) {
 	e.DB.LogStatement(sql)
 	ids, err := e.matchRows(e.writeReader(t), s.Table, s.Where)
 	if err != nil {
@@ -833,12 +838,12 @@ func (e *Executor) ExecDeleteRendered(t *relational.Txn, s *DeleteStmt, sql stri
 
 // ExecUpdate executes a single-table update through transaction t (nil
 // autocommits), returning the number of rows modified.
-func (e *Executor) ExecUpdate(t *relational.Txn, s *UpdateStmt) (int, error) {
+func (e *Executor) ExecUpdate(t relational.WriteTxn, s *UpdateStmt) (int, error) {
 	return e.ExecUpdateRendered(t, s, s.String())
 }
 
 // ExecUpdateRendered is ExecUpdate with the SQL text pre-rendered.
-func (e *Executor) ExecUpdateRendered(t *relational.Txn, s *UpdateStmt, sql string) (int, error) {
+func (e *Executor) ExecUpdateRendered(t relational.WriteTxn, s *UpdateStmt, sql string) (int, error) {
 	e.DB.LogStatement(sql)
 	ids, err := e.matchRows(e.writeReader(t), s.Table, s.Where)
 	if err != nil {

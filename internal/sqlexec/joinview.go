@@ -153,7 +153,7 @@ func (e *Executor) EvaluateJoinView(v *JoinViewDef) (*ResultSet, error) {
 // This is deliberately the expensive path the paper measures in Fig. 15:
 // the caller must supply values for every attribute of every relation in
 // the view, which forces the wide upstream probe query.
-func (e *Executor) InsertIntoJoinView(t *relational.Txn, v *JoinViewDef, values map[string]relational.Value) (int, error) {
+func (e *Executor) InsertIntoJoinView(t relational.WriteTxn, v *JoinViewDef, values map[string]relational.Value) (int, error) {
 	rd := e.writeReader(t)
 	schema := e.DB.Schema()
 	inserted := 0
@@ -215,7 +215,7 @@ func (e *Executor) InsertIntoJoinView(t *relational.Txn, v *JoinViewDef, values 
 // the base rows of the deepest table whose key columns are bound in
 // the predicate map, the standard decomposition for deletes through a
 // left-join view. It returns rows deleted.
-func (e *Executor) DeleteFromJoinView(t *relational.Txn, v *JoinViewDef, keyValues map[string]relational.Value) (int, error) {
+func (e *Executor) DeleteFromJoinView(t relational.WriteTxn, v *JoinViewDef, keyValues map[string]relational.Value) (int, error) {
 	rd := e.writeReader(t)
 	tables := v.Tables()
 	for i := len(tables) - 1; i >= 0; i-- {

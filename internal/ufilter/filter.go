@@ -136,7 +136,7 @@ type Filter struct {
 
 // New parses a view query, builds and marks its ASGs over the given
 // database, and returns a ready filter using the hybrid strategy.
-func New(viewQuery string, db *relational.Database) (*Filter, error) {
+func New(viewQuery string, db relational.Engine) (*Filter, error) {
 	q, err := xqparse.ParseViewQuery(viewQuery)
 	if err != nil {
 		return nil, err

@@ -40,7 +40,7 @@ type Engine struct {
 }
 
 // New wraps a database in a view engine.
-func New(db *relational.Database) *Engine {
+func New(db relational.Engine) *Engine {
 	return &Engine{Exec: sqlexec.NewExecutor(db)}
 }
 
