@@ -27,7 +27,7 @@ func main() {
 	sizesFlag := flag.String("sizes", "50,100,150,200,250,300,350,400,450,500",
 		"comma-separated database sizes (MB) for Figs. 15-17")
 	iters := flag.Int("iters", 20, "operations per size for Figs. 15-17")
-	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan,mvcc,write,wal,obs,shard")
+	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan,mvcc,write,wal,obs,shard,commit")
 	planIters := flag.Int("plan-iters", 2000, "iterations for the plan (compile-once/execute-many) benchmark")
 	planOut := flag.String("plan-out", "BENCH_plan.json", "file the plan benchmark's JSON is written to")
 	mvccIters := flag.Int("mvcc-iters", 2000, "checks per side for the MVCC checks-during-apply benchmark")
@@ -40,6 +40,8 @@ func main() {
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "file the observability benchmark's JSON is written to")
 	shardIters := flag.Int("shard-iters", 800, "durable applies per point for the intra-view sharding benchmark")
 	shardOut := flag.String("shard-out", "BENCH_shard.json", "file the sharding benchmark's JSON is written to")
+	commitIters := flag.Int("commit-iters", 640, "durable commits per point for the pipelined group-commit benchmark")
+	commitOut := flag.String("commit-out", "BENCH_commit.json", "file the commit benchmark's JSON is written to")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -92,6 +94,9 @@ func main() {
 	}
 	if run("shard") {
 		printShardBench(*shardIters, *shardOut)
+	}
+	if run("commit") {
+		printCommitBench(*commitIters, *commitOut)
 	}
 }
 
@@ -360,6 +365,45 @@ func printShardBench(iters int, outPath string) {
 		sb.Baseline, sb.ParityAt1, sb.SpeedupAt8, sb.MaxProcs)
 	if outPath != "" {
 		data, err := json.MarshalIndent(sb, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+// printCommitBench runs the stall-free-durability benchmark — durable
+// commit throughput with the pipelined writer stage vs the synchronous
+// latch-across-fsync path at 1/8/32 writers, checkpoint pause at 1x vs
+// 10x database size with a fixed dirty set, and cold recovery over a
+// base image vs a delta chain — and records the table as JSON so CI
+// gates the pipeline speedup and the O(dirty) pause.
+func printCommitBench(iters int, outPath string) {
+	header("Commit — pipelined group commit + incremental checkpoints")
+	cb, err := experiments.RunCommitBench(iters, runtime.GOMAXPROCS(0))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %14s %14s %10s %12s %12s\n",
+		"Writers", "sync ops/s", "pipe ops/s", "speedup", "sync fsyncs", "pipe fsyncs")
+	for _, p := range cb.Points {
+		fmt.Printf("%-8d %14.0f %14.0f %9.2fx %12d %12d\n",
+			p.Writers, p.SyncOpsPerSec, p.PipeOpsPerSec, p.Speedup, p.SyncFsyncs, p.PipeFsyncs)
+	}
+	for _, p := range cb.Pauses {
+		fmt.Printf("checkpoint pause: %6d rows, %d dirty -> %v\n",
+			p.Rows, p.DirtyRows, time.Duration(p.PauseNs))
+	}
+	fmt.Printf("pause ratio 10x/1x: %.2f (O(dirty) target: ~1)\n", cb.PauseRatio)
+	for _, p := range cb.Recovery {
+		fmt.Printf("cold recovery: %6d rows, chain %d -> %v\n",
+			p.Rows, p.ChainLen, time.Duration(p.RecoveryNs))
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(cb, "", "  ")
 		if err != nil {
 			fatal(err)
 		}

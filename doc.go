@@ -45,7 +45,9 @@
 // Write-concurrency contract. Applies run in parallel: every
 // Apply/Execute/ApplyBatch opens its own transaction against the MVCC
 // engine, independent updates commit concurrently with their
-// write-ahead-log flushes coalesced by a group-commit scheduler, and
+// write-ahead-log flushes coalesced by a group-commit scheduler (and
+// pipelined — one group stamps while the previous group's fsync is in
+// flight), and
 // two updates that write the same rows resolve by first-updater-wins
 // — the loser retries automatically with capped backoff and surfaces
 // relational.ErrWriteConflict only when retries are exhausted (the
@@ -86,6 +88,24 @@
 // commit via an ordered two-phase claim/publish through a coordinator
 // log whose single fsync is the decide point — crash recovery replays
 // a cross-shard transaction on every shard or on none.
+//
+// Durability contract. With a WAL directory open
+// (relational.Database.OpenWAL; ufilterd -data-dir), an acknowledged
+// commit is a durable commit: its record has been fsynced before any
+// reader can see its versions. The commit path is pipelined — a group
+// encodes its record off-latch, stamps sequences under the commit
+// latch, and hands the record to a WAL writer stage so the next group
+// stamps while the previous fsync runs; publication happens strictly
+// in stamp order after the covering fsync, and a failed flush rolls
+// back exactly its group (every member gets relational.ErrWALFailed,
+// nothing half-durable). Checkpoints are incremental: only rows
+// dirtied since the last checkpoint are serialized as a delta on the
+// base image (pause O(dirty), not O(database)), with the delta chain
+// compacted into a fresh base past WALOptions.CheckpointDeltaLimit;
+// recovery loads base + deltas + the WAL tail. Retired segments are
+// recycled as preallocated future segments. internal/walcrash proves
+// the contract with a kill -9 fault-injection matrix over every
+// registered failpoint.
 //
 // The filter is also served over the wire: internal/server and
 // cmd/ufilterd host a registry of named views behind an HTTP/JSON

@@ -100,41 +100,47 @@ func (g *groupCommitter) commit(txn relational.WriteTxn, tr *obs.Trace) error {
 	return done.err
 }
 
-// drain publishes batches until the queue is empty, then steps down.
+// drain publishes exactly one batch. Leadership is released in the SAME
+// critical section that takes the batch — early release — so a
+// committer arriving while this batch's flush is in flight leads its
+// own batch immediately instead of parking behind a long-lived leader.
+// With the engine's pipelined commit path, the successor's batch then
+// validates and stamps while this batch's fsync is still in the WAL
+// writer stage; the old drain-until-empty loop would have serialized
+// them one fsync at a time. Every pending entry is still covered:
+// leading is only ever true between a leader's designation and its
+// take-batch section, so an arrival either joins a batch that has not
+// been taken yet or becomes a leader itself.
 func (g *groupCommitter) drain() {
-	for {
-		g.mu.Lock()
-		batch := g.pending
-		g.pending = nil
-		if len(batch) == 0 {
-			g.leading = false
-			g.mu.Unlock()
-			return
+	g.mu.Lock()
+	batch := g.pending
+	g.pending = nil
+	g.leading = false
+	g.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	txns := make([]relational.WriteTxn, len(batch))
+	for i, w := range batch {
+		txns[i] = w.txn
+	}
+	errs := g.db.CommitShared(txns)
+	// The last fsync the engine recorded covers this group: CommitShared
+	// returns only after the group's records are durable (for a shard
+	// group, the max across the shards the batch touched).
+	var fsyncNs int64
+	for _, err := range errs {
+		if err == nil {
+			fsyncNs = g.db.LastFsyncNanos()
+			break
 		}
-		g.mu.Unlock()
-		txns := make([]relational.WriteTxn, len(batch))
-		for i, w := range batch {
-			txns[i] = w.txn
-		}
-		errs := g.db.CommitShared(txns)
-		// The last fsync the engine recorded is this group's: drain runs
-		// one group at a time per committer and CommitShared flushes
-		// under the engine's commit latches (for a shard group, the max
-		// across the shards the batch touched).
-		var fsyncNs int64
-		for _, err := range errs {
-			if err == nil {
-				fsyncNs = g.db.LastFsyncNanos()
-				break
-			}
-		}
-		g.groups.Add(1)
-		g.txns.Add(int64(len(batch)))
-		if g.hists != nil {
-			g.hists.GroupSize.Record(int64(len(batch)))
-		}
-		for i, w := range batch {
-			w.ch <- commitDone{err: errs[i], fsyncNs: fsyncNs}
-		}
+	}
+	g.groups.Add(1)
+	g.txns.Add(int64(len(batch)))
+	if g.hists != nil {
+		g.hists.GroupSize.Record(int64(len(batch)))
+	}
+	for i, w := range batch {
+		w.ch <- commitDone{err: errs[i], fsyncNs: fsyncNs}
 	}
 }

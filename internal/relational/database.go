@@ -113,6 +113,23 @@ type tableData struct {
 	pkIndex *hashIndex // nil when the table has no primary key
 	live    int        // heads a latest writer-side count sees (approximate under concurrency)
 	dirty   bool       // order slice needs compaction (rows were reclaimed)
+
+	// dirtyRows accumulates the ids of rows written since the last
+	// checkpoint — the working set an incremental checkpoint serializes.
+	// Marked at commit-stamp time and swapped out by Checkpoint, both
+	// under commitMu (NOT the structural latch), so marking never races
+	// the swap and open transactions at swap time mark into the fresh
+	// set when they eventually commit.
+	dirtyRows map[RowID]struct{}
+}
+
+// markDirtyRow records one row id into the dirty set (commitMu held,
+// or single-goroutine recovery).
+func (td *tableData) markDirtyRow(id RowID) {
+	if td.dirtyRows == nil {
+		td.dirtyRows = make(map[RowID]struct{})
+	}
+	td.dirtyRows[id] = struct{}{}
 }
 
 // Database is an in-memory relational database instance: a schema plus
@@ -174,6 +191,17 @@ type Database struct {
 	// stamps are placed, which is what makes each commit atomic to
 	// concurrent snapshot readers.
 	commitSeq atomic.Uint64
+
+	// stampSeq is the last commit sequence ASSIGNED, always >= commitSeq.
+	// Under the pipelined commit path a group's sequences are assigned
+	// and its claim stamps replaced under commitMu (advancing stampSeq),
+	// while commitSeq — the visibility gate — advances only after the
+	// group's WAL record is fsynced, in strict group order. Between the
+	// two, the group's versions exist but are invisible (their begins
+	// exceed every reader's pinned sequence). Sequences of groups that
+	// fail or abort after stamping are never reissued; recovery's replay
+	// filter makes the gaps harmless.
+	stampSeq atomic.Uint64
 
 	// nextTxnID allocates transaction ids (claims embed them).
 	nextTxnID atomic.Uint64
@@ -365,6 +393,19 @@ type DBStats struct {
 	// RecoveryReplayedTxns is how many committed transactions the last
 	// OpenWAL recovery replayed from segments (excluding checkpoint rows).
 	RecoveryReplayedTxns int64 `json:"recovery_replayed_txns"`
+	// WALRecycledSegments counts active-segment opens served from the
+	// recycle free list instead of fresh file creation.
+	WALRecycledSegments int64 `json:"wal_recycled_segments"`
+	// WALPipelineDepth is the number of commit groups currently queued or
+	// in flight in the WAL writer stage (always 0 when the pipeline is
+	// disabled or no WAL is attached).
+	WALPipelineDepth int64 `json:"wal_pipeline_depth"`
+	// CheckpointDeltaChainLen is the number of incremental checkpoint
+	// (delta) files currently layered on the base image.
+	CheckpointDeltaChainLen int64 `json:"checkpoint_delta_chain_len"`
+	// CheckpointLastPauseNs is the duration of the most recent checkpoint
+	// pass in nanoseconds (the stall its triggering caller observed).
+	CheckpointLastPauseNs int64 `json:"checkpoint_last_pause_ns"`
 }
 
 // Stats snapshots the statistics counters atomically.
@@ -394,6 +435,10 @@ func (db *Database) Stats() DBStats {
 		st.Fsyncs = w.fsyncs.Load()
 		st.Checkpoints = w.checkpoints.Load()
 		st.RecoveryReplayedTxns = db.walRecoveredTxns.Load()
+		st.WALRecycledSegments = w.recycled.Load()
+		st.WALPipelineDepth = w.pipeDepth.Load()
+		st.CheckpointDeltaChainLen = w.chainLen.Load()
+		st.CheckpointLastPauseNs = w.lastCkptPauseNs.Load()
 	}
 	return st
 }
@@ -940,6 +985,15 @@ func (db *Database) checkUniqueness(t *Txn, td *tableData, values []Value, exclu
 				// Newest committed version: judge and stop walking.
 				if e == liveSeq {
 					if match(v) {
+						if b > t.readSeq {
+							// Stamped after t's snapshot — under the pipelined
+							// commit path possibly not even published yet (and
+							// still able to roll back on an fsync failure), so
+							// never a hard duplicate: first-updater-wins, the
+							// retry resolves against the final outcome.
+							return db.writeConflict(td.def.Name,
+								fmt.Sprintf("duplicate key committed by a newer transaction (rowid %d)", id))
+						}
 						return dupErr()
 					}
 				} else if isTxnMark(e) && markOwner(e) != t.id && match(v) {

@@ -88,6 +88,7 @@ type Engine interface {
 	RedoFlushes() int64
 	LastFsyncNanos() int64
 	FsyncHistogram() obs.Snapshot
+	CheckpointPauseHistogram() obs.Snapshot
 	Reclaim() int
 	StartReclaimer(interval time.Duration) (stop func())
 	StartCheckpointer(interval time.Duration) (stop func())

@@ -60,6 +60,28 @@ const (
 	// checkpoint and skip the already-checkpointed records it will
 	// re-encounter in the old segments.
 	FpCheckpointTruncate = "checkpoint.truncate"
+	// FpPipelineStampAfter fires in the pipelined commit path after a
+	// group's sequences are assigned and its claim stamps are replaced,
+	// but before the group's record is handed to the WAL writer stage:
+	// the group is stamped in memory yet nothing reached disk, so
+	// recovery must not contain it and error mode must undo the stamps.
+	FpPipelineStampAfter = "pipeline.stamp.after"
+	// FpPipelinePublishBefore fires in the WAL writer stage after a
+	// group's record is durable (fsynced) but before its commitSeq
+	// publish: the crash-mode window where recovery must replay a
+	// durable-but-never-visible group, and the error-mode window where
+	// the writer must roll the group (and any later groups in its batch)
+	// back and truncate their records.
+	FpPipelinePublishBefore = "pipeline.publish.before"
+	// FpCheckpointDeltaWrite fires while an incremental (delta)
+	// checkpoint's temp file is being written, before it is durable:
+	// recovery must fall back to the base image plus the prior delta
+	// chain plus the full segment chain.
+	FpCheckpointDeltaWrite = "checkpoint.delta.write"
+	// FpCheckpointCompact fires when a checkpoint decides to compact the
+	// delta chain, before the replacement base image is written: recovery
+	// must still see the old base + delta chain intact.
+	FpCheckpointCompact = "checkpoint.compact"
 )
 
 // ErrInjectedFault is the error an error-mode failpoint returns. The
@@ -90,9 +112,13 @@ var failpoints = map[string]*failpointState{
 	FpWALFsyncAfter:      {},
 	FpWALRotateSeal:      {},
 	FpWALRotateOpen:      {},
-	FpCheckpointWrite:    {},
-	FpCheckpointRename:   {},
-	FpCheckpointTruncate: {},
+	FpCheckpointWrite:       {},
+	FpCheckpointRename:      {},
+	FpCheckpointTruncate:    {},
+	FpPipelineStampAfter:    {},
+	FpPipelinePublishBefore: {},
+	FpCheckpointDeltaWrite:  {},
+	FpCheckpointCompact:     {},
 }
 
 // FailpointNames returns every registered failpoint name, sorted. The

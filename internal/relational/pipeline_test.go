@@ -1,0 +1,393 @@
+package relational
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPipelinePublishOrderInvariant hammers the pipelined commit path
+// with concurrent writers while a reader snapshots continuously: every
+// snapshot must see each writer's commits as a prefix of that writer's
+// own sequence — the sequence-barrier publish means a later commit can
+// never become visible before an earlier one. Run under -race this also
+// checks the writer stage's synchronization.
+func TestPipelinePublishOrderInvariant(t *testing.T) {
+	const writers, perWriter = 4, 40
+	db, _ := openWALDB(t, t.TempDir(), WALOptions{})
+
+	var wg sync.WaitGroup
+	stopRead := make(chan struct{})
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+			}
+			snap := db.Snapshot()
+			maxSeen := make([]int64, writers)
+			seen := make(map[int64]bool)
+			err := snap.Scan("parent", func(r *Row) bool {
+				id := r.Values[0].Int
+				w, k := id/1000, id%1000
+				seen[id] = true
+				if k > maxSeen[w] {
+					maxSeen[w] = k
+				}
+				return true
+			})
+			snap.Close()
+			if err != nil {
+				select {
+				case readErr <- err:
+				default:
+				}
+				return
+			}
+			for w := 0; w < writers; w++ {
+				for k := int64(1); k <= maxSeen[w]; k++ {
+					if !seen[int64(w)*1000+k] {
+						select {
+						case readErr <- fmt.Errorf("writer %d: commit %d visible but %d missing", w, maxSeen[w], k):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := int64(1); k <= perWriter; k++ {
+				id := int64(w)*1000 + k
+				if _, err := db.Insert("parent", map[string]Value{
+					"id": Int_(id), "name": String_(fmt.Sprintf("w%d-%d", w, k)),
+				}); err != nil {
+					t.Errorf("writer %d commit %d: %v", w, k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopRead)
+	select {
+	case err := <-readErr:
+		t.Fatal(err)
+	default:
+	}
+	if n := db.RowCount("parent"); n != writers*perWriter {
+		t.Fatalf("rows = %d, want %d", n, writers*perWriter)
+	}
+}
+
+// TestPipelineFsyncErrorUnderConcurrency injects a one-shot fsync
+// failure while concurrent commits stream through the pipeline: the
+// groups sharing the failed flush roll back with ErrWALFailed, every
+// other commit survives, and recovery reproduces exactly the surviving
+// set — a failed group never resurfaces, a successful one never
+// disappears.
+func TestPipelineFsyncErrorUnderConcurrency(t *testing.T) {
+	const writers, perWriter = 4, 25
+	dir := t.TempDir()
+	db, _ := openWALDB(t, dir, WALOptions{})
+	if err := EnableFailpoint(FpWALFsyncBefore, "error@10"); err != nil {
+		t.Fatal(err)
+	}
+	defer DisableAllFailpoints()
+
+	var mu sync.Mutex
+	committed := make(map[int64]bool)
+	var failures int
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := int64(1); k <= perWriter; k++ {
+				id := int64(w)*1000 + k
+				_, err := db.Insert("parent", map[string]Value{
+					"id": Int_(id), "name": String_(fmt.Sprintf("w%d-%d", w, k)),
+				})
+				mu.Lock()
+				switch {
+				case err == nil:
+					committed[id] = true
+				case errors.Is(err, ErrWALFailed):
+					failures++
+				default:
+					t.Errorf("commit %d: unexpected error %v", id, err)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	DisableAllFailpoints()
+	if failures == 0 {
+		t.Fatal("fsync failpoint never failed a commit")
+	}
+	if n := db.RowCount("parent"); n != len(committed) {
+		t.Fatalf("visible rows = %d, want %d committed", n, len(committed))
+	}
+	want := dumpDB(t, db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db2, _ := openWALDB(t, dir, WALOptions{})
+	if got := dumpDB(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state != surviving state:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestPipelineFailpointsRollBackCleanly covers the two pipeline-boundary
+// failpoints in error mode: stamp.after fails the group before its
+// record is handed to the writer stage, publish.before fails it after
+// the record is durable — which must also remove the record from disk,
+// or recovery would replay a commit whose caller saw ErrWALFailed.
+func TestPipelineFailpointsRollBackCleanly(t *testing.T) {
+	for _, fp := range []string{FpPipelineStampAfter, FpPipelinePublishBefore} {
+		t.Run(fp, func(t *testing.T) {
+			dir := t.TempDir()
+			db, _ := openWALDB(t, dir, WALOptions{})
+			mustInsertParent(t, db, 1, "base")
+			if err := EnableFailpoint(fp, "error"); err != nil {
+				t.Fatal(err)
+			}
+			defer DisableAllFailpoints()
+			_, err := db.Insert("parent", map[string]Value{"id": Int_(2), "name": String_("doomed")})
+			if !errors.Is(err, ErrWALFailed) {
+				t.Fatalf("insert error = %v, want ErrWALFailed", err)
+			}
+			DisableAllFailpoints()
+			if n := db.RowCount("parent"); n != 1 {
+				t.Fatalf("rows after failed commit = %d, want 1", n)
+			}
+			mustInsertParent(t, db, 3, "survivor")
+			want := dumpDB(t, db)
+			if err := db.CloseWAL(); err != nil {
+				t.Fatal(err)
+			}
+			db2, _ := openWALDB(t, dir, WALOptions{})
+			if got := dumpDB(t, db2); !reflect.DeepEqual(got, want) {
+				t.Fatalf("recovered state:\n got %v\nwant %v", got, want)
+			}
+		})
+	}
+}
+
+// TestDisablePipelineParity runs the same workload through the
+// synchronous fallback path and requires identical results — the A/B
+// switch the commit benchmark relies on.
+func TestDisablePipelineParity(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openWALDB(t, dir, WALOptions{DisablePipeline: true})
+	for i := int64(1); i <= 10; i++ {
+		mustInsertParent(t, db, i, Value{Kind: KindInt, Int: i}.String())
+	}
+	want := dumpDB(t, db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db2, info := openWALDB(t, dir, WALOptions{})
+	if info.ReplayedTxns != 10 {
+		t.Fatalf("replayed %d txns, want 10", info.ReplayedTxns)
+	}
+	if got := dumpDB(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state:\n got %v\nwant %v", got, want)
+	}
+}
+
+// countFiles returns how many directory entries carry the given suffix.
+func countFiles(t testing.TB, dir, suffix string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), suffix) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCheckpointDeltaChainAndCompaction walks a full delta lifecycle:
+// checkpoints past the base write delta files and grow the chain stat;
+// hitting CheckpointDeltaLimit compacts back to a lone base image; and
+// recovery through a live chain reproduces the exact state.
+func TestCheckpointDeltaChainAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openWALDB(t, dir, WALOptions{CheckpointDeltaLimit: 2})
+	for i := int64(1); i <= 10; i++ {
+		mustInsertParent(t, db, i, Value{Kind: KindInt, Int: i}.String())
+	}
+	// Base exists from OpenWAL; the next two checkpoints are deltas.
+	for ck := int64(1); ck <= 2; ck++ {
+		mustInsertParent(t, db, 100+ck, Value{Kind: KindInt, Int: 100 + ck}.String())
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if got := db.Stats().CheckpointDeltaChainLen; got != ck {
+			t.Fatalf("chain length after delta %d = %d, want %d", ck, got, ck)
+		}
+	}
+	if n := countFiles(t, dir, walDeltaSuffix); n != 2 {
+		t.Fatalf("delta files on disk = %d, want 2", n)
+	}
+
+	// Recovery through base + 2 deltas + WAL tail.
+	mustInsertParent(t, db, 200, "tail")
+	want := dumpDB(t, db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db2, info := openWALDB(t, dir, WALOptions{CheckpointDeltaLimit: 2})
+	if info.CheckpointDeltas != 2 {
+		t.Fatalf("recovery applied %d deltas, want 2", info.CheckpointDeltas)
+	}
+	if got := dumpDB(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state through delta chain:\n got %v\nwant %v", got, want)
+	}
+
+	// The chain is at the limit: the next checkpoint compacts.
+	mustInsertParent(t, db2, 300, "post")
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Stats().CheckpointDeltaChainLen; got != 0 {
+		t.Fatalf("chain length after compaction = %d, want 0", got)
+	}
+	if n := countFiles(t, dir, walDeltaSuffix); n != 0 {
+		t.Fatalf("delta files after compaction = %d, want 0", n)
+	}
+	want2 := dumpDB(t, db2)
+	if err := db2.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db3, info3 := openWALDB(t, dir, WALOptions{})
+	if info3.CheckpointDeltas != 0 {
+		t.Fatalf("post-compaction recovery applied %d deltas, want 0", info3.CheckpointDeltas)
+	}
+	if got := dumpDB(t, db3); !reflect.DeepEqual(got, want2) {
+		t.Fatalf("recovered state after compaction:\n got %v\nwant %v", got, want2)
+	}
+}
+
+// TestCheckpointDeltaIsODirty is the O(dirty) proxy: a checkpoint that
+// saw 5 writes against a 400-row database must emit a delta far smaller
+// than the one that covered all 400 — the checkpoint's work scales with
+// the dirty set, not database size.
+func TestCheckpointDeltaIsODirty(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openWALDB(t, dir, WALOptions{CheckpointDeltaLimit: 8})
+	for i := int64(1); i <= 400; i++ {
+		mustInsertParent(t, db, i, Value{Kind: KindInt, Int: i}.String())
+	}
+	if err := db.Checkpoint(); err != nil { // delta 1: all 400 rows dirty
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		mustInsertParent(t, db, 1000+i, Value{Kind: KindInt, Int: 1000 + i}.String())
+	}
+	if err := db.Checkpoint(); err != nil { // delta 2: exactly 5 rows dirty
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltaNames []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), walDeltaSuffix) {
+			deltaNames = append(deltaNames, e.Name())
+		}
+	}
+	sort.Strings(deltaNames)
+	if len(deltaNames) != 2 {
+		t.Fatalf("delta files = %v, want 2", deltaNames)
+	}
+	size := func(name string) int64 {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	all, dirty5 := size(deltaNames[0]), size(deltaNames[1])
+	if dirty5*10 > all {
+		t.Fatalf("delta of 5 dirty rows is %d bytes vs %d bytes for 400 — not O(dirty)", dirty5, all)
+	}
+}
+
+// TestWALSegmentRecycling drives enough rotations and checkpoints that
+// retired segments enter the free list and later rotations reuse them:
+// the recycled counter climbs, at most walRecycleKeep recycle files sit
+// on disk, and recovery is untouched by their presence.
+func TestWALSegmentRecycling(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openWALDB(t, dir, WALOptions{SegmentBytes: 256, CheckpointEverySegments: 2})
+	for i := int64(1); i <= 80; i++ {
+		mustInsertParent(t, db, i, Value{Kind: KindInt, Int: i}.String())
+	}
+	st := db.Stats()
+	if st.WALRecycledSegments == 0 {
+		t.Fatalf("no segments recycled: %+v", st)
+	}
+	if n := countFiles(t, dir, walRecycleSuffix); n > walRecycleKeep {
+		t.Fatalf("%d recycle files on disk, cap is %d", n, walRecycleKeep)
+	}
+	want := dumpDB(t, db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db2, info := openWALDB(t, dir, WALOptions{SegmentBytes: 256})
+	if info.TornTail {
+		t.Fatalf("recycle files confused recovery: %+v", info)
+	}
+	if got := dumpDB(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state with recycle files present:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestPreallocatedSegmentRecovery: with preallocation the active
+// segment carries zeroed slack after the live frames; recovery must
+// trim it silently — the same on-disk shape a recycled segment's reuse
+// produces — without reporting a torn tail.
+func TestPreallocatedSegmentRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openWALDB(t, dir, WALOptions{SegmentBytes: 4096, PreallocateSegments: true})
+	for i := int64(1); i <= 5; i++ {
+		mustInsertParent(t, db, i, Value{Kind: KindInt, Int: i}.String())
+	}
+	want := dumpDB(t, db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(lastSegment(t, dir)); err != nil || fi.Size() != 4096 {
+		t.Fatalf("expected preallocated 4096-byte segment, got %v (err %v)", fi, err)
+	}
+	db2, info := openWALDB(t, dir, WALOptions{SegmentBytes: 4096, PreallocateSegments: true})
+	if info.TornTail {
+		t.Fatalf("zeroed preallocation slack reported as torn tail: %+v", info)
+	}
+	if info.ReplayedTxns != 5 {
+		t.Fatalf("replayed %d txns, want 5", info.ReplayedTxns)
+	}
+	if got := dumpDB(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state:\n got %v\nwant %v", got, want)
+	}
+}

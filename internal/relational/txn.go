@@ -161,13 +161,127 @@ func (t *Txn) Commit() error {
 // every member receives an error wrapping ErrWALFailed: a follower's
 // fate is the leader's flush, so the leader's I/O failure must reach
 // every follower rather than being swallowed.
+//
+// When the WAL's pipelined writer stage is running (the default), the
+// commit latch covers only sequence assignment and stamping: the
+// encoded record is handed to the writer stage and the latch releases,
+// so the next group validates and stamps while this group's fsync is in
+// flight. Visibility still waits for the fsync — the writer advances
+// commitSeq strictly in group order, only after each group's record is
+// durable — so every contract above holds unchanged.
 func (db *Database) CommitGroup(txns ...*Txn) error {
+	if w := db.wal; w != nil && w.pipe != nil {
+		return db.commitPipelined(w, txns)
+	}
 	pg, err := db.PrepareGroup(0, txns)
 	if err != nil {
 		return err
 	}
-	return pg.Publish()
+	n := len(pg.live)
+	err = pg.Publish()
+	if n > 0 {
+		db.commitMaintenance()
+	}
+	return err
 }
+
+// commitPipelined is CommitGroup through the WAL writer stage: encode
+// off-latch, stamp under the latch, enqueue, release the latch, then
+// wait for the writer's in-order durable publish (or rollback).
+func (db *Database) commitPipelined(w *WAL, txns []*Txn) error {
+	var firstErr error
+	live := make([]*Txn, 0, len(txns))
+	for _, t := range txns {
+		if t == nil {
+			continue
+		}
+		if t.done {
+			// Only the owning goroutine finishes a Txn, so this check
+			// needs no latch (the same reason Commit/Rollback don't).
+			if firstErr == nil {
+				firstErr = errTxnFinished()
+			}
+			continue
+		}
+		live = append(live, t)
+	}
+	if len(live) == 0 {
+		return firstErr
+	}
+	// The expensive part of the record — every row image — is encoded
+	// before the latch; only the stamped sequences are spliced in later.
+	bodies := make([][]byte, len(live))
+	for i, t := range live {
+		bodies[i] = appendTxnOpsBody(nil, t)
+	}
+	req := &walReq{live: live, bodies: bodies, done: make(chan error, 1)}
+
+	db.commitMu.Lock()
+	if w.closed {
+		for _, t := range live {
+			t.done = true
+		}
+		return db.failPreparedLocked(live, ErrWALClosed)
+	}
+	seq := db.stampSeq.Load()
+	for _, t := range live {
+		t.done = true
+		seq++
+		t.seq = seq
+		t.publish(t.seq)
+	}
+	db.stampSeq.Store(seq)
+	db.markDirtyGroupLocked(live)
+	if err := evalFailpoint(FpPipelineStampAfter); err != nil {
+		return db.failPreparedLocked(live, err)
+	}
+	db.flushRedo()
+	req.seq = seq
+	w.pipeDepth.Add(1)
+	w.pipe <- req
+	db.commitMu.Unlock()
+
+	if err := <-req.done; err != nil {
+		return err // already wraps ErrWALFailed; the writer rolled us back
+	}
+	db.commitMaintenance()
+	return firstErr
+}
+
+// failPreparedLocked undoes a stamped-but-not-durable group under the
+// held commit latch, releases the latch, and returns the wrapped cause.
+// The stamps never published (commitSeq never reached their sequences),
+// so the undo is invisible to every reader; the consumed sequences are
+// simply never reissued.
+func (db *Database) failPreparedLocked(live []*Txn, cause error) error {
+	db.mu.Lock()
+	for _, t := range live {
+		_ = t.undoFromLocked(0)
+		t.log = nil
+	}
+	db.mu.Unlock()
+	db.commitMu.Unlock()
+	for _, t := range live {
+		db.forget(t)
+	}
+	return fmt.Errorf("%w: %v", ErrWALFailed, cause)
+}
+
+// commitMaintenance runs the work commits piggyback after publishing,
+// outside every latch: version reclamation past the threshold and
+// segment-count-triggered checkpoints.
+func (db *Database) commitMaintenance() {
+	if db.versionsSinceReclaim.Load() >= reclaimThreshold {
+		db.Reclaim()
+	}
+	db.maybeCheckpoint()
+}
+
+// MaybeMaintain exposes the post-commit maintenance pass for callers
+// that publish prepared groups directly (the cross-shard coordinator):
+// Publish itself cannot run it, because such callers still hold latches
+// a checkpoint must acquire.
+func (db *Database) MaybeMaintain() { db.commitMaintenance() }
 
 // PreparedGroup is a commit group whose write-ahead-log record is
 // durable but whose stamps have not published: the database's commit
@@ -198,8 +312,6 @@ type PreparedGroup struct {
 func (db *Database) PrepareGroup(xid uint64, txns []*Txn) (*PreparedGroup, error) {
 	var firstErr error
 	live := make([]*Txn, 0, len(txns))
-	db.commitMu.Lock()
-	seq := db.commitSeq.Load()
 	for _, t := range txns {
 		if t == nil {
 			continue
@@ -210,38 +322,72 @@ func (db *Database) PrepareGroup(xid uint64, txns []*Txn) (*PreparedGroup, error
 			}
 			continue
 		}
+		live = append(live, t)
+	}
+	w := db.wal
+	pipelined := w != nil && w.pipe != nil && len(live) > 0
+	var bodies [][]byte
+	if pipelined {
+		bodies = make([][]byte, len(live))
+		for i, t := range live {
+			bodies[i] = appendTxnOpsBody(nil, t)
+		}
+	}
+	db.commitMu.Lock()
+	seq := db.stampSeq.Load()
+	for _, t := range live {
 		t.done = true
 		seq++
 		t.seq = seq
-		live = append(live, t)
+		// Stamps are placed at prepare: they stay invisible until Publish
+		// advances commitSeq past them, and Abort (or a flush failure)
+		// undoes them before anything could observe the sequences.
+		t.publish(t.seq)
 	}
 	if len(live) > 0 {
-		if err := db.flushWAL(xid, live); err != nil {
-			// Nothing published yet: every version still carries its
-			// claim stamp, so the whole group can be undone exactly like
-			// a rollback. commitMu is held throughout, which keeps the
-			// failed group atomic against concurrent committers; taking
-			// db.mu inside commitMu is safe because no path acquires them
-			// in the opposite order.
-			db.mu.Lock()
-			for _, t := range live {
-				_ = t.undoFromLocked(0)
-				t.log = nil
+		db.stampSeq.Store(seq)
+		db.markDirtyGroupLocked(live)
+		if pipelined {
+			if err := evalFailpoint(FpPipelineStampAfter); err != nil {
+				return nil, db.failPreparedLocked(live, err)
 			}
-			db.mu.Unlock()
-			db.commitMu.Unlock()
-			for _, t := range live {
-				db.forget(t)
+			if w.closed {
+				return nil, db.failPreparedLocked(live, ErrWALClosed)
 			}
-			return nil, fmt.Errorf("%w: %v", ErrWALFailed, err)
+			db.flushRedo()
+			req := &walReq{xid: xid, live: live, bodies: bodies, seq: seq, prepare: true, done: make(chan error, 1)}
+			w.pipeDepth.Add(1)
+			w.pipe <- req
+			// Wait with the latch HELD: the ack means this group's record
+			// is durable and every earlier group has published, so
+			// Publish/Abort runs against a caught-up commit sequence and
+			// nothing else can stamp in between.
+			if err := <-req.done; err != nil {
+				return nil, db.failPreparedLocked(live, err)
+			}
+		} else {
+			if err := db.flushWAL(xid, live); err != nil {
+				// Nothing published yet: every version still carries only
+				// its pre-publish stamp, so the whole group can be undone
+				// exactly like a rollback. commitMu is held throughout,
+				// which keeps the failed group atomic against concurrent
+				// committers; taking db.mu inside commitMu is safe because
+				// no path acquires them in the opposite order.
+				return nil, db.failPreparedLocked(live, err)
+			}
 		}
 	}
 	return &PreparedGroup{db: db, live: live, seq: seq, xid: xid, firstErr: firstErr}, nil
 }
 
-// Publish places every stamp and advances the commit sequence, making
-// the prepared group visible atomically, then releases the commit
-// latch.
+// Publish advances the commit sequence past the prepared group's
+// stamps — placed at prepare, invisible until this single store — making
+// the group visible atomically, then releases the commit latch.
+//
+// Publish runs no piggybacked maintenance: cross-shard callers invoke
+// it while holding coordination latches a checkpoint would need; they
+// call MaybeMaintain after releasing them (CommitGroup does the same on
+// the single-shard path).
 func (pg *PreparedGroup) Publish() error {
 	if pg.done {
 		return errTxnFinished()
@@ -249,14 +395,11 @@ func (pg *PreparedGroup) Publish() error {
 	pg.done = true
 	db := pg.db
 	if len(pg.live) > 0 {
-		// Publishing all stamps BEFORE the single sequence advance is
-		// what makes each transaction atomic to snapshot readers: a
-		// snapshot pinned before the store sees none of the group's
-		// versions (their begins exceed its sequence), one pinned after
-		// sees every committed transaction whole.
-		for _, t := range pg.live {
-			t.publish(t.seq)
-		}
+		// All stamps were placed BEFORE this single sequence advance,
+		// which is what makes each transaction atomic to snapshot
+		// readers: a snapshot pinned before the store sees none of the
+		// group's versions (their begins exceed its sequence), one pinned
+		// after sees every committed transaction whole.
 		db.commitSeq.Store(pg.seq)
 		db.groupCommits.Add(1)
 		db.groupedTxns.Add(int64(len(pg.live)))
@@ -266,22 +409,18 @@ func (pg *PreparedGroup) Publish() error {
 		t.log = nil
 		db.forget(t)
 	}
-	if len(pg.live) > 0 {
-		if db.versionsSinceReclaim.Load() >= reclaimThreshold {
-			db.Reclaim()
-		}
-		db.maybeCheckpoint()
-	}
 	return pg.firstErr
 }
 
-// Abort undoes a prepared group and releases the commit latch. The
-// group's WAL record stays on disk, but its xid never reaches the
-// coordinator's log, so recovery discards it — which is why Abort is
-// only valid for xid-tagged groups (a plain xid-0 record would be
-// replayed). The commit sequence does not advance: the reserved
-// sequences are reissued to the next group, and recovery's replay
-// filter keeps the aborted record from ever claiming them.
+// Abort undoes a prepared group — its stamps were placed at prepare but
+// never published, so popping the versions is invisible to every
+// reader — and releases the commit latch. The group's WAL record stays
+// on disk, but its xid never reaches the coordinator's log, so recovery
+// discards it — which is why Abort is only valid for xid-tagged groups
+// (a plain xid-0 record would be replayed). The commit sequence never
+// reaches the aborted stamps' sequences and they are not reissued
+// (stampSeq has moved past them): the gap is permanent and harmless,
+// recovery's replay filter keeps the aborted record from claiming it.
 func (pg *PreparedGroup) Abort() error {
 	if pg.done {
 		return errTxnFinished()

@@ -29,18 +29,27 @@ import (
 //
 // On-disk layout of a WAL directory:
 //
-//	wal-0000000001.seg   sealed segment (immutable once rotated away)
-//	wal-0000000002.seg   active segment (append-only)
-//	checkpoint.ck        latest durable checkpoint (atomic rename)
+//	wal-0000000001.seg        sealed segment (immutable once rotated away)
+//	wal-0000000002.seg        active segment (append-only)
+//	checkpoint.ck             latest full (base) checkpoint (atomic rename)
+//	checkpoint-0000000042.ckd incremental checkpoint delta layered on the base
+//	recycle-0000000001.rseg   retired segment awaiting reuse as a future
+//	                          active segment (pre-sized, contents ignored)
 //
 // Every record is framed as [len uint32][crc32 uint32][payload]; the
 // CRC covers the payload. Recovery reads segments in index order and
 // stops at the first frame that is short, oversized or fails its CRC —
 // everything before it is the committed prefix, everything at and after
-// it never had a durable commit acknowledged. A checkpoint is a full
-// row-image snapshot at a pinned commit sequence; segments whose
-// records all precede it are deleted, and recovery loads the checkpoint
-// then replays only records with newer sequences.
+// it never had a durable commit acknowledged (an all-zero tail left by
+// segment preallocation is trimmed without being reported as torn). A
+// base checkpoint is a full row-image snapshot at a pinned commit
+// sequence; an incremental checkpoint serializes only the rows dirtied
+// since the previous one as a delta, keeping the pause O(dirty), and
+// the chain compacts back into a fresh base once it reaches
+// WALOptions.CheckpointDeltaLimit. Segments whose records all precede
+// the last checkpoint are recycled or deleted, and recovery loads the
+// base, applies the delta chain in order, then replays only records
+// with newer sequences.
 
 // walSegmentPrefix/walSegmentSuffix name segment files; the embedded
 // index is monotonic and never reused.
@@ -49,7 +58,14 @@ const (
 	walSegmentSuffix   = ".seg"
 	walCheckpointName  = "checkpoint.ck"
 	walCheckpointTemp  = "checkpoint.tmp"
+	walDeltaPrefix     = "checkpoint-"
+	walDeltaSuffix     = ".ckd"
+	walRecyclePrefix   = "recycle-"
+	walRecycleSuffix   = ".rseg"
 	walFrameHeaderSize = 8
+	// walRecycleKeep caps the recycled-segment free list; surplus sealed
+	// segments are deleted as before.
+	walRecycleKeep = 4
 	// walMaxRecordSize bounds a single record frame; anything larger in
 	// a file is treated as corruption (stops recovery at that point).
 	walMaxRecordSize = 1 << 28
@@ -60,6 +76,7 @@ const (
 	walTagGroup      = 'G' // one commit group: N transactions' redo
 	walTagXidGroup   = 'X' // commit group tagged with a cross-shard xid
 	walTagCheckpoint = 'K' // full row-image snapshot (checkpoint file)
+	walTagDelta      = 'k' // incremental checkpoint: dirty-row upserts + tombstones
 )
 
 // Row-operation tags inside a group record, matching the redo model's.
@@ -88,11 +105,33 @@ type WALOptions struct {
 	// single-shard commit — always replay. When nil, xid-tagged records
 	// replay unconditionally.
 	XidCommitted func(xid uint64) bool
+	// DisablePipeline forces the synchronous commit path: the committing
+	// goroutine holds the commit latch across write+fsync, exactly the
+	// pre-pipeline behavior. The default (false) runs a dedicated WAL
+	// writer stage so group N+1 validates and stamps while group N's
+	// fsync is in flight; the pre/post comparison in BENCH_commit.json
+	// flips this bit.
+	DisablePipeline bool
+	// CheckpointDeltaLimit bounds the incremental-checkpoint chain: a
+	// checkpoint writes a delta file (dirty rows only) until this many
+	// deltas accumulate, then compacts them into a fresh full base
+	// image. Zero means the default (8); negative disables incremental
+	// checkpoints entirely (every checkpoint is a full image).
+	CheckpointDeltaLimit int
+	// PreallocateSegments extends each new active segment to
+	// SegmentBytes at creation, so appends never grow the file and the
+	// per-append metadata fsync cost disappears. Recovery treats a
+	// trailing run of zero bytes as preallocation slack, not a torn
+	// record.
+	PreallocateSegments bool
 }
 
 func (o WALOptions) withDefaults() WALOptions {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 4 << 20
+	}
+	if o.CheckpointDeltaLimit == 0 {
+		o.CheckpointDeltaLimit = 8
 	}
 	return o
 }
@@ -100,10 +139,15 @@ func (o WALOptions) withDefaults() WALOptions {
 // RecoveryInfo reports what Open's replay found and restored.
 type RecoveryInfo struct {
 	// CheckpointSeq is the commit sequence of the loaded checkpoint
+	// state: the base image's sequence advanced by every applied delta
 	// (zero when the directory had none).
 	CheckpointSeq uint64 `json:"checkpoint_seq"`
-	// CheckpointRows counts rows restored from the checkpoint image.
+	// CheckpointRows counts rows restored from the checkpoint state:
+	// base-image rows plus delta upserts applied on top.
 	CheckpointRows int `json:"checkpoint_rows"`
+	// CheckpointDeltas counts incremental checkpoint files applied on
+	// top of the base image.
+	CheckpointDeltas int `json:"checkpoint_deltas,omitempty"`
 	// ReplayedTxns counts committed transactions replayed from segment
 	// records with sequences past the checkpoint.
 	ReplayedTxns int64 `json:"replayed_txns"`
@@ -144,16 +188,31 @@ type WAL struct {
 	dir  string
 	opts WALOptions
 
-	f        *os.File // active segment, append-only
+	f        *os.File // active segment; owned by the writer stage when the pipeline runs
 	segIndex uint64   // active segment's index
 	segBytes int64    // bytes appended to the active segment
 	closed   bool     // set by Close; guarded by commitMu like f
 
 	mu     sync.Mutex
 	sealed []sealedSegment
+	free   []string // recycled segment files awaiting reuse (guarded by mu)
+
+	// pipe is the WAL writer stage's queue: commit groups are enqueued
+	// under commitMu (so queue order IS sequence order) and the writer
+	// goroutine writes, fsyncs and publishes them strictly in that
+	// order. nil when the pipeline is disabled (or no pipeline: the
+	// committing goroutine then appends synchronously under commitMu).
+	pipe       chan *walReq
+	writerDone chan struct{}
+	pipeDepth  atomic.Int64
 
 	ckptMu        sync.Mutex // serializes Checkpoint runs
 	checkpointSeq atomic.Uint64
+
+	// Incremental-checkpoint chain state, guarded by ckptMu.
+	haveBase   bool           // a full base image exists on disk
+	deltaIndex uint64         // index of the newest delta file
+	deltas     []walDeltaFile // chain of delta files since the base
 
 	appends      atomic.Int64
 	bytes        atomic.Int64
@@ -161,12 +220,26 @@ type WAL struct {
 	rotations    atomic.Int64
 	checkpoints  atomic.Int64
 	sealedSinceC atomic.Int64 // sealed segments since the last checkpoint
+	recycled     atomic.Int64 // segments reused from the free list
+	chainLen     atomic.Int64 // published delta-chain length gauge
 
 	// fsyncHist records each commit-path fsync's duration; lastFsyncNs
 	// holds the most recent one so the group-commit leader can split a
-	// waiter's commit wait into publish time vs fsync time.
-	fsyncHist   *obs.Histogram
-	lastFsyncNs atomic.Int64
+	// waiter's commit wait into publish time vs fsync time. ckptPauseHist
+	// records each checkpoint pass's full duration — the stall the
+	// caller that triggered it (usually a commit piggybacking
+	// maybeCheckpoint) observes.
+	fsyncHist       *obs.Histogram
+	lastFsyncNs     atomic.Int64
+	ckptPauseHist   *obs.Histogram
+	lastCkptPauseNs atomic.Int64
+}
+
+// walDeltaFile is one installed incremental checkpoint.
+type walDeltaFile struct {
+	index uint64
+	seq   uint64
+	path  string
 }
 
 func segmentPath(dir string, index uint64) string {
@@ -344,6 +417,60 @@ func encodeGroupPayload(xid uint64, txns []walTxn) []byte {
 		}
 	}
 	return b
+}
+
+// appendTxnOpsBody encodes one transaction's operations — everything in
+// the per-txn wire format EXCEPT the leading commit sequence, which is
+// not assigned yet. The pipelined commit path calls this BEFORE taking
+// the commit latch so the latch covers only validation and stamping;
+// assembleGroupPayload splices the sequences in afterwards.
+func appendTxnOpsBody(b []byte, t *Txn) []byte {
+	b = binary.AppendUvarint(b, uint64(len(t.log)))
+	for i := range t.log {
+		en := &t.log[i]
+		switch en.kind {
+		case undoInsert:
+			b = append(b, walOpInsert)
+		case undoUpdate:
+			b = append(b, walOpUpdate)
+		case undoDelete:
+			b = append(b, walOpDelete)
+		}
+		b = binary.AppendUvarint(b, uint64(len(en.table)))
+		b = append(b, en.table...)
+		b = binary.AppendUvarint(b, uint64(en.id))
+		if en.kind == undoDelete {
+			continue
+		}
+		b = binary.AppendUvarint(b, uint64(len(en.v.row.Values)))
+		for _, v := range en.v.row.Values {
+			b = appendWALValue(b, v)
+		}
+	}
+	return b
+}
+
+// assembleGroupPayload builds a commit-group record from pre-encoded
+// per-txn bodies plus the sequences stamped under the latch. The output
+// is byte-identical to encodeGroupPayload on the same group.
+func assembleGroupPayload(xid uint64, live []*Txn, bodies [][]byte) []byte {
+	size := 16
+	for _, body := range bodies {
+		size += len(body) + binary.MaxVarintLen64
+	}
+	out := make([]byte, 0, size)
+	if xid == 0 {
+		out = append(out, walTagGroup)
+	} else {
+		out = append(out, walTagXidGroup)
+		out = binary.AppendUvarint(out, xid)
+	}
+	out = binary.AppendUvarint(out, uint64(len(live)))
+	for i, t := range live {
+		out = binary.AppendUvarint(out, t.seq)
+		out = append(out, bodies[i]...)
+	}
+	return out
 }
 
 // decodeGroupPayload parses one group record payload. It is total:
@@ -577,12 +704,35 @@ func (w *WAL) rotate() error {
 	return evalFailpoint(FpWALRotateOpen)
 }
 
-// openSegment creates the segment file with the given index and makes
-// its directory entry durable.
+// openSegment makes the segment file with the given index the active
+// one: reuse a recycled file when the free list has one, otherwise
+// create fresh (preallocated to SegmentBytes when the option is on) and
+// make the directory entry durable.
 func (w *WAL) openSegment(index uint64) error {
-	f, err := os.OpenFile(segmentPath(w.dir, index), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	path := segmentPath(w.dir, index)
+	if f, ok, err := w.takeRecycled(path); err != nil {
+		return err
+	} else if ok {
+		w.recycled.Add(1)
+		w.f = f
+		w.segIndex = index
+		w.segBytes = 0
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
+	}
+	if w.opts.PreallocateSegments {
+		if err := f.Truncate(w.opts.SegmentBytes); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		w.fsyncs.Add(1)
 	}
 	if err := syncDir(w.dir); err != nil {
 		f.Close()
@@ -592,6 +742,76 @@ func (w *WAL) openSegment(index uint64) error {
 	w.f = f
 	w.segIndex = index
 	w.segBytes = 0
+	return nil
+}
+
+// takeRecycled reuses a free-list file as the new active segment. The
+// old contents are truncated away and the truncate fsynced BEFORE the
+// rename, so a crash can never leave stale committed-looking frames
+// under a live segment name. Pre-rename failures fall back to a fresh
+// create (the reserved file is simply dropped from the list); failures
+// after the rename propagate, since the segment name now exists.
+func (w *WAL) takeRecycled(path string) (*os.File, bool, error) {
+	w.mu.Lock()
+	if len(w.free) == 0 {
+		w.mu.Unlock()
+		return nil, false, nil
+	}
+	rpath := w.free[0]
+	w.free = w.free[1:]
+	w.mu.Unlock()
+	f, err := os.OpenFile(rpath, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, false, nil
+	}
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, false, nil
+	}
+	if w.opts.PreallocateSegments {
+		if err := f.Truncate(w.opts.SegmentBytes); err != nil {
+			f.Close()
+			return nil, false, nil
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, false, nil
+	}
+	w.fsyncs.Add(1)
+	if err := os.Rename(rpath, path); err != nil {
+		f.Close()
+		return nil, false, err
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return nil, false, err
+	}
+	w.fsyncs.Add(1)
+	return f, true, nil
+}
+
+// retireSegment disposes of a checkpoint-superseded sealed segment:
+// onto the bounded recycle free list when there is room (a rename, no
+// data fsync — takeRecycled scrubs it before reuse), deleted otherwise.
+func (w *WAL) retireSegment(s sealedSegment) error {
+	w.mu.Lock()
+	room := len(w.free) < walRecycleKeep
+	w.mu.Unlock()
+	if room {
+		rpath := filepath.Join(w.dir, fmt.Sprintf("%s%010d%s", walRecyclePrefix, s.index, walRecycleSuffix))
+		if err := os.Rename(s.path, rpath); err == nil {
+			w.mu.Lock()
+			w.free = append(w.free, rpath)
+			w.mu.Unlock()
+			return nil
+		} else if os.IsNotExist(err) {
+			return nil
+		}
+	}
+	if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
 	return nil
 }
 
@@ -628,22 +848,41 @@ func (db *Database) OpenWAL(dir string, opts WALOptions) (*RecoveryInfo, error) 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	w := &WAL{dir: dir, opts: opts.withDefaults(), fsyncHist: obs.NewDurationHistogram()}
+	w := &WAL{
+		dir:           dir,
+		opts:          opts.withDefaults(),
+		fsyncHist:     obs.NewDurationHistogram(),
+		ckptPauseHist: obs.NewDurationHistogram(),
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var segs []uint64
+	var segs, deltas []uint64
+	var recycleFiles []string
 	haveCheckpoint := false
 	for _, e := range entries {
-		if e.Name() == walCheckpointName {
+		name := e.Name()
+		if name == walCheckpointName {
 			haveCheckpoint = true
 		}
-		if idx, ok := parseSegmentIndex(e.Name()); ok {
+		if idx, ok := parseSegmentIndex(name); ok {
 			segs = append(segs, idx)
+		}
+		if idx, ok := parseDeltaIndex(name); ok {
+			deltas = append(deltas, idx)
+		}
+		if strings.HasPrefix(name, walRecyclePrefix) && strings.HasSuffix(name, walRecycleSuffix) {
+			recycleFiles = append(recycleFiles, filepath.Join(dir, name))
 		}
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i] < deltas[j] })
+	sort.Strings(recycleFiles)
+	// Recycled files left by a previous process are reusable as-is:
+	// takeRecycled scrubs them before they re-enter service, and
+	// recovery never scans them.
+	w.free = recycleFiles
 
 	info := &RecoveryInfo{Segments: len(segs)}
 	nextIndex := uint64(1)
@@ -651,7 +890,7 @@ func (db *Database) OpenWAL(dir string, opts WALOptions) (*RecoveryInfo, error) 
 		nextIndex = segs[len(segs)-1] + 1
 	}
 	if haveCheckpoint || len(segs) > 0 {
-		if err := db.recoverFrom(w, dir, segs, haveCheckpoint, info); err != nil {
+		if err := db.recoverFrom(w, dir, segs, deltas, haveCheckpoint, info); err != nil {
 			return nil, err
 		}
 		// Recovered segments stay on disk until the next checkpoint
@@ -666,11 +905,26 @@ func (db *Database) OpenWAL(dir string, opts WALOptions) (*RecoveryInfo, error) 
 	}
 	db.wal = w
 	db.walRecoveredTxns.Store(info.ReplayedTxns)
+	if !w.opts.DisablePipeline {
+		w.pipe = make(chan *walReq, 128)
+		w.writerDone = make(chan struct{})
+		go w.writerLoop(db)
+	}
 	if !haveCheckpoint && len(segs) == 0 {
 		// Fresh directory: the current (possibly pre-seeded) contents
 		// become the initial checkpoint, so recovery never needs to
-		// re-run dataset seeding.
+		// re-run dataset seeding. Delta files without a base image are
+		// unusable garbage (the protocol never produces them); drop any.
+		for _, idx := range deltas {
+			_ = os.Remove(filepath.Join(dir, deltaFileName(idx)))
+		}
 		if err := db.Checkpoint(); err != nil {
+			if w.pipe != nil {
+				req := &walReq{stop: true, done: make(chan error, 1)}
+				w.pipe <- req
+				<-req.done
+				<-w.writerDone
+			}
 			db.wal = nil
 			w.f.Close()
 			return nil, err
@@ -680,10 +934,10 @@ func (db *Database) OpenWAL(dir string, opts WALOptions) (*RecoveryInfo, error) 
 	return info, nil
 }
 
-// recoverFrom rebuilds the database from a checkpoint and segment
-// chain: wipe, load checkpoint, replay newer committed transactions,
-// discard the torn tail.
-func (db *Database) recoverFrom(w *WAL, dir string, segs []uint64, haveCheckpoint bool, info *RecoveryInfo) error {
+// recoverFrom rebuilds the database from checkpoint state and the
+// segment chain: wipe, load the base image, apply the delta chain in
+// order, replay newer committed transactions, discard the torn tail.
+func (db *Database) recoverFrom(w *WAL, dir string, segs, deltas []uint64, haveCheckpoint bool, info *RecoveryInfo) error {
 	db.resetStorage()
 	if haveCheckpoint {
 		seq, rows, err := db.loadCheckpoint(filepath.Join(dir, walCheckpointName))
@@ -691,15 +945,49 @@ func (db *Database) recoverFrom(w *WAL, dir string, segs []uint64, haveCheckpoin
 			return fmt.Errorf("relational: checkpoint: %w", err)
 		}
 		w.checkpointSeq.Store(seq)
+		w.haveBase = true
 		info.CheckpointSeq = seq
 		info.CheckpointRows = rows
 		db.commitSeq.Store(seq)
+	}
+	for _, didx := range deltas {
+		path := filepath.Join(dir, deltaFileName(didx))
+		if !haveCheckpoint {
+			// A delta without a base image cannot be applied; the install
+			// protocol never leaves this state, so just discard it.
+			_ = os.Remove(path)
+			continue
+		}
+		seq, ups, err := db.loadDelta(path)
+		if err != nil {
+			return fmt.Errorf("relational: checkpoint delta %d: %w", didx, err)
+		}
+		if seq <= w.checkpointSeq.Load() {
+			// Superseded by a compaction whose cleanup was interrupted:
+			// the base image already contains this delta's rows.
+			_ = os.Remove(path)
+			continue
+		}
+		w.checkpointSeq.Store(seq)
+		w.deltas = append(w.deltas, walDeltaFile{index: didx, seq: seq, path: path})
+		if didx > w.deltaIndex {
+			w.deltaIndex = didx
+		}
+		info.CheckpointSeq = seq
+		info.CheckpointRows += ups
+		info.CheckpointDeltas++
+		db.commitSeq.Store(seq)
+	}
+	w.chainLen.Store(int64(len(w.deltas)))
+	if len(deltas) > 0 {
+		w.deltaIndex = deltas[len(deltas)-1]
 	}
 	// Stale temp from a checkpoint interrupted before rename: discard.
 	_ = os.Remove(filepath.Join(dir, walCheckpointTemp))
 
 	ckptSeq := info.CheckpointSeq
 	stopped := false
+	trimmed := false
 	for i, idx := range segs {
 		path := segmentPath(dir, idx)
 		if stopped {
@@ -740,6 +1028,16 @@ func (db *Database) recoverFrom(w *WAL, dir string, segs []uint64, haveCheckpoin
 			}
 		}
 		if valid < int64(len(data)) {
+			if allZero(data[valid:]) {
+				// Preallocation slack: the segment was extended at creation
+				// and the zeros were never overwritten by records. Trim the
+				// slack quietly and keep scanning — nothing was torn.
+				if err := os.Truncate(path, valid); err != nil {
+					return err
+				}
+				trimmed = true
+				continue
+			}
 			info.TornTail = true
 			info.TruncatedBytes += int64(len(data)) - valid
 			if err := os.Truncate(path, valid); err != nil {
@@ -750,12 +1048,24 @@ func (db *Database) recoverFrom(w *WAL, dir string, segs []uint64, haveCheckpoin
 			continue
 		}
 	}
-	if info.TornTail {
+	if info.TornTail || trimmed {
 		if err := syncDir(dir); err != nil {
 			return err
 		}
 	}
+	db.stampSeq.Store(db.commitSeq.Load())
 	return nil
+}
+
+// allZero reports whether every byte is zero — the signature of
+// preallocated-segment slack past the last record.
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // resetStorage drops every row and index entry, leaving schema-shaped
@@ -765,6 +1075,7 @@ func (db *Database) resetStorage() {
 	db.tables = buildTableStorage(db.schema)
 	db.nextRowID = 1
 	db.commitSeq.Store(0)
+	db.stampSeq.Store(0)
 }
 
 // replayTxn reapplies one committed transaction's row operations. The
@@ -776,6 +1087,9 @@ func (db *Database) replayTxn(t walTxn) error {
 		if err != nil {
 			return err
 		}
+		// Replayed rows are newer than the loaded checkpoint state, so
+		// they are dirty relative to it: the next delta must cover them.
+		td.markDirtyRow(op.id)
 		switch op.kind {
 		case walOpInsert:
 			if _, exists := td.rows[op.id]; exists {
@@ -909,15 +1223,21 @@ func (db *Database) decodeCheckpointPayload(b []byte) (seq uint64, rows int, err
 	return seq, rows, nil
 }
 
-// Checkpoint snapshots the committed state into a durable checkpoint
-// file and truncates the segments it supersedes. Commits are blocked
-// only for the sequence pin and segment rotation (microseconds); the
-// row-image serialization runs against the pinned MVCC snapshot while
-// traffic proceeds. Crash-safe at every step: the image is written to a
-// temp file, fsynced, atomically renamed, and only then are the
-// superseded segments deleted — recovery handles a death between any
-// two of those steps (stale temp discarded, old checkpoint + full
-// segment chain replayed, or new checkpoint + skip-by-sequence).
+// Checkpoint persists the committed state durably and truncates the
+// segments it supersedes. Most passes are INCREMENTAL: only the rows
+// dirtied since the previous checkpoint are serialized into a delta
+// file layered on the base image, so the pass costs O(dirty), not
+// O(database); once CheckpointDeltaLimit deltas accumulate (or when
+// incremental checkpoints are disabled) the pass compacts the chain
+// into a fresh full base image. Commits are blocked only for the
+// writer-stage drain, sequence pin, dirty-set swap and segment rotation;
+// serialization runs against the pinned MVCC snapshot while traffic
+// proceeds. Crash-safe at every step: images are written to a temp
+// file, fsynced, atomically renamed, and only then are superseded
+// segments (and, after a compaction, old delta files) retired —
+// recovery handles a death between any two of those steps (stale temp
+// discarded, prior base+deltas+segments replayed, or new state loaded
+// with already-covered records skipped by sequence).
 func (db *Database) Checkpoint() error {
 	w := db.wal
 	if w == nil {
@@ -926,30 +1246,76 @@ func (db *Database) Checkpoint() error {
 	w.ckptMu.Lock()
 	defer w.ckptMu.Unlock()
 
+	start := time.Now()
+	defer func() {
+		ns := time.Since(start).Nanoseconds()
+		w.ckptPauseHist.Record(ns)
+		w.lastCkptPauseNs.Store(ns)
+	}()
+
 	db.commitMu.Lock()
 	if w.closed {
 		db.commitMu.Unlock()
 		return ErrWALClosed
 	}
+	var resume chan struct{}
+	if w.pipe != nil {
+		// Drain the writer stage: once the barrier reports ready, every
+		// enqueued group is durable and published (commitSeq has caught
+		// up to stampSeq) and the writer is parked until resume closes,
+		// so rotating the active segment cannot race its file handle.
+		b := &walBarrier{ready: make(chan struct{}), resume: make(chan struct{})}
+		w.pipe <- &walReq{barrier: b}
+		<-b.ready
+		resume = b.resume
+	}
 	seq := db.commitSeq.Load()
 	snap := db.Snapshot()
+	dirty := db.swapDirtyRowsLocked()
 	err := w.rotate() // sealed segments now all precede seq
+	if resume != nil {
+		close(resume)
+	}
 	db.commitMu.Unlock()
-	if err != nil {
+
+	fail := func(e error) error {
 		snap.Close()
-		return fmt.Errorf("relational: checkpoint rotate: %w", err)
+		db.mergeDirtyRows(dirty)
+		return e
+	}
+	if err != nil {
+		return fail(fmt.Errorf("relational: checkpoint rotate: %w", err))
 	}
 	w.mu.Lock()
 	supersede := make([]sealedSegment, len(w.sealed))
 	copy(supersede, w.sealed)
 	w.mu.Unlock()
 
-	payload, err := db.encodeCheckpointPayload(snap, seq)
+	full := w.opts.CheckpointDeltaLimit < 0 || !w.haveBase || len(w.deltas) >= w.opts.CheckpointDeltaLimit
+	if full && w.haveBase && len(w.deltas) > 0 {
+		// Compacting: the delta chain folds into the fresh base image.
+		if err := evalFailpoint(FpCheckpointCompact); err != nil {
+			return fail(err)
+		}
+	}
+	var payload []byte
+	if full {
+		payload, err = db.encodeCheckpointPayload(snap, seq)
+	} else {
+		payload, err = db.encodeDeltaPayload(snap, seq, dirty)
+	}
 	snap.Close()
 	if err != nil {
+		db.mergeDirtyRows(dirty)
 		return err
 	}
-	if err := w.installCheckpoint(payload, seq, supersede); err != nil {
+	if full {
+		err = w.installFull(payload, seq, supersede)
+	} else {
+		err = w.installDelta(payload, seq, supersede)
+	}
+	if err != nil {
+		db.mergeDirtyRows(dirty)
 		return err
 	}
 	return nil
@@ -989,9 +1355,10 @@ func (db *Database) encodeCheckpointPayload(snap *Snapshot, seq uint64) ([]byte,
 	return b, nil
 }
 
-// installCheckpoint writes the image durably (temp, fsync, rename,
-// dir-fsync) and deletes the superseded segments.
-func (w *WAL) installCheckpoint(payload []byte, seq uint64, supersede []sealedSegment) error {
+// installImage writes one checkpoint image (full base or delta)
+// durably: temp file, fsync, atomic rename to finalPath, dir-fsync.
+// fpMidWrite is the failpoint evaluated with the image half-written.
+func (w *WAL) installImage(payload []byte, finalPath, fpMidWrite string) error {
 	tmpPath := filepath.Join(w.dir, walCheckpointTemp)
 	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -1006,7 +1373,7 @@ func (w *WAL) installCheckpoint(payload []byte, seq uint64, supersede []sealedSe
 	if _, err := f.Write(frame[:len(frame)/2]); err != nil {
 		return cleanup(err)
 	}
-	if err := evalFailpoint(FpCheckpointWrite); err != nil {
+	if err := evalFailpoint(fpMidWrite); err != nil {
 		return cleanup(err)
 	}
 	if _, err := f.Write(frame[len(frame)/2:]); err != nil {
@@ -1023,7 +1390,7 @@ func (w *WAL) installCheckpoint(payload []byte, seq uint64, supersede []sealedSe
 		_ = os.Remove(tmpPath)
 		return err
 	}
-	if err := os.Rename(tmpPath, filepath.Join(w.dir, walCheckpointName)); err != nil {
+	if err := os.Rename(tmpPath, finalPath); err != nil {
 		_ = os.Remove(tmpPath)
 		return err
 	}
@@ -1031,14 +1398,52 @@ func (w *WAL) installCheckpoint(payload []byte, seq uint64, supersede []sealedSe
 		return err
 	}
 	w.fsyncs.Add(1)
+	return nil
+}
+
+// installFull installs a full base image, resetting the delta chain;
+// the chain's old files are removed once the new base is durable.
+func (w *WAL) installFull(payload []byte, seq uint64, supersede []sealedSegment) error {
+	if err := w.installImage(payload, filepath.Join(w.dir, walCheckpointName), FpCheckpointWrite); err != nil {
+		return err
+	}
+	oldDeltas := w.deltas
+	w.haveBase = true
+	w.deltas = nil
+	w.chainLen.Store(0)
+	return w.finishCheckpoint(seq, supersede, oldDeltas)
+}
+
+// installDelta installs one incremental checkpoint on top of the chain.
+func (w *WAL) installDelta(payload []byte, seq uint64, supersede []sealedSegment) error {
+	idx := w.deltaIndex + 1
+	path := filepath.Join(w.dir, deltaFileName(idx))
+	if err := w.installImage(payload, path, FpCheckpointDeltaWrite); err != nil {
+		return err
+	}
+	w.deltaIndex = idx
+	w.deltas = append(w.deltas, walDeltaFile{index: idx, seq: seq, path: path})
+	w.chainLen.Store(int64(len(w.deltas)))
+	return w.finishCheckpoint(seq, supersede, nil)
+}
+
+// finishCheckpoint publishes the new checkpoint sequence and retires
+// what it supersedes: compacted-away delta files are deleted, sealed
+// segments go to the recycle list (or are deleted past its cap).
+func (w *WAL) finishCheckpoint(seq uint64, supersede []sealedSegment, oldDeltas []walDeltaFile) error {
 	w.checkpointSeq.Store(seq)
 	w.checkpoints.Add(1)
 	w.sealedSinceC.Store(0)
 	if err := evalFailpoint(FpCheckpointTruncate); err != nil {
 		return err
 	}
+	for _, d := range oldDeltas {
+		if err := os.Remove(d.path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
 	for _, s := range supersede {
-		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+		if err := w.retireSegment(s); err != nil {
 			return err
 		}
 	}
@@ -1122,6 +1527,16 @@ func (db *Database) CloseWAL() error {
 		return nil
 	}
 	w.closed = true
+	if w.pipe != nil {
+		// Drain and stop the writer stage: every already-enqueued group
+		// is written, fsynced and published (or rolled back) before the
+		// stop request — necessarily last in the queue, since enqueues
+		// happen under the commitMu this function holds — acknowledges.
+		req := &walReq{stop: true, done: make(chan error, 1)}
+		w.pipe <- req
+		<-req.done
+		<-w.writerDone
+	}
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
 		return err
@@ -1156,4 +1571,14 @@ func (db *Database) LastFsyncNanos() int64 {
 		return 0
 	}
 	return db.wal.lastFsyncNs.Load()
+}
+
+// CheckpointPauseHistogram snapshots the distribution of checkpoint
+// pass durations — the stall observed by whichever caller triggered the
+// pass (empty when no WAL is attached).
+func (db *Database) CheckpointPauseHistogram() obs.Snapshot {
+	if db.wal == nil {
+		return obs.Snapshot{}
+	}
+	return db.wal.ckptPauseHist.Snapshot()
 }

@@ -53,6 +53,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ufilterd_wal_fsyncs_total", "fsync calls issued by the durable WAL (one per commit group).", "counter", map[string]float64{}},
 		{"ufilterd_wal_checkpoints_total", "Durable WAL checkpoints installed.", "counter", map[string]float64{}},
 		{"ufilterd_wal_recovery_replayed_txns", "Committed transactions replayed from the WAL at startup.", "gauge", map[string]float64{}},
+		{"ufilterd_wal_recycled_segments_total", "Active-segment opens served from the preallocated recycle pool.", "counter", map[string]float64{}},
+		{"ufilterd_wal_pipeline_depth", "Commit groups queued or in flight in the WAL writer stage.", "gauge", map[string]float64{}},
+		{"ufilterd_checkpoint_delta_chain_len", "Incremental checkpoint deltas layered on the base image (worst shard).", "gauge", map[string]float64{}},
+		{"ufilterd_checkpoint_last_pause_seconds", "Duration of the most recent checkpoint pass (worst shard).", "gauge", map[string]float64{}},
 		{"ufilterd_snapshots_active", "MVCC snapshots currently pinned.", "gauge", map[string]float64{}},
 		{"ufilterd_snapshots_opened_total", "MVCC snapshots ever pinned.", "counter", map[string]float64{}},
 		{"ufilterd_versions_reclaimed_total", "Row versions freed by the MVCC reclaimer.", "counter", map[string]float64{}},
@@ -102,6 +106,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			float64(st.Filter.Database.Fsyncs),
 			float64(st.Filter.Database.Checkpoints),
 			float64(st.Filter.Database.RecoveryReplayedTxns),
+			float64(st.Filter.Database.WALRecycledSegments),
+			float64(st.Filter.Database.WALPipelineDepth),
+			float64(st.Filter.Database.CheckpointDeltaChainLen),
+			float64(st.Filter.Database.CheckpointLastPauseNs) / 1e9,
 			float64(st.Versions.SnapshotsActive),
 			float64(st.Versions.SnapshotsOpened),
 			float64(st.Versions.VersionsReclaimed),
@@ -164,6 +172,14 @@ func writeShardMetrics(b *strings.Builder, perView []struct {
 			func(s relational.ShardStat) float64 { return float64(s.GroupCommits) }},
 		{"ufilterd_shard_commit_seq", "Shard-local committed sequence number.", "gauge",
 			func(s relational.ShardStat) float64 { return float64(s.CommitSeq) }},
+		{"ufilterd_shard_wal_recycled_segments_total", "Active-segment opens served from the shard's recycle pool.", "counter",
+			func(s relational.ShardStat) float64 { return float64(s.WALRecycledSegments) }},
+		{"ufilterd_shard_wal_pipeline_depth", "Commit groups queued or in flight in the shard's WAL writer stage.", "gauge",
+			func(s relational.ShardStat) float64 { return float64(s.WALPipelineDepth) }},
+		{"ufilterd_shard_checkpoint_delta_chain_len", "Incremental checkpoint deltas layered on the shard's base image.", "gauge",
+			func(s relational.ShardStat) float64 { return float64(s.CheckpointDeltaChainLen) }},
+		{"ufilterd_shard_checkpoint_last_pause_seconds", "Duration of the shard's most recent checkpoint pass.", "gauge",
+			func(s relational.ShardStat) float64 { return float64(s.CheckpointLastPauseNs) / 1e9 }},
 	}
 	for _, f := range families {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
@@ -215,6 +231,8 @@ func (s *Server) writeHistograms(b *strings.Builder) {
 			func(v *View) obs.Snapshot { return planHist(v).GroupSize.Snapshot() }},
 		{"ufilterd_wal_fsync_seconds", "Durable WAL fsync duration per commit group (empty without -data-dir).",
 			func(v *View) obs.Snapshot { return v.Filter.Exec.DB.FsyncHistogram() }},
+		{"ufilterd_checkpoint_pause_seconds", "Checkpoint pass duration — O(dirty) under incremental checkpoints (empty without -data-dir).",
+			func(v *View) obs.Snapshot { return v.Filter.Exec.DB.CheckpointPauseHistogram() }},
 	}
 	for _, h := range engine {
 		obs.WritePromHeader(b, h.name, h.help)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/relational"
 )
@@ -90,8 +91,20 @@ func (db *DB) CommitShared(txns []relational.WriteTxn) []error {
 		commitBucket(last, perShard[last])
 	}
 	wg.Wait()
-	for _, i := range cross {
-		errs[i] = db.commitCross(txns[i].(*Txn))
+	// Cross-shard members run concurrently: prepares take shard latches
+	// in ascending order (deadlock-free), and their decide-point fsyncs
+	// batch through the coordinator log's group commit.
+	if n := len(cross); n > 0 {
+		var cwg sync.WaitGroup
+		for _, i := range cross[:n-1] {
+			cwg.Add(1)
+			go func(i int) {
+				defer cwg.Done()
+				errs[i] = db.commitCross(txns[i].(*Txn))
+			}(i)
+		}
+		errs[cross[n-1]] = db.commitCross(txns[cross[n-1]].(*Txn))
+		cwg.Wait()
 	}
 	return errs
 }
@@ -142,11 +155,16 @@ func (db *DB) commitOne(t *Txn) error {
 //	publish: every shard stamps its versions visible and releases its
 //	         latch (Publish).
 //
-// The whole protocol runs under the write side of the vector latch, so
-// no reader pins a vector between two shards' publishes and no two
-// cross-shard commits interleave their prepares (which also makes the
-// ascending latch order deadlock-free against the single-shard path,
-// which only ever holds one latch).
+// Only the publish phase runs under the write side of the vector latch
+// — the shortest window that keeps readers from pinning a vector
+// between two shards' publishes. Prepares run WITHOUT the vector latch:
+// concurrent cross-shard commits acquire shard latches in ascending
+// shard order, which is deadlock-free (and deadlock-free against the
+// single-shard path, which only ever holds one latch), and prepared
+// stamps stay invisible until the publish advances each shard's commit
+// sequence. Freeing the prepare and decide phases from the vector latch
+// is what lets concurrent decide-point fsyncs batch in the coordinator
+// log's group commit below.
 //
 // Recovery replays a shard's xid-tagged record only if the coordinator
 // log holds the xid (WALOptions.XidCommitted): a crash before the
@@ -163,7 +181,6 @@ func (db *DB) commitCross(t *Txn) error {
 	ds := t.dirtyShards()
 	xid := db.nextXid.Add(1)
 	consumed := make(map[int]bool, len(ds))
-	db.xmu.Lock()
 	pgs := make([]*relational.PreparedGroup, 0, len(ds))
 	var err error
 	for _, s := range ds {
@@ -183,14 +200,16 @@ func (db *DB) commitCross(t *Txn) error {
 		}
 	}
 	if err != nil {
+		// Aborts need no vector latch: the prepared stamps were never
+		// published, so undoing them is invisible to every reader.
 		for _, pg := range pgs {
 			_ = pg.Abort()
 		}
-		db.xmu.Unlock()
 		t.finishExcept(consumed)
 		db.crossAborts.Add(1)
 		return err
 	}
+	db.xmu.Lock()
 	var pubErr error
 	for _, pg := range pgs {
 		if perr := pg.Publish(); perr != nil && pubErr == nil {
@@ -200,6 +219,12 @@ func (db *DB) commitCross(t *Txn) error {
 	db.xmu.Unlock()
 	t.finishExcept(consumed)
 	db.crossCommits.Add(1)
+	// Maintenance (reclaim, threshold checkpoints) runs after every
+	// latch is released: Publish itself must stay latch-short, and a
+	// checkpoint inside the vector latch would stall every reader.
+	for _, s := range ds {
+		db.shards[s].MaybeMaintain()
+	}
 	return pubErr
 }
 
@@ -209,9 +234,24 @@ func (db *DB) commitCross(t *Txn) error {
 // ~12 bytes per cross-shard commit it grows slower than any shard's
 // WAL, and recovery reads it once into a set; a future checkpoint could
 // fold xids below every shard's checkpoint sequence away.
+//
+// Appends group-commit: concurrent callers enqueue their xids and one
+// leader writes every pending frame with a single fsync, so N
+// simultaneous cross-shard commits pay one decide-point flush, not N.
 type xlog struct {
-	mu sync.Mutex
-	f  *os.File
+	mu       sync.Mutex
+	f        *os.File
+	pending  []xlogWaiter // xids enqueued for the next flush
+	flushing bool         // a leader is draining pending
+	appends  atomic.Int64 // xids made durable
+	fsyncs   atomic.Int64 // Sync calls that covered them
+}
+
+// xlogWaiter is one enqueued decide-point append; done (buffered 1)
+// receives the flush outcome.
+type xlogWaiter struct {
+	xid  uint64
+	done chan error
 }
 
 // openXlog reads the committed-xid set (truncating any torn tail, as a
@@ -267,22 +307,68 @@ func openXlog(path string) (*xlog, map[uint64]bool, uint64, error) {
 }
 
 // append durably records a committed xid; returning nil means the
-// decision is on disk.
+// decision is on disk. Concurrent appends batch: whoever finds no flush
+// in progress becomes the leader and drains the pending queue —
+// including xids enqueued while it was flushing — writing each batch
+// with one Sync; everyone else parks on its done channel.
 func (x *xlog) append(xid uint64) error {
-	payload := binary.AppendUvarint(nil, xid)
-	frame := make([]byte, 8, 8+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	frame = append(frame, payload...)
 	x.mu.Lock()
-	defer x.mu.Unlock()
 	if x.f == nil {
+		x.mu.Unlock()
 		return fmt.Errorf("shard: coordinator log is closed")
 	}
-	if _, err := x.f.Write(frame); err != nil {
+	done := make(chan error, 1)
+	x.pending = append(x.pending, xlogWaiter{xid: xid, done: done})
+	if x.flushing {
+		x.mu.Unlock()
+		return <-done
+	}
+	x.flushing = true
+	for len(x.pending) > 0 {
+		batch := x.pending
+		x.pending = nil
+		f := x.f
+		x.mu.Unlock()
+		err := flushXids(f, batch)
+		if err == nil {
+			x.appends.Add(int64(len(batch)))
+			x.fsyncs.Add(1)
+		}
+		for _, wtr := range batch {
+			wtr.done <- err
+		}
+		x.mu.Lock()
+	}
+	x.flushing = false
+	x.mu.Unlock()
+	return <-done
+}
+
+// flushXids writes every waiter's frame and makes them durable with a
+// single fsync. f is captured under x.mu by the leader; a concurrent
+// close surfaces here as a write/sync error distributed to the batch.
+func flushXids(f *os.File, batch []xlogWaiter) error {
+	if f == nil {
+		return fmt.Errorf("shard: coordinator log is closed")
+	}
+	var frames []byte
+	for _, wtr := range batch {
+		payload := binary.AppendUvarint(nil, wtr.xid)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		frames = append(frames, hdr[:]...)
+		frames = append(frames, payload...)
+	}
+	off, _ := f.Seek(0, io.SeekCurrent)
+	if _, err := f.Write(frames); err != nil {
+		// Best-effort: cut any partial frame back off so a later append
+		// cannot land behind garbage that recovery's scan would stop at.
+		_ = f.Truncate(off)
+		_, _ = f.Seek(off, io.SeekStart)
 		return err
 	}
-	return x.f.Sync()
+	return f.Sync()
 }
 
 func (x *xlog) close() error {

@@ -602,6 +602,16 @@ func (db *DB) Stats() relational.DBStats {
 		agg.Fsyncs += st.Fsyncs
 		agg.Checkpoints += st.Checkpoints
 		agg.RecoveryReplayedTxns += st.RecoveryReplayedTxns
+		agg.WALRecycledSegments += st.WALRecycledSegments
+		agg.WALPipelineDepth += st.WALPipelineDepth
+		// Chain length and pause are per-shard maxima, not sums: the
+		// worst shard bounds recovery time and the observable pause.
+		if st.CheckpointDeltaChainLen > agg.CheckpointDeltaChainLen {
+			agg.CheckpointDeltaChainLen = st.CheckpointDeltaChainLen
+		}
+		if st.CheckpointLastPauseNs > agg.CheckpointLastPauseNs {
+			agg.CheckpointLastPauseNs = st.CheckpointLastPauseNs
+		}
 	}
 	return agg
 }
@@ -696,6 +706,32 @@ func (db *DB) FsyncHistogram() obs.Snapshot {
 	return agg
 }
 
+// CheckpointPauseHistogram merges the per-shard checkpoint-pause
+// distributions bucket-wise (all shards share one histogram geometry).
+func (db *DB) CheckpointPauseHistogram() obs.Snapshot {
+	var agg obs.Snapshot
+	for _, s := range db.shards {
+		sn := s.CheckpointPauseHistogram()
+		if len(sn.Counts) == 0 {
+			continue
+		}
+		if len(agg.Counts) == 0 {
+			counts := make([]uint64, len(sn.Counts))
+			copy(counts, sn.Counts)
+			agg = obs.Snapshot{MinExp: sn.MinExp, Unit: sn.Unit, Counts: counts, Sum: sn.Sum, Count: sn.Count}
+			continue
+		}
+		for i := range sn.Counts {
+			if i < len(agg.Counts) {
+				agg.Counts[i] += sn.Counts[i]
+			}
+		}
+		agg.Sum += sn.Sum
+		agg.Count += sn.Count
+	}
+	return agg
+}
+
 func (db *DB) Reclaim() int {
 	n := 0
 	for _, s := range db.shards {
@@ -760,5 +796,22 @@ func (db *DB) CrossCommits() int64 { return db.crossCommits.Load() }
 
 // CrossAborts counts cross-shard transactions aborted during 2PC.
 func (db *DB) CrossAborts() int64 { return db.crossAborts.Load() }
+
+// XlogAppends counts xids made durable in the coordinator log;
+// XlogFsyncs counts the Sync calls that covered them. Fsyncs < appends
+// means decide points batched through the log's group commit.
+func (db *DB) XlogAppends() int64 {
+	if db.xlog == nil {
+		return 0
+	}
+	return db.xlog.appends.Load()
+}
+
+func (db *DB) XlogFsyncs() int64 {
+	if db.xlog == nil {
+		return 0
+	}
+	return db.xlog.fsyncs.Load()
+}
 
 var _ relational.Engine = (*DB)(nil)
