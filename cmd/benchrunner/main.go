@@ -27,7 +27,7 @@ func main() {
 	sizesFlag := flag.String("sizes", "50,100,150,200,250,300,350,400,450,500",
 		"comma-separated database sizes (MB) for Figs. 15-17")
 	iters := flag.Int("iters", 20, "operations per size for Figs. 15-17")
-	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan,mvcc,write,wal,obs,shard,commit")
+	only := flag.String("only", "", "comma-separated subset: fig12,fig13,fig14,marking,fig15,fig16,fig17,plan,mvcc,write,wal,obs,shard,commit,page")
 	planIters := flag.Int("plan-iters", 2000, "iterations for the plan (compile-once/execute-many) benchmark")
 	planOut := flag.String("plan-out", "BENCH_plan.json", "file the plan benchmark's JSON is written to")
 	mvccIters := flag.Int("mvcc-iters", 2000, "checks per side for the MVCC checks-during-apply benchmark")
@@ -42,6 +42,8 @@ func main() {
 	shardOut := flag.String("shard-out", "BENCH_shard.json", "file the sharding benchmark's JSON is written to")
 	commitIters := flag.Int("commit-iters", 640, "durable commits per point for the pipelined group-commit benchmark")
 	commitOut := flag.String("commit-out", "BENCH_commit.json", "file the commit benchmark's JSON is written to")
+	pageIters := flag.Int("page-iters", 2000, "point reads per pool budget for the paged-storage benchmark")
+	pageOut := flag.String("page-out", "BENCH_page.json", "file the paged-storage benchmark's JSON is written to")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -97,6 +99,9 @@ func main() {
 	}
 	if run("commit") {
 		printCommitBench(*commitIters, *commitOut)
+	}
+	if run("page") {
+		printPageBench(*pageIters, *pageOut)
 	}
 }
 
@@ -404,6 +409,44 @@ func printCommitBench(iters int, outPath string) {
 	}
 	if outPath != "" {
 		data, err := json.MarshalIndent(cb, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+// printPageBench runs the paged-checkpoint-storage benchmark —
+// checkpoint pause at 1x vs 10x database size with a fixed dirty set,
+// lazy vs cold recovery over the page directory, and point-read
+// throughput with the buffer pool budgeted at 100/50/10% of the
+// dataset — and records the table as JSON so CI gates the
+// O(dirty-pages) pause ratio (<= 2) and tracks the beyond-RAM curve.
+func printPageBench(iters int, outPath string) {
+	header("Page — paged checkpoint storage + buffer pool (O(dirty-pages) pause, lazy recovery)")
+	pb, err := experiments.RunPageBench(iters)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range pb.Pauses {
+		fmt.Printf("checkpoint pause: %6d rows, %d dirty -> %v\n",
+			p.Rows, p.DirtyRows, time.Duration(p.PauseNs))
+	}
+	fmt.Printf("pause ratio 10x/1x: %.2f (O(dirty-pages) target: ~1, CI gate <= 2)\n", pb.PauseRatio)
+	fmt.Printf("recovery over %d rows / %d pages: lazy open %v, first scan %v (faulted %d pages), cold total %v\n",
+		pb.Recovery.Rows, pb.Recovery.PagesTotal,
+		time.Duration(pb.Recovery.LazyOpenNs), time.Duration(pb.Recovery.FirstScanNs),
+		pb.Recovery.FaultedPages, time.Duration(pb.Recovery.ColdNs))
+	fmt.Printf("%-10s %14s %14s %10s %12s\n", "Budget", "reads/s", "ns/op", "hit rate", "evictions")
+	for _, p := range pb.Pool {
+		fmt.Printf("%9d%% %14.0f %14d %9.1f%% %12d\n",
+			p.BudgetPct, p.ReadsPerSec, p.NsOp, p.HitRate*100, p.Evictions)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(pb, "", "  ")
 		if err != nil {
 			fatal(err)
 		}

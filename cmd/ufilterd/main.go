@@ -81,6 +81,7 @@ func main() {
 	queue := flag.Int("queue", server.DefaultApplyQueueDepth, "default per-view apply admission queue depth")
 	dataDir := flag.String("data-dir", "", "directory for per-view write-ahead logs (empty runs in-memory)")
 	shards := flag.Int("shards", 0, "default per-view storage shard count (<=1 keeps the single-database path)")
+	pageCacheBytes := flag.Int64("page-cache-bytes", 0, "per-view checkpoint-page buffer pool budget in bytes, split across shards (0 uses the engine default; needs -data-dir)")
 	loadgen := flag.Bool("loadgen", false, "run the load generator instead of serving")
 	target := flag.String("target", "", "loadgen: base URL of a running ufilterd (empty boots one in-process)")
 	duration := flag.Duration("duration", 3*time.Second, "loadgen: how long to sustain traffic")
@@ -112,6 +113,9 @@ func main() {
 	}
 	if *shards > 1 {
 		cfg.Shards = *shards
+	}
+	if *pageCacheBytes > 0 {
+		cfg.PageCacheBytes = *pageCacheBytes
 	}
 	if cfg.Shards > 1 && runtime.GOMAXPROCS(0) <= cfg.Shards {
 		// Per-shard WAL flushes only overlap if every in-flight fsync's
@@ -181,6 +185,7 @@ func buildServer(cfg *server.Config) (*server.Server, error) {
 	reg.DefaultQueueDepth = cfg.ApplyQueueDepth
 	reg.DataDir = cfg.DataDir
 	reg.DefaultShards = cfg.Shards
+	reg.WALOptions.PageCacheBytes = cfg.PageCacheBytes
 	for _, vc := range cfg.Views {
 		if _, err := reg.Add(vc); err != nil {
 			return nil, err

@@ -98,14 +98,21 @@
 // stamps while the previous fsync runs; publication happens strictly
 // in stamp order after the covering fsync, and a failed flush rolls
 // back exactly its group (every member gets relational.ErrWALFailed,
-// nothing half-durable). Checkpoints are incremental: only rows
-// dirtied since the last checkpoint are serialized as a delta on the
-// base image (pause O(dirty), not O(database)), with the delta chain
-// compacted into a fresh base past WALOptions.CheckpointDeltaLimit;
-// recovery loads base + deltas + the WAL tail. Retired segments are
-// recycled as preallocated future segments. internal/walcrash proves
-// the contract with a kill -9 fault-injection matrix over every
-// registered failpoint.
+// nothing half-durable). Checkpoints write through a paged store
+// (internal/pagestore): only rows dirtied since the last checkpoint
+// are serialized, as fresh copy-on-write 4KiB slotted pages plus one
+// page-directory record (pause O(dirty-pages), not O(database)), with
+// the directory log folded into a fresh base past
+// WALOptions.CheckpointDeltaLimit; recovery maps the directory into
+// value-less row stubs and replays the WAL tail, then pages fault in
+// on first read through a buffer pool bounded by
+// WALOptions.PageCacheBytes (ufilterd -page-cache-bytes) — so restart
+// latency tracks the directory, not the dataset, and committed cold
+// rows demote back to stubs, letting the data exceed RAM under a hard
+// memory budget. Retired segments are recycled as preallocated future
+// segments. internal/walcrash proves the contract with a kill -9
+// fault-injection matrix over every registered failpoint, page-store
+// write/directory/fold faults included.
 //
 // The filter is also served over the wire: internal/server and
 // cmd/ufilterd host a registry of named views behind an HTTP/JSON

@@ -136,3 +136,34 @@ func TestWriteBenchShape(t *testing.T) {
 		t.Fatalf("speedup not recorded: %+v", wb)
 	}
 }
+
+func TestPageBenchShape(t *testing.T) {
+	pb, err := RunPageBench(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pb.Pauses) != 2 || pb.Pauses[0].PauseNs <= 0 || pb.Pauses[1].PauseNs <= 0 {
+		t.Fatalf("pause points malformed: %+v", pb.Pauses)
+	}
+	if pb.PauseRatio <= 0 {
+		t.Fatalf("pause ratio not recorded: %+v", pb)
+	}
+	if pb.Recovery.LazyOpenNs <= 0 || pb.Recovery.FirstScanNs <= 0 {
+		t.Fatalf("recovery timings malformed: %+v", pb.Recovery)
+	}
+	if pb.Recovery.PagesTotal <= 0 || pb.Recovery.FaultedPages <= 0 {
+		t.Fatalf("recovery faulted nothing — not lazy: %+v", pb.Recovery)
+	}
+	if len(pb.Pool) != 3 {
+		t.Fatalf("pool points = %d, want 3 (100/50/10%%)", len(pb.Pool))
+	}
+	for _, p := range pb.Pool {
+		if p.ReadsPerSec <= 0 || p.BudgetBytes <= 0 {
+			t.Fatalf("pool point %d%% has no throughput: %+v", p.BudgetPct, p)
+		}
+	}
+	// The 10% pool must be evicting — that's the beyond-RAM regime.
+	if pb.Pool[2].Evictions == 0 {
+		t.Fatalf("10%% budget evicted nothing: %+v", pb.Pool[2])
+	}
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/relational"
+)
+
+// PageBench records the paged-checkpoint-storage measurement the repo's
+// CI tracks (BENCH_page.json), in three parts:
+//
+//   - Pauses: Checkpoint() wall time against a 1x and a 10x database
+//     with the SAME dirty set. Checkpoints write only copy-on-write
+//     pages for dirty rows, so the pause ratio must stay near 1 (CI
+//     gates it at <= 2), not scale with the database.
+//   - Recovery: cold restart split into the lazy OpenWAL (map the page
+//     directory into value-less stubs, no page reads) and the first
+//     full scan that faults every page in — the former is the restart
+//     latency the daemon actually pays before serving.
+//   - Pool: read throughput and hit rate with the buffer pool budgeted
+//     at 100%, 50% and 10% of the paged dataset, showing the engine
+//     keeps working (with bounded memory) when data exceeds RAM.
+type PageBench struct {
+	// OpsPerPoint is the number of point reads measured per pool
+	// budget; Rows is the paged dataset size those reads run against.
+	OpsPerPoint int `json:"ops_per_point"`
+	Rows        int `json:"rows"`
+
+	Pauses []CheckpointPausePoint `json:"checkpoint_pauses"`
+	// PauseRatio is pause(10x rows)/pause(1x rows) at the fixed dirty
+	// set — near 1 means the pause is O(dirty-pages), not O(database).
+	PauseRatio float64 `json:"checkpoint_pause_ratio"`
+
+	Recovery PageRecovery `json:"recovery"`
+
+	Pool []PoolPoint `json:"pool"`
+}
+
+// PageRecovery is the cold-restart measurement over a paged base image.
+type PageRecovery struct {
+	Rows int `json:"rows"`
+	// LazyOpenNs is OpenWAL alone: directory mapped, zero pages read.
+	LazyOpenNs int64 `json:"lazy_open_ns"`
+	// FirstScanNs is the first full scan after the lazy open, which
+	// faults every page through the pool.
+	FirstScanNs int64 `json:"first_scan_ns"`
+	// ColdNs is LazyOpenNs + FirstScanNs: time to a fully materialized
+	// working set, the pre-paging recovery cost for comparison.
+	ColdNs int64 `json:"cold_ns"`
+	// PagesTotal is the base image's size in pages.
+	PagesTotal int64 `json:"pages_total"`
+	// FaultedPages is how many pages the first scan loaded.
+	FaultedPages int64 `json:"faulted_pages"`
+}
+
+// PoolPoint is one buffer-pool budget measurement.
+type PoolPoint struct {
+	// BudgetPct is the pool budget as a percent of the paged dataset.
+	BudgetPct   int   `json:"budget_pct"`
+	BudgetBytes int64 `json:"budget_bytes"`
+
+	NsOp        int64   `json:"ns_op"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+
+	// HitRate is pool hits over total pool reads for the measured
+	// point-read pass (the warmup pass is excluded).
+	HitRate   float64 `json:"hit_rate"`
+	Evictions int64   `json:"evictions"`
+}
+
+// pageBenchVal pads row payloads so the dataset spans a realistic
+// number of 4KiB pages instead of collapsing into a handful.
+var pageBenchVal = strings.Repeat("x", 96)
+
+func pageBulkInsert(db *relational.Database, base int64, rows int) error {
+	for i := 0; i < rows; i++ {
+		if _, err := db.Insert("bench", map[string]relational.Value{
+			"id":  relational.Int_(base + int64(i)),
+			"val": relational.String_(pageBenchVal),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunPageBench measures checkpoint pause vs database size, lazy vs cold
+// recovery, and read throughput vs pool budget, returning the table
+// BENCH_page.json records.
+func RunPageBench(iters int) (*PageBench, error) {
+	if iters <= 0 {
+		iters = 2000
+	}
+	const rows = 4_000
+	out := &PageBench{OpsPerPoint: iters, Rows: rows}
+	root, err := os.MkdirTemp("", "pagebench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	// Part 1: checkpoint pause at 1x and 10x database size with the
+	// same fixed dirty set. Each run: bulk-load, checkpoint (absorbs
+	// the load), dirty exactly dirtyRows rows, time the measured pass.
+	const baseRows, dirtyRows = 2_000, 100
+	for _, n := range []int{baseRows, 10 * baseRows} {
+		dir := fmt.Sprintf("%s/ckpt-%d", root, n)
+		db, err := openCommitBenchDB(dir, relational.WALOptions{})
+		if err != nil {
+			return nil, err
+		}
+		if err := pageBulkInsert(db, 0, n); err != nil {
+			return nil, err
+		}
+		if err := db.Checkpoint(); err != nil {
+			return nil, err
+		}
+		if err := pageBulkInsert(db, 50_000_000, dirtyRows); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := db.Checkpoint(); err != nil {
+			return nil, err
+		}
+		pause := time.Since(start).Nanoseconds()
+		if err := db.CloseWAL(); err != nil {
+			return nil, err
+		}
+		out.Pauses = append(out.Pauses, CheckpointPausePoint{
+			Rows: n, DirtyRows: dirtyRows, PauseNs: pause,
+		})
+	}
+	if p0 := out.Pauses[0].PauseNs; p0 > 0 {
+		out.PauseRatio = float64(out.Pauses[1].PauseNs) / float64(p0)
+	}
+
+	// Part 2 setup: build the paged dataset every later part reopens.
+	dataDir := root + "/data"
+	db, err := openCommitBenchDB(dataDir, relational.WALOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if err := pageBulkInsert(db, 0, rows); err != nil {
+		return nil, err
+	}
+	if err := db.Checkpoint(); err != nil {
+		return nil, err
+	}
+	datasetBytes := db.Stats().PagesTotal * 4096
+	if err := db.CloseWAL(); err != nil {
+		return nil, err
+	}
+
+	// Part 2: lazy recovery vs cold (fully materialized) restart.
+	schema, err := commitBenchSchema()
+	if err != nil {
+		return nil, err
+	}
+	rdb := relational.NewDatabase(schema)
+	start := time.Now()
+	if _, err := rdb.OpenWAL(dataDir, relational.WALOptions{}); err != nil {
+		return nil, err
+	}
+	lazyNs := time.Since(start).Nanoseconds()
+	start = time.Now()
+	n := 0
+	if err := rdb.Scan("bench", func(*relational.Row) bool { n++; return true }); err != nil {
+		return nil, err
+	}
+	scanNs := time.Since(start).Nanoseconds()
+	if n != rows {
+		return nil, fmt.Errorf("page bench: first scan saw %d rows, want %d", n, rows)
+	}
+	st := rdb.Stats()
+	out.Recovery = PageRecovery{
+		Rows:         rows,
+		LazyOpenNs:   lazyNs,
+		FirstScanNs:  scanNs,
+		ColdNs:       lazyNs + scanNs,
+		PagesTotal:   st.PagesTotal,
+		FaultedPages: st.PagecacheMisses,
+	}
+	if err := rdb.CloseWAL(); err != nil {
+		return nil, err
+	}
+
+	// Part 3: point-read throughput vs pool budget. Each budget reopens
+	// the dataset (all rows demoted to stubs), warms with one full
+	// pass, then measures iters point reads striding the id space.
+	for _, pct := range []int{100, 50, 10} {
+		budget := datasetBytes * int64(pct) / 100
+		pdb := relational.NewDatabase(schema)
+		if _, err := pdb.OpenWAL(dataDir, relational.WALOptions{PageCacheBytes: budget}); err != nil {
+			return nil, err
+		}
+		ids := make([]relational.RowID, 0, rows)
+		if err := pdb.Scan("bench", func(r *relational.Row) bool {
+			ids = append(ids, r.ID)
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		pre := pdb.Stats()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			// A large prime stride touches the whole id space instead of
+			// rewalking one resident page.
+			if _, err := pdb.Get("bench", ids[(i*2477)%rows]); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		post := pdb.Stats()
+		hits := post.PagecacheHits - pre.PagecacheHits
+		misses := post.PagecacheMisses - pre.PagecacheMisses
+		pt := PoolPoint{
+			BudgetPct:   pct,
+			BudgetBytes: budget,
+			NsOp:        elapsed.Nanoseconds() / int64(iters),
+			ReadsPerSec: float64(iters) / elapsed.Seconds(),
+			Evictions:   post.PagecacheEvictions,
+		}
+		if total := hits + misses; total > 0 {
+			pt.HitRate = float64(hits) / float64(total)
+		}
+		out.Pool = append(out.Pool, pt)
+		if err := pdb.CloseWAL(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+// Package pagestore implements a copy-on-write slotted-page heap file
+// with an append-only page directory and a byte-budgeted buffer pool.
+//
+// Pages are written once and never patched in place: a checkpoint packs
+// row images into fresh pages, installs them with a single directory
+// record, and logically frees the pages they supersede. Because the heap
+// is write-once, compaction touches only the pages that contain dirty
+// rows, and crash recovery is a directory scan — no page needs to be
+// read until a row on it is first faulted.
+//
+// Durability contract (in order): page frames are written and fsynced to
+// the heap BEFORE the directory record that references them is appended
+// and fsynced. A torn directory tail therefore only ever orphans heap
+// slots, which recovery reclassifies as free. Physically reusing a freed
+// slot is the caller's responsibility to defer until no reader can still
+// hold a reference to the old content (see Store.Release).
+package pagestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	// PageSize is the fixed slot size of the heap file. A row set whose
+	// encoded payload exceeds one slot occupies a multi-slot extent.
+	PageSize = 4096
+
+	// pageFrameHeader is [payloadLen uint32][crc32 uint32], little endian,
+	// matching the WAL frame discipline.
+	pageFrameHeader = 8
+
+	// maxPagePayload bounds a single page/extent payload. Generous: a row
+	// larger than this cannot be stored.
+	maxPagePayload = 1 << 28
+)
+
+var (
+	// ErrCorruptPage reports a CRC or structural failure decoding a page.
+	ErrCorruptPage = errors.New("pagestore: corrupt page")
+	// ErrCorruptDirectory reports a non-tail corruption in the directory.
+	ErrCorruptDirectory = errors.New("pagestore: corrupt directory")
+)
+
+var pageCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// PageRow is one row image stored in a page: the row id plus its opaque
+// encoded payload (the caller owns the value encoding).
+type PageRow struct {
+	ID      int64
+	Payload []byte
+}
+
+// encodePage builds the frame (header + payload) for one page holding
+// rows of a single table. seq is the checkpoint sequence that wrote it.
+// The page self-describes (table name + row ids) so a stale read of a
+// reused slot is detectable by the caller.
+func encodePage(table string, seq uint64, rows []PageRow) []byte {
+	n := pageFrameHeader + binary.MaxVarintLen64*3 + len(table)
+	for _, r := range rows {
+		n += 2*binary.MaxVarintLen64 + len(r.Payload)
+	}
+	buf := make([]byte, pageFrameHeader, n)
+	buf = binary.AppendUvarint(buf, uint64(len(table)))
+	buf = append(buf, table...)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(rows)))
+	for _, r := range rows {
+		buf = binary.AppendUvarint(buf, uint64(r.ID))
+		buf = binary.AppendUvarint(buf, uint64(len(r.Payload)))
+		buf = append(buf, r.Payload...)
+	}
+	payload := buf[pageFrameHeader:]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, pageCRC))
+	return buf
+}
+
+// frameSlots reports how many heap slots a frame of len(frame) bytes
+// occupies.
+func frameSlots(frameLen int) uint32 {
+	return uint32((frameLen + PageSize - 1) / PageSize)
+}
+
+// decodePage parses a page payload (the bytes after the frame header,
+// CRC already verified). It never panics on arbitrary input.
+func decodePage(payload []byte) (table string, seq uint64, rows []PageRow, err error) {
+	rd := payload
+	tl, n := binary.Uvarint(rd)
+	if n <= 0 || tl > uint64(len(rd)-n) {
+		return "", 0, nil, fmt.Errorf("%w: bad table length", ErrCorruptPage)
+	}
+	rd = rd[n:]
+	table = string(rd[:tl])
+	rd = rd[tl:]
+	seq, n = binary.Uvarint(rd)
+	if n <= 0 {
+		return "", 0, nil, fmt.Errorf("%w: bad seq", ErrCorruptPage)
+	}
+	rd = rd[n:]
+	nrows, n := binary.Uvarint(rd)
+	if n <= 0 || nrows > uint64(len(rd)) {
+		return "", 0, nil, fmt.Errorf("%w: bad row count", ErrCorruptPage)
+	}
+	rd = rd[n:]
+	rows = make([]PageRow, 0, nrows)
+	for i := uint64(0); i < nrows; i++ {
+		id, n := binary.Uvarint(rd)
+		if n <= 0 {
+			return "", 0, nil, fmt.Errorf("%w: bad row id", ErrCorruptPage)
+		}
+		rd = rd[n:]
+		pl, n := binary.Uvarint(rd)
+		if n <= 0 || pl > uint64(len(rd)-n) {
+			return "", 0, nil, fmt.Errorf("%w: bad row payload length", ErrCorruptPage)
+		}
+		rd = rd[n:]
+		rows = append(rows, PageRow{ID: int64(id), Payload: rd[:pl:pl]})
+		rd = rd[pl:]
+	}
+	return table, seq, rows, nil
+}
+
+// decodePageFrame verifies the frame header + CRC of buf (which must
+// start at a slot boundary and contain the whole frame) and decodes it.
+func decodePageFrame(buf []byte) (table string, seq uint64, rows []PageRow, err error) {
+	if len(buf) < pageFrameHeader {
+		return "", 0, nil, fmt.Errorf("%w: short frame", ErrCorruptPage)
+	}
+	plen := binary.LittleEndian.Uint32(buf[0:4])
+	if plen > maxPagePayload || int(plen) > len(buf)-pageFrameHeader {
+		return "", 0, nil, fmt.Errorf("%w: bad frame length %d", ErrCorruptPage, plen)
+	}
+	payload := buf[pageFrameHeader : pageFrameHeader+int(plen)]
+	if crc32.Checksum(payload, pageCRC) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return "", 0, nil, fmt.Errorf("%w: crc mismatch", ErrCorruptPage)
+	}
+	return decodePage(payload)
+}

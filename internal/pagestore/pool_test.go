@@ -1,0 +1,187 @@
+package pagestore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolHitMissEvict(t *testing.T) {
+	p := NewPool(250) // room for two 100-byte frames
+	loads := 0
+	load := func(slot uint32) func() (any, int64, error) {
+		return func() (any, int64, error) {
+			loads++
+			return fmt.Sprintf("page-%d", slot), 100, nil
+		}
+	}
+	v, rel, err := p.Get(1, load(1))
+	if err != nil || v.(string) != "page-1" {
+		t.Fatalf("get: %v %v", v, err)
+	}
+	rel()
+	if _, rel, _ := p.Get(1, load(1)); true {
+		rel()
+	}
+	if loads != 1 {
+		t.Fatalf("second Get should hit, loads=%d", loads)
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Fill past budget: slot 1's ref bit gives it a second chance, so two
+	// more distinct pages force an eviction.
+	for slot := uint32(2); slot <= 4; slot++ {
+		_, rel, err := p.Get(slot, load(slot))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel()
+	}
+	if st := p.Stats(); st.Evictions == 0 || st.Resident > 250 {
+		t.Fatalf("no eviction under pressure: %+v", st)
+	}
+}
+
+func TestPoolPinBlocksEviction(t *testing.T) {
+	p := NewPool(100)
+	v1, rel1, err := p.Get(1, func() (any, int64, error) { return "one", 80, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load a second frame while the first is pinned: pool goes over
+	// budget but must not evict the pinned frame.
+	_, rel2, err := p.Get(2, func() (any, int64, error) { return "two", 80, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+	got, rel, err := p.Get(1, func() (any, int64, error) {
+		t.Fatal("pinned frame reloaded")
+		return nil, 0, nil
+	})
+	if err != nil || got.(string) != "one" {
+		t.Fatalf("pinned frame lost: %v %v", got, err)
+	}
+	rel()
+	rel1()
+	_ = v1
+}
+
+func TestPoolInvalidate(t *testing.T) {
+	p := NewPool(1 << 20)
+	loads := 0
+	load := func() (any, int64, error) { loads++; return "x", 10, nil }
+	_, rel, _ := p.Get(5, load)
+	rel()
+	p.Invalidate([]uint32{5})
+	_, rel, _ = p.Get(5, load)
+	rel()
+	if loads != 2 {
+		t.Fatalf("invalidate did not drop frame: loads=%d", loads)
+	}
+	if st := p.Stats(); st.Resident != 10 || st.Frames != 1 {
+		t.Fatalf("size accounting broken after invalidate: %+v", st)
+	}
+}
+
+func TestPoolSingleflight(t *testing.T) {
+	p := NewPool(1 << 20)
+	var loads atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, rel, err := p.Get(9, func() (any, int64, error) {
+				loads.Add(1)
+				return "val", 8, nil
+			})
+			if err != nil || v.(string) != "val" {
+				t.Errorf("get: %v %v", v, err)
+			}
+			rel()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if loads.Load() != 1 {
+		t.Fatalf("concurrent misses not coalesced: %d loads", loads.Load())
+	}
+}
+
+func TestPoolLoadErrorNotCached(t *testing.T) {
+	p := NewPool(1 << 20)
+	calls := 0
+	_, _, err := p.Get(3, func() (any, int64, error) { calls++; return nil, 0, fmt.Errorf("io error") })
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	v, rel, err := p.Get(3, func() (any, int64, error) { calls++; return "ok", 4, nil })
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("retry after error: %v %v", v, err)
+	}
+	rel()
+	if calls != 2 {
+		t.Fatalf("error cached: calls=%d", calls)
+	}
+}
+
+// TestPoolEvictionStress runs concurrent readers against a tiny frame
+// budget so loads, hits, evictions, and invalidations race. Run with
+// -race this exercises the eviction-vs-concurrent-reader interleavings.
+func TestPoolEvictionStress(t *testing.T) {
+	const slots = 64
+	const iters = 3000
+	p := NewPool(5 * 100) // ~5 frames resident out of 64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			x := seed*2654435761 + 1
+			for i := 0; i < iters; i++ {
+				x = x*1664525 + 1013904223
+				slot := x % slots
+				v, rel, err := p.Get(slot, func() (any, int64, error) {
+					return fmt.Sprintf("content-%d", slot), 100, nil
+				})
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				if v.(string) != fmt.Sprintf("content-%d", slot) {
+					t.Errorf("slot %d returned %v", slot, v)
+					return
+				}
+				// Hold the pin briefly on some iterations.
+				if i%7 == 0 {
+					_ = p.Stats()
+				}
+				rel()
+			}
+		}(uint32(w))
+	}
+	// Concurrent invalidations, as a checkpoint would issue.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		x := uint32(99)
+		for i := 0; i < 2*iters; i++ {
+			x = x*1664525 + 1013904223
+			p.Invalidate([]uint32{x % slots})
+		}
+	}()
+	wg.Wait()
+	st := p.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatalf("stress did nothing: %+v", st)
+	}
+	if st.Resident > 5*100+4096 {
+		t.Fatalf("resident far over budget at rest: %+v", st)
+	}
+}

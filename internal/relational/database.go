@@ -61,6 +61,15 @@ type rowVersion struct {
 	begin atomic.Uint64
 	end   atomic.Uint64
 	prev  atomic.Pointer[rowVersion]
+
+	// pageSlot is 1 + the heap slot of the page holding this version's
+	// checkpointed image, 0 when none. A version with row.Values == nil
+	// is a demoted STUB: only its stamps live in memory and its values
+	// fault in from the page store (see pager.go for the rules on who
+	// may fault where). Stubs are always single-version chains (prev ==
+	// nil, end == liveSeq); write paths materialize them before any
+	// mutation so undo logs never meet a value-less version.
+	pageSlot atomic.Uint32
 }
 
 // newVersion builds a live version with the given begin stamp.
@@ -406,6 +415,17 @@ type DBStats struct {
 	// CheckpointLastPauseNs is the duration of the most recent checkpoint
 	// pass in nanoseconds (the stall its triggering caller observed).
 	CheckpointLastPauseNs int64 `json:"checkpoint_last_pause_ns"`
+	// PagecacheHits counts buffer-pool page reads served from memory.
+	PagecacheHits int64 `json:"pagecache_hits"`
+	// PagecacheMisses counts buffer-pool page reads that loaded from disk.
+	PagecacheMisses int64 `json:"pagecache_misses"`
+	// PagecacheEvictions counts frames evicted to stay within the budget.
+	PagecacheEvictions int64 `json:"pagecache_evictions"`
+	// PagesTotal is the number of live pages in the checkpoint page store.
+	PagesTotal int64 `json:"pages_total"`
+	// CompactionPagesWritten counts pages written by checkpoint passes
+	// (dirty rows plus survivors) — the O(dirty-pages) compaction work.
+	CompactionPagesWritten int64 `json:"compaction_pages_written"`
 }
 
 // Stats snapshots the statistics counters atomically.
@@ -439,6 +459,15 @@ func (db *Database) Stats() DBStats {
 		st.WALPipelineDepth = w.pipeDepth.Load()
 		st.CheckpointDeltaChainLen = w.chainLen.Load()
 		st.CheckpointLastPauseNs = w.lastCkptPauseNs.Load()
+		if p := w.pager; p != nil {
+			ps := p.pool.Stats()
+			st.PagecacheHits = int64(ps.Hits)
+			st.PagecacheMisses = int64(ps.Misses)
+			st.PagecacheEvictions = int64(ps.Evictions)
+			ss := p.store.Stats()
+			st.PagesTotal = int64(ss.PagesTotal)
+			st.CompactionPagesWritten = int64(ss.PagesWritten)
+		}
 	}
 	return st
 }
@@ -625,10 +654,15 @@ func (db *Database) Get(table string, id RowID) (*Row, error) {
 		return nil, err
 	}
 	v := td.rows[id].visibleAt(db.commitSeq.Load())
-	db.mu.RUnlock()
 	if v != nil {
-		return v.row.clone(), nil
+		// Resolve values before dropping the latch: an unregistered
+		// reader's page fault must run under db.mu so it cannot race a
+		// quarantined slot release (pager.go contract).
+		r := Row{ID: v.row.ID, Values: db.versionValues(td, v)}
+		db.mu.RUnlock()
+		return r.clone(), nil
 	}
+	db.mu.RUnlock()
 	return nil, fmt.Errorf("%w: %s rowid %d", ErrNoSuchRow, table, id)
 }
 
@@ -640,8 +674,8 @@ func (db *Database) ScanIDs(table string) []RowID {
 		return nil
 	}
 	out := make([]RowID, 0, len(vs))
-	for _, v := range vs {
-		out = append(out, v.row.ID)
+	for _, r := range vs {
+		out = append(out, r.ID)
 	}
 	return out
 }
@@ -684,14 +718,16 @@ func (db *Database) collectHeads(table string) ([]*rowVersion, *tableData, error
 	return out, td, nil
 }
 
-// collectVisible gathers, under the read latch, the versions of a
-// table visible at the current commit sequence, in insertion order.
+// collectVisible gathers, under the read latch, the rows of a table
+// visible at the current commit sequence, in insertion order.
 // Resolving while the latch is held is what makes unregistered
 // committed-state reads safe against the reclaimer: Reclaim is an
 // exclusive-latch writer, so it cannot truncate a chain tail between
-// the head fetch and the visibility walk. The resolved versions'
-// content is immutable, so callers run callbacks after release.
-func (db *Database) collectVisible(table string) ([]*rowVersion, error) {
+// the head fetch and the visibility walk. Demoted stubs fault their
+// values in here for the same reason — unregistered page faults must
+// not race a quarantined slot release. The returned rows are immutable,
+// so callers run callbacks after release.
+func (db *Database) collectVisible(table string) ([]*Row, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	td, err := db.tableData(table)
@@ -699,10 +735,14 @@ func (db *Database) collectVisible(table string) ([]*rowVersion, error) {
 		return nil, err
 	}
 	seq := db.commitSeq.Load()
-	out := make([]*rowVersion, 0, len(td.order))
+	out := make([]*Row, 0, len(td.order))
 	for _, id := range td.order {
 		if v := td.rows[id].visibleAt(seq); v != nil {
-			out = append(out, v)
+			if v.row.Values == nil {
+				out = append(out, &Row{ID: v.row.ID, Values: db.versionValues(td, v)})
+			} else {
+				out = append(out, &v.row)
+			}
 		}
 	}
 	return out, nil
@@ -717,8 +757,8 @@ func (db *Database) Scan(table string, fn func(*Row) bool) error {
 	if err != nil {
 		return err
 	}
-	for _, v := range vs {
-		if !fn(&v.row) {
+	for _, r := range vs {
+		if !fn(r) {
 			return nil
 		}
 	}
@@ -762,8 +802,9 @@ func (db *Database) lookupEqualVisLocked(table string, columns []string, values 
 		if v == nil {
 			return false
 		}
+		vals := db.versionValues(td, v) // may fault; caller holds db.mu
 		for i, c := range cols {
-			if !v.row.Values[c].Equal(values[i]) {
+			if !vals[c].Equal(values[i]) {
 				return false
 			}
 		}
@@ -951,8 +992,9 @@ func (db *Database) checkUniqueness(t *Txn, td *tableData, values []Value, exclu
 			return constraintErr(kind, td.def.Name, strings.Join(names, ","), "duplicate key")
 		}
 		match := func(v *rowVersion) bool {
+			vals := db.versionValues(td, v) // may fault; write latch held
 			for _, c := range ix.columns {
-				if !v.row.Values[c].Equal(values[c]) {
+				if !vals[c].Equal(values[c]) {
 					return false
 				}
 			}
@@ -1119,6 +1161,9 @@ func (db *Database) deleteRowLocked(t *Txn, table string, id RowID) (int, error)
 	if err != nil {
 		return 0, err
 	}
+	// Materialize a demoted head before taking its pointer: the claim
+	// stamps and undo log must land on the version that stays installed.
+	db.materializeLocked(td, id)
 	v, err := db.writeTarget(t, table, id, td.rows[id])
 	if err != nil {
 		return 0, err
@@ -1224,6 +1269,7 @@ func (db *Database) updateRowLocked(t *Txn, table string, id RowID, changes map[
 		return err
 	}
 	atomic.AddInt64(&db.StatementsExecuted, 1)
+	db.materializeLocked(td, id) // see deleteRowLocked
 	v, err := db.writeTarget(t, table, id, td.rows[id])
 	if err != nil {
 		return err

@@ -48,17 +48,20 @@ const (
 	// FpWALRotateOpen fires during segment rotation, after the new
 	// active segment has been created.
 	FpWALRotateOpen = "wal.rotate.open"
-	// FpCheckpointWrite fires while the checkpoint temp file is being
-	// written, before it is durable: recovery must fall back to the
-	// previous checkpoint plus the full segment chain.
+	// FpCheckpointWrite fires when a checkpoint is about to install its
+	// rewritten pages into the page store, before anything of the pass is
+	// durable: recovery must fall back to the previous page directory
+	// plus the full segment chain.
 	FpCheckpointWrite = "checkpoint.write"
-	// FpCheckpointRename fires after the temp file is durable but
-	// before the atomic rename installs it: same fallback as above.
+	// FpCheckpointRename fires in the page store's directory compaction
+	// after the replacement base is durable but before the atomic rename
+	// installs it: recovery must still see the old base + log chain.
 	FpCheckpointRename = "checkpoint.rename"
-	// FpCheckpointTruncate fires after the rename but before the sealed
-	// segments it supersedes are deleted: recovery must load the new
-	// checkpoint and skip the already-checkpointed records it will
-	// re-encounter in the old segments.
+	// FpCheckpointTruncate fires after the checkpoint's directory record
+	// is durable but before the sealed WAL segments it supersedes are
+	// deleted: recovery must load the new page directory and skip the
+	// already-checkpointed records it will re-encounter in the old
+	// segments.
 	FpCheckpointTruncate = "checkpoint.truncate"
 	// FpPipelineStampAfter fires in the pipelined commit path after a
 	// group's sequences are assigned and its claim stamps are replaced,
@@ -73,15 +76,22 @@ const (
 	// the writer must roll the group (and any later groups in its batch)
 	// back and truncate their records.
 	FpPipelinePublishBefore = "pipeline.publish.before"
-	// FpCheckpointDeltaWrite fires while an incremental (delta)
-	// checkpoint's temp file is being written, before it is durable:
-	// recovery must fall back to the base image plus the prior delta
-	// chain plus the full segment chain.
-	FpCheckpointDeltaWrite = "checkpoint.delta.write"
-	// FpCheckpointCompact fires when a checkpoint decides to compact the
-	// delta chain, before the replacement base image is written: recovery
-	// must still see the old base + delta chain intact.
+	// FpCheckpointCompact fires when the page store decides to fold its
+	// directory log chain into a new base, before the replacement base is
+	// written: recovery must still see the old base + log chain intact.
 	FpCheckpointCompact = "checkpoint.compact"
+	// FpPagestoreWrite fires before each checkpoint page is written to
+	// the heap file, before anything is durable: recovery must fall back
+	// to the previous page directory (fresh heap slots are orphaned and
+	// reclaimed as free).
+	FpPagestoreWrite = "pagestore.write"
+	// FpPagestoreDirectory fires after a checkpoint's pages are durable
+	// in the heap but before the directory record installing them is
+	// appended: recovery must not see the new pages at all.
+	FpPagestoreDirectory = "pagestore.directory"
+	// FpCompactPage fires at the start of the page store's asynchronous
+	// directory base compaction, before the temp base is written.
+	FpCompactPage = "compact.page"
 )
 
 // ErrInjectedFault is the error an error-mode failpoint returns. The
@@ -117,8 +127,10 @@ var failpoints = map[string]*failpointState{
 	FpCheckpointTruncate:    {},
 	FpPipelineStampAfter:    {},
 	FpPipelinePublishBefore: {},
-	FpCheckpointDeltaWrite:  {},
 	FpCheckpointCompact:     {},
+	FpPagestoreWrite:        {},
+	FpPagestoreDirectory:    {},
+	FpCompactPage:           {},
 }
 
 // FailpointNames returns every registered failpoint name, sorted. The

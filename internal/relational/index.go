@@ -56,6 +56,18 @@ func (ix *hashIndex) insert(id RowID, values []Value) {
 	set[id] = struct{}{}
 }
 
+// insertKey adds one id under a precomputed key. Recovery uses it to
+// rebuild entries from the page directory's persisted row metadata
+// without reading any page.
+func (ix *hashIndex) insertKey(key string, id RowID) {
+	set := ix.entries[key]
+	if set == nil {
+		set = make(map[RowID]struct{})
+		ix.entries[key] = set
+	}
+	set[id] = struct{}{}
+}
+
 func (ix *hashIndex) remove(id RowID, values []Value) {
 	key, ok := ix.keyFor(values)
 	if !ok {

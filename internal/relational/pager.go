@@ -1,0 +1,520 @@
+package relational
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pagestore"
+)
+
+// The pager glues the MVCC engine to the paged checkpoint store. The
+// page store holds the durable base image as slotted 4KiB heap pages;
+// the buffer pool bounds how much of that image is resident. In-memory
+// version chains are a write-back cache over it: a committed, clean row
+// may be DEMOTED to a value-less stub version (Values == nil) that
+// carries only its MVCC stamps and the heap slot of its page, and is
+// re-materialized through the pool on first read. That is what lets the
+// dataset exceed RAM under a hard PageCacheBytes budget.
+//
+// Concurrency contract (load-bearing — see faultRow):
+//
+//   - rowSlot is written only by checkpoint apply (db.mu write latch,
+//     passes serialized by ckptMu) and recovery (single-threaded).
+//     Checkpoint planning reads it without a latch: ckptMu serializes
+//     planners against appliers. Readers never touch it — a stub
+//     carries its own slot in the version's pageSlot stamp.
+//   - Unregistered readers (Database.Get, Scan, index matching, write
+//     paths) may fault ONLY while holding db.mu (either mode), because
+//     quarantined slots are released only under the db.mu write latch.
+//   - Registered readers (Snapshot, Txn) may fault after dropping the
+//     latch: they pin oldestVisibleSeq, and a freed slot's quarantine
+//     batch is not released until every reader registered at or before
+//     the freeing apply has closed.
+type pager struct {
+	store *pagestore.Store
+	pool  *pagestore.Pool
+
+	// rowSlot maps table -> row id -> heap slot of the page holding the
+	// row's checkpointed image.
+	rowSlot map[string]map[RowID]uint32
+
+	// quar holds slots logically freed by a checkpoint install but not
+	// yet reusable: a reader registered before the freeing apply may
+	// still fault their old content. Appended and drained only under
+	// the db.mu write latch.
+	quar []quarBatch
+}
+
+type quarBatch struct {
+	seq    uint64 // commitSeq at apply time
+	slots  []uint32
+	counts []uint32 // extent lengths, parallel to slots
+}
+
+func newPager(store *pagestore.Store, cacheBytes int64) *pager {
+	return &pager{
+		store:   store,
+		pool:    pagestore.NewPool(cacheBytes),
+		rowSlot: make(map[string]map[RowID]uint32),
+	}
+}
+
+// decodedPage is one heap page decoded into per-row values, cached in
+// the buffer pool. Immutable after construction; the value slices are
+// handed out to readers and must never be mutated in place.
+type decodedPage struct {
+	table string
+	rows  map[RowID][]Value
+}
+
+func (p *pager) loadPage(slot uint32) (any, int64, error) {
+	table, _, rows, err := p.store.ReadPage(slot)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := make(map[RowID][]Value, len(rows))
+	size := int64(96)
+	for _, r := range rows {
+		vals, err := decodeRowPayload(r.Payload)
+		if err != nil {
+			return nil, 0, fmt.Errorf("page slot %d row %d: %w", slot, r.ID, err)
+		}
+		m[RowID(r.ID)] = vals
+		size += int64(len(r.Payload)) + 48
+	}
+	return &decodedPage{table: table, rows: m}, size, nil
+}
+
+// faultRow returns one row's committed values from its page, loading
+// the page through the buffer pool. slotPlus1 is the version's pageSlot
+// stamp (slot+1; 0 means "no page", which is an invariant violation for
+// a stub). Panics on I/O error, corruption, or a missing row: the slot
+// came from the page directory and the quarantine keeps referenced
+// slots from being rewritten, so these are unrecoverable invariant
+// breaks, not ordinary errors. The returned slice is shared with the
+// pool frame — callers must clone before exposing it to mutation.
+func (p *pager) faultRow(table string, slotPlus1 uint32, id RowID) []Value {
+	if slotPlus1 == 0 {
+		panic(fmt.Sprintf("relational: paged row %s/%d has no page slot", table, id))
+	}
+	slot := slotPlus1 - 1
+	v, release, err := p.pool.Get(slot, func() (any, int64, error) { return p.loadPage(slot) })
+	if err != nil {
+		panic(fmt.Sprintf("relational: fault page %d for row %s/%d: %v", slot, table, id, err))
+	}
+	defer release()
+	dp := v.(*decodedPage)
+	if dp.table != table {
+		panic(fmt.Sprintf("relational: page %d holds table %q, want %q (row %d)", slot, dp.table, table, id))
+	}
+	vals, ok := dp.rows[id]
+	if !ok {
+		panic(fmt.Sprintf("relational: row %s/%d missing from page %d", table, id, slot))
+	}
+	return vals
+}
+
+// versionValues resolves a version's values, faulting its page in when
+// the version is a demoted stub. The caller must satisfy the pager's
+// concurrency contract (hold db.mu, or be a registered reader). The
+// returned slice must not be mutated.
+func (db *Database) versionValues(td *tableData, v *rowVersion) []Value {
+	if vals := v.row.Values; vals != nil {
+		return vals
+	}
+	return db.wal.pager.faultRow(strings.ToLower(td.def.Name), v.pageSlot.Load(), v.row.ID)
+}
+
+// materializeLocked replaces a demoted stub head with a materialized
+// copy carrying the same stamps, so write paths and undo logs never
+// handle value-less versions. No-op when the head already has values.
+// Caller holds the db.mu write latch.
+func (db *Database) materializeLocked(td *tableData, id RowID) {
+	v := td.rows[id]
+	if v == nil || v.row.Values != nil {
+		return
+	}
+	vals := db.versionValues(td, v)
+	nv := &rowVersion{row: Row{ID: id, Values: append(make([]Value, 0, len(vals)), vals...)}}
+	nv.begin.Store(v.begin.Load())
+	nv.end.Store(v.end.Load())
+	nv.pageSlot.Store(v.pageSlot.Load())
+	td.rows[id] = nv
+}
+
+// encodeRowPayload is the page-payload encoding of one row's values:
+// a column count followed by each value in the WAL value encoding.
+func encodeRowPayload(b []byte, vals []Value) []byte {
+	b = binary.AppendUvarint(b, uint64(len(vals)))
+	for _, v := range vals {
+		b = appendWALValue(b, v)
+	}
+	return b
+}
+
+func decodeRowPayload(b []byte) ([]Value, error) {
+	ncols, sz := binary.Uvarint(b)
+	if sz <= 0 || ncols > uint64(len(b)) {
+		return nil, errWALCorrupt
+	}
+	b = b[sz:]
+	vals := make([]Value, 0, ncols)
+	for range ncols {
+		var v Value
+		var err error
+		v, b, err = decodeWALValue(b)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	if len(b) != 0 {
+		return nil, errWALCorrupt
+	}
+	return vals, nil
+}
+
+// pageRowMeta encodes the row's index keys positionally per td.indexes,
+// persisted in the page directory so recovery can rebuild index entries
+// without reading pages. "" marks a NULL-absent row; otherwise the key
+// is prefixed with \x01 to distinguish an empty key from absence.
+func pageRowMeta(td *tableData, vals []Value) []string {
+	if len(td.indexes) == 0 {
+		return nil
+	}
+	meta := make([]string, len(td.indexes))
+	for i, ix := range td.indexes {
+		if key, ok := ix.keyFor(vals); ok {
+			meta[i] = "\x01" + key
+		}
+	}
+	return meta
+}
+
+// pagePlan is the outcome of checkpoint planning: the installs to hand
+// to the store plus the bookkeeping the in-memory apply needs.
+type pagePlan struct {
+	installs    []pagestore.Install
+	freedSlots  []uint32
+	freedCounts []uint32
+	gone        map[string][]RowID // dirty rows deleted as of the snapshot
+}
+
+// buildPageInstalls plans one checkpoint pass: every dirty row's
+// committed image at the snapshot is packed into fresh copy-on-write
+// pages, clean SURVIVOR rows sharing the superseded pages ride along so
+// those slots can be freed whole, and rows deleted at the snapshot
+// become directory-only tombstones. A full pass treats every row as
+// dirty. Runs outside the latches: the snapshot pins visibility, ckptMu
+// serializes rowSlot access, and only a brief shared latch is taken to
+// list the dirty ids.
+func (db *Database) buildPageInstalls(snap *Snapshot, dirty map[string]map[RowID]struct{}, full bool) (*pagePlan, error) {
+	p := db.wal.pager
+
+	// Phase A (shared latch): per-table dirty id sets.
+	dirtyIDs := make(map[string]map[RowID]struct{})
+	db.mu.RLock()
+	if full {
+		for name, td := range db.tables {
+			set := make(map[RowID]struct{}, len(td.rows)+len(p.rowSlot[name]))
+			for id := range td.rows {
+				set[id] = struct{}{}
+			}
+			for id := range p.rowSlot[name] {
+				set[id] = struct{}{}
+			}
+			if len(set) > 0 {
+				dirtyIDs[name] = set
+			}
+		}
+	} else {
+		for name, ids := range dirty {
+			set := make(map[RowID]struct{}, len(ids))
+			for id := range ids {
+				set[id] = struct{}{}
+			}
+			dirtyIDs[name] = set
+		}
+	}
+	db.mu.RUnlock()
+
+	names := make([]string, 0, len(dirtyIDs))
+	for name := range dirtyIDs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Phase B (no latch): resolve images at the snapshot and collect the
+	// superseded slots.
+	plan := &pagePlan{gone: make(map[string][]RowID)}
+	affectedTable := make(map[uint32]string)
+	for _, name := range names {
+		td, err := db.tableData(name)
+		if err != nil {
+			return nil, err
+		}
+		set := dirtyIDs[name]
+		ids := make([]RowID, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+			if s, ok := p.rowSlot[name][id]; ok {
+				affectedTable[s] = name
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+		var rows []pagestore.InstallRow
+		for _, id := range ids {
+			r, err := snap.Get(name, id)
+			switch {
+			case err == nil:
+				rows = append(rows, pagestore.InstallRow{
+					ID:      int64(id),
+					Payload: encodeRowPayload(nil, r.Values),
+					Meta:    pageRowMeta(td, r.Values),
+				})
+			case errors.Is(err, ErrNoSuchRow):
+				plan.gone[name] = append(plan.gone[name], id)
+			default:
+				return nil, err
+			}
+		}
+		if len(rows) > 0 {
+			plan.installs = append(plan.installs, pagestore.Install{Table: name, Rows: rows})
+		}
+	}
+
+	// Survivors: clean rows mapped to an affected page move to a fresh
+	// one. Their committed image cannot have changed since the page was
+	// written (any write would have marked them dirty), so the snapshot
+	// resolves exactly the bytes being carried forward.
+	affected := make([]uint32, 0, len(affectedTable))
+	for s := range affectedTable {
+		affected = append(affected, s)
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+
+	surv := make(map[string][]pagestore.InstallRow)
+	for _, slot := range affected {
+		name := affectedTable[slot]
+		td, err := db.tableData(name)
+		if err != nil {
+			return nil, err
+		}
+		refs, ok := p.store.PageRows(slot)
+		if !ok {
+			continue
+		}
+		for _, ref := range refs {
+			id := RowID(ref.ID)
+			if p.rowSlot[name][id] != slot {
+				continue // row since moved to a newer page
+			}
+			if _, isDirty := dirtyIDs[name][id]; isDirty {
+				continue
+			}
+			r, err := snap.Get(name, id)
+			if errors.Is(err, ErrNoSuchRow) {
+				// Unreachable in the protocol (a deletion marks the row
+				// dirty), but drop the mapping rather than resurrecting.
+				plan.gone[name] = append(plan.gone[name], id)
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			surv[name] = append(surv[name], pagestore.InstallRow{
+				ID:      int64(id),
+				Payload: encodeRowPayload(nil, r.Values),
+				Meta:    pageRowMeta(td, r.Values),
+			})
+		}
+	}
+	for _, name := range names {
+		if rows := surv[name]; len(rows) > 0 {
+			plan.installs = append(plan.installs, pagestore.Install{Table: name, Rows: rows})
+			delete(surv, name)
+		}
+	}
+	for name, rows := range surv { // survivors of tables with no dirty rows this pass
+		plan.installs = append(plan.installs, pagestore.Install{Table: name, Rows: rows})
+	}
+
+	plan.freedSlots = affected
+	plan.freedCounts = make([]uint32, len(affected))
+	for i, s := range affected {
+		plan.freedCounts[i] = p.store.PageSlots(s)
+	}
+	return plan, nil
+}
+
+// applyPagePlacements publishes a durable install into the in-memory
+// state: row->slot mappings move to the fresh pages, freshly
+// checkpointed clean heads are stamped with their page slot and — when
+// their whole chain is a single committed version — demoted to stubs,
+// vanished rows drop their mapping, and the superseded slots enter
+// quarantine until no reader can still fault their old content.
+func (db *Database) applyPagePlacements(snapSeq uint64, placements []pagestore.Placement, plan *pagePlan) {
+	p := db.wal.pager
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	// Evict every slot this pass touched: freed slots hold stale images,
+	// and a fresh placement may reuse a slot whose old content a stale
+	// reader re-cached after an earlier invalidation.
+	inval := make([]uint32, 0, len(plan.freedSlots)+len(placements))
+	inval = append(inval, plan.freedSlots...)
+	for _, pl := range placements {
+		inval = append(inval, pl.Slot)
+	}
+	p.pool.Invalidate(inval)
+
+	for _, pl := range placements {
+		slots := p.rowSlot[pl.Table]
+		if slots == nil {
+			slots = make(map[RowID]uint32)
+			p.rowSlot[pl.Table] = slots
+		}
+		td := db.tables[pl.Table]
+		for _, id64 := range pl.IDs {
+			id := RowID(id64)
+			slots[id] = pl.Slot
+			if td == nil {
+				continue
+			}
+			v := td.rows[id]
+			if v == nil {
+				continue
+			}
+			begin := v.begin.Load()
+			if isTxnMark(begin) || begin > snapSeq || v.end.Load() != liveSeq {
+				continue // the installed image is not this head's value
+			}
+			v.pageSlot.Store(pl.Slot + 1)
+			if v.row.Values != nil && v.prev.Load() == nil {
+				stub := &rowVersion{row: Row{ID: id}}
+				stub.begin.Store(begin)
+				stub.end.Store(liveSeq)
+				stub.pageSlot.Store(pl.Slot + 1)
+				td.rows[id] = stub
+			}
+		}
+	}
+	for name, ids := range plan.gone {
+		slots := p.rowSlot[name]
+		for _, id := range ids {
+			delete(slots, id)
+		}
+	}
+	if len(plan.freedSlots) > 0 {
+		p.quar = append(p.quar, quarBatch{
+			seq:    db.commitSeq.Load(),
+			slots:  plan.freedSlots,
+			counts: plan.freedCounts,
+		})
+	}
+	db.drainPageQuarantineLocked()
+}
+
+// drainPageQuarantineLocked releases quarantined slot batches once the
+// visibility horizon has passed their freeing epoch: strictly greater,
+// so a reader pinned exactly at the epoch still blocks the release.
+// Caller holds the db.mu write latch — the same latch all unregistered
+// page faults run under, so a released slot can never be concurrently
+// faulted through a stale mapping.
+func (db *Database) drainPageQuarantineLocked() {
+	w := db.wal
+	if w == nil || w.pager == nil || len(w.pager.quar) == 0 {
+		return
+	}
+	p := w.pager
+	oldest := db.oldestVisibleSeq()
+	keep := p.quar[:0]
+	for _, b := range p.quar {
+		if oldest > b.seq {
+			p.store.Release(b.slots, b.counts)
+		} else {
+			keep = append(keep, b)
+		}
+	}
+	tail := p.quar[len(keep):]
+	for i := range tail {
+		tail[i] = quarBatch{}
+	}
+	p.quar = keep
+}
+
+// demoteCleanLocked drops the in-memory values of a cold head version
+// whose checkpointed page image is current: single committed version,
+// not deleted, page slot stamped by the checkpoint that wrote it. The
+// reclaimer calls it after truncating chains, which is what lets a
+// dataset larger than RAM converge to stubs + the bounded buffer pool.
+// Caller holds the db.mu write latch.
+func demoteCleanLocked(td *tableData, id RowID, v *rowVersion) bool {
+	if v.row.Values == nil || v.prev.Load() != nil || v.end.Load() != liveSeq {
+		return false
+	}
+	begin := v.begin.Load()
+	slot := v.pageSlot.Load()
+	if isTxnMark(begin) || slot == 0 {
+		return false
+	}
+	stub := &rowVersion{row: Row{ID: id}}
+	stub.begin.Store(begin)
+	stub.end.Store(liveSeq)
+	stub.pageSlot.Store(slot)
+	td.rows[id] = stub
+	return true
+}
+
+// restoreFromPages rebuilds the paged row mappings and value-less stub
+// versions from the recovered page directory: restart cost is the
+// directory map, not the data — pages fault in lazily on first touch.
+// Scan order is restored as ascending row id, which equals insertion
+// order because ids are allocated monotonically. Single-threaded
+// (recovery), before the database serves traffic.
+func (db *Database) restoreFromPages(w *WAL, rec *pagestore.Recovered) (rows int, err error) {
+	p := w.pager
+	for i := range rec.Pages {
+		pi := &rec.Pages[i]
+		td, terr := db.tableData(pi.Table)
+		if terr != nil {
+			return 0, fmt.Errorf("page directory: %w", terr)
+		}
+		slots := p.rowSlot[pi.Table]
+		if slots == nil {
+			slots = make(map[RowID]uint32, len(pi.Rows))
+			p.rowSlot[pi.Table] = slots
+		}
+		for _, r := range pi.Rows {
+			id := RowID(r.ID)
+			if _, dup := td.rows[id]; dup {
+				return 0, fmt.Errorf("page directory: row %s/%d appears on two live pages", pi.Table, id)
+			}
+			stub := &rowVersion{row: Row{ID: id}}
+			stub.begin.Store(pi.Seq)
+			stub.end.Store(liveSeq)
+			stub.pageSlot.Store(pi.Slot + 1)
+			td.rows[id] = stub
+			td.order = append(td.order, id)
+			td.live++
+			slots[id] = pi.Slot
+			for ixi, ix := range td.indexes {
+				if ixi < len(r.Meta) && len(r.Meta[ixi]) > 0 {
+					ix.insertKey(r.Meta[ixi][1:], id)
+				}
+			}
+			if id >= db.nextRowID {
+				db.nextRowID = id + 1
+			}
+			rows++
+		}
+	}
+	for _, td := range db.tables {
+		sort.Slice(td.order, func(i, j int) bool { return td.order[i] < td.order[j] })
+	}
+	return rows, nil
+}

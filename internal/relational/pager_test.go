@@ -1,0 +1,178 @@
+package relational
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestPagedDemotionAndFault is the paged-storage round trip: checkpoint
+// demotes committed cold rows to value-less stubs, reads fault their
+// pages back in through the buffer pool, and writes against demoted
+// rows materialize first and stay correct across recovery.
+func TestPagedDemotionAndFault(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openWALDB(t, dir, WALOptions{PageCacheBytes: 64 << 10})
+	ids := make([]RowID, 0, 50)
+	for i := int64(1); i <= 50; i++ {
+		ids = append(ids, mustInsertParent(t, db, i, fmt.Sprintf("name-%d", i)))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.PagesTotal == 0 {
+		t.Fatalf("no pages after checkpoint: %+v", st)
+	}
+	// Every insert was a lone committed version at the pin, so the
+	// checkpoint demoted it; the reads below must fault.
+	for i, id := range ids {
+		r, err := db.Get("parent", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("name-%d", i+1); r.Values[1].Str != want {
+			t.Fatalf("row %d faulted %q, want %q", id, r.Values[1].Str, want)
+		}
+	}
+	if st = db.Stats(); st.PagecacheMisses == 0 {
+		t.Fatalf("reads after demotion faulted no pages: %+v", st)
+	}
+
+	// Write paths against demoted rows: update materializes first.
+	if err := db.UpdateRow("parent", ids[0], map[string]Value{"name": String_("updated")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Delete("parent", ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpDB(t, db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, info := openWALDB(t, dir, WALOptions{PageCacheBytes: 64 << 10})
+	if info.CheckpointRows != 49 {
+		t.Fatalf("recovered %d checkpoint rows, want 49", info.CheckpointRows)
+	}
+	if got := dumpDB(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered paged state:\n got %v\nwant %v", got, want)
+	}
+	// Unique index rebuilt from directory metadata, without page reads.
+	if rows, err := db2.LookupEqual("parent", []string{"name"}, []Value{String_("updated")}); err != nil || len(rows) != 1 {
+		t.Fatalf("index lookup after lazy recovery: rows=%v err=%v", rows, err)
+	}
+}
+
+// TestDataBeyondPoolBudget runs a dataset far larger than the buffer
+// pool: the workload must evict, every row must still read back
+// correctly, and a restart must recover lazily (no faults until the
+// first read) into the same bounded pool.
+func TestDataBeyondPoolBudget(t *testing.T) {
+	dir := t.TempDir()
+	// ~2000 rows x ~120B payload is ~60 pages; budget two frames' worth.
+	opts := WALOptions{PageCacheBytes: 8 << 10}
+	db, _ := openWALDB(t, dir, opts)
+	for i := int64(1); i <= 2000; i++ {
+		mustInsertParent(t, db, i, fmt.Sprintf("padpadpadpadpadpadpadpadpadpadpadpadpadpadpad-%d", i))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		n := 0
+		if err := db.Scan("parent", func(r *Row) bool { n++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 2000 {
+			t.Fatalf("scan pass %d saw %d rows, want 2000", pass, n)
+		}
+	}
+	st := db.Stats()
+	if st.PagecacheEvictions == 0 {
+		t.Fatalf("dataset beyond budget evicted nothing: %+v", st)
+	}
+	want := dumpDB(t, db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, info := openWALDB(t, dir, opts)
+	if info.CheckpointRows != 2000 {
+		t.Fatalf("recovered %d checkpoint rows, want 2000", info.CheckpointRows)
+	}
+	if st := db2.Stats(); st.PagecacheMisses != 0 {
+		t.Fatalf("recovery faulted %d pages before any read — not lazy", st.PagecacheMisses)
+	}
+	if got := dumpDB(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered beyond-budget state diverged")
+	}
+}
+
+// TestPagedReadsVsCheckpointStress races faulting readers against
+// writers and checkpoints under a tiny pool, the -race proof of the
+// pager's latch/quarantine contract: snapshots fault after dropping the
+// latch while checkpoint apply demotes, invalidates and frees slots.
+func TestPagedReadsVsCheckpointStress(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openWALDB(t, dir, WALOptions{PageCacheBytes: 4 << 10})
+	const rows = 200
+	ids := make([]RowID, 0, rows)
+	for i := int64(1); i <= rows; i++ {
+		ids = append(ids, mustInsertParent(t, db, i, fmt.Sprintf("stress-%d", i)))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if g%2 == 0 {
+					if _, err := db.Get("parent", ids[i%rows]); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					snap := db.Snapshot()
+					n := 0
+					if err := snap.Scan("parent", func(*Row) bool { n++; return n < 50 }); err != nil {
+						t.Error(err)
+						snap.Close()
+						return
+					}
+					snap.Close()
+				}
+			}
+		}(g)
+	}
+	for round := 0; round < 20; round++ {
+		for j := 0; j < 10; j++ {
+			id := ids[(round*10+j)%rows]
+			if err := db.UpdateRow("parent", id, map[string]Value{
+				"name": String_(fmt.Sprintf("stress-%d-%d", round, j)),
+			}); err != nil {
+				t.Error(err)
+			}
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Error(err)
+		}
+		db.Reclaim()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -4,9 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"reflect"
-	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -225,111 +223,89 @@ func countFiles(t testing.TB, dir, suffix string) int {
 	return n
 }
 
-// TestCheckpointDeltaChainAndCompaction walks a full delta lifecycle:
-// checkpoints past the base write delta files and grow the chain stat;
-// hitting CheckpointDeltaLimit compacts back to a lone base image; and
-// recovery through a live chain reproduces the exact state.
-func TestCheckpointDeltaChainAndCompaction(t *testing.T) {
+// TestCheckpointDirectoryChainAndCompaction walks the page-directory
+// lifecycle: each checkpoint appends one install record and grows the
+// chain gauge; crossing CheckpointDeltaLimit folds the log into a fresh
+// base (asynchronously, resetting the gauge); and recovery through a
+// live chain reproduces the exact state.
+func TestCheckpointDirectoryChainAndCompaction(t *testing.T) {
 	dir := t.TempDir()
 	db, _ := openWALDB(t, dir, WALOptions{CheckpointDeltaLimit: 2})
 	for i := int64(1); i <= 10; i++ {
 		mustInsertParent(t, db, i, Value{Kind: KindInt, Int: i}.String())
 	}
-	// Base exists from OpenWAL; the next two checkpoints are deltas.
-	for ck := int64(1); ck <= 2; ck++ {
-		mustInsertParent(t, db, 100+ck, Value{Kind: KindInt, Int: 100 + ck}.String())
-		if err := db.Checkpoint(); err != nil {
-			t.Fatal(err)
-		}
-		if got := db.Stats().CheckpointDeltaChainLen; got != ck {
-			t.Fatalf("chain length after delta %d = %d, want %d", ck, got, ck)
-		}
+	// OpenWAL's initial checkpoint wrote record 1; the next pass is 2,
+	// and the one after crosses the limit and resets the gauge as the
+	// fold kicks off.
+	mustInsertParent(t, db, 101, "a")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
 	}
-	if n := countFiles(t, dir, walDeltaSuffix); n != 2 {
-		t.Fatalf("delta files on disk = %d, want 2", n)
+	if got := db.Stats().CheckpointDeltaChainLen; got != 2 {
+		t.Fatalf("chain length after second install = %d, want 2", got)
+	}
+	mustInsertParent(t, db, 102, "b")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().CheckpointDeltaChainLen; got != 0 {
+		t.Fatalf("chain length after fold trigger = %d, want 0", got)
 	}
 
-	// Recovery through base + 2 deltas + WAL tail.
+	// Recovery through the page directory + WAL tail.
 	mustInsertParent(t, db, 200, "tail")
 	want := dumpDB(t, db)
-	if err := db.CloseWAL(); err != nil {
+	if err := db.CloseWAL(); err != nil { // waits out the async fold
 		t.Fatal(err)
 	}
 	db2, info := openWALDB(t, dir, WALOptions{CheckpointDeltaLimit: 2})
-	if info.CheckpointDeltas != 2 {
-		t.Fatalf("recovery applied %d deltas, want 2", info.CheckpointDeltas)
+	if info.CheckpointRows != 12 {
+		t.Fatalf("recovery restored %d checkpoint rows, want 12", info.CheckpointRows)
 	}
 	if got := dumpDB(t, db2); !reflect.DeepEqual(got, want) {
-		t.Fatalf("recovered state through delta chain:\n got %v\nwant %v", got, want)
+		t.Fatalf("recovered state through directory chain:\n got %v\nwant %v", got, want)
 	}
 
-	// The chain is at the limit: the next checkpoint compacts.
 	mustInsertParent(t, db2, 300, "post")
 	if err := db2.Checkpoint(); err != nil {
 		t.Fatal(err)
-	}
-	if got := db2.Stats().CheckpointDeltaChainLen; got != 0 {
-		t.Fatalf("chain length after compaction = %d, want 0", got)
-	}
-	if n := countFiles(t, dir, walDeltaSuffix); n != 0 {
-		t.Fatalf("delta files after compaction = %d, want 0", n)
 	}
 	want2 := dumpDB(t, db2)
 	if err := db2.CloseWAL(); err != nil {
 		t.Fatal(err)
 	}
-	db3, info3 := openWALDB(t, dir, WALOptions{})
-	if info3.CheckpointDeltas != 0 {
-		t.Fatalf("post-compaction recovery applied %d deltas, want 0", info3.CheckpointDeltas)
-	}
+	db3, _ := openWALDB(t, dir, WALOptions{})
 	if got := dumpDB(t, db3); !reflect.DeepEqual(got, want2) {
 		t.Fatalf("recovered state after compaction:\n got %v\nwant %v", got, want2)
 	}
 }
 
-// TestCheckpointDeltaIsODirty is the O(dirty) proxy: a checkpoint that
-// saw 5 writes against a 400-row database must emit a delta far smaller
-// than the one that covered all 400 — the checkpoint's work scales with
-// the dirty set, not database size.
-func TestCheckpointDeltaIsODirty(t *testing.T) {
+// TestCheckpointIsODirtyPages is the O(dirty-pages) proxy: a checkpoint
+// that saw 5 writes against a 400-row database must write far fewer
+// heap pages than the one that covered all 400 — the pause's work
+// scales with the dirty set, not database size.
+func TestCheckpointIsODirtyPages(t *testing.T) {
 	dir := t.TempDir()
 	db, _ := openWALDB(t, dir, WALOptions{CheckpointDeltaLimit: 8})
+	pad := strings.Repeat("x", 100) // spread 400 rows over many pages
 	for i := int64(1); i <= 400; i++ {
-		mustInsertParent(t, db, i, Value{Kind: KindInt, Int: i}.String())
+		mustInsertParent(t, db, i, fmt.Sprintf("%s-%d", pad, i))
 	}
-	if err := db.Checkpoint(); err != nil { // delta 1: all 400 rows dirty
+	before := db.Stats().CompactionPagesWritten
+	if err := db.Checkpoint(); err != nil { // all 400 rows dirty
 		t.Fatal(err)
 	}
+	allPages := db.Stats().CompactionPagesWritten - before
 	for i := int64(1); i <= 5; i++ {
-		mustInsertParent(t, db, 1000+i, Value{Kind: KindInt, Int: 1000 + i}.String())
+		mustInsertParent(t, db, 1000+i, fmt.Sprintf("%s+%d", pad, i))
 	}
-	if err := db.Checkpoint(); err != nil { // delta 2: exactly 5 rows dirty
+	before = db.Stats().CompactionPagesWritten
+	if err := db.Checkpoint(); err != nil { // exactly 5 rows dirty
 		t.Fatal(err)
 	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var deltaNames []string
-	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), walDeltaSuffix) {
-			deltaNames = append(deltaNames, e.Name())
-		}
-	}
-	sort.Strings(deltaNames)
-	if len(deltaNames) != 2 {
-		t.Fatalf("delta files = %v, want 2", deltaNames)
-	}
-	size := func(name string) int64 {
-		fi, err := os.Stat(filepath.Join(dir, name))
-		if err != nil {
-			t.Fatal(err)
-		}
-		return fi.Size()
-	}
-	all, dirty5 := size(deltaNames[0]), size(deltaNames[1])
-	if dirty5*10 > all {
-		t.Fatalf("delta of 5 dirty rows is %d bytes vs %d bytes for 400 — not O(dirty)", dirty5, all)
+	dirtyPages := db.Stats().CompactionPagesWritten - before
+	if dirtyPages*5 > allPages {
+		t.Fatalf("checkpoint of 5 dirty rows wrote %d pages vs %d for 400 — not O(dirty-pages)", dirtyPages, allPages)
 	}
 }
 

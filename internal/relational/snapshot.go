@@ -67,6 +67,12 @@ func (s *Snapshot) Get(table string, id RowID) (*Row, error) {
 	head := td.rows[id]
 	s.db.mu.RUnlock()
 	if v := head.visibleAt(s.seq); v != nil {
+		if v.row.Values == nil {
+			// Demoted stub: fault the page in. Safe without the latch —
+			// the snapshot's registration keeps the slot quarantined.
+			r := Row{ID: v.row.ID, Values: s.db.versionValues(td, v)}
+			return r.clone(), nil
+		}
 		return v.row.clone(), nil
 	}
 	return nil, fmt.Errorf("%w: %s rowid %d", ErrNoSuchRow, table, id)
@@ -103,7 +109,7 @@ func (s *Snapshot) TotalRows() int {
 // Returning false stops the scan. No latch is held while the callback
 // runs.
 func (s *Snapshot) Scan(table string, fn func(*Row) bool) error {
-	heads, _, err := s.db.collectHeads(table)
+	heads, td, err := s.db.collectHeads(table)
 	if err != nil {
 		return err
 	}
@@ -112,7 +118,11 @@ func (s *Snapshot) Scan(table string, fn func(*Row) bool) error {
 		if v == nil {
 			continue
 		}
-		if !fn(&v.row) {
+		r := &v.row
+		if r.Values == nil {
+			r = &Row{ID: v.row.ID, Values: s.db.versionValues(td, v)}
+		}
+		if !fn(r) {
 			return nil
 		}
 	}
@@ -190,9 +200,10 @@ func (s *Snapshot) LookupEqual(table string, columns []string, values []Value) (
 		if v == nil {
 			continue
 		}
+		vals := s.db.versionValues(td, v) // may fault; registration pins the slot
 		match := true
 		for i, c := range cols {
-			if !v.row.Values[c].Equal(values[i]) {
+			if !vals[c].Equal(values[i]) {
 				match = false
 				break
 			}
@@ -250,6 +261,10 @@ func (db *Database) Reclaim() int {
 func (db *Database) reclaimLocked() int {
 	minSeq := db.oldestVisibleSeq()
 	freed := 0
+	var pg *pager
+	if w := db.wal; w != nil {
+		pg = w.pager
+	}
 	for _, td := range db.tables {
 		removed := false
 		for id, head := range td.rows {
@@ -286,6 +301,13 @@ func (db *Database) reclaimLocked() int {
 				}
 				break
 			}
+			// A cold head whose checkpointed page image is current can
+			// drop its in-memory values and fault back through the
+			// buffer pool — the release valve that keeps resident state
+			// bounded when the dataset exceeds RAM.
+			if pg != nil {
+				demoteCleanLocked(td, id, head)
+			}
 		}
 		if removed {
 			td.dirty = true
@@ -294,6 +316,7 @@ func (db *Database) reclaimLocked() int {
 		// set by undoInsert too, not only by removals above).
 		td.compactLocked()
 	}
+	db.drainPageQuarantineLocked()
 	db.versionsSinceReclaim.Store(0)
 	db.versionsReclaimed.Add(int64(freed))
 	db.reclaims.Add(1)

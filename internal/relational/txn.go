@@ -608,6 +608,12 @@ func (t *Txn) Get(table string, id RowID) (*Row, error) {
 	head := td.rows[id]
 	t.db.mu.RUnlock()
 	if v := t.resolve(head); v != nil {
+		if v.row.Values == nil {
+			// Demoted stub: fault the page in. Safe without the latch —
+			// the open transaction's readSeq keeps the slot quarantined.
+			r := Row{ID: v.row.ID, Values: t.db.versionValues(td, v)}
+			return r.clone(), nil
+		}
 		return v.row.clone(), nil
 	}
 	return nil, fmt.Errorf("%w: %s rowid %d", ErrNoSuchRow, table, id)
@@ -617,7 +623,7 @@ func (t *Txn) Get(table string, id RowID) (*Row, error) {
 // callback must not mutate the row; returning false stops the scan. No
 // latch is held while the callback runs.
 func (t *Txn) Scan(table string, fn func(*Row) bool) error {
-	heads, _, err := t.db.collectHeads(table)
+	heads, td, err := t.db.collectHeads(table)
 	if err != nil {
 		return err
 	}
@@ -626,7 +632,11 @@ func (t *Txn) Scan(table string, fn func(*Row) bool) error {
 		if v == nil {
 			continue
 		}
-		if !fn(&v.row) {
+		r := &v.row
+		if r.Values == nil {
+			r = &Row{ID: v.row.ID, Values: t.db.versionValues(td, v)}
+		}
+		if !fn(r) {
 			return nil
 		}
 	}

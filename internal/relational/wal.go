@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/pagestore"
 )
 
 // The write-ahead log turns the engine's in-memory redo model into real
@@ -31,8 +32,8 @@ import (
 //
 //	wal-0000000001.seg        sealed segment (immutable once rotated away)
 //	wal-0000000002.seg        active segment (append-only)
-//	checkpoint.ck             latest full (base) checkpoint (atomic rename)
-//	checkpoint-0000000042.ckd incremental checkpoint delta layered on the base
+//	pages.heap                slotted 4KiB pages: the checkpoint base image
+//	pagedir-0000000001.log    page-directory log (installs, frees, chain)
 //	recycle-0000000001.rseg   retired segment awaiting reuse as a future
 //	                          active segment (pre-sized, contents ignored)
 //
@@ -41,25 +42,24 @@ import (
 // stops at the first frame that is short, oversized or fails its CRC —
 // everything before it is the committed prefix, everything at and after
 // it never had a durable commit acknowledged (an all-zero tail left by
-// segment preallocation is trimmed without being reported as torn). A
-// base checkpoint is a full row-image snapshot at a pinned commit
-// sequence; an incremental checkpoint serializes only the rows dirtied
-// since the previous one as a delta, keeping the pause O(dirty), and
-// the chain compacts back into a fresh base once it reaches
-// WALOptions.CheckpointDeltaLimit. Segments whose records all precede
-// the last checkpoint are recycled or deleted, and recovery loads the
-// base, applies the delta chain in order, then replays only records
-// with newer sequences.
+// segment preallocation is trimmed without being reported as torn).
+//
+// The checkpoint base image lives in internal/pagestore: a heap file of
+// slotted copy-on-write pages plus a directory log. A checkpoint pass
+// packs only the rows dirtied since the previous pass (plus the clean
+// survivors sharing their pages) into fresh pages and appends one
+// directory record, keeping the pause O(dirty-pages), not O(database);
+// the directory log folds into a compact base asynchronously inside the
+// store. Segments whose records all precede the last checkpoint are
+// recycled or deleted, and recovery maps the page directory (pages
+// fault in lazily through the buffer pool on first read) and then
+// replays only records with newer sequences.
 
 // walSegmentPrefix/walSegmentSuffix name segment files; the embedded
 // index is monotonic and never reused.
 const (
 	walSegmentPrefix   = "wal-"
 	walSegmentSuffix   = ".seg"
-	walCheckpointName  = "checkpoint.ck"
-	walCheckpointTemp  = "checkpoint.tmp"
-	walDeltaPrefix     = "checkpoint-"
-	walDeltaSuffix     = ".ckd"
 	walRecyclePrefix   = "recycle-"
 	walRecycleSuffix   = ".rseg"
 	walFrameHeaderSize = 8
@@ -73,10 +73,8 @@ const (
 
 // Record payload type tags.
 const (
-	walTagGroup      = 'G' // one commit group: N transactions' redo
-	walTagXidGroup   = 'X' // commit group tagged with a cross-shard xid
-	walTagCheckpoint = 'K' // full row-image snapshot (checkpoint file)
-	walTagDelta      = 'k' // incremental checkpoint: dirty-row upserts + tombstones
+	walTagGroup    = 'G' // one commit group: N transactions' redo
+	walTagXidGroup = 'X' // commit group tagged with a cross-shard xid
 )
 
 // Row-operation tags inside a group record, matching the redo model's.
@@ -112,12 +110,19 @@ type WALOptions struct {
 	// fsync is in flight; the pre/post comparison in BENCH_commit.json
 	// flips this bit.
 	DisablePipeline bool
-	// CheckpointDeltaLimit bounds the incremental-checkpoint chain: a
-	// checkpoint writes a delta file (dirty rows only) until this many
-	// deltas accumulate, then compacts them into a fresh full base
-	// image. Zero means the default (8); negative disables incremental
-	// checkpoints entirely (every checkpoint is a full image).
+	// CheckpointDeltaLimit bounds the page-directory log chain: each
+	// incremental checkpoint appends one directory record (dirty pages
+	// only) until this many accumulate, then the store folds the chain
+	// into a fresh compact base asynchronously. Zero means the default
+	// (8); negative disables incremental passes entirely (every
+	// checkpoint rewrites all rows, for tests and benchmarks that need
+	// the full-pass baseline).
 	CheckpointDeltaLimit int
+	// PageCacheBytes caps the buffer pool holding decoded checkpoint
+	// pages: cold committed rows drop their in-memory values and fault
+	// back in through this pool, so the dataset may exceed RAM. Zero
+	// means the default (256 MiB).
+	PageCacheBytes int64
 	// PreallocateSegments extends each new active segment to
 	// SegmentBytes at creation, so appends never grow the file and the
 	// per-append metadata fsync cost disappears. Recovery treats a
@@ -133,20 +138,22 @@ func (o WALOptions) withDefaults() WALOptions {
 	if o.CheckpointDeltaLimit == 0 {
 		o.CheckpointDeltaLimit = 8
 	}
+	if o.PageCacheBytes <= 0 {
+		o.PageCacheBytes = 256 << 20
+	}
 	return o
 }
 
 // RecoveryInfo reports what Open's replay found and restored.
 type RecoveryInfo struct {
-	// CheckpointSeq is the commit sequence of the loaded checkpoint
-	// state: the base image's sequence advanced by every applied delta
-	// (zero when the directory had none).
+	// CheckpointSeq is the commit sequence of the recovered page
+	// directory (zero when the directory had no checkpoint state).
 	CheckpointSeq uint64 `json:"checkpoint_seq"`
-	// CheckpointRows counts rows restored from the checkpoint state:
-	// base-image rows plus delta upserts applied on top.
+	// CheckpointRows counts rows restored from the page directory as
+	// lazy stubs; their pages fault in on first read, not at recovery.
 	CheckpointRows int `json:"checkpoint_rows"`
-	// CheckpointDeltas counts incremental checkpoint files applied on
-	// top of the base image.
+	// CheckpointDeltas counts page-directory records applied to rebuild
+	// the checkpoint state.
 	CheckpointDeltas int `json:"checkpoint_deltas,omitempty"`
 	// ReplayedTxns counts committed transactions replayed from segment
 	// records with sequences past the checkpoint.
@@ -169,6 +176,11 @@ type RecoveryInfo struct {
 	// FilteredTxns counts xid-tagged transactions the XidCommitted
 	// filter discarded (prepared but never committed cross-shard).
 	FilteredTxns int64 `json:"filtered_txns,omitempty"`
+	// RecoveryNanos is the wall time OpenWAL spent recovering (directory
+	// mapping plus segment replay, or the initial checkpoint when the
+	// directory was fresh). Shard groups open WALs in parallel, so the
+	// group's recovery time is the max of these, not the sum.
+	RecoveryNanos int64 `json:"recovery_nanos,omitempty"`
 }
 
 // ErrWALClosed reports an append against a closed WAL (post-shutdown).
@@ -209,10 +221,13 @@ type WAL struct {
 	ckptMu        sync.Mutex // serializes Checkpoint runs
 	checkpointSeq atomic.Uint64
 
-	// Incremental-checkpoint chain state, guarded by ckptMu.
-	haveBase   bool           // a full base image exists on disk
-	deltaIndex uint64         // index of the newest delta file
-	deltas     []walDeltaFile // chain of delta files since the base
+	// haveBase (guarded by ckptMu) records that the page store holds an
+	// installed base image; the first pass on a fresh store is full.
+	haveBase bool
+
+	// pager owns the paged checkpoint store and its buffer pool; set
+	// once by OpenWAL before the database serves traffic.
+	pager *pager
 
 	appends      atomic.Int64
 	bytes        atomic.Int64
@@ -233,13 +248,6 @@ type WAL struct {
 	lastFsyncNs     atomic.Int64
 	ckptPauseHist   *obs.Histogram
 	lastCkptPauseNs atomic.Int64
-}
-
-// walDeltaFile is one installed incremental checkpoint.
-type walDeltaFile struct {
-	index uint64
-	seq   uint64
-	path  string
 }
 
 func segmentPath(dir string, index uint64) string {
@@ -391,7 +399,13 @@ func walTxnsOf(live []*Txn) []walTxn {
 // tag to 'X' and prefixes the xid, so logs written before sharding
 // existed still decode.
 func encodeGroupPayload(xid uint64, txns []walTxn) []byte {
-	b := make([]byte, 0, 256)
+	return appendGroupPayload(make([]byte, 0, 256), xid, txns)
+}
+
+// appendGroupPayload is encodeGroupPayload into a caller-owned buffer —
+// the commit path hands it a pooled one so steady-state appends stop
+// allocating.
+func appendGroupPayload(b []byte, xid uint64, txns []walTxn) []byte {
 	if xid == 0 {
 		b = append(b, walTagGroup)
 	} else {
@@ -451,14 +465,10 @@ func appendTxnOpsBody(b []byte, t *Txn) []byte {
 }
 
 // assembleGroupPayload builds a commit-group record from pre-encoded
-// per-txn bodies plus the sequences stamped under the latch. The output
-// is byte-identical to encodeGroupPayload on the same group.
-func assembleGroupPayload(xid uint64, live []*Txn, bodies [][]byte) []byte {
-	size := 16
-	for _, body := range bodies {
-		size += len(body) + binary.MaxVarintLen64
-	}
-	out := make([]byte, 0, size)
+// per-txn bodies plus the sequences stamped under the latch, appended
+// into a caller-owned (pooled) buffer. The output is byte-identical to
+// encodeGroupPayload on the same group.
+func assembleGroupPayload(out []byte, xid uint64, live []*Txn, bodies [][]byte) []byte {
 	if xid == 0 {
 		out = append(out, walTagGroup)
 	} else {
@@ -567,6 +577,36 @@ func frameRecord(payload []byte) []byte {
 	return out
 }
 
+// walFramePool recycles the commit path's frame-encode buffers: one
+// Get/Put per group append instead of two fresh allocations (payload +
+// frame copy) per fsynced group. Buffers grow to the largest group seen
+// and stay that size.
+var walFramePool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// beginFrame reserves the frame header at the start of an empty buffer;
+// finishFrame backfills it once the payload has been appended in place.
+func beginFrame(buf []byte) []byte {
+	var hdr [walFrameHeaderSize]byte
+	return append(buf, hdr[:]...)
+}
+
+func finishFrame(frame []byte) {
+	payload := frame[walFrameHeaderSize:]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+}
+
+// appendGroupFrame encodes one framed group record into buf (which must
+// be empty): reserved header, payload appended in place, header
+// backfilled — one buffer, no copies.
+func appendGroupFrame(buf []byte, xid uint64, txns []walTxn) []byte {
+	buf = appendGroupPayload(beginFrame(buf), xid, txns)
+	finishFrame(buf)
+	return buf
+}
+
 // scanFrames walks a segment's bytes and returns the decoded group
 // records of every intact frame plus the offset where the valid prefix
 // ends. Any malformed frame — short header, oversized length, short
@@ -617,14 +657,20 @@ func (w *WAL) appendGroup(xid uint64, live []*Txn) error {
 	if err := evalFailpoint(FpWALAppendBefore); err != nil {
 		return err
 	}
-	frame := frameRecord(encodeGroupPayload(xid, walTxnsOf(live)))
+	bufp := walFramePool.Get().(*[]byte)
+	frame := appendGroupFrame((*bufp)[:0], xid, walTxnsOf(live))
+	defer func() {
+		*bufp = frame[:0]
+		walFramePool.Put(bufp)
+	}()
+	rest := frame
 	wrote := 0
 	if failpointFires(FpWALAppendPartial) {
 		// A torn write: half the frame reaches the file, then the fault
 		// fires (crash mode dies here, leaving the torn tail on disk for
 		// recovery to discard; error mode falls through to the truncate
 		// below).
-		n, werr := w.f.Write(frame[:len(frame)/2])
+		n, werr := w.f.Write(rest[:len(rest)/2])
 		wrote += n
 		if err := fireFailpoint(FpWALAppendPartial); err != nil {
 			w.truncateActive(wrote)
@@ -634,9 +680,9 @@ func (w *WAL) appendGroup(xid uint64, live []*Txn) error {
 			w.truncateActive(wrote)
 			return werr
 		}
-		frame = frame[len(frame)/2:]
+		rest = rest[len(rest)/2:]
 	}
-	n, err := w.f.Write(frame)
+	n, err := w.f.Write(rest)
 	wrote += n
 	if err != nil {
 		w.truncateActive(wrote)
@@ -845,6 +891,7 @@ func (db *Database) OpenWAL(dir string, opts WALOptions) (*RecoveryInfo, error) 
 	if db.wal != nil {
 		return nil, fmt.Errorf("relational: database already has a WAL (dir %s)", db.wal.dir)
 	}
+	openStart := time.Now()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -858,39 +905,52 @@ func (db *Database) OpenWAL(dir string, opts WALOptions) (*RecoveryInfo, error) 
 	if err != nil {
 		return nil, err
 	}
-	var segs, deltas []uint64
+	var segs []uint64
 	var recycleFiles []string
-	haveCheckpoint := false
 	for _, e := range entries {
 		name := e.Name()
-		if name == walCheckpointName {
-			haveCheckpoint = true
-		}
 		if idx, ok := parseSegmentIndex(name); ok {
 			segs = append(segs, idx)
-		}
-		if idx, ok := parseDeltaIndex(name); ok {
-			deltas = append(deltas, idx)
 		}
 		if strings.HasPrefix(name, walRecyclePrefix) && strings.HasSuffix(name, walRecycleSuffix) {
 			recycleFiles = append(recycleFiles, filepath.Join(dir, name))
 		}
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
-	sort.Slice(deltas, func(i, j int) bool { return deltas[i] < deltas[j] })
 	sort.Strings(recycleFiles)
 	// Recycled files left by a previous process are reusable as-is:
 	// takeRecycled scrubs them before they re-enter service, and
 	// recovery never scans them.
 	w.free = recycleFiles
 
+	// The page store recovers its directory unconditionally; a fresh
+	// directory just yields an empty Recovered.
+	dirLimit := w.opts.CheckpointDeltaLimit
+	if dirLimit < 0 {
+		dirLimit = 8 // full row passes, but let the store fold its log normally
+	}
+	store, rec, err := pagestore.Open(dir, pagestore.Options{
+		DirLogLimit: dirLimit,
+		Failpoint:   evalFailpoint,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("relational: page store: %w", err)
+	}
+	w.pager = newPager(store, w.opts.PageCacheBytes)
+	// Attach before recovery: segment replay materializes paged stubs
+	// through db.wal.pager. Detached again on every error path below.
+	db.wal = w
+
 	info := &RecoveryInfo{Segments: len(segs)}
 	nextIndex := uint64(1)
 	if len(segs) > 0 {
 		nextIndex = segs[len(segs)-1] + 1
 	}
-	if haveCheckpoint || len(segs) > 0 {
-		if err := db.recoverFrom(w, dir, segs, deltas, haveCheckpoint, info); err != nil {
+	fresh := len(segs) == 0 && rec.Seq == 0 && rec.Records == 0
+	if !fresh {
+		if err := db.recoverFrom(w, dir, segs, &rec, info); err != nil {
+			db.wal = nil
+			store.Close()
 			return nil, err
 		}
 		// Recovered segments stay on disk until the next checkpoint
@@ -901,23 +961,20 @@ func (db *Database) OpenWAL(dir string, opts WALOptions) (*RecoveryInfo, error) 
 		w.sealedSinceC.Store(int64(len(segs)))
 	}
 	if err := w.openSegment(nextIndex); err != nil {
+		db.wal = nil
+		store.Close()
 		return nil, err
 	}
-	db.wal = w
 	db.walRecoveredTxns.Store(info.ReplayedTxns)
 	if !w.opts.DisablePipeline {
 		w.pipe = make(chan *walReq, 128)
 		w.writerDone = make(chan struct{})
 		go w.writerLoop(db)
 	}
-	if !haveCheckpoint && len(segs) == 0 {
+	if fresh {
 		// Fresh directory: the current (possibly pre-seeded) contents
 		// become the initial checkpoint, so recovery never needs to
-		// re-run dataset seeding. Delta files without a base image are
-		// unusable garbage (the protocol never produces them); drop any.
-		for _, idx := range deltas {
-			_ = os.Remove(filepath.Join(dir, deltaFileName(idx)))
-		}
+		// re-run dataset seeding.
 		if err := db.Checkpoint(); err != nil {
 			if w.pipe != nil {
 				req := &walReq{stop: true, done: make(chan error, 1)}
@@ -927,63 +984,34 @@ func (db *Database) OpenWAL(dir string, opts WALOptions) (*RecoveryInfo, error) 
 			}
 			db.wal = nil
 			w.f.Close()
+			store.Close()
 			return nil, err
 		}
 	}
 	info.CommitSeq = db.commitSeq.Load()
+	info.RecoveryNanos = time.Since(openStart).Nanoseconds()
 	return info, nil
 }
 
-// recoverFrom rebuilds the database from checkpoint state and the
-// segment chain: wipe, load the base image, apply the delta chain in
-// order, replay newer committed transactions, discard the torn tail.
-func (db *Database) recoverFrom(w *WAL, dir string, segs, deltas []uint64, haveCheckpoint bool, info *RecoveryInfo) error {
+// recoverFrom rebuilds the database from the recovered page directory
+// and the segment chain: wipe, map the directory into lazy row stubs
+// (no page reads), replay newer committed transactions, discard the
+// torn tail.
+func (db *Database) recoverFrom(w *WAL, dir string, segs []uint64, rec *pagestore.Recovered, info *RecoveryInfo) error {
 	db.resetStorage()
-	if haveCheckpoint {
-		seq, rows, err := db.loadCheckpoint(filepath.Join(dir, walCheckpointName))
+	if rec.Seq > 0 || rec.Records > 0 {
+		rows, err := db.restoreFromPages(w, rec)
 		if err != nil {
 			return fmt.Errorf("relational: checkpoint: %w", err)
 		}
-		w.checkpointSeq.Store(seq)
+		w.checkpointSeq.Store(rec.Seq)
 		w.haveBase = true
-		info.CheckpointSeq = seq
+		info.CheckpointSeq = rec.Seq
 		info.CheckpointRows = rows
-		db.commitSeq.Store(seq)
+		info.CheckpointDeltas = rec.Records
+		db.commitSeq.Store(rec.Seq)
 	}
-	for _, didx := range deltas {
-		path := filepath.Join(dir, deltaFileName(didx))
-		if !haveCheckpoint {
-			// A delta without a base image cannot be applied; the install
-			// protocol never leaves this state, so just discard it.
-			_ = os.Remove(path)
-			continue
-		}
-		seq, ups, err := db.loadDelta(path)
-		if err != nil {
-			return fmt.Errorf("relational: checkpoint delta %d: %w", didx, err)
-		}
-		if seq <= w.checkpointSeq.Load() {
-			// Superseded by a compaction whose cleanup was interrupted:
-			// the base image already contains this delta's rows.
-			_ = os.Remove(path)
-			continue
-		}
-		w.checkpointSeq.Store(seq)
-		w.deltas = append(w.deltas, walDeltaFile{index: didx, seq: seq, path: path})
-		if didx > w.deltaIndex {
-			w.deltaIndex = didx
-		}
-		info.CheckpointSeq = seq
-		info.CheckpointRows += ups
-		info.CheckpointDeltas++
-		db.commitSeq.Store(seq)
-	}
-	w.chainLen.Store(int64(len(w.deltas)))
-	if len(deltas) > 0 {
-		w.deltaIndex = deltas[len(deltas)-1]
-	}
-	// Stale temp from a checkpoint interrupted before rename: discard.
-	_ = os.Remove(filepath.Join(dir, walCheckpointTemp))
+	w.chainLen.Store(int64(w.pager.store.Stats().DirChainLen))
 
 	ckptSeq := info.CheckpointSeq
 	stopped := false
@@ -1076,6 +1104,9 @@ func (db *Database) resetStorage() {
 	db.nextRowID = 1
 	db.commitSeq.Store(0)
 	db.stampSeq.Store(0)
+	if w := db.wal; w != nil && w.pager != nil {
+		w.pager.rowSlot = make(map[string]map[RowID]uint32)
+	}
 }
 
 // replayTxn reapplies one committed transaction's row operations. The
@@ -1106,10 +1137,13 @@ func (db *Database) replayTxn(t walTxn) error {
 				db.nextRowID = op.id + 1
 			}
 		case walOpUpdate:
-			old, ok := td.rows[op.id]
-			if !ok {
+			if _, ok := td.rows[op.id]; !ok {
 				return fmt.Errorf("%w: update of missing %s rowid %d", errWALCorrupt, op.table, op.id)
 			}
+			// A checkpoint-restored stub must fault its values in before
+			// the old version's index entries can be re-derived.
+			db.materializeLocked(td, op.id)
+			old := td.rows[op.id]
 			nv := newVersion(Row{ID: op.id, Values: op.values}, t.seq)
 			removeVersionEntries(td, op.id, old, nv)
 			td.rows[op.id] = nv
@@ -1117,10 +1151,11 @@ func (db *Database) replayTxn(t walTxn) error {
 				ix.insert(op.id, op.values)
 			}
 		case walOpDelete:
-			old, ok := td.rows[op.id]
-			if !ok {
+			if _, ok := td.rows[op.id]; !ok {
 				return fmt.Errorf("%w: delete of missing %s rowid %d", errWALCorrupt, op.table, op.id)
 			}
+			db.materializeLocked(td, op.id) // see walOpUpdate
+			old := td.rows[op.id]
 			removeVersionEntries(td, op.id, old, nil)
 			delete(td.rows, op.id)
 			td.dirty = true
@@ -1130,114 +1165,27 @@ func (db *Database) replayTxn(t walTxn) error {
 	return nil
 }
 
-// loadCheckpoint reads a checkpoint file and installs its row images.
-func (db *Database) loadCheckpoint(path string) (seq uint64, rows int, err error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return 0, 0, err
-	}
-	if len(data) < walFrameHeaderSize {
-		return 0, 0, errWALCorrupt
-	}
-	n := binary.LittleEndian.Uint32(data[0:4])
-	crc := binary.LittleEndian.Uint32(data[4:8])
-	if n > walMaxRecordSize || int64(n) != int64(len(data)-walFrameHeaderSize) {
-		return 0, 0, errWALCorrupt
-	}
-	payload := data[walFrameHeaderSize:]
-	if crc32.ChecksumIEEE(payload) != crc {
-		return 0, 0, errWALCorrupt
-	}
-	return db.decodeCheckpointPayload(payload)
-}
-
-func (db *Database) decodeCheckpointPayload(b []byte) (seq uint64, rows int, err error) {
-	if len(b) < 1 || b[0] != walTagCheckpoint {
-		return 0, 0, errWALCorrupt
-	}
-	b = b[1:]
-	seq, sz := binary.Uvarint(b)
-	if sz <= 0 {
-		return 0, 0, errWALCorrupt
-	}
-	b = b[sz:]
-	ntables, sz := binary.Uvarint(b)
-	if sz <= 0 {
-		return 0, 0, errWALCorrupt
-	}
-	b = b[sz:]
-	for range ntables {
-		nlen, sz := binary.Uvarint(b)
-		if sz <= 0 || nlen > uint64(len(b)-sz) {
-			return 0, 0, errWALCorrupt
-		}
-		b = b[sz:]
-		name := string(b[:nlen])
-		b = b[nlen:]
-		td, terr := db.tableData(name)
-		if terr != nil {
-			return 0, 0, terr
-		}
-		nrows, sz := binary.Uvarint(b)
-		if sz <= 0 {
-			return 0, 0, errWALCorrupt
-		}
-		b = b[sz:]
-		for range nrows {
-			id, sz := binary.Uvarint(b)
-			if sz <= 0 {
-				return 0, 0, errWALCorrupt
-			}
-			b = b[sz:]
-			ncols, sz := binary.Uvarint(b)
-			if sz <= 0 || ncols > uint64(len(b)) {
-				return 0, 0, errWALCorrupt
-			}
-			b = b[sz:]
-			vals := make([]Value, 0, ncols)
-			for range ncols {
-				var v Value
-				v, b, err = decodeWALValue(b)
-				if err != nil {
-					return 0, 0, err
-				}
-				vals = append(vals, v)
-			}
-			rid := RowID(id)
-			v := newVersion(Row{ID: rid, Values: vals}, seq)
-			td.rows[rid] = v
-			td.order = append(td.order, rid)
-			td.live++
-			for _, ix := range td.indexes {
-				ix.insert(rid, vals)
-			}
-			if rid >= db.nextRowID {
-				db.nextRowID = rid + 1
-			}
-			rows++
-		}
-	}
-	if len(b) != 0 {
-		return 0, 0, errWALCorrupt
-	}
-	return seq, rows, nil
-}
-
 // Checkpoint persists the committed state durably and truncates the
 // segments it supersedes. Most passes are INCREMENTAL: only the rows
-// dirtied since the previous checkpoint are serialized into a delta
-// file layered on the base image, so the pass costs O(dirty), not
-// O(database); once CheckpointDeltaLimit deltas accumulate (or when
-// incremental checkpoints are disabled) the pass compacts the chain
-// into a fresh full base image. Commits are blocked only for the
-// writer-stage drain, sequence pin, dirty-set swap and segment rotation;
-// serialization runs against the pinned MVCC snapshot while traffic
-// proceeds. Crash-safe at every step: images are written to a temp
-// file, fsynced, atomically renamed, and only then are superseded
-// segments (and, after a compaction, old delta files) retired —
-// recovery handles a death between any two of those steps (stale temp
-// discarded, prior base+deltas+segments replayed, or new state loaded
-// with already-covered records skipped by sequence).
+// dirtied since the previous checkpoint (plus the clean survivors
+// sharing their superseded pages) are packed into fresh copy-on-write
+// heap pages and installed with one page-directory record, so the
+// pause costs O(dirty-pages), not O(database); the store folds its
+// directory log into a compact base asynchronously, off the pause
+// path. Commits are blocked only for the writer-stage drain, sequence
+// pin, dirty-set swap and segment rotation; page packing runs against
+// the pinned MVCC snapshot while traffic proceeds. Crash-safe at every
+// step: fresh pages are written and fsynced strictly before the
+// directory record that references them, and only after that record is
+// durable are superseded segments retired — recovery handles a death
+// between any two of those steps (orphaned pages freed, prior
+// directory+segments replayed, or new state mapped with
+// already-covered records skipped by sequence).
+//
+// After the install is durable, freshly checkpointed clean rows are
+// stamped with their page slot and — when eligible — demoted to
+// value-less stubs, which is what lets the reclaimer shed cold rows
+// from memory.
 func (db *Database) Checkpoint() error {
 	w := db.wal
 	if w == nil {
@@ -1291,156 +1239,43 @@ func (db *Database) Checkpoint() error {
 	copy(supersede, w.sealed)
 	w.mu.Unlock()
 
-	full := w.opts.CheckpointDeltaLimit < 0 || !w.haveBase || len(w.deltas) >= w.opts.CheckpointDeltaLimit
-	if full && w.haveBase && len(w.deltas) > 0 {
-		// Compacting: the delta chain folds into the fresh base image.
-		if err := evalFailpoint(FpCheckpointCompact); err != nil {
-			return fail(err)
-		}
+	// A full pass rewrites every row (first pass on a fresh store, or
+	// incremental passes disabled); otherwise only the dirty set and its
+	// page-mates move. The store folds its own directory chain.
+	full := w.opts.CheckpointDeltaLimit < 0 || !w.haveBase
+	plan, err := db.buildPageInstalls(snap, dirty, full)
+	if err != nil {
+		return fail(err)
 	}
-	var payload []byte
-	if full {
-		payload, err = db.encodeCheckpointPayload(snap, seq)
-	} else {
-		payload, err = db.encodeDeltaPayload(snap, seq, dirty)
+	if err := evalFailpoint(FpCheckpointWrite); err != nil {
+		return fail(err)
 	}
+	// Install even when the plan is empty: the directory record durably
+	// advances the checkpoint sequence, which is what lets the segments
+	// rotated away above be retired.
+	placements, err := w.pager.store.Install(seq, plan.installs, plan.freedSlots)
+	if err != nil {
+		return fail(err)
+	}
+	// Publish with the snapshot still open: its registration blocks the
+	// reclaimer from dropping rows deleted after the pin before their
+	// page mappings are cleared.
+	db.applyPagePlacements(seq, placements, plan)
 	snap.Close()
-	if err != nil {
-		db.mergeDirtyRows(dirty)
-		return err
-	}
-	if full {
-		err = w.installFull(payload, seq, supersede)
-	} else {
-		err = w.installDelta(payload, seq, supersede)
-	}
-	if err != nil {
-		db.mergeDirtyRows(dirty)
-		return err
-	}
-	return nil
-}
-
-// encodeCheckpointPayload serializes every row visible at the snapshot.
-func (db *Database) encodeCheckpointPayload(snap *Snapshot, seq uint64) ([]byte, error) {
-	b := make([]byte, 0, 1<<16)
-	b = append(b, walTagCheckpoint)
-	b = binary.AppendUvarint(b, seq)
-	names := db.SortedTableNames()
-	b = binary.AppendUvarint(b, uint64(len(names)))
-	for _, name := range names {
-		b = binary.AppendUvarint(b, uint64(len(name)))
-		b = append(b, name...)
-		// Count first so the row count prefixes the rows.
-		count := uint64(0)
-		if err := snap.Scan(name, func(*Row) bool { count++; return true }); err != nil {
-			return nil, err
-		}
-		b = binary.AppendUvarint(b, count)
-		var scanErr error
-		if err := snap.Scan(name, func(r *Row) bool {
-			b = binary.AppendUvarint(b, uint64(r.ID))
-			b = binary.AppendUvarint(b, uint64(len(r.Values)))
-			for _, v := range r.Values {
-				b = appendWALValue(b, v)
-			}
-			return true
-		}); err != nil {
-			scanErr = err
-		}
-		if scanErr != nil {
-			return nil, scanErr
-		}
-	}
-	return b, nil
-}
-
-// installImage writes one checkpoint image (full base or delta)
-// durably: temp file, fsync, atomic rename to finalPath, dir-fsync.
-// fpMidWrite is the failpoint evaluated with the image half-written.
-func (w *WAL) installImage(payload []byte, finalPath, fpMidWrite string) error {
-	tmpPath := filepath.Join(w.dir, walCheckpointTemp)
-	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	cleanup := func(e error) error {
-		f.Close()
-		_ = os.Remove(tmpPath)
-		return e
-	}
-	frame := frameRecord(payload)
-	if _, err := f.Write(frame[:len(frame)/2]); err != nil {
-		return cleanup(err)
-	}
-	if err := evalFailpoint(fpMidWrite); err != nil {
-		return cleanup(err)
-	}
-	if _, err := f.Write(frame[len(frame)/2:]); err != nil {
-		return cleanup(err)
-	}
-	if err := f.Sync(); err != nil {
-		return cleanup(err)
-	}
-	w.fsyncs.Add(1)
-	if err := f.Close(); err != nil {
-		return cleanup(err)
-	}
-	if err := evalFailpoint(FpCheckpointRename); err != nil {
-		_ = os.Remove(tmpPath)
-		return err
-	}
-	if err := os.Rename(tmpPath, finalPath); err != nil {
-		_ = os.Remove(tmpPath)
-		return err
-	}
-	if err := syncDir(w.dir); err != nil {
-		return err
-	}
-	w.fsyncs.Add(1)
-	return nil
-}
-
-// installFull installs a full base image, resetting the delta chain;
-// the chain's old files are removed once the new base is durable.
-func (w *WAL) installFull(payload []byte, seq uint64, supersede []sealedSegment) error {
-	if err := w.installImage(payload, filepath.Join(w.dir, walCheckpointName), FpCheckpointWrite); err != nil {
-		return err
-	}
-	oldDeltas := w.deltas
 	w.haveBase = true
-	w.deltas = nil
-	w.chainLen.Store(0)
-	return w.finishCheckpoint(seq, supersede, oldDeltas)
-}
-
-// installDelta installs one incremental checkpoint on top of the chain.
-func (w *WAL) installDelta(payload []byte, seq uint64, supersede []sealedSegment) error {
-	idx := w.deltaIndex + 1
-	path := filepath.Join(w.dir, deltaFileName(idx))
-	if err := w.installImage(payload, path, FpCheckpointDeltaWrite); err != nil {
-		return err
-	}
-	w.deltaIndex = idx
-	w.deltas = append(w.deltas, walDeltaFile{index: idx, seq: seq, path: path})
-	w.chainLen.Store(int64(len(w.deltas)))
-	return w.finishCheckpoint(seq, supersede, nil)
+	w.chainLen.Store(int64(w.pager.store.Stats().DirChainLen))
+	return w.finishCheckpoint(seq, supersede)
 }
 
 // finishCheckpoint publishes the new checkpoint sequence and retires
-// what it supersedes: compacted-away delta files are deleted, sealed
-// segments go to the recycle list (or are deleted past its cap).
-func (w *WAL) finishCheckpoint(seq uint64, supersede []sealedSegment, oldDeltas []walDeltaFile) error {
+// what it supersedes: sealed segments go to the recycle list (or are
+// deleted past its cap).
+func (w *WAL) finishCheckpoint(seq uint64, supersede []sealedSegment) error {
 	w.checkpointSeq.Store(seq)
 	w.checkpoints.Add(1)
 	w.sealedSinceC.Store(0)
 	if err := evalFailpoint(FpCheckpointTruncate); err != nil {
 		return err
-	}
-	for _, d := range oldDeltas {
-		if err := os.Remove(d.path); err != nil && !os.IsNotExist(err) {
-			return err
-		}
 	}
 	for _, s := range supersede {
 		if err := w.retireSegment(s); err != nil {
@@ -1537,12 +1372,23 @@ func (db *Database) CloseWAL() error {
 		<-req.done
 		<-w.writerDone
 	}
-	if err := w.f.Sync(); err != nil {
-		w.f.Close()
-		return err
+	err := w.f.Sync()
+	if err == nil {
+		w.fsyncs.Add(1)
 	}
-	w.fsyncs.Add(1)
-	return w.f.Close()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	// Closing the page store waits out any in-flight base compaction.
+	// Rows still materialized in memory stay readable; a read that
+	// would fault a page from the closed store panics, so callers stop
+	// traffic before shutdown (the server does).
+	if p := w.pager; p != nil {
+		if serr := p.store.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 // WALDir returns the attached log's directory ("" without a WAL).

@@ -1,48 +1,13 @@
 package relational
 
-import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"hash/crc32"
-	"os"
-	"sort"
-	"strings"
-)
-
-// Incremental checkpoints make the checkpoint pause O(dirty) instead of
-// O(database). Tables accumulate the ids of rows written since the last
-// checkpoint (marked at commit-stamp time, under commitMu); a
-// checkpoint pass swaps the dirty sets out and serializes ONLY those
-// rows — each as its current committed image (an upsert) or a tombstone
-// if it no longer exists — into a delta file layered on the base image.
-// Recovery loads the base, applies the delta chain in order, then
-// replays the WAL tail as before. Once the chain reaches
-// CheckpointDeltaLimit the next pass compacts: a fresh full base image
-// is written and the delta files are deleted.
-
-// deltaFileName names the incremental checkpoint with the given index.
-// Indexes are monotonic and never reused — compaction deletes the files
-// but the counter keeps climbing, and recovery resumes above the
-// largest index it saw on disk (applied or stale).
-func deltaFileName(index uint64) string {
-	return fmt.Sprintf("%s%010d%s", walDeltaPrefix, index, walDeltaSuffix)
-}
-
-func parseDeltaIndex(name string) (uint64, bool) {
-	if !strings.HasPrefix(name, walDeltaPrefix) || !strings.HasSuffix(name, walDeltaSuffix) {
-		return 0, false
-	}
-	mid := name[len(walDeltaPrefix) : len(name)-len(walDeltaSuffix)]
-	var idx uint64
-	for _, r := range mid {
-		if r < '0' || r > '9' {
-			return 0, false
-		}
-		idx = idx*10 + uint64(r-'0')
-	}
-	return idx, len(mid) > 0
-}
+// Dirty-row tracking makes the checkpoint pause O(dirty-pages) instead
+// of O(database). Tables accumulate the ids of rows written since the
+// last checkpoint (marked at commit-stamp time, under commitMu); a
+// checkpoint pass swaps the dirty sets out and packs ONLY those rows —
+// each as its current committed image, or a directory tombstone if it
+// no longer exists — into fresh heap pages (see buildPageInstalls).
+// Recovery maps the page directory, then replays the WAL tail as
+// before.
 
 // markDirtyGroupLocked records every row the group's transactions wrote
 // into their tables' dirty sets. Called under commitMu at stamp time —
@@ -50,11 +15,10 @@ func parseDeltaIndex(name string) (uint64, bool) {
 // swap the sets — so a row written by ANY transaction that commits
 // after checkpoint C is guaranteed to be in the set checkpoint C+1
 // swaps out. Marks from a group that subsequently rolls back are
-// harmless: the delta serializes the committed image (or tombstone) the
+// harmless: the checkpoint packs the committed image (or tombstone) the
 // snapshot resolves, not the undone write.
 func (db *Database) markDirtyGroupLocked(live []*Txn) {
-	w := db.wal
-	if w == nil || w.opts.CheckpointDeltaLimit < 0 {
+	if db.wal == nil {
 		return
 	}
 	for _, t := range live {
@@ -102,182 +66,4 @@ func (db *Database) mergeDirtyRows(dirty map[string]map[RowID]struct{}) {
 			td.markDirtyRow(id)
 		}
 	}
-}
-
-// encodeDeltaPayload serializes the dirty rows as the snapshot resolves
-// them: an upsert carrying the committed image, or a tombstone when the
-// row no longer exists at the snapshot. Ids are sorted so the output is
-// deterministic and new rows append to scan order in id order.
-func (db *Database) encodeDeltaPayload(snap *Snapshot, seq uint64, dirty map[string]map[RowID]struct{}) ([]byte, error) {
-	names := make([]string, 0, len(dirty))
-	for name := range dirty {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	b := make([]byte, 0, 1<<12)
-	b = append(b, walTagDelta)
-	b = binary.AppendUvarint(b, seq)
-	b = binary.AppendUvarint(b, uint64(len(names)))
-	for _, name := range names {
-		ids := make([]RowID, 0, len(dirty[name]))
-		for id := range dirty[name] {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
-		type upsert struct {
-			id   RowID
-			vals []Value
-		}
-		var ups []upsert
-		var dels []RowID
-		for _, id := range ids {
-			r, err := snap.Get(name, id)
-			switch {
-			case err == nil:
-				ups = append(ups, upsert{id: id, vals: r.Values})
-			case errors.Is(err, ErrNoSuchRow):
-				dels = append(dels, id)
-			default:
-				return nil, err
-			}
-		}
-		b = binary.AppendUvarint(b, uint64(len(name)))
-		b = append(b, name...)
-		b = binary.AppendUvarint(b, uint64(len(ups)))
-		for _, u := range ups {
-			b = binary.AppendUvarint(b, uint64(u.id))
-			b = binary.AppendUvarint(b, uint64(len(u.vals)))
-			for _, v := range u.vals {
-				b = appendWALValue(b, v)
-			}
-		}
-		b = binary.AppendUvarint(b, uint64(len(dels)))
-		for _, id := range dels {
-			b = binary.AppendUvarint(b, uint64(id))
-		}
-	}
-	return b, nil
-}
-
-// loadDelta reads one delta file and applies it on top of the state
-// recovery has built so far. Returns the delta's pinned sequence and
-// how many row upserts it applied.
-func (db *Database) loadDelta(path string) (seq uint64, upserts int, err error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return 0, 0, err
-	}
-	if len(data) < walFrameHeaderSize {
-		return 0, 0, errWALCorrupt
-	}
-	n := binary.LittleEndian.Uint32(data[0:4])
-	crc := binary.LittleEndian.Uint32(data[4:8])
-	if n > walMaxRecordSize || int64(n) != int64(len(data)-walFrameHeaderSize) {
-		return 0, 0, errWALCorrupt
-	}
-	payload := data[walFrameHeaderSize:]
-	if crc32.ChecksumIEEE(payload) != crc {
-		return 0, 0, errWALCorrupt
-	}
-	return db.decodeDeltaPayload(payload)
-}
-
-func (db *Database) decodeDeltaPayload(b []byte) (seq uint64, upserts int, err error) {
-	if len(b) < 1 || b[0] != walTagDelta {
-		return 0, 0, errWALCorrupt
-	}
-	b = b[1:]
-	seq, sz := binary.Uvarint(b)
-	if sz <= 0 {
-		return 0, 0, errWALCorrupt
-	}
-	b = b[sz:]
-	ntables, sz := binary.Uvarint(b)
-	if sz <= 0 {
-		return 0, 0, errWALCorrupt
-	}
-	b = b[sz:]
-	for range ntables {
-		nlen, sz := binary.Uvarint(b)
-		if sz <= 0 || nlen > uint64(len(b)-sz) {
-			return 0, 0, errWALCorrupt
-		}
-		b = b[sz:]
-		name := string(b[:nlen])
-		b = b[nlen:]
-		td, terr := db.tableData(name)
-		if terr != nil {
-			return 0, 0, terr
-		}
-		nups, sz := binary.Uvarint(b)
-		if sz <= 0 || nups > uint64(len(b)) {
-			return 0, 0, errWALCorrupt
-		}
-		b = b[sz:]
-		for range nups {
-			id, sz := binary.Uvarint(b)
-			if sz <= 0 {
-				return 0, 0, errWALCorrupt
-			}
-			b = b[sz:]
-			ncols, sz := binary.Uvarint(b)
-			if sz <= 0 || ncols > uint64(len(b)) {
-				return 0, 0, errWALCorrupt
-			}
-			b = b[sz:]
-			vals := make([]Value, 0, ncols)
-			for range ncols {
-				var v Value
-				v, b, err = decodeWALValue(b)
-				if err != nil {
-					return 0, 0, err
-				}
-				vals = append(vals, v)
-			}
-			rid := RowID(id)
-			nv := newVersion(Row{ID: rid, Values: vals}, seq)
-			if old, ok := td.rows[rid]; ok {
-				removeVersionEntries(td, rid, old, nv)
-			} else {
-				td.order = append(td.order, rid)
-				td.live++
-			}
-			td.rows[rid] = nv
-			for _, ix := range td.indexes {
-				ix.insert(rid, vals)
-			}
-			if rid >= db.nextRowID {
-				db.nextRowID = rid + 1
-			}
-			upserts++
-		}
-		ndels, sz := binary.Uvarint(b)
-		if sz <= 0 || ndels > uint64(len(b)) {
-			return 0, 0, errWALCorrupt
-		}
-		b = b[sz:]
-		for range ndels {
-			id, sz := binary.Uvarint(b)
-			if sz <= 0 {
-				return 0, 0, errWALCorrupt
-			}
-			b = b[sz:]
-			rid := RowID(id)
-			if old, ok := td.rows[rid]; ok {
-				removeVersionEntries(td, rid, old, nil)
-				delete(td.rows, rid)
-				td.dirty = true
-				td.live--
-			}
-			if rid >= db.nextRowID {
-				db.nextRowID = rid + 1
-			}
-		}
-	}
-	if len(b) != 0 {
-		return 0, 0, errWALCorrupt
-	}
-	return seq, upserts, nil
 }

@@ -175,15 +175,22 @@ func (w *WAL) writeFrame(req *walReq) error {
 	if err := evalFailpoint(FpWALAppendBefore); err != nil {
 		return err
 	}
-	frame := frameRecord(assembleGroupPayload(req.xid, req.live, req.bodies))
+	bufp := walFramePool.Get().(*[]byte)
+	frame := assembleGroupPayload(beginFrame((*bufp)[:0]), req.xid, req.live, req.bodies)
+	finishFrame(frame)
+	defer func() {
+		*bufp = frame[:0]
+		walFramePool.Put(bufp)
+	}()
 	req.segIndex = w.segIndex
 	req.off = w.segBytes
+	rest := frame
 	wrote := 0
 	if failpointFires(FpWALAppendPartial) {
 		// A torn write: half the frame reaches the file, then the fault
 		// fires (crash mode dies here, leaving the torn tail on disk for
 		// recovery to discard; error mode falls through to the truncate).
-		n, werr := w.f.Write(frame[:len(frame)/2])
+		n, werr := w.f.Write(rest[:len(rest)/2])
 		wrote += n
 		if err := fireFailpoint(FpWALAppendPartial); err != nil {
 			w.truncateActive(wrote)
@@ -193,9 +200,9 @@ func (w *WAL) writeFrame(req *walReq) error {
 			w.truncateActive(wrote)
 			return werr
 		}
-		frame = frame[len(frame)/2:]
+		rest = rest[len(rest)/2:]
 	}
-	n, err := w.f.Write(frame)
+	n, err := w.f.Write(rest)
 	wrote += n
 	if err != nil {
 		w.truncateActive(wrote)

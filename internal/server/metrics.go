@@ -57,6 +57,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ufilterd_wal_pipeline_depth", "Commit groups queued or in flight in the WAL writer stage.", "gauge", map[string]float64{}},
 		{"ufilterd_checkpoint_delta_chain_len", "Incremental checkpoint deltas layered on the base image (worst shard).", "gauge", map[string]float64{}},
 		{"ufilterd_checkpoint_last_pause_seconds", "Duration of the most recent checkpoint pass (worst shard).", "gauge", map[string]float64{}},
+		{"ufilterd_pagecache_hits_total", "Buffer-pool page reads served from memory.", "counter", map[string]float64{}},
+		{"ufilterd_pagecache_misses_total", "Buffer-pool page reads that faulted from disk.", "counter", map[string]float64{}},
+		{"ufilterd_pagecache_evictions_total", "Buffer-pool frames evicted to stay within the budget.", "counter", map[string]float64{}},
+		{"ufilterd_pages_total", "Live pages in the checkpoint page store.", "gauge", map[string]float64{}},
+		{"ufilterd_compaction_pages_written_total", "Pages written by checkpoint passes and directory folds.", "counter", map[string]float64{}},
 		{"ufilterd_snapshots_active", "MVCC snapshots currently pinned.", "gauge", map[string]float64{}},
 		{"ufilterd_snapshots_opened_total", "MVCC snapshots ever pinned.", "counter", map[string]float64{}},
 		{"ufilterd_versions_reclaimed_total", "Row versions freed by the MVCC reclaimer.", "counter", map[string]float64{}},
@@ -110,6 +115,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			float64(st.Filter.Database.WALPipelineDepth),
 			float64(st.Filter.Database.CheckpointDeltaChainLen),
 			float64(st.Filter.Database.CheckpointLastPauseNs) / 1e9,
+			float64(st.Filter.Database.PagecacheHits),
+			float64(st.Filter.Database.PagecacheMisses),
+			float64(st.Filter.Database.PagecacheEvictions),
+			float64(st.Filter.Database.PagesTotal),
+			float64(st.Filter.Database.CompactionPagesWritten),
 			float64(st.Versions.SnapshotsActive),
 			float64(st.Versions.SnapshotsOpened),
 			float64(st.Versions.VersionsReclaimed),
@@ -180,6 +190,14 @@ func writeShardMetrics(b *strings.Builder, perView []struct {
 			func(s relational.ShardStat) float64 { return float64(s.CheckpointDeltaChainLen) }},
 		{"ufilterd_shard_checkpoint_last_pause_seconds", "Duration of the shard's most recent checkpoint pass.", "gauge",
 			func(s relational.ShardStat) float64 { return float64(s.CheckpointLastPauseNs) / 1e9 }},
+		{"ufilterd_shard_pagecache_hits_total", "Buffer-pool page reads served from the shard's pool.", "counter",
+			func(s relational.ShardStat) float64 { return float64(s.PagecacheHits) }},
+		{"ufilterd_shard_pagecache_misses_total", "Buffer-pool page reads the shard faulted from disk.", "counter",
+			func(s relational.ShardStat) float64 { return float64(s.PagecacheMisses) }},
+		{"ufilterd_shard_pagecache_evictions_total", "Frames evicted from the shard's buffer pool.", "counter",
+			func(s relational.ShardStat) float64 { return float64(s.PagecacheEvictions) }},
+		{"ufilterd_shard_pages_total", "Live pages in the shard's checkpoint page store.", "gauge",
+			func(s relational.ShardStat) float64 { return float64(s.PagesTotal) }},
 	}
 	for _, f := range families {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)

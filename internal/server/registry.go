@@ -51,6 +51,10 @@ type Config struct {
 	// storage shards (parallel commit latches and WAL fsyncs). Zero or
 	// one keeps the single-database path.
 	Shards int `json:"shards,omitempty"`
+	// PageCacheBytes bounds each view's checkpoint-page buffer pool
+	// (split across a view's shards); zero uses the engine default.
+	// Only meaningful with DataDir set.
+	PageCacheBytes int64 `json:"page_cache_bytes,omitempty"`
 }
 
 // ViewConfig describes one named view to host: a built-in dataset plus

@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -168,20 +169,54 @@ func New(seed *relational.Database, n int, opts Options) (*DB, *Recovery, error)
 		maxXid = xmax
 		walOpts := opts.WAL
 		walOpts.XidCommitted = func(xid uint64) bool { return committed[xid] }
+		if walOpts.PageCacheBytes > 0 && n > 1 {
+			// The configured budget bounds the GROUP's page cache: each
+			// shard's pool gets an equal slice (rounded up) so the sum
+			// stays within one slice of the configured total.
+			walOpts.PageCacheBytes = (walOpts.PageCacheBytes + int64(n) - 1) / int64(n)
+		}
+		// Shards recover in parallel: each shard owns its directory, WAL
+		// segments and page store outright, so replay is embarrassingly
+		// parallel and the group's recovery wall time is the slowest
+		// shard's, not the sum (rec.Shards[i].RecoveryNanos keeps the
+		// per-shard times). On failure the lowest-index error wins and
+		// every shard that did open is closed again.
+		errs := make([]error, n)
+		var wg sync.WaitGroup
 		for i, s := range db.shards {
-			info, err := s.OpenWAL(shardDir(opts.Dir, i), walOpts)
-			if err != nil {
-				db.closePartial(i)
-				return nil, nil, fmt.Errorf("shard %d: %w", i, err)
+			wg.Add(1)
+			go func(i int, s *relational.Database) {
+				defer wg.Done()
+				info, err := s.OpenWAL(shardDir(opts.Dir, i), walOpts)
+				if err != nil {
+					errs[i] = fmt.Errorf("shard %d: %w", i, err)
+					return
+				}
+				rec.Shards[i] = *info
+				// Recovery replays whatever ids the log held; realign the
+				// allocator so fresh ids resume on this shard's stripe.
+				s.SetRowIDAlloc(relational.RowID(i+1), relational.RowID(n))
+			}(i, s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err == nil {
+				continue
 			}
-			rec.Shards[i] = *info
+			for j, s := range db.shards {
+				if errs[j] == nil {
+					_ = s.CloseWAL()
+				}
+			}
+			_ = db.xlog.close()
+			return nil, nil, err
+		}
+		for i := range db.shards {
+			info := &rec.Shards[i]
 			rec.FilteredTxns += info.FilteredTxns
 			if info.MaxXid > maxXid {
 				maxXid = info.MaxXid
 			}
-			// Recovery replays whatever ids the log held; realign the
-			// allocator so fresh ids resume on this shard's stripe.
-			s.SetRowIDAlloc(relational.RowID(i+1), relational.RowID(n))
 		}
 	}
 	db.nextXid.Store(maxXid)
@@ -191,16 +226,6 @@ func New(seed *relational.Database, n int, opts Options) (*DB, *Recovery, error)
 func shardDir(dir string, i int) string { return dir + "/shard-" + itoa(i) }
 func xlogPath(dir string) string        { return dir + "/xlog" }
 func itoa(i int) string                 { return fmt.Sprintf("%d", i) }
-
-// closePartial closes the WALs of shards [0, upto) after a failed open.
-func (db *DB) closePartial(upto int) {
-	for j := 0; j < upto; j++ {
-		_ = db.shards[j].CloseWAL()
-	}
-	if db.xlog != nil {
-		_ = db.xlog.close()
-	}
-}
 
 // seedFrom copies the seed's rows into the group, routing each row and
 // inserting in ascending global row-id order so parents are present
@@ -434,9 +459,14 @@ func (db *DB) HasIndexOn(table string, columns []string) bool {
 }
 
 func (db *DB) RowCount(table string) int {
+	if db.n == 1 {
+		return db.shards[0].RowCount(table)
+	}
+	counts := make([]int, db.n)
+	fanOut(db.n, func(i int) { counts[i] = db.shards[i].RowCount(table) })
 	n := 0
-	for _, s := range db.shards {
-		n += s.RowCount(table)
+	for _, c := range counts {
+		n += c
 	}
 	return n
 }
@@ -489,21 +519,53 @@ func scanMerged(rds []relational.Reader, table string, fn func(*relational.Row) 
 }
 
 // lookupMerged concatenates per-shard index lookups, sorted by id for a
-// deterministic order.
+// deterministic order. Shards probe in parallel (each reader is a
+// distinct per-shard view, so the probes share nothing); the
+// lowest-index error wins.
 func lookupMerged(rds []relational.Reader, table string, columns []string, values []relational.Value) ([]relational.RowID, error) {
 	if len(rds) == 1 {
 		return rds[0].LookupEqual(table, columns, values)
 	}
+	perShard := make([][]relational.RowID, len(rds))
+	errs := make([]error, len(rds))
+	fanOut(len(rds), func(i int) {
+		perShard[i], errs[i] = rds[i].LookupEqual(table, columns, values)
+	})
 	var out []relational.RowID
-	for _, rd := range rds {
-		ids, err := rd.LookupEqual(table, columns, values)
-		if err != nil {
-			return nil, err
+	for i := range rds {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		out = append(out, ids...)
+		out = append(out, perShard[i]...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
+}
+
+// fanOut runs fn(i) for i in [0, n) on up to GOMAXPROCS goroutines and
+// waits for all of them. Each index is handed to exactly one goroutine,
+// so fn may write to index-i slots of shared slices without locking.
+func fanOut(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // ---- Engine: autocommit DML, lifecycle, statistics and maintenance.
@@ -604,6 +666,11 @@ func (db *DB) Stats() relational.DBStats {
 		agg.RecoveryReplayedTxns += st.RecoveryReplayedTxns
 		agg.WALRecycledSegments += st.WALRecycledSegments
 		agg.WALPipelineDepth += st.WALPipelineDepth
+		agg.PagecacheHits += st.PagecacheHits
+		agg.PagecacheMisses += st.PagecacheMisses
+		agg.PagecacheEvictions += st.PagecacheEvictions
+		agg.PagesTotal += st.PagesTotal
+		agg.CompactionPagesWritten += st.CompactionPagesWritten
 		// Chain length and pause are per-shard maxima, not sums: the
 		// worst shard bounds recovery time and the observable pause.
 		if st.CheckpointDeltaChainLen > agg.CheckpointDeltaChainLen {

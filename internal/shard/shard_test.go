@@ -515,3 +515,65 @@ func TestConcurrentCrossShardCommits(t *testing.T) {
 		t.Fatalf("recovered rows differ:\ngot:  %v\nwant: %v", got, want)
 	}
 }
+
+// TestParallelRecoveryAndPagedRollups reopens a 4-shard group and
+// checks the new paged-storage plumbing at the group level: every
+// shard reports its own recovery wall time (the group recovers shards
+// concurrently, so these are the inputs to the max that bounds restart
+// latency), the page-cache budget splits across shards without losing
+// rows, and Stats rolls the per-shard pager counters up.
+func TestParallelRecoveryAndPagedRollups(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, WAL: relational.WALOptions{PageCacheBytes: 256 << 10}}
+	db, _ := newGroup(t, 4, opts)
+	for i := 0; i < 40; i++ {
+		if _, err := db.Insert("publisher", map[string]relational.Value{
+			"pubid": relational.String_(fmt.Sprintf("R%03d", i)), "pubname": relational.String_(fmt.Sprintf("Rollup %03d", i)),
+		}); err != nil {
+			t.Fatalf("publisher: %v", err)
+		}
+	}
+	want := dump(t, db)
+	wantRows := db.RowCount("publisher")
+	if err := db.CloseWAL(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	seed, err := bookdb.NewDatabase(relational.DeleteCascade)
+	if err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	db2, rec, err := New(seed, 4, opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.CloseWAL()
+	for i, info := range rec.Shards {
+		if info.RecoveryNanos <= 0 {
+			t.Errorf("shard %d reported no recovery wall time: %+v", i, info)
+		}
+	}
+	if st := db2.Stats(); st.PagesTotal == 0 {
+		t.Fatalf("group stats roll up no checkpoint pages: %+v", st)
+	}
+	if got := dump(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered group state diverged:\n got %d rows\nwant %d rows", len(got), len(want))
+	}
+	if got := db2.RowCount("publisher"); got != wantRows {
+		t.Fatalf("parallel RowCount = %d, want %d", got, wantRows)
+	}
+	st := db2.Stats()
+	if st.PagecacheHits+st.PagecacheMisses == 0 {
+		t.Fatalf("scans faulted no pages through the shard pools: %+v", st)
+	}
+	// The group gauges are sums of the per-shard stores and pools.
+	var sumPages, sumMisses int64
+	for _, ss := range db2.ShardStats() {
+		sumPages += ss.PagesTotal
+		sumMisses += ss.PagecacheMisses
+	}
+	if sumPages != st.PagesTotal || sumMisses != st.PagecacheMisses {
+		t.Fatalf("rollup mismatch: shards sum pages=%d misses=%d, group %d/%d",
+			sumPages, sumMisses, st.PagesTotal, st.PagecacheMisses)
+	}
+}

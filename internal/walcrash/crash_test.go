@@ -230,10 +230,13 @@ func verifyRecovery(t *testing.T, dir string, seed, lastAck int64) {
 func failpointHits(fp string, reduced bool) []int {
 	var hits []int
 	switch {
-	case fp == "checkpoint.compact":
-		// Compaction runs once per CheckpointDeltaLimit+1 checkpoints, so
-		// the workload only reaches it a couple of times.
+	case fp == "checkpoint.compact" || fp == "compact.page":
+		// The base fold runs once per CheckpointDeltaLimit+1 checkpoints,
+		// so the workload only reaches it a couple of times.
 		hits = []int{1, 2}
+	case fp == "pagestore.directory":
+		// One directory append per checkpoint install.
+		hits = []int{1, 5}
 	case strings.HasPrefix(fp, "checkpoint."):
 		hits = []int{1, 3}
 	case strings.HasPrefix(fp, "wal.rotate."):
